@@ -1,0 +1,288 @@
+//! Group-based greedy exhaustive search for inference (Figure 12).
+
+use serde::{Deserialize, Serialize};
+
+use ts_core::{GroupConfigs, GroupKey, Session};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+
+/// Options controlling the inference tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunerOptions {
+    /// The dataflow design space to search per group.
+    pub space: Vec<DataflowConfig>,
+    /// Configuration used for not-yet-tuned groups and as the
+    /// comparison baseline (SpConv v2's default: sorted implicit GEMM).
+    pub default: DataflowConfig,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        Self {
+            space: DataflowConfig::full_space(4),
+            default: DataflowConfig::implicit_gemm(1),
+        }
+    }
+}
+
+impl TunerOptions {
+    /// Tuner restricted to SpConv v2's design space (splits 1–2 only).
+    pub fn spconv_v2() -> Self {
+        Self { space: DataflowConfig::spconv_v2_space(), default: DataflowConfig::implicit_gemm(1) }
+    }
+
+    /// Expands the design space with explicit tile policies: every
+    /// dataflow is tried under each policy (adaptive tiling is itself a
+    /// tunable dimension, Section 6.2).
+    pub fn with_tile_policies(mut self, policies: &[ts_kernelgen::TilePolicy]) -> Self {
+        let base = std::mem::take(&mut self.space);
+        self.space = base
+            .into_iter()
+            .flat_map(|cfg| policies.iter().map(move |&p| cfg.with_tile_policy(p)))
+            .collect();
+        self
+    }
+
+    /// Tuner over implicit GEMM with the given split choices only
+    /// (Table 5's design-space-restriction study).
+    pub fn implicit_only(splits: &[u32]) -> Self {
+        Self {
+            space: splits.iter().map(|&s| DataflowConfig::implicit_gemm(s)).collect(),
+            default: DataflowConfig::implicit_gemm(splits[0]),
+        }
+    }
+}
+
+/// Result of an inference tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneResult {
+    /// Per-group winning configurations.
+    pub configs: Option<GroupConfigs>,
+    /// End-to-end latency with the tuned configuration (mean over
+    /// sample scenes), microseconds.
+    pub tuned_latency_us: f64,
+    /// End-to-end latency with the uniform default configuration.
+    pub default_latency_us: f64,
+    /// Number of end-to-end evaluations performed — the tuner's cost,
+    /// linear in (groups x space size) thanks to the greedy scheme.
+    pub evaluations: usize,
+    /// The winning choice per group, in group order.
+    pub per_group_choice: Vec<(GroupKey, DataflowConfig)>,
+}
+
+impl TuneResult {
+    /// Speedup of the tuned configuration over the default.
+    pub fn speedup(&self) -> f64 {
+        self.default_latency_us / self.tuned_latency_us.max(1e-9)
+    }
+
+    /// The tuned per-group configuration table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` was stripped before serialization.
+    pub fn group_configs(&self) -> &GroupConfigs {
+        self.configs.as_ref().expect("configs present on tuned results")
+    }
+
+    /// Serialises the full result (including the schedule) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a result saved with [`TuneResult::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<TuneResult, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+fn mean_latency(sessions: &[Session], cfgs: &GroupConfigs, ctx: &ExecCtx) -> f64 {
+    sessions.iter().map(|s| s.simulate_inference(cfgs, ctx).total_us()).sum::<f64>()
+        / sessions.len().max(1) as f64
+}
+
+/// Runs the group-based greedy exhaustive search over `sessions`
+/// (typically a handful of sample scenes of the target workload — the
+/// paper uses e.g. 100 Waymo scenes; the tuned schedule is then reused
+/// for millions of scenes).
+///
+/// Groups are tuned in first-use order: group `k` tries every candidate
+/// while groups `1..k` keep their tuned choices and groups `k+1..` the
+/// default — reducing complexity from exponential to linear. End-to-end
+/// latency is the objective, because U-Net groups interleave and
+/// per-group times alone cannot capture mapping amortisation.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the search space is empty.
+pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) -> TuneResult {
+    assert!(!sessions.is_empty(), "tuner needs at least one sample scene");
+    assert!(!opts.space.is_empty(), "tuner needs a non-empty design space");
+    let n_groups = sessions[0].groups().len();
+
+    let mut configs = GroupConfigs::uniform(opts.default);
+    let default_latency_us = mean_latency(sessions, &configs, ctx);
+    let mut evaluations = 1;
+
+    for g in 0..n_groups {
+        let mut best = (opts.default, f64::INFINITY);
+        for &candidate in &opts.space {
+            let mut trial = configs.clone();
+            trial.set(g, candidate);
+            let t = mean_latency(sessions, &trial, ctx);
+            evaluations += 1;
+            if t < best.1 {
+                best = (candidate, t);
+            }
+        }
+        configs.set(g, best.0);
+    }
+
+    let tuned_latency_us = mean_latency(sessions, &configs, ctx);
+    let per_group_choice = sessions[0]
+        .groups()
+        .iter()
+        .enumerate()
+        .map(|(g, info)| (info.key, configs.for_group(g)))
+        .collect();
+
+    TuneResult {
+        configs: Some(configs),
+        tuned_latency_us,
+        default_latency_us,
+        evaluations,
+        per_group_choice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_gpusim::Device;
+    use ts_kernelmap::Coord;
+    use ts_tensor::Precision;
+    use ts_workloads::Workload;
+
+    fn session(scale: f32) -> Session {
+        let w = Workload::NuScenesMinkUNet1f;
+        let net = w.network();
+        let scene = w.scene_scaled(3, scale);
+        Session::new(&net, scene.coords())
+    }
+
+    #[test]
+    fn tuned_never_loses_to_default() {
+        let s = session(0.06);
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let r = tune_inference(&[s], &ctx, &TunerOptions::default());
+        assert!(r.tuned_latency_us <= r.default_latency_us + 1e-6);
+        assert!(r.speedup() >= 1.0);
+    }
+
+    #[test]
+    fn evaluation_count_is_linear() {
+        let s = session(0.06);
+        let n_groups = s.groups().len();
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let opts = TunerOptions::default();
+        let r = tune_inference(&[s], &ctx, &opts);
+        assert_eq!(r.evaluations, 1 + n_groups * opts.space.len());
+    }
+
+    #[test]
+    fn full_space_beats_spconv_space() {
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp32);
+        let s1 = session(0.06);
+        let full = tune_inference(&[s1], &ctx, &TunerOptions::default());
+        let s2 = session(0.06);
+        let restricted = tune_inference(&[s2], &ctx, &TunerOptions::spconv_v2());
+        assert!(
+            full.tuned_latency_us <= restricted.tuned_latency_us + 1e-6,
+            "full {} > restricted {}",
+            full.tuned_latency_us,
+            restricted.tuned_latency_us
+        );
+    }
+
+    #[test]
+    fn per_group_choices_cover_all_groups() {
+        let s = session(0.05);
+        let n = s.groups().len();
+        let ctx = ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16);
+        let r = tune_inference(&[s], &ctx, &TunerOptions::default());
+        assert_eq!(r.per_group_choice.len(), n);
+    }
+
+    #[test]
+    fn works_on_multiple_scenes() {
+        let w = Workload::NuScenesMinkUNet1f;
+        let net = w.network();
+        let sessions: Vec<Session> = (0..2)
+            .map(|i| {
+                let scene = w.scene_scaled(10 + i, 0.05);
+                Session::new(&net, scene.coords())
+            })
+            .collect();
+        let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp16);
+        let r = tune_inference(&sessions, &ctx, &TunerOptions::default());
+        assert!(r.tuned_latency_us > 0.0);
+    }
+
+    #[test]
+    fn tune_results_round_trip_through_json() {
+        let s = session(0.05);
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let r = tune_inference(&[s], &ctx, &TunerOptions::default());
+        let json = r.to_json().expect("serializes");
+        let back = TuneResult::from_json(&json).expect("deserializes");
+        assert_eq!(back.per_group_choice, r.per_group_choice);
+        assert_eq!(
+            back.group_configs().for_group(0),
+            r.group_configs().for_group(0)
+        );
+        assert_eq!(back.tuned_latency_us, r.tuned_latency_us);
+    }
+
+    #[test]
+    fn tile_policy_dimension_never_loses() {
+        let s = session(0.05);
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let base = tune_inference(&[s.clone()], &ctx, &TunerOptions::default());
+        let with_tiles = tune_inference(
+            &[s],
+            &ctx,
+            &TunerOptions::default().with_tile_policies(&[
+                ts_kernelgen::TilePolicy::Adaptive,
+                ts_kernelgen::TilePolicy::Fixed(ts_gpusim::TileShape::small()),
+                ts_kernelgen::TilePolicy::Fixed(ts_gpusim::TileShape::large()),
+            ]),
+        );
+        assert!(with_tiles.tuned_latency_us <= base.tuned_latency_us + 1e-6);
+        assert_eq!(with_tiles.evaluations, 1 + s_groups(&with_tiles) * 7 * 3);
+    }
+
+    fn s_groups(r: &TuneResult) -> usize {
+        r.per_group_choice.len()
+    }
+
+    #[test]
+    fn tiny_grid_session_tunes() {
+        let mut b = ts_core::NetworkBuilder::new("tiny", 4);
+        let c = b.conv_block("c", ts_core::NetworkBuilder::INPUT, 8, 3, 1);
+        let _ = b.conv_block("d", c, 16, 2, 2);
+        let net = b.build();
+        let coords: Vec<Coord> =
+            (0..100).map(|i| Coord::new(0, i % 10, i / 10, 0)).collect();
+        let s = Session::new(&net, &coords);
+        let ctx = ExecCtx::simulate(Device::gtx1080ti(), Precision::Fp32);
+        let r = tune_inference(&[s], &ctx, &TunerOptions::default());
+        assert_eq!(r.per_group_choice.len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Training tuner with parameter-binding schemes (Figure 13 / 22).
+
+use serde::{Deserialize, Serialize};
+
+use ts_core::{GroupConfigs, Session, TrainConfigs};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_gpusim::Device;
+
+use crate::TunerOptions;
+
+/// How forward / dgrad / wgrad dataflow parameters are coupled during
+/// training tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BindingScheme {
+    /// One configuration for all three kernel families (the
+    /// conventional design the paper challenges; cheapest to tune).
+    AllBound,
+    /// Bind forward + dgrad (same workload pattern), tune wgrad
+    /// separately — the *workload-pattern oriented* scheme, best on
+    /// low-parallelism devices like the 2080 Ti.
+    ForwardDgrad,
+    /// Bind dgrad + wgrad (they share maps, minimising mapping
+    /// overhead), tune forward separately — the *sparse-mapping
+    /// oriented* scheme, best on high-parallelism devices like the A100.
+    DgradWgrad,
+    /// Tune all three independently (O(K^3) if done exhaustively; here
+    /// the greedy group tuner keeps it linear but it still pays maximal
+    /// mapping overhead).
+    Decoupled,
+}
+
+impl BindingScheme {
+    /// All schemes, for sweeps.
+    pub const ALL: [BindingScheme; 4] = [
+        BindingScheme::AllBound,
+        BindingScheme::ForwardDgrad,
+        BindingScheme::DgradWgrad,
+        BindingScheme::Decoupled,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BindingScheme::AllBound => "bind fwd+dgrad+wgrad",
+            BindingScheme::ForwardDgrad => "bind fwd+dgrad",
+            BindingScheme::DgradWgrad => "bind dgrad+wgrad",
+            BindingScheme::Decoupled => "decoupled",
+        }
+    }
+}
+
+/// Picks the paper's recommended scheme for a device: dgrad+wgrad
+/// binding on high-parallelism GPUs (big tensor-to-CUDA-core gap),
+/// forward+dgrad binding on low-end devices.
+pub fn default_scheme_for(device: &Device) -> BindingScheme {
+    if device.tensor_to_cuda_ratio(ts_gpusim::Precision::Fp16) >= 8.0 {
+        BindingScheme::DgradWgrad
+    } else {
+        BindingScheme::ForwardDgrad
+    }
+}
+
+/// Result of a training tuning run.
+#[derive(Debug, Clone)]
+pub struct TrainTuneResult {
+    /// The tuned per-family configuration tables.
+    pub configs: TrainConfigs,
+    /// Tuned end-to-end training-iteration latency (mean over scenes).
+    pub tuned_latency_us: f64,
+    /// Latency of the all-bound default configuration.
+    pub default_latency_us: f64,
+    /// Number of end-to-end evaluations (tuning cost).
+    pub evaluations: usize,
+    /// The binding scheme used.
+    pub scheme: BindingScheme,
+}
+
+impl TrainTuneResult {
+    /// Speedup over the all-bound default.
+    pub fn speedup(&self) -> f64 {
+        self.default_latency_us / self.tuned_latency_us.max(1e-9)
+    }
+}
+
+fn mean_latency(sessions: &[Session], cfgs: &TrainConfigs, ctx: &ExecCtx) -> f64 {
+    sessions.iter().map(|s| s.simulate_training(cfgs, ctx).total_us()).sum::<f64>()
+        / sessions.len().max(1) as f64
+}
+
+/// Tunes training dataflows under `scheme` by reusing the group-based
+/// greedy tuner once per *bound family set* (the paper's trick that
+/// brings tuning cost from O(K^2)–O(K^3) down to O(K)).
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the space is empty.
+pub fn tune_training(
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    scheme: BindingScheme,
+) -> TrainTuneResult {
+    assert!(!sessions.is_empty() && !opts.space.is_empty());
+    let n_groups = sessions[0].groups().len();
+    let mut evaluations = 0usize;
+
+    let default = TrainConfigs::bound(opts.default);
+    let default_latency_us = mean_latency(sessions, &default, ctx);
+    evaluations += 1;
+
+    // Which families tune together: slots of family-index sets.
+    // 0 = fwd, 1 = dgrad, 2 = wgrad.
+    let family_sets: Vec<Vec<usize>> = match scheme {
+        BindingScheme::AllBound => vec![vec![0, 1, 2]],
+        BindingScheme::ForwardDgrad => vec![vec![0, 1], vec![2]],
+        BindingScheme::DgradWgrad => vec![vec![1, 2], vec![0]],
+        BindingScheme::Decoupled => vec![vec![0], vec![1], vec![2]],
+    };
+
+    let mut configs = TrainConfigs::bound(opts.default);
+    for set in &family_sets {
+        // One greedy group sweep per bound family set, holding the other
+        // families at their current (already tuned or default) choices.
+        for g in 0..n_groups {
+            let mut best: (DataflowConfig, f64) = (opts.default, f64::INFINITY);
+            for &candidate in &opts.space {
+                let mut trial = configs.clone();
+                for &fam in set {
+                    family_mut(&mut trial, fam).set(g, candidate);
+                }
+                let t = mean_latency(sessions, &trial, ctx);
+                evaluations += 1;
+                if t < best.1 {
+                    best = (candidate, t);
+                }
+            }
+            for &fam in set {
+                family_mut(&mut configs, fam).set(g, best.0);
+            }
+        }
+    }
+
+    let tuned_latency_us = mean_latency(sessions, &configs, ctx);
+    TrainTuneResult { configs, tuned_latency_us, default_latency_us, evaluations, scheme }
+}
+
+fn family_mut(cfgs: &mut TrainConfigs, fam: usize) -> &mut GroupConfigs {
+    match fam {
+        0 => &mut cfgs.fwd,
+        1 => &mut cfgs.dgrad,
+        2 => &mut cfgs.wgrad,
+        _ => unreachable!("family index is 0..3"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_tensor::Precision;
+    use ts_workloads::Workload;
+
+    fn session() -> Session {
+        let w = Workload::NuScenesMinkUNet1f;
+        let net = w.network();
+        let scene = w.batch_scaled(5, 0.05, 2);
+        Session::new(&net, scene.coords())
+    }
+
+    #[test]
+    fn all_schemes_beat_or_match_default() {
+        let s = session();
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        for scheme in BindingScheme::ALL {
+            let r = tune_training(&[s.clone()], &ctx, &TunerOptions::default(), scheme);
+            assert!(
+                r.tuned_latency_us <= r.default_latency_us + 1e-6,
+                "{}: {} > {}",
+                scheme.name(),
+                r.tuned_latency_us,
+                r.default_latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn partial_binding_not_worse_than_all_bound() {
+        let s = session();
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        let all = tune_training(&[s.clone()], &ctx, &TunerOptions::default(), BindingScheme::AllBound);
+        let dw = tune_training(&[s], &ctx, &TunerOptions::default(), BindingScheme::DgradWgrad);
+        assert!(dw.tuned_latency_us <= all.tuned_latency_us * 1.001);
+    }
+
+    #[test]
+    fn evaluation_cost_ranks_by_scheme() {
+        let s = session();
+        let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp16);
+        let opts = TunerOptions::default();
+        let all = tune_training(&[s.clone()], &ctx, &opts, BindingScheme::AllBound);
+        let fd = tune_training(&[s.clone()], &ctx, &opts, BindingScheme::ForwardDgrad);
+        let dec = tune_training(&[s], &ctx, &opts, BindingScheme::Decoupled);
+        assert!(all.evaluations < fd.evaluations);
+        assert!(fd.evaluations < dec.evaluations);
+    }
+
+    #[test]
+    fn device_scheme_defaults_match_paper() {
+        assert_eq!(default_scheme_for(&Device::a100()), BindingScheme::DgradWgrad);
+        assert_eq!(default_scheme_for(&Device::rtx2080ti()), BindingScheme::ForwardDgrad);
+    }
+}

@@ -1,0 +1,65 @@
+//! cuBLAS dense-GEMM latency model — the yardstick of Figure 8.
+//!
+//! The paper benchmarks its generated sparse kernels against cuBLAS
+//! running the *equivalent-sized dense GEMM* (cuBLAS has no sparsity
+//! support). This model picks the best of cuBLAS's internal tile menu
+//! under the same utilization model that prices our generated kernels,
+//! so relative utilization claims are apples-to-apples.
+
+use ts_gpusim::{gemm_utilization, Device, Precision, TileShape};
+
+/// The tile menu cuBLAS heuristics choose from.
+fn cublas_tiles() -> Vec<TileShape> {
+    vec![
+        TileShape::new(128, 128, 32),
+        TileShape::new(128, 64, 32),
+        TileShape::new(64, 128, 32),
+        TileShape::new(64, 64, 32),
+        TileShape::new(128, 128, 64),
+        TileShape::new(64, 32, 32),
+        TileShape::new(32, 64, 32),
+    ]
+}
+
+/// Utilization cuBLAS achieves on an `m x n x k` dense GEMM.
+pub fn cublas_utilization(m: u64, n: u64, k: u64, device: &Device, precision: Precision) -> f64 {
+    cublas_tiles()
+        .into_iter()
+        .map(|t| gemm_utilization(m, n, k, t, device, precision))
+        .fold(0.0, f64::max)
+}
+
+/// Latency in microseconds of the equivalent dense GEMM under cuBLAS
+/// (compute side; dense GEMMs of these sizes are compute-bound).
+pub fn cublas_gemm_us(m: u64, n: u64, k: u64, device: &Device, precision: Precision) -> f64 {
+    let util = cublas_utilization(m, n, k, device, precision).max(1e-4);
+    let macs = (m * n * k) as f64;
+    macs / (device.peak_macs_per_us(precision) * util) + device.launch_overhead_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_gemms_run_near_peak() {
+        let d = Device::rtx3090();
+        let u = cublas_utilization(1 << 17, 256, 1728, &d, Precision::Fp16);
+        assert!(u > 0.8, "utilization = {u}");
+    }
+
+    #[test]
+    fn small_gemms_are_underutilised() {
+        let d = Device::rtx3090();
+        let u = cublas_utilization(2000, 64, 576, &d, Precision::Fp16);
+        assert!(u < 0.6, "utilization = {u}");
+    }
+
+    #[test]
+    fn latency_scales_with_size() {
+        let d = Device::a100();
+        let small = cublas_gemm_us(4096, 128, 128, &d, Precision::Fp16);
+        let large = cublas_gemm_us(65536, 256, 256, &d, Precision::Fp16);
+        assert!(large > small);
+    }
+}

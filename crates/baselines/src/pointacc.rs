@@ -1,0 +1,122 @@
+//! The PointAcc ASIC comparison of Table 2.
+//!
+//! Table 2 of the paper is itself an analytical projection: PointAcc's
+//! 64x64 systolic array is scaled to 128x128 ("PointAcc-L") to roughly
+//! match an RTX 3090's MAC count, memory bandwidth is scaled
+//! accordingly, and the measured TorchSparse++ latency is normalised by
+//! the clock (1.7x) and peak-MAC (1.3x) differences. We reproduce the
+//! same arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Specification of a (scaled) PointAcc accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointAccSpec {
+    /// Name in Table 2.
+    pub name: &'static str,
+    /// Systolic array side length.
+    pub array_dim: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+}
+
+impl PointAccSpec {
+    /// The original PointAcc (MICRO'21): 64x64 at 1 GHz.
+    pub fn base() -> Self {
+        Self { name: "PointAcc", array_dim: 64, clock_ghz: 1.0 }
+    }
+
+    /// The scaled PointAcc-L of Table 2: 128x128 at 1 GHz.
+    pub fn large() -> Self {
+        Self { name: "PointAcc-L", array_dim: 128, clock_ghz: 1.0 }
+    }
+
+    /// Number of MAC units (`array_dim^2`).
+    pub fn macs(&self) -> u64 {
+        self.array_dim as u64 * self.array_dim as u64
+    }
+
+    /// Peak throughput in TMACS.
+    pub fn peak_tmacs(&self) -> f64 {
+        self.macs() as f64 * self.clock_ghz / 1e3
+    }
+}
+
+/// Table 2's RTX 3090 datapoints: 328 tensor cores x 64 MACs at 1.7 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rtx3090Tensor;
+
+impl Rtx3090Tensor {
+    /// Tensor core count.
+    pub const CORES: u64 = 328;
+    /// MACs per tensor core.
+    pub const MACS_PER_CORE: u64 = 64;
+    /// Clock in GHz.
+    pub const CLOCK_GHZ: f64 = 1.7;
+
+    /// Total MAC units (20992 in Table 2).
+    pub fn macs() -> u64 {
+        Self::CORES * Self::MACS_PER_CORE
+    }
+
+    /// Peak throughput in TMACS (35.5 in Table 2, up to rounding).
+    pub fn peak_tmacs() -> f64 {
+        Self::macs() as f64 * Self::CLOCK_GHZ / 1e3
+    }
+}
+
+/// Normalises a measured TorchSparse++ latency on RTX 3090 for a fair
+/// ASIC comparison: the paper multiplies by clock ratio (1.7x) and MAC
+/// ratio (~1.3x), a combined ~2.2x.
+pub fn normalize_gpu_latency_ms(measured_ms: f64, asic: &PointAccSpec) -> f64 {
+    let clock_ratio = Rtx3090Tensor::CLOCK_GHZ / asic.clock_ghz;
+    let mac_ratio = Rtx3090Tensor::macs() as f64 / asic.macs() as f64;
+    measured_ms * clock_ratio * mac_ratio
+}
+
+/// Projects PointAcc-L latency from base-PointAcc latency assuming
+/// linear scaling with array size (the paper's IC-OC-parallelism
+/// assumption for layers with large channel counts).
+pub fn project_latency_ms(base_latency_ms: f64, from: &PointAccSpec, to: &PointAccSpec) -> f64 {
+    base_latency_ms * (from.peak_tmacs() / to.peak_tmacs())
+}
+
+/// The fraction of ASIC speed the GPU achieves (paper: 56 % with
+/// projected 31.6 ms GPU vs 17.8 ms ASIC).
+pub fn gpu_vs_asic_fraction(gpu_projected_ms: f64, asic_ms: f64) -> f64 {
+    asic_ms / gpu_projected_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_hardware_constants() {
+        assert_eq!(Rtx3090Tensor::macs(), 20992);
+        assert!((Rtx3090Tensor::peak_tmacs() - 35.5).abs() < 0.2);
+        assert_eq!(PointAccSpec::base().macs(), 4096);
+        assert_eq!(PointAccSpec::large().macs(), 16384);
+        assert!((PointAccSpec::large().peak_tmacs() - 16.4).abs() < 0.5); // paper rounds to 16 TMACS
+    }
+
+    #[test]
+    fn normalization_matches_papers_2_2x() {
+        let f = normalize_gpu_latency_ms(1.0, &PointAccSpec::large());
+        assert!((f - 2.18).abs() < 0.05, "normalisation factor = {f}");
+    }
+
+    #[test]
+    fn scaling_projection_is_linear() {
+        let base = PointAccSpec::base();
+        let large = PointAccSpec::large();
+        assert_eq!(project_latency_ms(40.0, &base, &large), 10.0);
+    }
+
+    #[test]
+    fn paper_numbers_give_56_percent() {
+        // Paper: projected GPU latency 31.6 ms vs PointAcc-L 17.8 ms.
+        let f = gpu_vs_asic_fraction(31.6, 17.8);
+        assert!((f - 0.563).abs() < 0.01, "fraction = {f}");
+    }
+}

@@ -1,0 +1,225 @@
+//! The five sparse-convolution systems compared in Figures 14 and 15.
+
+use serde::{Deserialize, Serialize};
+
+use ts_autotune::{default_scheme_for, tune_inference, tune_training, TunerOptions};
+use ts_core::{GroupConfigs, RunReport, Session, TrainConfigs};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_gpusim::{Arch, Device, Precision};
+
+/// One of the compared sparse-convolution systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum System {
+    /// MinkowskiEngine 0.5.4: per-offset fetch-on-demand, FP32 only.
+    MinkowskiEngine,
+    /// SpConv 1.2.1: naive gather-GEMM-scatter.
+    SpConv1,
+    /// TorchSparse (MLSys'22): fused gather-scatter with adaptive
+    /// grouping.
+    TorchSparse,
+    /// SpConv 2.3.5: sorted implicit GEMM, splits restricted to {1, 2},
+    /// all training kernels bound.
+    SpConvV2,
+    /// TorchSparse++ (this paper): full design space + Sparse Autotuner.
+    TorchSparsePP,
+}
+
+/// All systems in the paper's comparison order.
+pub const ALL_SYSTEMS: [System; 5] = [
+    System::MinkowskiEngine,
+    System::SpConv1,
+    System::TorchSparse,
+    System::SpConvV2,
+    System::TorchSparsePP,
+];
+
+impl System {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::MinkowskiEngine => "MinkowskiEngine",
+            System::SpConv1 => "SpConv 1.2",
+            System::TorchSparse => "TorchSparse",
+            System::SpConvV2 => "SpConv v2",
+            System::TorchSparsePP => "TorchSparse++",
+        }
+    }
+
+    /// The precision this system actually executes when asked for
+    /// `requested` on `device` (MinkowskiEngine has no FP16 support;
+    /// TF32 exists only on Ampere).
+    pub fn effective_precision(self, requested: Precision, device: &Device) -> Precision {
+        let p = match self {
+            System::MinkowskiEngine => Precision::Fp32,
+            _ => requested,
+        };
+        if p == Precision::Tf32 && device.arch != Arch::Ampere {
+            Precision::Fp32
+        } else {
+            p
+        }
+    }
+
+    /// Execution context encoding this system's measured kernel and
+    /// mapping efficiency relative to generated TorchSparse++ kernels.
+    pub fn ctx(self, device: Device, requested: Precision) -> ExecCtx {
+        let precision = self.effective_precision(requested, &device);
+        let base = ExecCtx::simulate(device, precision);
+        match self {
+            // Un-templated CUDA kernels + a CPU/thrust coordinate
+            // manager far slower than GPU hash tables.
+            System::MinkowskiEngine => base.with_system_eff(1.20).with_mapping_eff(2.0),
+            System::SpConv1 => base.with_system_eff(1.10).with_mapping_eff(1.3),
+            System::TorchSparse => base,
+            // The paper measures TorchSparse++ generated kernels
+            // 1.1-1.2x faster than SpConv v2's at identical dataflow
+            // parameters (Figure 23).
+            System::SpConvV2 => base.with_system_eff(1.15),
+            System::TorchSparsePP => base,
+        }
+    }
+
+    /// The inference configuration this system runs on `session`:
+    /// fixed dataflows for the untuned systems, a tuner run for
+    /// SpConv v2 (restricted space) and TorchSparse++ (full space).
+    pub fn inference_configs(self, session: &Session, ctx: &ExecCtx) -> GroupConfigs {
+        match self {
+            System::MinkowskiEngine => GroupConfigs::uniform(DataflowConfig::fetch_on_demand(false)),
+            System::SpConv1 => GroupConfigs::uniform(DataflowConfig::gather_scatter(false)),
+            System::TorchSparse => GroupConfigs::uniform(DataflowConfig::gather_scatter(true)),
+            System::SpConvV2 => {
+                tune_inference(std::slice::from_ref(session), ctx, &TunerOptions::spconv_v2())
+                    .group_configs()
+                    .clone()
+            }
+            System::TorchSparsePP => {
+                tune_inference(std::slice::from_ref(session), ctx, &TunerOptions::default())
+                    .group_configs()
+                    .clone()
+            }
+        }
+    }
+
+    /// Simulates one inference pass of this system.
+    pub fn inference_report(self, session: &Session, device: Device, precision: Precision) -> RunReport {
+        let ctx = self.ctx(device, precision);
+        let cfgs = self.inference_configs(session, &ctx);
+        session.simulate_inference(&cfgs, &ctx)
+    }
+
+    /// End-to-end inference latency in milliseconds.
+    pub fn inference_ms(self, session: &Session, device: Device, precision: Precision) -> f64 {
+        self.inference_report(session, device, precision).total_ms()
+    }
+
+    /// The training configuration of this system (all baselines bind
+    /// forward/dgrad/wgrad; TorchSparse++ uses the device-appropriate
+    /// binding scheme).
+    pub fn training_configs(self, session: &Session, ctx: &ExecCtx) -> TrainConfigs {
+        match self {
+            System::MinkowskiEngine => {
+                TrainConfigs::bound(DataflowConfig::fetch_on_demand(false))
+            }
+            System::SpConv1 => TrainConfigs::bound(DataflowConfig::gather_scatter(false)),
+            System::TorchSparse => TrainConfigs::bound(DataflowConfig::gather_scatter(true)),
+            System::SpConvV2 => {
+                let r = tune_training(
+                    std::slice::from_ref(session),
+                    ctx,
+                    &TunerOptions::spconv_v2(),
+                    ts_autotune::BindingScheme::AllBound,
+                );
+                r.configs
+            }
+            System::TorchSparsePP => {
+                let scheme = default_scheme_for(ctx.device());
+                let r = tune_training(
+                    std::slice::from_ref(session),
+                    ctx,
+                    &TunerOptions::default(),
+                    scheme,
+                );
+                r.configs
+            }
+        }
+    }
+
+    /// Simulates one training iteration (mixed precision where
+    /// supported; MinkowskiEngine falls back to FP32, as in Figure 15).
+    pub fn training_report(self, session: &Session, device: Device, precision: Precision) -> RunReport {
+        let ctx = self.ctx(device, precision);
+        let cfgs = self.training_configs(session, &ctx);
+        session.simulate_training(&cfgs, &ctx)
+    }
+
+    /// End-to-end training-iteration latency in milliseconds.
+    pub fn training_ms(self, session: &Session, device: Device, precision: Precision) -> f64 {
+        self.training_report(session, device, precision).total_ms()
+    }
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_workloads::Workload;
+
+    fn session(w: Workload, scale: f32) -> Session {
+        let net = w.network();
+        let scene = w.scene_scaled(42, scale);
+        Session::new(&net, scene.coords())
+    }
+
+    #[test]
+    fn minkowski_ignores_fp16() {
+        let d = Device::a100();
+        assert_eq!(
+            System::MinkowskiEngine.effective_precision(Precision::Fp16, &d),
+            Precision::Fp32
+        );
+        assert_eq!(System::SpConvV2.effective_precision(Precision::Fp16, &d), Precision::Fp16);
+    }
+
+    #[test]
+    fn tf32_falls_back_off_ampere() {
+        let turing = Device::rtx2080ti();
+        assert_eq!(
+            System::TorchSparsePP.effective_precision(Precision::Tf32, &turing),
+            Precision::Fp32
+        );
+    }
+
+    #[test]
+    fn paper_ranking_holds_on_segmentation_a100_fp16() {
+        // Figure 14 ordering on cloud GPUs: TS++ < SpConv v2 <
+        // TorchSparse < {SpConv 1.2, MinkowskiEngine}.
+        let s = session(Workload::NuScenesMinkUNet1f, 0.12);
+        let d = Device::a100();
+        let tspp = System::TorchSparsePP.inference_ms(&s, d.clone(), Precision::Fp16);
+        let sp2 = System::SpConvV2.inference_ms(&s, d.clone(), Precision::Fp16);
+        let ts = System::TorchSparse.inference_ms(&s, d.clone(), Precision::Fp16);
+        let sp1 = System::SpConv1.inference_ms(&s, d.clone(), Precision::Fp16);
+        let mink = System::MinkowskiEngine.inference_ms(&s, d, Precision::Fp16);
+        assert!(tspp <= sp2, "TS++ {tspp} > SpConv2 {sp2}");
+        assert!(sp2 < ts, "SpConv2 {sp2} >= TorchSparse {ts}");
+        assert!(ts < sp1.max(mink), "TorchSparse {ts} >= worst baseline");
+        assert!(mink > tspp * 1.5, "Minkowski {mink} not clearly slower than TS++ {tspp}");
+    }
+
+    #[test]
+    fn training_is_faster_on_tspp_than_spconv2() {
+        let w = Workload::NuScenesMinkUNet1f;
+        let net = w.network();
+        let batch = w.batch_scaled(7, 0.08, 2);
+        let s = Session::new(&net, batch.coords());
+        let d = Device::a100();
+        let tspp = System::TorchSparsePP.training_ms(&s, d.clone(), Precision::Fp16);
+        let sp2 = System::SpConvV2.training_ms(&s, d, Precision::Fp16);
+        assert!(tspp < sp2, "TS++ train {tspp} >= SpConv2 {sp2}");
+    }
+}

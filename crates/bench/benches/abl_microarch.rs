@@ -1,0 +1,55 @@
+//! Section 6.3 ablation: micro-architectural sensitivity.
+//!
+//! The paper halves the RTX 3090's memory bandwidth (1.2x slowdown) and
+//! its peak compute (1.4x slowdown), concluding that scaling compute
+//! units beats scaling off-chip bandwidth for sparse convolution.
+
+use serde_json::json;
+use ts_autotune::{tune_inference, TunerOptions};
+use ts_bench::{paper_check, print_table, session_for, write_json};
+use ts_dataflow::ExecCtx;
+use ts_gpusim::{Device, Precision};
+use ts_workloads::Workload;
+
+fn tuned_ms(session: &ts_core::Session, device: Device) -> f64 {
+    let ctx = ExecCtx::simulate(device, Precision::Fp16);
+    tune_inference(std::slice::from_ref(session), &ctx, &TunerOptions::default()).tuned_latency_us
+        / 1e3
+}
+
+fn main() {
+    let session = session_for(Workload::SemanticKittiMinkUNet10, 7);
+    let base = Device::rtx3090();
+
+    let t_base = tuned_ms(&session, base.clone());
+    let t_half_bw = tuned_ms(&session, base.with_bandwidth_scale(0.5));
+    let t_half_compute = tuned_ms(&session, base.with_compute_scale(0.5));
+
+    let bw_slowdown = t_half_bw / t_base;
+    let compute_slowdown = t_half_compute / t_base;
+
+    print_table(
+        "Micro-architectural ablation (SK-M 1x, RTX 3090, FP16)",
+        &["configuration", "latency (ms)", "slowdown"],
+        &[
+            vec!["baseline".into(), format!("{t_base:.2}"), "1.00x".into()],
+            vec!["1/2 DRAM bandwidth".into(), format!("{t_half_bw:.2}"), format!("{bw_slowdown:.2}x")],
+            vec!["1/2 peak compute".into(), format!("{t_half_compute:.2}"), format!("{compute_slowdown:.2}x")],
+        ],
+    );
+    paper_check("bandwidth halving", "1.2x slowdown (Sec. 6.3)", &format!("{bw_slowdown:.2}x"));
+    paper_check("compute halving", "1.4x slowdown (Sec. 6.3)", &format!("{compute_slowdown:.2}x"));
+    assert!(
+        compute_slowdown > bw_slowdown,
+        "compute must matter more than bandwidth ({compute_slowdown:.2} vs {bw_slowdown:.2})"
+    );
+    assert!(bw_slowdown > 1.0 && compute_slowdown > 1.0);
+
+    write_json(
+        "abl_microarch",
+        &json!({
+            "base_ms": t_base, "half_bw_ms": t_half_bw, "half_compute_ms": t_half_compute,
+            "bw_slowdown": bw_slowdown, "compute_slowdown": compute_slowdown,
+        }),
+    );
+}

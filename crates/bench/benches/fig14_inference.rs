@@ -1,0 +1,98 @@
+//! Figure 14: end-to-end inference speedup across systems, devices and
+//! precisions.
+//!
+//! Seven workloads x five systems, unit batch. The paper reports on
+//! cloud Ampere GPUs: 2.9-3.7x over MinkowskiEngine, 3.2-3.3x over
+//! SpConv 1.2, 2.0-2.2x over TorchSparse and 1.4-1.7x over SpConv 2.3.5;
+//! 1.25x over SpConv v2 on Jetson Orin. Set `TS_BENCH_FULL=1` for the
+//! complete device/precision grid.
+
+use std::collections::BTreeMap;
+
+use serde_json::json;
+use ts_baselines::ALL_SYSTEMS;
+use ts_bench::{full_grid, geomean, paper_check, print_table, session_for, write_json};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::ALL_WORKLOADS;
+
+fn main() {
+    let devices: Vec<Device> = if full_grid() {
+        Device::paper_lineup()
+    } else {
+        vec![Device::a100(), Device::rtx3090(), Device::jetson_orin()]
+    };
+    let precisions: Vec<Precision> =
+        if full_grid() { Precision::ALL.to_vec() } else { vec![Precision::Fp16, Precision::Fp32] };
+
+    let mut records = Vec::new();
+    let mut a100_fp16_speedups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut orin_fp16_spconv2: Vec<f64> = Vec::new();
+
+    for device in &devices {
+        for &precision in &precisions {
+            let mut rows = Vec::new();
+            for &w in &ALL_WORKLOADS {
+                let session = session_for(w, 42);
+                let ms: Vec<f64> = ALL_SYSTEMS
+                    .iter()
+                    .map(|s| s.inference_ms(&session, device.clone(), precision))
+                    .collect();
+                let ours = ms[ALL_SYSTEMS.len() - 1];
+                if device.name == "A100" && precision == Precision::Fp16 {
+                    for (sys, &t) in ALL_SYSTEMS.iter().zip(&ms) {
+                        a100_fp16_speedups.entry(sys.name()).or_default().push(t / ours);
+                    }
+                }
+                if device.name == "Jetson Orin" && precision == Precision::Fp16 {
+                    orin_fp16_spconv2.push(ms[3] / ours);
+                }
+                records.push(json!({
+                    "device": device.name, "precision": precision.to_string(),
+                    "workload": w.name(),
+                    "latency_ms": ALL_SYSTEMS.iter().zip(&ms)
+                        .map(|(s, t)| (s.name(), t)).collect::<BTreeMap<_, _>>(),
+                }));
+                let mut row = vec![w.name().to_owned()];
+                row.extend(ms.iter().map(|t| format!("{t:.2}")));
+                row.push(format!("{:.2}x", ms[3] / ours));
+                rows.push(row);
+            }
+            let headers: Vec<&str> = std::iter::once("workload")
+                .chain(ALL_SYSTEMS.iter().map(|s| s.name()))
+                .chain(std::iter::once("vs SpConv v2"))
+                .collect();
+            print_table(
+                &format!("Figure 14: inference latency (ms), {} {}", device.name, precision),
+                &headers,
+                &rows,
+            );
+        }
+    }
+
+    println!("\n--- geomean speedups of TorchSparse++ on A100 FP16 ---");
+    let paper_refs = [
+        ("MinkowskiEngine", "2.9x"),
+        ("SpConv 1.2", "3.3x"),
+        ("TorchSparse", "2.2x"),
+        ("SpConv v2", "1.7x"),
+    ];
+    let mut summary = BTreeMap::new();
+    for (name, paper) in paper_refs {
+        let gm = geomean(&a100_fp16_speedups[name]);
+        summary.insert(name, gm);
+        paper_check(&format!("A100 speedup over {name}"), paper, &format!("{gm:.2}x"));
+        assert!(gm > 1.0, "TorchSparse++ must beat {name} (got {gm:.2}x)");
+    }
+    let orin = geomean(&orin_fp16_spconv2);
+    paper_check("Orin speedup over SpConv v2", "1.25x average", &format!("{orin:.2}x"));
+
+    // Shape assertions from the paper's ordering.
+    assert!(summary["MinkowskiEngine"] > summary["SpConv v2"]);
+    assert!(summary["SpConv 1.2"] > summary["TorchSparse"]);
+    assert!(summary["TorchSparse"] > summary["SpConv v2"]);
+
+    write_json(
+        "fig14_inference",
+        &json!({ "runs": records, "a100_fp16_geomean_speedups": summary, "orin_fp16_vs_spconv2": orin }),
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 15: mixed-precision training speedup.
+//!
+//! Batch size 2, FP16 gradients (MinkowskiEngine falls back to FP32),
+//! A100 and RTX 2080 Ti. Paper: TorchSparse++ is 1.16x (A100) / 1.27x
+//! (2080 Ti) faster than SpConv v2, 2.5-2.6x faster than TorchSparse and
+//! 4.6-4.8x faster than MinkowskiEngine.
+
+use std::collections::BTreeMap;
+
+use serde_json::json;
+use ts_baselines::{System, ALL_SYSTEMS};
+use ts_bench::{geomean, paper_check, print_table, train_session_for, write_json};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::ALL_WORKLOADS;
+
+fn main() {
+    let devices = [Device::a100(), Device::rtx2080ti()];
+    let mut records = Vec::new();
+    let mut speedups: BTreeMap<(String, &str), Vec<f64>> = BTreeMap::new();
+
+    for device in &devices {
+        let mut rows = Vec::new();
+        for &w in &ALL_WORKLOADS {
+            let session = train_session_for(w, 17);
+            let ms: Vec<f64> = ALL_SYSTEMS
+                .iter()
+                .map(|s| s.training_ms(&session, device.clone(), Precision::Fp16))
+                .collect();
+            let ours = ms[ALL_SYSTEMS.len() - 1];
+            for (sys, &t) in ALL_SYSTEMS.iter().zip(&ms) {
+                speedups.entry((device.name.clone(), sys.name())).or_default().push(t / ours);
+            }
+            records.push(json!({
+                "device": device.name, "workload": w.name(),
+                "latency_ms": ALL_SYSTEMS.iter().zip(&ms)
+                    .map(|(s, t)| (s.name(), t)).collect::<BTreeMap<_, _>>(),
+            }));
+            let mut row = vec![w.name().to_owned()];
+            row.extend(ms.iter().map(|t| format!("{t:.2}")));
+            rows.push(row);
+        }
+        let headers: Vec<&str> = std::iter::once("workload")
+            .chain(ALL_SYSTEMS.iter().map(|s| s.name()))
+            .collect();
+        print_table(
+            &format!("Figure 15: training iteration latency (ms), {}, batch 2, AMP", device.name),
+            &headers,
+            &rows,
+        );
+    }
+
+    println!();
+    let mut summary = BTreeMap::new();
+    for device in &devices {
+        for (sys, paper) in [
+            (System::MinkowskiEngine, "4.6-4.8x"),
+            (System::TorchSparse, "2.5-2.6x"),
+            (System::SpConvV2, "1.16x (A100) / 1.27x (2080 Ti)"),
+        ] {
+            let gm = geomean(&speedups[&(device.name.clone(), sys.name())]);
+            summary.insert(format!("{} vs {}", device.name, sys.name()), gm);
+            paper_check(
+                &format!("{} training speedup over {}", device.name, sys.name()),
+                paper,
+                &format!("{gm:.2}x"),
+            );
+            assert!(gm > 1.0, "TorchSparse++ training must beat {}", sys.name());
+        }
+    }
+    // MinkowskiEngine (FP32-only) must be the slowest by a wide margin.
+    for device in &devices {
+        let mink = geomean(&speedups[&(device.name.clone(), "MinkowskiEngine")]);
+        let sp2 = geomean(&speedups[&(device.name.clone(), "SpConv v2")]);
+        assert!(mink > sp2 * 1.5, "{}: MinkowskiEngine must trail far behind", device.name);
+    }
+
+    write_json("fig15_training", &json!({ "runs": records, "geomean_speedups": summary }));
+}

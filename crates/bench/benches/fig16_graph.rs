@@ -1,0 +1,73 @@
+//! Figure 16: R-GCN inference vs DGL, PyG and Graphiler.
+//!
+//! Five heterogeneous graph benchmarks. Paper: TorchSparse++ is 7.6x,
+//! 2.6x and 2.9x faster, and 3.4x, 4.4x and 5.6x more memory-efficient,
+//! than DGL, PyG and Graphiler respectively.
+
+use std::collections::BTreeMap;
+
+use serde_json::json;
+use ts_bench::{geomean, paper_check, print_table, write_json};
+use ts_gpusim::Device;
+use ts_graph::{GraphSystem, RgcnModel, ALL_GRAPH_SYSTEMS};
+use ts_workloads::graphs::HeteroGraph;
+
+fn main() {
+    let device = Device::rtx3090();
+    let mut rows = Vec::new();
+    let mut mem_rows = Vec::new();
+    let mut records = Vec::new();
+    let mut speedups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut mem_ratios: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+
+    for g in HeteroGraph::paper_suite(11) {
+        let model = RgcnModel::new(&g, 64, 64, 8, 3);
+        let runs: Vec<_> = ALL_GRAPH_SYSTEMS
+            .iter()
+            .map(|s| (s.name(), s.run(&g, &model, device.clone())))
+            .collect();
+        let ours = runs.last().expect("TS++ is last").1;
+        for (name, r) in &runs[..runs.len() - 1] {
+            speedups.entry(name).or_default().push(r.latency_us / ours.latency_us);
+            mem_ratios.entry(name).or_default().push(r.peak_bytes as f64 / ours.peak_bytes as f64);
+        }
+        records.push(json!({
+            "graph": g.name, "nodes": g.n_nodes, "edges": g.n_edges(), "relations": g.n_relations,
+            "latency_us": runs.iter().map(|(n, r)| (*n, r.latency_us)).collect::<BTreeMap<_,_>>(),
+            "peak_mb": runs.iter().map(|(n, r)| (*n, r.peak_bytes as f64 / 1e6)).collect::<BTreeMap<_,_>>(),
+        }));
+        let mut row = vec![g.name.clone()];
+        row.extend(runs.iter().map(|(_, r)| format!("{:.2}", r.latency_us / 1e3)));
+        rows.push(row);
+        let mut mrow = vec![g.name.clone()];
+        mrow.extend(runs.iter().map(|(_, r)| format!("{:.1}", r.peak_bytes as f64 / 1e6)));
+        mem_rows.push(mrow);
+    }
+
+    let headers: Vec<&str> = std::iter::once("graph")
+        .chain(ALL_GRAPH_SYSTEMS.iter().map(|s| s.name()))
+        .collect();
+    print_table("Figure 16: R-GCN inference latency (ms), RTX 3090", &headers, &rows);
+    print_table("Figure 16: R-GCN peak memory (MB)", &headers, &mem_rows);
+
+    println!();
+    for (sys, paper_speed, paper_mem) in [
+        (GraphSystem::Dgl, "7.6x", "3.4x"),
+        (GraphSystem::Pyg, "2.6x", "4.4x"),
+        (GraphSystem::Graphiler, "2.9x", "5.6x"),
+    ] {
+        let s = geomean(&speedups[sys.name()]);
+        let m = geomean(&mem_ratios[sys.name()]);
+        paper_check(&format!("speedup vs {}", sys.name()), paper_speed, &format!("{s:.2}x"));
+        paper_check(&format!("memory saving vs {}", sys.name()), paper_mem, &format!("{m:.2}x"));
+        assert!(s > 1.5, "must clearly beat {}", sys.name());
+        assert!(m > 1.2, "must use clearly less memory than {}", sys.name());
+    }
+    // DGL's per-relation Python loop is the slowest of the frameworks.
+    assert!(
+        geomean(&speedups["DGL"]) > geomean(&speedups["PyG"]),
+        "DGL should trail PyG as in the paper"
+    );
+
+    write_json("fig16_graph", &json!({ "graphs": records }));
+}

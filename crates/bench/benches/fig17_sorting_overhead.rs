@@ -1,0 +1,95 @@
+//! Figure 17: layerwise effect of bitmask sorting.
+//!
+//! Sorting reduces computation time, but the sorting/reordering overhead
+//! itself outweighs the benefit on detection workloads (Waymo
+//! CenterPoint), while it pays off on the larger segmentation model
+//! (SemanticKITTI MinkUNet).
+
+use serde_json::json;
+use ts_bench::{paper_check, print_table, session_for, write_json};
+use ts_core::GroupConfigs;
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::Workload;
+
+fn main() {
+    let device = Device::rtx3090();
+    let ctx = ExecCtx::simulate(device, Precision::Fp16);
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let mut det_sorting_loses = false;
+    let mut seg_compute_drops = false;
+
+    for (w, label) in [
+        (Workload::WaymoCenterPoint1f, "WM-C 1f (detection)"),
+        (Workload::SemanticKittiMinkUNet10, "SK-M 1x (segmentation)"),
+    ] {
+        let session = session_for(w, 9);
+        let unsorted = session
+            .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)), &ctx);
+        let sorted = session
+            .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)), &ctx);
+
+        let u_compute = unsorted.kernel_only_us() / 1e3;
+        let s_compute = sorted.kernel_only_us() / 1e3;
+        let u_map = unsorted.mapping_us() / 1e3;
+        let s_map = sorted.mapping_us() / 1e3;
+        let u_total = unsorted.total_ms();
+        let s_total = sorted.total_ms();
+
+        if label.contains("detection") && s_total > u_total {
+            det_sorting_loses = true;
+        }
+        if label.contains("segmentation") && s_compute < u_compute {
+            seg_compute_drops = true;
+        }
+
+        records.push(json!({
+            "workload": label,
+            "unsorted": { "compute_ms": u_compute, "mapping_ms": u_map, "total_ms": u_total },
+            "sorted": { "compute_ms": s_compute, "mapping_ms": s_map, "total_ms": s_total },
+        }));
+        rows.push(vec![
+            label.to_owned(),
+            format!("{u_compute:.2} / {s_compute:.2}"),
+            format!("{u_map:.2} / {s_map:.2}"),
+            format!("{u_total:.2} / {s_total:.2}"),
+        ]);
+
+        // Layerwise view for the detection workload.
+        if label.contains("detection") {
+            println!("\n--- layerwise (ms), {label}: unsorted vs sorted ---");
+            for (u, s) in unsorted.timings().iter().zip(sorted.timings()) {
+                if u.time_us.max(s.time_us) > 1.0 {
+                    println!(
+                        "  {:<28} {:>8.3} {:>8.3}",
+                        u.name,
+                        u.time_us / 1e3,
+                        s.time_us / 1e3
+                    );
+                }
+            }
+        }
+    }
+
+    print_table(
+        "Figure 17: sorting effect (unsorted / sorted)",
+        &["workload", "kernel-only (ms)", "mapping (ms)", "total (ms)"],
+        &rows,
+    );
+    paper_check(
+        "sorting on detection",
+        "sort overhead outweighs compute gain on Waymo detection (Fig. 17)",
+        &format!("sorting loses end-to-end: {det_sorting_loses}"),
+    );
+    paper_check(
+        "sorting on segmentation",
+        "sorting reduces computation time (Fig. 17)",
+        &format!("compute time drops with sorting: {seg_compute_drops}"),
+    );
+    assert!(det_sorting_loses, "sorting must lose end-to-end on detection");
+    assert!(seg_compute_drops, "sorting must cut compute time");
+
+    write_json("fig17_sorting_overhead", &json!({ "workloads": records }));
+}

@@ -1,0 +1,67 @@
+//! Figure 19: offline vs online map reordering.
+//!
+//! Conventional wisdom fuses everything into the compute kernel; the
+//! paper shows reordering the map *offline* (once, at map-build time) is
+//! 4 % faster in inference and 12 % faster in training, because online
+//! reordering adds an indirection in the innermost loop — catastrophic
+//! for wgrad, whose long K loop runs over output points.
+
+use serde_json::json;
+use ts_bench::{paper_check, print_table, session_for, train_session_for, write_json};
+use ts_core::{GroupConfigs, TrainConfigs};
+use ts_dataflow::{DataflowConfig, ExecCtx, ReorderMode};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::Workload;
+
+fn main() {
+    let device = Device::rtx3090();
+    let w = Workload::SemanticKittiMinkUNet10;
+    let cfg = DataflowConfig::implicit_gemm(2);
+
+    let offline = ExecCtx::simulate(device.clone(), Precision::Fp32);
+    let online = offline.clone().with_reorder(ReorderMode::Online);
+
+    // Inference.
+    let session = session_for(w, 13);
+    let inf_off = session.simulate_inference(&GroupConfigs::uniform(cfg), &offline).total_ms();
+    let inf_on = session.simulate_inference(&GroupConfigs::uniform(cfg), &online).total_ms();
+
+    // Training.
+    let tsession = train_session_for(w, 13);
+    let tr_off = tsession.simulate_training(&TrainConfigs::bound(cfg), &offline).total_ms();
+    let tr_on = tsession.simulate_training(&TrainConfigs::bound(cfg), &online).total_ms();
+
+    let inf_gain = inf_on / inf_off;
+    let tr_gain = tr_on / tr_off;
+
+    print_table(
+        "Figure 19: offline vs online reordering (SK-M 1x, RTX 3090, FP32)",
+        &["phase", "online (ms)", "offline (ms)", "offline gain"],
+        &[
+            vec![
+                "inference".into(),
+                format!("{inf_on:.2}"),
+                format!("{inf_off:.2}"),
+                format!("{:.1}%", (inf_gain - 1.0) * 100.0),
+            ],
+            vec![
+                "training".into(),
+                format!("{tr_on:.2}"),
+                format!("{tr_off:.2}"),
+                format!("{:.1}%", (tr_gain - 1.0) * 100.0),
+            ],
+        ],
+    );
+    paper_check("inference gain from offline reordering", "~4% (Fig. 19)", &format!("{:.1}%", (inf_gain - 1.0) * 100.0));
+    paper_check("training gain from offline reordering", "~12% (Fig. 19)", &format!("{:.1}%", (tr_gain - 1.0) * 100.0));
+    assert!(inf_gain > 1.0, "offline reordering must help inference");
+    assert!(tr_gain > inf_gain, "training must benefit more (wgrad indirection)");
+
+    write_json(
+        "fig19_offline_reorder",
+        &json!({
+            "inference": { "online_ms": inf_on, "offline_ms": inf_off, "gain": inf_gain },
+            "training": { "online_ms": tr_on, "offline_ms": tr_off, "gain": tr_gain },
+        }),
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 20: loop-invariant hoisting closes the fixed-to-dynamic gap.
+//!
+//! Naively converting constant-folded kernels to flexible shapes incurs
+//! 1.5-1.7x overhead from repetitive pointer arithmetic (div/mod on
+//! C_in in the innermost loop). Hoisting the invariants recovers the
+//! performance — and even beats the fixed-shape kernels on most
+//! workloads (5 of 7 in the paper).
+
+use serde_json::json;
+use ts_bench::{geomean, paper_check, print_table, session_for, write_json};
+use ts_core::GroupConfigs;
+use ts_dataflow::{DataflowConfig, ExecCtx, GenFlags};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::ALL_WORKLOADS;
+
+fn main() {
+    let device = Device::rtx3090();
+    let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+
+    // Isolate the addressing effect: padding on everywhere.
+    let fixed = ExecCtx::simulate(device.clone(), Precision::Fp16).with_gen_flags(GenFlags {
+        hoist_invariants: true,
+        padded_map: true,
+        fixed_shape: true,
+    });
+    let naive = ExecCtx::simulate(device.clone(), Precision::Fp16).with_gen_flags(GenFlags {
+        hoist_invariants: false,
+        padded_map: true,
+        fixed_shape: false,
+    });
+    let hoisted = ExecCtx::simulate(device, Precision::Fp16);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut naive_ratios = Vec::new();
+    let mut hoisted_beats_fixed = 0;
+    for &w in &ALL_WORKLOADS {
+        let session = session_for(w, 31);
+        let t_fixed = session.simulate_inference(&cfg, &fixed).compute_us() / 1e3;
+        let t_naive = session.simulate_inference(&cfg, &naive).compute_us() / 1e3;
+        let t_hoist = session.simulate_inference(&cfg, &hoisted).compute_us() / 1e3;
+        naive_ratios.push(t_naive / t_fixed);
+        if t_hoist <= t_fixed {
+            hoisted_beats_fixed += 1;
+        }
+        records.push(json!({
+            "workload": w.name(), "fixed_ms": t_fixed, "naive_dynamic_ms": t_naive,
+            "hoisted_dynamic_ms": t_hoist,
+        }));
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{t_fixed:.2}"),
+            format!("{t_naive:.2}"),
+            format!("{t_hoist:.2}"),
+            format!("{:.2}x", t_naive / t_fixed),
+        ]);
+    }
+
+    print_table(
+        "Figure 20: compute-kernel time (ms) by shape handling (RTX 3090, FP16)",
+        &["workload", "fixed shape", "naive dynamic", "hoisted dynamic", "naive/fixed"],
+        &rows,
+    );
+    let gm = geomean(&naive_ratios);
+    paper_check("naive dynamic-shape overhead", "1.5-1.7x (Fig. 20)", &format!("{gm:.2}x geomean"));
+    paper_check(
+        "hoisted vs fixed",
+        "hoisted slightly faster on 5 of 7 workloads (Fig. 20)",
+        &format!("hoisted <= fixed on {hoisted_beats_fixed}/7"),
+    );
+    assert!((1.4..=1.8).contains(&gm), "naive overhead out of band: {gm:.2}");
+    assert!(hoisted_beats_fixed >= 5, "hoisting must recover fixed-shape performance");
+
+    write_json("fig20_hoisting", &json!({ "workloads": records, "naive_geomean": gm }));
+}

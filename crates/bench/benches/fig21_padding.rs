@@ -1,0 +1,59 @@
+//! Figure 21: map padding removes boundary-check overhead.
+//!
+//! The boundary check on the innermost map load costs up to 1.3x; padding
+//! the map's first dimension to a multiple of `cta_m` guarantees every
+//! access is in bounds, eliminating the check at the price of a few
+//! padded (empty) rows.
+
+use serde_json::json;
+use ts_bench::{geomean, paper_check, print_table, session_for, write_json};
+use ts_core::GroupConfigs;
+use ts_dataflow::{DataflowConfig, ExecCtx, GenFlags};
+use ts_gpusim::{Device, Precision};
+use ts_workloads::ALL_WORKLOADS;
+
+fn main() {
+    let device = Device::rtx3090();
+    let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+
+    let unpadded = ExecCtx::simulate(device.clone(), Precision::Fp16).with_gen_flags(GenFlags {
+        hoist_invariants: true,
+        padded_map: false,
+        fixed_shape: false,
+    });
+    let padded = ExecCtx::simulate(device, Precision::Fp16);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut ratios = Vec::new();
+    for &w in &ALL_WORKLOADS {
+        let session = session_for(w, 31);
+        let t_unpadded = session.simulate_inference(&cfg, &unpadded).compute_us() / 1e3;
+        let t_padded = session.simulate_inference(&cfg, &padded).compute_us() / 1e3;
+        let ratio = t_unpadded / t_padded;
+        ratios.push(ratio);
+        records.push(json!({
+            "workload": w.name(), "boundary_check_ms": t_unpadded, "padded_ms": t_padded,
+            "overhead": ratio,
+        }));
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{t_unpadded:.2}"),
+            format!("{t_padded:.2}"),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+
+    print_table(
+        "Figure 21: boundary checking vs padded maps (RTX 3090, FP16)",
+        &["workload", "with checks (ms)", "padded (ms)", "check overhead"],
+        &rows,
+    );
+    let gm = geomean(&ratios);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    paper_check("boundary-check overhead", "1.14-1.35x, up to 1.3x (Fig. 21)", &format!("geomean {gm:.2}x, max {max:.2}x"));
+    assert!(gm > 1.05, "boundary checks must cost measurably");
+    assert!(max <= 1.40, "overhead should stay near the paper's band");
+
+    write_json("fig21_padding", &json!({ "workloads": records, "geomean": gm, "max": max }));
+}

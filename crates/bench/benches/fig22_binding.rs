@@ -1,0 +1,80 @@
+//! Figure 22: training parameter-binding schemes.
+//!
+//! Binding all three kernel families (forward/dgrad/wgrad) to one
+//! dataflow configuration can cost up to 10 %. The best partial binding
+//! is device-dependent: dgrad+wgrad (shared maps, minimal mapping
+//! overhead) on the A100; forward+dgrad (shared workload pattern) on the
+//! 2080 Ti.
+
+use serde_json::json;
+use ts_autotune::{tune_training, BindingScheme, TunerOptions};
+use ts_bench::{paper_check, print_table, train_session_for, write_json};
+use ts_dataflow::ExecCtx;
+use ts_gpusim::{Device, Precision};
+use ts_workloads::Workload;
+
+fn main() {
+    let session = train_session_for(Workload::SemanticKittiMinkUNet05, 19);
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut device_best = Vec::new();
+
+    for device in [Device::a100(), Device::rtx2080ti()] {
+        let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
+        let mut latencies = Vec::new();
+        for scheme in BindingScheme::ALL {
+            let r = tune_training(
+                std::slice::from_ref(&session),
+                &ctx,
+                &TunerOptions::default(),
+                scheme,
+            );
+            latencies.push((scheme, r.tuned_latency_us / 1e3));
+        }
+        let all_bound = latencies[0].1;
+        let best_partial = latencies[1..3]
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("two partial schemes");
+        device_best.push((device.name.clone(), best_partial.0));
+
+        for (scheme, ms) in &latencies {
+            records.push(json!({
+                "device": device.name, "scheme": scheme.name(), "latency_ms": ms,
+                "vs_all_bound": all_bound / ms,
+            }));
+            rows.push(vec![
+                device.name.clone(),
+                scheme.name().to_owned(),
+                format!("{ms:.2}"),
+                format!("{:+.1}%", (all_bound / ms - 1.0) * 100.0),
+            ]);
+        }
+        assert!(
+            best_partial.1 <= all_bound + 1e-9,
+            "{}: partial binding must not lose to all-bound",
+            device.name
+        );
+    }
+
+    print_table(
+        "Figure 22: training latency by binding scheme (SK-M 0.5x, batch 2, FP16)",
+        &["device", "scheme", "latency (ms)", "gain vs all-bound"],
+        &rows,
+    );
+    for (device, scheme) in &device_best {
+        println!("best partial binding on {device}: {}", scheme.name());
+    }
+    paper_check(
+        "device-dependent best binding",
+        "dgrad+wgrad on A100, fwd+dgrad on 2080 Ti (Fig. 22)",
+        &format!(
+            "A100 -> {}, 2080 Ti -> {}",
+            device_best[0].1.name(),
+            device_best[1].1.name()
+        ),
+    );
+
+    write_json("fig22_binding", &json!({ "runs": records }));
+}

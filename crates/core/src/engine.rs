@@ -1,0 +1,134 @@
+//! The deployment engine: a network bound to weights and a tuned
+//! per-group schedule, reusable across scenes.
+//!
+//! The Sparse Autotuner's cost is justified because "the tuned schedule
+//! could be reused for millions of scenes in real-world ADAS
+//! applications" (Section 4.2). [`Engine`] is that deployment artifact:
+//! tune once, then call [`Engine::infer`] per frame.
+
+use ts_dataflow::ExecCtx;
+
+use crate::{run_network, GroupConfigs, Network, NetworkWeights, RunReport, Session, SparseTensor};
+
+/// A ready-to-deploy inference engine: network + weights + tuned
+/// schedule + execution context.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    network: Network,
+    weights: NetworkWeights,
+    configs: GroupConfigs,
+    ctx: ExecCtx,
+}
+
+impl Engine {
+    /// Assembles an engine from its parts (typically `configs` comes from
+    /// `ts_autotune::tune_inference`).
+    pub fn new(
+        network: Network,
+        weights: NetworkWeights,
+        configs: GroupConfigs,
+        ctx: ExecCtx,
+    ) -> Self {
+        Self { network, weights, configs, ctx }
+    }
+
+    /// The network this engine executes.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The per-group dataflow schedule.
+    pub fn configs(&self) -> &GroupConfigs {
+        &self.configs
+    }
+
+    /// Runs one scene functionally, returning output features and the
+    /// simulated latency report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channels disagree with the network or the
+    /// coordinates are not deduplicated.
+    pub fn infer(&self, input: &SparseTensor) -> (SparseTensor, RunReport) {
+        run_network(&self.network, &self.weights, input, &self.configs, &self.ctx)
+    }
+
+    /// Prices one scene on the simulated GPU without computing features
+    /// (fast path for latency studies).
+    pub fn simulate(&self, input: &SparseTensor) -> RunReport {
+        let session = Session::new(&self.network, input.coords());
+        session.simulate_inference(&self.configs, &self.ctx)
+    }
+
+    /// Replaces the execution context (e.g. to re-target a device while
+    /// keeping the schedule — useful for asking "how would this schedule
+    /// do on Orin?").
+    pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use ts_dataflow::DataflowConfig;
+    use ts_gpusim::Device;
+    use ts_kernelmap::Coord;
+    use ts_tensor::{rng_from_seed, uniform_matrix, Precision};
+
+    fn engine() -> Engine {
+        let mut b = NetworkBuilder::new("e", 4);
+        let c = b.conv_block("c", NetworkBuilder::INPUT, 8, 3, 1);
+        let _ = b.conv("head", c, 2, 1, 1);
+        let net = b.build();
+        let weights = net.init_weights(1);
+        Engine::new(
+            net,
+            weights,
+            GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+        )
+    }
+
+    fn scene(seed: u64) -> SparseTensor {
+        let coords: Vec<Coord> =
+            (0..40).map(|i| Coord::new(0, i % 8, i / 8, (i % 3) as i32)).collect();
+        let coords = ts_kernelmap::unique_coords(&coords);
+        let n = coords.len();
+        SparseTensor::new(coords, uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0))
+    }
+
+    #[test]
+    fn engine_runs_many_scenes_with_one_schedule() {
+        let e = engine();
+        for seed in 0..3 {
+            let (out, report) = e.infer(&scene(seed));
+            assert_eq!(out.channels(), 2);
+            assert!(report.total_us() > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulate_agrees_with_infer_timing() {
+        let e = engine();
+        let s = scene(9);
+        let (_, full) = e.infer(&s);
+        let sim = e.simulate(&s);
+        assert_eq!(full.total_us().to_bits(), sim.total_us().to_bits());
+    }
+
+    #[test]
+    fn retargeting_devices_changes_latency_not_results() {
+        let e = engine();
+        let s = scene(4);
+        let (out_a, rep_a) = e.infer(&s);
+        let e_orin = e
+            .clone()
+            .with_ctx(ExecCtx::functional(Device::jetson_orin(), Precision::Fp16));
+        let (out_b, rep_b) = e_orin.infer(&s);
+        assert_eq!(out_a.feats(), out_b.feats());
+        assert!(rep_b.total_us() > rep_a.total_us(), "Orin should be slower");
+    }
+}

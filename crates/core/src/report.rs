@@ -1,0 +1,190 @@
+//! Latency reports produced by simulation and functional runs.
+
+use serde::{Deserialize, Serialize};
+
+use ts_gpusim::{KernelClass, KernelTrace};
+
+/// Per-layer (or per-group mapping) timing entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Layer or pseudo-entry name.
+    pub name: String,
+    /// Network node index (`usize::MAX` for group-level mapping entries).
+    pub node: usize,
+    /// Layer group, when the entry belongs to one.
+    pub group: Option<usize>,
+    /// Simulated time in microseconds.
+    pub time_us: f64,
+}
+
+/// The result of simulating (or functionally running) a network pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    trace: KernelTrace,
+    timings: Vec<LayerTiming>,
+}
+
+impl RunReport {
+    /// Creates a report from a trace and per-layer timings.
+    pub fn new(trace: KernelTrace, timings: Vec<LayerTiming>) -> Self {
+        Self { trace, timings }
+    }
+
+    /// Total simulated latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.trace.total_us()
+    }
+
+    /// Total simulated latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() / 1e3
+    }
+
+    /// Time spent in mapping kernels.
+    pub fn mapping_us(&self) -> f64 {
+        self.trace.class_us(KernelClass::Mapping)
+    }
+
+    /// Time spent in compute (MMA) kernels.
+    pub fn compute_us(&self) -> f64 {
+        self.trace.class_us(KernelClass::Compute)
+    }
+
+    /// Time spent outside mapping kernels (the "kernel-only" latency of
+    /// paper Table 4, i.e. compute + memory + reduction + elementwise).
+    pub fn kernel_only_us(&self) -> f64 {
+        self.total_us() - self.mapping_us()
+    }
+
+    /// The full kernel trace.
+    pub fn trace(&self) -> &KernelTrace {
+        &self.trace
+    }
+
+    /// Per-layer timings in execution order.
+    pub fn timings(&self) -> &[LayerTiming] {
+        &self.timings
+    }
+
+    /// Sum of timings for layers in `group`.
+    pub fn group_us(&self, group: usize) -> f64 {
+        self.timings
+            .iter()
+            .filter(|t| t.group == Some(group))
+            .map(|t| t.time_us)
+            .sum()
+    }
+
+    /// Renders a human-readable per-layer table.
+    pub fn layer_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{:<28} {:>12} {:>8}", "layer", "time (us)", "group");
+        for t in &self.timings {
+            let g = t.group.map_or_else(|| "-".to_owned(), |g| g.to_string());
+            let _ = writeln!(s, "{:<28} {:>12.1} {:>8}", t.name, t.time_us, g);
+        }
+        let _ = writeln!(s, "{:<28} {:>12.1}", "TOTAL", self.total_us());
+        s
+    }
+}
+
+/// Aggregate statistics over several runs (e.g. one per sample scene).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Fastest run.
+    pub min_us: f64,
+    /// Slowest run.
+    pub max_us: f64,
+    /// Population standard deviation.
+    pub std_us: f64,
+}
+
+impl LatencyStats {
+    /// Aggregates total latencies of `reports`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> LatencyStats {
+        let totals: Vec<f64> = reports.into_iter().map(RunReport::total_us).collect();
+        assert!(!totals.is_empty(), "need at least one report");
+        let n = totals.len() as f64;
+        let mean = totals.iter().sum::<f64>() / n;
+        let var = totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n;
+        LatencyStats {
+            runs: totals.len(),
+            mean_us: mean,
+            min_us: totals.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_us: totals.iter().cloned().fold(0.0, f64::max),
+            std_us: var.sqrt(),
+        }
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_gpusim::KernelDesc;
+
+    fn sample() -> RunReport {
+        let mut trace = KernelTrace::new();
+        trace.push(KernelDesc::mapping("m", 10, 10), 5.0);
+        trace.push(KernelDesc::gemm("g", 8, 8, 8, ts_gpusim::Precision::Fp32), 20.0);
+        RunReport::new(
+            trace,
+            vec![
+                LayerTiming { name: "map".into(), node: usize::MAX, group: Some(0), time_us: 5.0 },
+                LayerTiming { name: "conv".into(), node: 1, group: Some(0), time_us: 20.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn totals_and_breakdown() {
+        let r = sample();
+        assert_eq!(r.total_us(), 25.0);
+        assert_eq!(r.mapping_us(), 5.0);
+        assert_eq!(r.compute_us(), 20.0);
+        assert_eq!(r.kernel_only_us(), 20.0);
+        assert_eq!(r.total_ms(), 0.025);
+    }
+
+    #[test]
+    fn group_sums() {
+        let r = sample();
+        assert_eq!(r.group_us(0), 25.0);
+        assert_eq!(r.group_us(1), 0.0);
+    }
+
+    #[test]
+    fn table_contains_layers_and_total() {
+        let t = sample().layer_table();
+        assert!(t.contains("conv"));
+        assert!(t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn latency_stats_aggregate() {
+        let a = sample(); // 25 us
+        let mut trace = KernelTrace::new();
+        trace.push(KernelDesc::mapping("m", 1, 1), 75.0);
+        let b = RunReport::new(trace, vec![]);
+        let stats = LatencyStats::from_reports([&a, &b]);
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.mean_us, 50.0);
+        assert_eq!(stats.min_us, 25.0);
+        assert_eq!(stats.max_us, 75.0);
+        assert_eq!(stats.std_us, 25.0);
+        assert_eq!(stats.mean_ms(), 0.05);
+    }
+}

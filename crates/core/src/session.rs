@@ -1,0 +1,783 @@
+//! Compiled execution sessions: map building, layer grouping, and fast
+//! latency simulation with per-group dataflow configurations.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use ts_dataflow::{forward_trace, prepare, wgrad_trace, DataflowConfig, ExecCtx, Prepared};
+use ts_gpusim::{KernelClass, KernelDesc, KernelTrace};
+use ts_kernelmap::{
+    build_strided_map_with_stats, build_submanifold_map_with_stats, Coord, KernelMap,
+    KernelOffsets, MapStats,
+};
+
+use crate::{ConvSpec, Network, Op};
+use crate::report::{LayerTiming, RunReport};
+
+/// Error compiling a network against an input coordinate set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A transposed convolution upsamples to a stride level no encoder
+    /// layer ever produced, so there are no cached coordinates to
+    /// upsample onto.
+    TransposedWithoutEncoder {
+        /// Name of the offending layer.
+        layer: String,
+        /// The missing (finer) stride level.
+        missing_stride: i32,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TransposedWithoutEncoder { layer, missing_stride } => write!(
+                f,
+                "transposed conv '{layer}' has no cached coordinates at stride {missing_stride}                  (no matching encoder downsample)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Identity of a layer *group*: layers with the same key share kernel
+/// maps (Figure 12 of the paper), so they are forced onto the same
+/// dataflow and their mapping cost is paid once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupKey {
+    /// Finer (smaller) tensor stride touched by the layer.
+    pub lo_stride: i32,
+    /// Coarser (larger) tensor stride touched by the layer.
+    pub hi_stride: i32,
+    /// Kernel size per axis.
+    pub kernel_size: u32,
+}
+
+/// One layer group: its shared map (built once) and instrumentation.
+#[derive(Debug, Clone)]
+pub struct GroupInfo {
+    /// Group identity.
+    pub key: GroupKey,
+    /// The shared kernel map, oriented fine -> coarse.
+    pub map: Arc<KernelMap>,
+    /// Transposed map (built lazily when a transposed-conv layer or a
+    /// dgrad pass needs it).
+    pub map_t: Arc<KernelMap>,
+    /// Hash build/query statistics of the base map construction.
+    pub build_stats: MapStats,
+    /// Number of conv layers in this group.
+    pub layer_count: usize,
+}
+
+/// Plan of one conv layer inside a compiled session.
+#[derive(Debug, Clone, Copy)]
+struct ConvPlan {
+    node: usize,
+    group: usize,
+    /// Layer consumes the transposed orientation of the group map.
+    transposed: bool,
+    c_in: usize,
+    c_out: usize,
+}
+
+/// Plan of one elementwise layer.
+#[derive(Debug, Clone, Copy)]
+struct ElemPlan {
+    node: usize,
+    points: usize,
+    channels: usize,
+    /// Number of operand tensors (1 for BN/ReLU, 2 for Add/Concat).
+    operands: usize,
+}
+
+#[derive(Debug, Clone)]
+enum LayerPlan {
+    Conv(ConvPlan),
+    Elem(ElemPlan),
+}
+
+/// Per-group dataflow configuration table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupConfigs {
+    /// Fallback configuration for unlisted groups.
+    pub default: DataflowConfig,
+    /// Overrides by group index.
+    pub per_group: HashMap<usize, DataflowConfig>,
+}
+
+impl GroupConfigs {
+    /// All groups run `cfg`.
+    pub fn uniform(cfg: DataflowConfig) -> Self {
+        Self { default: cfg, per_group: HashMap::new() }
+    }
+
+    /// Resolves the configuration for group `g`.
+    pub fn for_group(&self, g: usize) -> DataflowConfig {
+        self.per_group.get(&g).copied().unwrap_or(self.default)
+    }
+
+    /// Sets an override for group `g`.
+    pub fn set(&mut self, g: usize, cfg: DataflowConfig) {
+        self.per_group.insert(g, cfg);
+    }
+}
+
+/// Forward/dgrad/wgrad configuration tables for training (the binding
+/// schemes of Figure 13 constrain how these three relate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfigs {
+    /// Forward kernels.
+    pub fwd: GroupConfigs,
+    /// Input-gradient kernels.
+    pub dgrad: GroupConfigs,
+    /// Weight-gradient kernels.
+    pub wgrad: GroupConfigs,
+}
+
+impl TrainConfigs {
+    /// All three kernel families bound to one configuration.
+    pub fn bound(cfg: DataflowConfig) -> Self {
+        Self {
+            fwd: GroupConfigs::uniform(cfg),
+            dgrad: GroupConfigs::uniform(cfg),
+            wgrad: GroupConfigs::uniform(cfg),
+        }
+    }
+}
+
+/// A network compiled against a concrete input coordinate set: every
+/// kernel map is built once, layers are assigned to groups, and
+/// inference/training latency can be simulated cheaply for any per-group
+/// dataflow assignment (the autotuner calls this in its inner loop).
+#[derive(Debug, Clone)]
+pub struct Session {
+    network: Network,
+    groups: Vec<GroupInfo>,
+    layers: Vec<LayerPlan>,
+    group_used_transposed: Vec<bool>,
+    prepare_cache: RefCell<PrepareCache>,
+}
+
+/// Cache of prepared plans keyed by `(group, transposed, config)`.
+type PrepareCache = HashMap<(usize, bool, DataflowConfig), Arc<(Prepared, KernelTrace)>>;
+
+impl Session {
+    /// Compiles `network` against `input_coords` (stride-1 coordinates,
+    /// deduplicated or not — they are uniqued here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transposed convolution has no cached coordinates at
+    /// its target stride (i.e. no matching encoder downsample); use
+    /// [`Session::try_new`] for a recoverable error.
+    pub fn new(network: &Network, input_coords: &[Coord]) -> Self {
+        Self::try_new(network, input_coords).expect("network compiles against these coordinates")
+    }
+
+    /// Fallible variant of [`Session::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::TransposedWithoutEncoder`] when a
+    /// transposed convolution targets a stride level that was never
+    /// produced by an encoder layer.
+    pub fn try_new(network: &Network, input_coords: &[Coord]) -> Result<Self, CompileError> {
+        let input = ts_kernelmap::unique_coords(input_coords);
+        let mut coords_at: HashMap<usize, Arc<Vec<Coord>>> = HashMap::new();
+        let mut stride_cache: HashMap<i32, Arc<Vec<Coord>>> = HashMap::new();
+        let input = Arc::new(input);
+        coords_at.insert(0, Arc::clone(&input));
+        stride_cache.insert(1, input);
+
+        let mut groups: Vec<GroupInfo> = Vec::new();
+        let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut layers = Vec::new();
+
+        for (i, node) in network.nodes().iter().enumerate().skip(1) {
+            let in_coords = Arc::clone(&coords_at[&node.input]);
+            match node.op {
+                Op::Input => unreachable!("input node is always index 0"),
+                Op::Conv(spec) => {
+                    let in_stride = network.stride(node.input);
+                    let (key, transposed) = group_key_for(&spec, in_stride);
+                    let gid = match group_index.get(&key) {
+                        Some(&g) => g,
+                        None => {
+                            let g = build_group(
+                                key,
+                                &spec,
+                                transposed,
+                                &in_coords,
+                                &stride_cache,
+                            )
+                            .ok_or_else(|| CompileError::TransposedWithoutEncoder {
+                                layer: node.name.clone(),
+                                missing_stride: key.lo_stride,
+                            })?;
+                            groups.push(g);
+                            group_index.insert(key, groups.len() - 1);
+                            groups.len() - 1
+                        }
+                    };
+                    groups[gid].layer_count += 1;
+
+                    // Output coordinates.
+                    let out_stride = network.stride(i);
+                    let out_coords: Arc<Vec<Coord>> = if spec.transposed {
+                        Arc::clone(stride_cache.get(&out_stride).ok_or_else(|| {
+                            CompileError::TransposedWithoutEncoder {
+                                layer: node.name.clone(),
+                                missing_stride: out_stride,
+                            }
+                        })?)
+                    } else if spec.stride > 1 {
+                        // The strided builder produced the coarse coords;
+                        // recover them from the map orientation. They were
+                        // stored in the group build below.
+                        Arc::new(coarse_coords_of(&groups[gid], &in_coords))
+                    } else {
+                        Arc::clone(&in_coords)
+                    };
+                    stride_cache.insert(out_stride, Arc::clone(&out_coords));
+                    coords_at.insert(i, out_coords);
+
+                    layers.push(LayerPlan::Conv(ConvPlan {
+                        node: i,
+                        group: gid,
+                        transposed: spec.transposed,
+                        c_in: spec.c_in,
+                        c_out: spec.c_out,
+                    }));
+                }
+                Op::BatchNorm | Op::ReLU => {
+                    layers.push(LayerPlan::Elem(ElemPlan {
+                        node: i,
+                        points: in_coords.len(),
+                        channels: network.out_channels(i),
+                        operands: 1,
+                    }));
+                    coords_at.insert(i, in_coords);
+                }
+                Op::Add { .. } | Op::Concat { .. } => {
+                    layers.push(LayerPlan::Elem(ElemPlan {
+                        node: i,
+                        points: in_coords.len(),
+                        channels: network.out_channels(i),
+                        operands: 2,
+                    }));
+                    coords_at.insert(i, in_coords);
+                }
+            }
+        }
+
+        let mut group_used_transposed = vec![false; groups.len()];
+        for l in &layers {
+            if let LayerPlan::Conv(c) = l {
+                if c.transposed {
+                    group_used_transposed[c.group] = true;
+                }
+            }
+        }
+
+        Ok(Session {
+            network: network.clone(),
+            groups,
+            layers,
+            group_used_transposed,
+            prepare_cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// The compiled network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The layer groups in first-use order.
+    pub fn groups(&self) -> &[GroupInfo] {
+        &self.groups
+    }
+
+    /// Number of conv layers.
+    pub fn conv_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| matches!(l, LayerPlan::Conv(_))).count()
+    }
+
+    /// The kernel map a conv node consumes (in its own orientation) and
+    /// its group index. Used by the functional runner.
+    pub fn map_for_node(&self, node: usize) -> Option<(Arc<KernelMap>, usize, bool)> {
+        self.layers.iter().find_map(|l| match l {
+            LayerPlan::Conv(c) if c.node == node => {
+                let g = &self.groups[c.group];
+                let map =
+                    if c.transposed { Arc::clone(&g.map_t) } else { Arc::clone(&g.map) };
+                Some((map, c.group, c.transposed))
+            }
+            _ => None,
+        })
+    }
+
+    /// Both orientations of a conv node's map: `(layer_map, grad_map,
+    /// group)`, where `grad_map` is the transpose used by dgrad.
+    pub fn conv_maps(&self, node: usize) -> Option<(Arc<KernelMap>, Arc<KernelMap>, usize)> {
+        self.layers.iter().find_map(|l| match l {
+            LayerPlan::Conv(c) if c.node == node => {
+                let g = &self.groups[c.group];
+                let (fwd, bwd) = if c.transposed {
+                    (Arc::clone(&g.map_t), Arc::clone(&g.map))
+                } else {
+                    (Arc::clone(&g.map), Arc::clone(&g.map_t))
+                };
+                Some((fwd, bwd, c.group))
+            }
+            _ => None,
+        })
+    }
+
+    fn prepared_for(
+        &self,
+        group: usize,
+        transposed: bool,
+        cfg: &DataflowConfig,
+        ctx: &ExecCtx,
+    ) -> Arc<(Prepared, KernelTrace)> {
+        let key = (group, transposed, *cfg);
+        if let Some(hit) = self.prepare_cache.borrow().get(&key) {
+            return Arc::clone(hit);
+        }
+        let g = &self.groups[group];
+        let map = if transposed { &g.map_t } else { &g.map };
+        let prepared = prepare(map, cfg, ctx);
+        let trace = prepared.trace.clone();
+        let arc = Arc::new((prepared, trace));
+        self.prepare_cache.borrow_mut().insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Charges the base map-construction kernels of group `g`.
+    fn base_map_cost(&self, g: &GroupInfo, ctx: &ExecCtx, trace: &mut KernelTrace) {
+        let s = g.build_stats;
+        let hash = KernelDesc::mapping("map:hash-build", s.inserts * 48, s.inserts * 32);
+        ctx.record(trace, hash);
+        let query = KernelDesc::mapping("map:hash-query", s.queries * 64, s.queries * 32);
+        ctx.record(trace, query);
+        let kvol = g.map.kernel_volume() as u64;
+        let n_out = g.map.n_out() as u64;
+        let mat = KernelDesc::mapping("map:materialize", n_out * kvol * 4, n_out * kvol * 4 + s.pairs * 8);
+        ctx.record(trace, mat);
+    }
+
+    /// Charges the map transposition kernel (once per group that needs
+    /// the transposed orientation).
+    fn transpose_cost(&self, g: &GroupInfo, ctx: &ExecCtx, trace: &mut KernelTrace) {
+        let pairs = g.map.total_pairs();
+        let t = KernelDesc::mapping("map:transpose", pairs * 8, pairs * 16);
+        ctx.record(trace, t);
+    }
+
+    /// Simulates one inference pass with per-group dataflows.
+    pub fn simulate_inference(&self, cfgs: &GroupConfigs, ctx: &ExecCtx) -> RunReport {
+        let mut trace = KernelTrace::new();
+        let mut timings = Vec::new();
+
+        // Per-group one-time mapping cost.
+        let mut group_orientations: Vec<(bool, bool)> = vec![(false, false); self.groups.len()];
+        for l in &self.layers {
+            if let LayerPlan::Conv(c) = l {
+                if c.transposed {
+                    group_orientations[c.group].1 = true;
+                } else {
+                    group_orientations[c.group].0 = true;
+                }
+            }
+        }
+        for (gid, g) in self.groups.iter().enumerate() {
+            let (fwd_used, t_used) = group_orientations[gid];
+            if !fwd_used && !t_used {
+                continue;
+            }
+            let before = trace.total_us();
+            self.base_map_cost(g, ctx, &mut trace);
+            if t_used {
+                self.transpose_cost(g, ctx, &mut trace);
+            }
+            let cfg = cfgs.for_group(gid);
+            for (transposed, used) in [(false, fwd_used), (true, t_used)] {
+                if used {
+                    let prep = self.prepared_for(gid, transposed, &cfg, ctx);
+                    trace.merge(prep.1.clone());
+                }
+            }
+            timings.push(LayerTiming {
+                name: format!("group[{gid}] mapping"),
+                node: usize::MAX,
+                group: Some(gid),
+                time_us: trace.total_us() - before,
+            });
+        }
+
+        // Per-layer compute.
+        for l in &self.layers {
+            match l {
+                LayerPlan::Conv(c) => {
+                    let cfg = cfgs.for_group(c.group);
+                    let g = &self.groups[c.group];
+                    let map = if c.transposed { &g.map_t } else { &g.map };
+                    let prep = self.prepared_for(c.group, c.transposed, &cfg, ctx);
+                    let t = forward_trace(c.c_in, c.c_out, map, &prep.0, &cfg, ctx);
+                    timings.push(LayerTiming {
+                        name: self.network.nodes()[c.node].name.clone(),
+                        node: c.node,
+                        group: Some(c.group),
+                        time_us: t.total_us(),
+                    });
+                    trace.merge(t);
+                }
+                LayerPlan::Elem(e) => {
+                    let t = self.elementwise_cost(e, ctx, &mut trace);
+                    timings.push(LayerTiming {
+                        name: self.network.nodes()[e.node].name.clone(),
+                        node: e.node,
+                        group: None,
+                        time_us: t,
+                    });
+                }
+            }
+        }
+
+        RunReport::new(trace, timings)
+    }
+
+    fn elementwise_cost(&self, e: &ElemPlan, ctx: &ExecCtx, trace: &mut KernelTrace) -> f64 {
+        let b = ctx.elem_bytes();
+        let bytes = (e.points * e.channels) as u64 * b;
+        let k = KernelDesc::memory(
+            self.network.nodes()[e.node].name.clone(),
+            bytes * e.operands as u64,
+            bytes,
+        )
+        .with_class(KernelClass::Elementwise);
+        ctx.record(trace, k)
+    }
+
+    /// Simulates one training iteration (forward + dgrad + wgrad) with
+    /// potentially decoupled per-kernel-family configurations.
+    ///
+    /// Mapping preparations are shared where configurations coincide:
+    /// forward needs its own; dgrad and wgrad share one when their
+    /// configurations are equal (the map-sharing argument behind the
+    /// paper's dgrad-wgrad binding scheme).
+    pub fn simulate_training(&self, cfgs: &TrainConfigs, ctx: &ExecCtx) -> RunReport {
+        // Forward pass (includes base mapping + fwd prepares).
+        let fwd_report = self.simulate_inference(&cfgs.fwd, ctx);
+        let mut trace = fwd_report.trace().clone();
+        let mut timings = fwd_report.timings().to_vec();
+
+        // Backward mapping preparation.
+        for (gid, g) in self.groups.iter().enumerate() {
+            let used: Vec<&ConvPlan> = self
+                .layers
+                .iter()
+                .filter_map(|l| match l {
+                    LayerPlan::Conv(c) if c.group == gid => Some(c),
+                    _ => None,
+                })
+                .collect();
+            if used.is_empty() {
+                continue;
+            }
+            let before = trace.total_us();
+            let d_cfg = cfgs.dgrad.for_group(gid);
+            let w_cfg = cfgs.wgrad.for_group(gid);
+            // dgrad runs on the transposed map.
+            if !self.group_used_transposed[gid] {
+                self.transpose_cost(g, ctx, &mut trace);
+            }
+            let d_prep = self.prepared_for(gid, true, &d_cfg, ctx);
+            trace.merge(d_prep.1.clone());
+            // wgrad shares dgrad's structures when the configs match;
+            // otherwise it prepares its own over the forward orientation
+            // AND pays a structure-duplication pass: the paper warns that
+            // generating map structures for an extra dataflow costs on
+            // the order of extra convolution layers per group
+            // (Section 4.2), which is exactly what the binding schemes
+            // exist to avoid.
+            if w_cfg != d_cfg && w_cfg != cfgs.fwd.for_group(gid) {
+                let w_prep = self.prepared_for(gid, false, &w_cfg, ctx);
+                trace.merge(w_prep.1.clone());
+                let s = g.build_stats;
+                let dup = KernelDesc::mapping(
+                    "map:wgrad-structures",
+                    s.queries * 32,
+                    s.queries * 16,
+                );
+                ctx.record(&mut trace, dup);
+            }
+            timings.push(LayerTiming {
+                name: format!("group[{gid}] bwd mapping"),
+                node: usize::MAX,
+                group: Some(gid),
+                time_us: trace.total_us() - before,
+            });
+        }
+
+        // Backward per-layer kernels, in reverse order.
+        for l in self.layers.iter().rev() {
+            match l {
+                LayerPlan::Conv(c) => {
+                    let g = &self.groups[c.group];
+                    let d_cfg = cfgs.dgrad.for_group(c.group);
+                    let w_cfg = cfgs.wgrad.for_group(c.group);
+                    // dgrad: convolution in the opposite orientation.
+                    let (d_map, d_transposed) =
+                        if c.transposed { (&g.map, false) } else { (&g.map_t, true) };
+                    let d_prep = self.prepared_for(c.group, d_transposed, &d_cfg, ctx);
+                    let dt = forward_trace(c.c_out, c.c_in, d_map, &d_prep.0, &d_cfg, ctx);
+                    // wgrad over the layer's own orientation.
+                    let w_map = if c.transposed { &g.map_t } else { &g.map };
+                    let wt = wgrad_trace(c.c_in, c.c_out, w_map, &w_cfg, ctx);
+                    timings.push(LayerTiming {
+                        name: format!("{}:bwd", self.network.nodes()[c.node].name),
+                        node: c.node,
+                        group: Some(c.group),
+                        time_us: dt.total_us() + wt.total_us(),
+                    });
+                    trace.merge(dt);
+                    trace.merge(wt);
+                }
+                LayerPlan::Elem(e) => {
+                    let t = self.elementwise_cost(e, ctx, &mut trace);
+                    timings.push(LayerTiming {
+                        name: format!("{}:bwd", self.network.nodes()[e.node].name),
+                        node: e.node,
+                        group: None,
+                        time_us: t,
+                    });
+                }
+            }
+        }
+
+        RunReport::new(trace, timings)
+    }
+}
+
+/// Computes the group key of a conv layer at `in_stride`.
+fn group_key_for(spec: &ConvSpec, in_stride: i32) -> (GroupKey, bool) {
+    if spec.transposed {
+        let out = in_stride / spec.stride;
+        (GroupKey { lo_stride: out, hi_stride: in_stride, kernel_size: spec.kernel_size }, true)
+    } else if spec.stride > 1 {
+        (
+            GroupKey {
+                lo_stride: in_stride,
+                hi_stride: in_stride * spec.stride,
+                kernel_size: spec.kernel_size,
+            },
+            false,
+        )
+    } else {
+        (GroupKey { lo_stride: in_stride, hi_stride: in_stride, kernel_size: spec.kernel_size }, false)
+    }
+}
+
+fn build_group(
+    key: GroupKey,
+    spec: &ConvSpec,
+    transposed: bool,
+    in_coords: &Arc<Vec<Coord>>,
+    stride_cache: &HashMap<i32, Arc<Vec<Coord>>>,
+) -> Option<GroupInfo> {
+    let offsets = KernelOffsets::cube(spec.kernel_size);
+    if key.lo_stride == key.hi_stride {
+        // Submanifold.
+        let (map, stats) = build_submanifold_map_with_stats(in_coords, &offsets);
+        let map = Arc::new(map);
+        let map_t = Arc::new(map.transposed());
+        Some(GroupInfo { key, map, map_t, build_stats: stats, layer_count: 0 })
+    } else {
+        // Strided: always build fine -> coarse. For a transposed first
+        // use, the fine coords come from the stride cache.
+        let fine: &Arc<Vec<Coord>> =
+            if transposed { stride_cache.get(&key.lo_stride)? } else { in_coords };
+        let ratio = key.hi_stride / key.lo_stride;
+        let (map, _out, stats) = build_strided_map_with_stats(fine, &offsets, ratio);
+        let map = Arc::new(map);
+        let map_t = Arc::new(map.transposed());
+        Some(GroupInfo { key, map, map_t, build_stats: stats, layer_count: 0 })
+    }
+}
+
+/// Recovers the coarse coordinate list of a strided group (the builder
+/// already deduplicated them; recompute cheaply and deterministically).
+fn coarse_coords_of(group: &GroupInfo, fine: &[Coord]) -> Vec<Coord> {
+    let ratio = group.key.hi_stride / group.key.lo_stride;
+    ts_kernelmap::downsample_coords(fine, ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use ts_gpusim::Device;
+    use ts_tensor::Precision;
+
+    fn grid_coords(n: i32) -> Vec<Coord> {
+        (0..n)
+            .flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, (x * y) % 3)))
+            .collect()
+    }
+
+    fn unet() -> Network {
+        let mut b = NetworkBuilder::new("unet", 4);
+        let c1 = b.conv_block("enc1", NetworkBuilder::INPUT, 8, 3, 1);
+        let c1b = b.conv_block("enc1b", c1, 8, 3, 1);
+        let d1 = b.conv_block("down1", c1b, 16, 2, 2);
+        let c2 = b.conv_block("enc2", d1, 16, 3, 1);
+        let u1 = b.conv_block_transposed("up1", c2, 8, 2, 2);
+        let cat = b.concat("skip", u1, c1b);
+        let _ = b.conv_block("dec1", cat, 8, 3, 1);
+        b.build()
+    }
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::simulate(Device::rtx3090(), Precision::Fp16)
+    }
+
+    #[test]
+    fn groups_are_shared_across_layers_with_same_maps() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(12));
+        // Expected groups: submanifold@1 (enc1, enc1b, dec1), strided
+        // 1<->2 k2 (down1 and up1 SHARE this group), submanifold@2 (enc2).
+        assert_eq!(s.groups().len(), 3, "groups: {:?}", s.groups().iter().map(|g| g.key).collect::<Vec<_>>());
+        let strided = s
+            .groups()
+            .iter()
+            .find(|g| g.key.lo_stride != g.key.hi_stride)
+            .expect("strided group exists");
+        assert_eq!(strided.layer_count, 2, "down1 and up1 share the group");
+    }
+
+    #[test]
+    fn simulate_inference_produces_nonzero_times() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(12));
+        let r = s.simulate_inference(
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            &ctx(),
+        );
+        assert!(r.total_us() > 0.0);
+        assert!(r.mapping_us() > 0.0);
+        assert!(r.compute_us() > 0.0);
+        assert_eq!(
+            r.timings().iter().filter(|t| t.node != usize::MAX && t.group.is_some()).count(),
+            net.conv_count()
+        );
+    }
+
+    #[test]
+    fn mapping_cost_is_shared_not_per_layer() {
+        // A net with 4 submanifold convs in one group must charge the
+        // map build once, so it should cost far less than 4 single-conv
+        // nets.
+        let coords = grid_coords(12);
+        let mut b1 = NetworkBuilder::new("one", 8);
+        let _ = b1.conv("c1", NetworkBuilder::INPUT, 8, 3, 1);
+        let one = b1.build();
+        let mut b4 = NetworkBuilder::new("four", 8);
+        let mut prev = NetworkBuilder::INPUT;
+        for i in 0..4 {
+            prev = b4.conv(&format!("c{i}"), prev, 8, 3, 1);
+        }
+        let four = b4.build();
+        let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        let c = ctx();
+        let t1 = Session::new(&one, &coords).simulate_inference(&cfg, &c);
+        let t4 = Session::new(&four, &coords).simulate_inference(&cfg, &c);
+        assert!(t4.mapping_us() < t1.mapping_us() * 1.5, "mapping shared: {} vs {}", t4.mapping_us(), t1.mapping_us());
+        assert!(t4.compute_us() > t1.compute_us() * 3.0);
+    }
+
+    #[test]
+    fn training_costs_more_than_inference() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(10));
+        let c = ctx();
+        let inf = s.simulate_inference(
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            &c,
+        );
+        let tr = s.simulate_training(
+            &TrainConfigs::bound(DataflowConfig::implicit_gemm(1)),
+            &c,
+        );
+        // Backward adds dgrad + wgrad kernels on top of forward; mapping
+        // is shared, so the end-to-end ratio sits between 1.5x and ~3x.
+        assert!(tr.total_us() > inf.total_us() * 1.5, "{} vs {}", tr.total_us(), inf.total_us());
+        assert!(tr.compute_us() >= inf.compute_us() * 2.0);
+    }
+
+    #[test]
+    fn decoupled_wgrad_costs_extra_mapping() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(10));
+        let c = ctx();
+        let bound = s.simulate_training(&TrainConfigs::bound(DataflowConfig::implicit_gemm(1)), &c);
+        let mut decoupled = TrainConfigs::bound(DataflowConfig::implicit_gemm(1));
+        decoupled.wgrad = GroupConfigs::uniform(DataflowConfig::implicit_gemm(3));
+        let dec = s.simulate_training(&decoupled, &c);
+        assert!(dec.mapping_us() > bound.mapping_us());
+    }
+
+    #[test]
+    fn per_group_overrides_change_latency() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(12));
+        let c = ctx();
+        let base = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        let r1 = s.simulate_inference(&base, &c);
+        let mut tweaked = base.clone();
+        tweaked.set(0, DataflowConfig::gather_scatter(false));
+        let r2 = s.simulate_inference(&tweaked, &c);
+        assert_ne!(r1.total_us(), r2.total_us());
+    }
+
+    #[test]
+    fn try_new_reports_orphan_transposed_convs() {
+        // Encoder jumps straight from stride 1 to stride 4; the decoder
+        // then upsamples 4 -> 2, but no layer ever produced coordinates
+        // at stride 2, so compilation must fail with a useful error.
+        let mut b = crate::NetworkBuilder::new("orphan", 4);
+        let d = b.conv("down_x4", crate::NetworkBuilder::INPUT, 8, 3, 4);
+        let _ = b.conv_transposed("up_to_2", d, 8, 2, 2);
+        let net = b.build();
+        let err = Session::try_new(&net, &grid_coords(8)).unwrap_err();
+        match &err {
+            CompileError::TransposedWithoutEncoder { layer, missing_stride } => {
+                assert_eq!(layer, "up_to_2");
+                assert_eq!(*missing_stride, 2);
+            }
+        }
+        assert!(err.to_string().contains("up_to_2"));
+
+        // The well-formed mirror image compiles.
+        let mut b = crate::NetworkBuilder::new("ok", 4);
+        let d1 = b.conv("down1", crate::NetworkBuilder::INPUT, 8, 2, 2);
+        let d2 = b.conv("down2", d1, 8, 2, 2);
+        let _ = b.conv_transposed("up", d2, 8, 2, 2);
+        assert!(Session::try_new(&b.build(), &grid_coords(8)).is_ok());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(10));
+        let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(2));
+        let c = ctx();
+        assert_eq!(s.simulate_inference(&cfg, &c).total_us(), s.simulate_inference(&cfg, &c).total_us());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of session compilation and simulation
+//! invariants on randomly generated networks and geometries.
+
+use proptest::prelude::*;
+
+use ts_core::{GroupConfigs, NetworkBuilder, Session, TrainConfigs};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_gpusim::Device;
+use ts_kernelmap::{unique_coords, Coord};
+use ts_tensor::Precision;
+
+fn coords_strategy() -> impl Strategy<Value = Vec<Coord>> {
+    prop::collection::vec(
+        (0..2i32, -12..12i32, -12..12i32, -3..3i32).prop_map(|(b, x, y, z)| Coord::new(b, x, y, z)),
+        8..150,
+    )
+    .prop_map(|v| unique_coords(&v))
+}
+
+/// Builds a random-but-valid encoder/decoder network from a small seed.
+fn random_network(stages: u8, with_decoder: bool, residual: bool) -> ts_core::Network {
+    let mut b = NetworkBuilder::new("rand", 4);
+    let mut x = b.conv_block("stem", NetworkBuilder::INPUT, 8, 3, 1);
+    let mut skips = Vec::new();
+    for s in 0..stages.clamp(1, 3) {
+        skips.push(x);
+        x = b.conv_block(&format!("down{s}"), x, 8 << s.min(2), 2, 2);
+        if residual {
+            x = b.residual_block(&format!("res{s}"), x, 8 << s.min(2), 3);
+        }
+    }
+    if with_decoder {
+        for (s, skip) in skips.iter().enumerate().rev() {
+            let c = 8 << (s.min(2));
+            x = b.conv_block_transposed(&format!("up{s}"), x, c, 2, 2);
+            x = b.concat(&format!("skip{s}"), x, *skip);
+        }
+    }
+    let _ = b.conv("head", x, 4, 1, 1);
+    b.build()
+}
+
+fn configs() -> Vec<DataflowConfig> {
+    DataflowConfig::full_space(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sessions_compile_for_random_networks(
+        coords in coords_strategy(),
+        stages in 1u8..4,
+        decoder in any::<bool>(),
+        residual in any::<bool>(),
+    ) {
+        let net = random_network(stages, decoder, residual);
+        let session = Session::new(&net, &coords);
+        prop_assert_eq!(session.conv_layer_count(), net.conv_count());
+        // Groups never exceed conv layers; with a decoder, transposed
+        // convs must reuse encoder groups.
+        prop_assert!(session.groups().len() <= net.conv_count());
+        let layer_sum: usize = session.groups().iter().map(|g| g.layer_count).sum();
+        prop_assert_eq!(layer_sum, net.conv_count());
+    }
+
+    #[test]
+    fn simulated_latency_is_positive_and_deterministic(
+        coords in coords_strategy(),
+        stages in 1u8..3,
+        ci in 0usize..6,
+    ) {
+        let net = random_network(stages, true, false);
+        let session = Session::new(&net, &coords);
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let cfg = GroupConfigs::uniform(configs()[ci]);
+        let a = session.simulate_inference(&cfg, &ctx);
+        let b = session.simulate_inference(&cfg, &ctx);
+        prop_assert!(a.total_us() > 0.0);
+        prop_assert_eq!(a.total_us().to_bits(), b.total_us().to_bits());
+        // Per-layer timings sum to the total.
+        let sum: f64 = a.timings().iter().map(|t| t.time_us).sum();
+        prop_assert!((sum - a.total_us()).abs() < 1e-6 * a.total_us().max(1.0));
+    }
+
+    #[test]
+    fn training_dominates_inference(coords in coords_strategy(), ci in 0usize..6) {
+        let net = random_network(2, true, true);
+        let session = Session::new(&net, &coords);
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        let cfg = configs()[ci];
+        let inf = session.simulate_inference(&GroupConfigs::uniform(cfg), &ctx);
+        let tr = session.simulate_training(&TrainConfigs::bound(cfg), &ctx);
+        prop_assert!(tr.total_us() > inf.total_us(), "{} <= {}", tr.total_us(), inf.total_us());
+        prop_assert!(tr.compute_us() >= inf.compute_us());
+    }
+
+    #[test]
+    fn more_points_never_get_cheaper(
+        coords in coords_strategy(),
+        ci in 0usize..6,
+    ) {
+        prop_assume!(coords.len() >= 20);
+        let net = random_network(1, false, false);
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let cfg = GroupConfigs::uniform(configs()[ci]);
+        let half = Session::new(&net, &coords[..coords.len() / 2]);
+        let full = Session::new(&net, &coords);
+        let t_half = half.simulate_inference(&cfg, &ctx).total_us();
+        let t_full = full.simulate_inference(&cfg, &ctx).total_us();
+        // Allow small slack: padding and tile boundaries can locally
+        // favour the bigger input.
+        prop_assert!(t_full >= t_half * 0.95, "{t_full} < {t_half}");
+    }
+
+    #[test]
+    fn functional_run_is_dataflow_invariant_on_random_networks(
+        coords in coords_strategy(),
+        stages in 1u8..3,
+        residual in any::<bool>(),
+    ) {
+        prop_assume!(coords.len() >= 10);
+        let net = random_network(stages, true, residual);
+        let weights = net.init_weights(3);
+        let feats = ts_tensor::uniform_matrix(
+            &mut ts_tensor::rng_from_seed(1),
+            coords.len(),
+            4,
+            -1.0,
+            1.0,
+        );
+        let input = ts_core::SparseTensor::new(coords, feats);
+        let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
+        let (ref_out, _) = ts_core::run_network(
+            &net,
+            &weights,
+            &input,
+            &GroupConfigs::uniform(DataflowConfig::gather_scatter(true)),
+            &ctx,
+        );
+        for cfg in [DataflowConfig::implicit_gemm(0), DataflowConfig::fetch_on_demand(true)] {
+            let (out, _) = ts_core::run_network(
+                &net,
+                &weights,
+                &input,
+                &GroupConfigs::uniform(cfg),
+                &ctx,
+            );
+            prop_assert!(out.feats().approx_eq(ref_out.feats(), 1e-3), "{cfg} diverged");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-group dataflow preparation: bitmask building, sorting, reordering
+//! and padding — the *mapping overhead* the paper identifies as a
+//! first-class cost (Tables 3/4).
+
+use ts_gpusim::{KernelClass, KernelDesc, KernelTrace};
+use ts_kernelmap::{pad_to_multiple, KernelMap, SplitPlan};
+
+use crate::{DataflowConfig, DataflowKind, ExecCtx, ReorderMode};
+
+/// A prepared execution plan for one (map, dataflow-config) pair.
+///
+/// Layers that share a kernel map (a *group* in the autotuner's sense)
+/// share one `Prepared`, so the mapping cost recorded in
+/// [`Prepared::trace`] is paid once per group — which is exactly why the
+/// paper forces intra-group dataflow homogeneity.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Split plan (implicit GEMM only).
+    pub plan: Option<SplitPlan>,
+    /// Mapping kernels launched to prepare this dataflow's structures.
+    pub trace: KernelTrace,
+}
+
+/// Builds dataflow-specific map structures and records their cost.
+///
+/// The *base* map construction (hashing + neighbor queries) is charged
+/// separately by the layer runner in `ts-core`; this function charges
+/// only what the chosen dataflow adds on top:
+///
+/// * weight-stationary layouts (gather-scatter, fetch-on-demand): a map
+///   transposition pass;
+/// * implicit GEMM: bitmask building, per-split argsort, offline map
+///   reordering (skipped when [`ReorderMode::Online`]) and padding to a
+///   multiple of `cta_m`.
+pub fn prepare(map: &KernelMap, cfg: &DataflowConfig, ctx: &ExecCtx) -> Prepared {
+    let mut trace = KernelTrace::new();
+    let kvol = map.kernel_volume() as u64;
+    let n_out = map.n_out() as u64;
+    let pairs = map.total_pairs();
+
+    match cfg.kind {
+        DataflowKind::GatherScatter { .. } | DataflowKind::FetchOnDemand { .. } => {
+            // Convert the output-stationary map into per-offset pair
+            // lists (a counting sort over offsets on GPU).
+            let k = KernelDesc::mapping("map:to-weight-stationary", pairs * 8, pairs * 16)
+                .with_class(KernelClass::Mapping);
+            ctx.record(&mut trace, k);
+            Prepared { plan: None, trace }
+        }
+        DataflowKind::ImplicitGemm { splits } => {
+            let plan = SplitPlan::from_split_count(map, splits);
+
+            if splits >= 1 {
+                // Bitmask construction: one pass over the neighbor matrix.
+                let bm = KernelDesc::mapping("map:bitmask-build", n_out * kvol * 4, n_out * kvol * 4 + n_out * 4);
+                ctx.record(&mut trace, bm);
+
+                // One argsort per split (bitonic sort on GPU: n log^2 n
+                // compare-exchanges with n log n key passes over DRAM).
+                let log_n = (n_out.max(2) as f64).log2().ceil() as u64;
+                for s in 0..plan.ranges().len() {
+                    let sort = KernelDesc::mapping(
+                        format!("map:argsort[{s}]"),
+                        n_out * log_n * log_n,
+                        n_out * 8 * log_n,
+                    );
+                    ctx.record(&mut trace, sort);
+                }
+
+                // Offline reordering materialises the permuted map once;
+                // online reordering skips this kernel and pays inside the
+                // compute kernels instead (Figure 19).
+                if ctx.reorder == ReorderMode::Offline {
+                    let reorder = KernelDesc::mapping(
+                        "map:reorder",
+                        n_out * kvol * 6,
+                        plan.ranges().len() as u64 * n_out * kvol * 4 * 2,
+                    );
+                    ctx.record(&mut trace, reorder);
+                }
+            }
+
+            if ctx.gen_flags.padded_map {
+                // Pad each range's row dimension to a multiple of cta_m.
+                let cta_m = 128; // padding target is the largest tile row count
+                let padded = pad_to_multiple(map.n_out(), cta_m) as u64;
+                let pad_rows = padded - n_out;
+                if pad_rows > 0 {
+                    let pad = KernelDesc::mapping(
+                        "map:pad",
+                        pad_rows * kvol,
+                        pad_rows * kvol * 4,
+                    );
+                    ctx.record(&mut trace, pad);
+                }
+            }
+
+            Prepared { plan: Some(plan), trace }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_gpusim::Device;
+    use ts_kernelmap::{build_submanifold_map, Coord, KernelOffsets};
+    use ts_tensor::Precision;
+
+    fn map() -> KernelMap {
+        let coords: Vec<Coord> = (0..200)
+            .map(|i| Coord::new(0, i % 20, (i / 20) % 10, i / 200))
+            .collect();
+        build_submanifold_map(&coords, &KernelOffsets::cube(3))
+    }
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::simulate(Device::rtx3090(), Precision::Fp16)
+    }
+
+    #[test]
+    fn implicit_gemm_prepare_builds_plan() {
+        let p = prepare(&map(), &DataflowConfig::implicit_gemm(2), &ctx());
+        let plan = p.plan.unwrap();
+        assert_eq!(plan.ranges().len(), 2);
+        assert!(p.trace.total_us() > 0.0);
+    }
+
+    #[test]
+    fn unsorted_is_cheaper_to_prepare_than_sorted() {
+        let m = map();
+        let c = ctx();
+        let unsorted = prepare(&m, &DataflowConfig::implicit_gemm(0), &c);
+        let sorted = prepare(&m, &DataflowConfig::implicit_gemm(1), &c);
+        assert!(
+            sorted.trace.total_us() > unsorted.trace.total_us(),
+            "sorted {} <= unsorted {}",
+            sorted.trace.total_us(),
+            unsorted.trace.total_us()
+        );
+    }
+
+    #[test]
+    fn more_splits_cost_more_mapping_time() {
+        let m = map();
+        let c = ctx();
+        let s1 = prepare(&m, &DataflowConfig::implicit_gemm(1), &c);
+        let s4 = prepare(&m, &DataflowConfig::implicit_gemm(4), &c);
+        assert!(s4.trace.total_us() > s1.trace.total_us());
+    }
+
+    #[test]
+    fn online_reorder_skips_the_reorder_kernel() {
+        let m = map();
+        let offline = prepare(&m, &DataflowConfig::implicit_gemm(1), &ctx());
+        let online = prepare(
+            &m,
+            &DataflowConfig::implicit_gemm(1),
+            &ctx().with_reorder(ReorderMode::Online),
+        );
+        assert!(online.trace.total_us() < offline.trace.total_us());
+        assert!(!online
+            .trace
+            .entries()
+            .iter()
+            .any(|e| e.desc.name.contains("reorder")));
+    }
+
+    #[test]
+    fn weight_stationary_prepare_has_no_plan() {
+        let p = prepare(&map(), &DataflowConfig::gather_scatter(true), &ctx());
+        assert!(p.plan.is_none());
+        assert!(p.trace.total_us() > 0.0);
+    }
+
+    #[test]
+    fn all_prepare_kernels_are_mapping_class() {
+        for cfg in DataflowConfig::full_space(4) {
+            let p = prepare(&map(), &cfg, &ctx());
+            for e in p.trace.entries() {
+                assert_eq!(e.desc.class, KernelClass::Mapping, "{}", e.desc.name);
+            }
+        }
+    }
+}

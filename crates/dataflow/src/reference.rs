@@ -1,0 +1,177 @@
+//! Direct evaluation of Equation 1 — the oracle all dataflows are
+//! cross-checked against.
+
+use ts_kernelmap::KernelMap;
+use ts_tensor::Matrix;
+
+use crate::ConvWeights;
+
+/// Evaluates the sparse convolution directly from the pair lists:
+/// `out[q] += x[p] * W_k` for every `(p, q)` in `M_k`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the map.
+pub fn reference_forward(x: &Matrix, w: &ConvWeights, map: &KernelMap) -> Matrix {
+    assert_eq!(x.rows(), map.n_in());
+    assert_eq!(x.cols(), w.c_in());
+    assert_eq!(w.kernel_volume(), map.kernel_volume());
+    let mut out = Matrix::zeros(map.n_out(), w.c_out());
+    for k in 0..map.kernel_volume() {
+        let wk = w.offset(k);
+        for &(i, o) in map.pairs(k) {
+            let xi = x.row(i as usize);
+            let row = out.row_mut(o as usize);
+            for c_out in 0..wk.cols() {
+                let mut acc = 0.0;
+                for (c_in, &xv) in xi.iter().enumerate() {
+                    acc += xv * wk[(c_in, c_out)];
+                }
+                row[c_out] += acc;
+            }
+        }
+    }
+    out
+}
+
+/// Reference input gradient: `dx[p] += dy[q] * W_k^T` for `(p, q)` in
+/// `M_k`.
+pub fn reference_dgrad(dy: &Matrix, w: &ConvWeights, map: &KernelMap) -> Matrix {
+    assert_eq!(dy.rows(), map.n_out());
+    assert_eq!(dy.cols(), w.c_out());
+    let mut dx = Matrix::zeros(map.n_in(), w.c_in());
+    for k in 0..map.kernel_volume() {
+        let wk = w.offset(k);
+        for &(i, o) in map.pairs(k) {
+            let g = dy.row(o as usize);
+            let row = dx.row_mut(i as usize);
+            for c_in in 0..wk.rows() {
+                let mut acc = 0.0;
+                for (c_out, &gv) in g.iter().enumerate() {
+                    acc += gv * wk[(c_in, c_out)];
+                }
+                row[c_in] += acc;
+            }
+        }
+    }
+    dx
+}
+
+/// Reference weight gradient: `dW_k += x[p]^T ⊗ dy[q]` for `(p, q)` in
+/// `M_k`.
+pub fn reference_wgrad(x: &Matrix, dy: &Matrix, map: &KernelMap) -> ConvWeights {
+    assert_eq!(x.rows(), map.n_in());
+    assert_eq!(dy.rows(), map.n_out());
+    let mut dw = ConvWeights::zeros(map.kernel_volume(), x.cols(), dy.cols());
+    for k in 0..map.kernel_volume() {
+        let wk = dw.offset_mut(k);
+        for &(i, o) in map.pairs(k) {
+            let xi = x.row(i as usize);
+            let g = dy.row(o as usize);
+            for (c_in, &xv) in xi.iter().enumerate() {
+                for (c_out, &gv) in g.iter().enumerate() {
+                    wk[(c_in, c_out)] += xv * gv;
+                }
+            }
+        }
+    }
+    dw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_kernelmap::{build_submanifold_map, Coord, KernelOffsets};
+    use ts_tensor::{rng_from_seed, uniform_matrix};
+
+    fn small_setup() -> (Matrix, ConvWeights, KernelMap) {
+        let coords: Vec<Coord> = (0..6).map(|i| Coord::new(0, i, i % 2, 0)).collect();
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let mut rng = rng_from_seed(11);
+        let x = uniform_matrix(&mut rng, 6, 3, -1.0, 1.0);
+        let w = ConvWeights::random(&mut rng, 27, 3, 4);
+        (x, w, map)
+    }
+
+    #[test]
+    fn identity_weights_on_center_offset_copy_input() {
+        let coords: Vec<Coord> = (0..4).map(|i| Coord::new(0, 10 * i, 0, 0)).collect();
+        let offsets = KernelOffsets::cube(3);
+        let map = build_submanifold_map(&coords, &offsets);
+        let mut w = ConvWeights::zeros(27, 3, 3);
+        *w.offset_mut(offsets.center().unwrap()) = Matrix::identity(3);
+        let x = uniform_matrix(&mut rng_from_seed(2), 4, 3, -1.0, 1.0);
+        let y = reference_forward(&x, &w, &map);
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn dgrad_matches_finite_differences() {
+        let (x, w, map) = small_setup();
+        let dy = uniform_matrix(&mut rng_from_seed(5), map.n_out(), 4, -1.0, 1.0);
+        let dx = reference_dgrad(&dy, &w, &map);
+        // loss = sum(forward(x) .* dy); d(loss)/dx == dx.
+        let eps = 1e-3f32;
+        for probe in [(0usize, 0usize), (2, 1), (5, 2)] {
+            let mut xp = x.clone();
+            xp[(probe.0, probe.1)] += eps;
+            let mut xm = x.clone();
+            xm[(probe.0, probe.1)] -= eps;
+            let lp: f32 = reference_forward(&xp, &w, &map)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = reference_forward(&xm, &w, &map)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = dx[(probe.0, probe.1)];
+            assert!((fd - an).abs() < 5e-2, "fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn wgrad_matches_finite_differences() {
+        let (x, w, map) = small_setup();
+        let dy = uniform_matrix(&mut rng_from_seed(6), map.n_out(), 4, -1.0, 1.0);
+        let dw = reference_wgrad(&x, &dy, &map);
+        let eps = 1e-3f32;
+        for probe in [(13usize, 0usize, 0usize), (0, 1, 2), (26, 2, 3)] {
+            let (k, ci, co) = probe;
+            let mut wp = w.clone();
+            wp.offset_mut(k)[(ci, co)] += eps;
+            let mut wm = w.clone();
+            wm.offset_mut(k)[(ci, co)] -= eps;
+            let lp: f32 = reference_forward(&x, &wp, &map)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = reference_forward(&x, &wm, &map)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = dw.offset(k)[(ci, co)];
+            assert!((fd - an).abs() < 5e-2, "k={k} fd={fd} analytic={an}");
+        }
+    }
+
+    #[test]
+    fn dgrad_equals_forward_on_transposed_map_with_transposed_weights() {
+        let (x, w, map) = small_setup();
+        let _ = x;
+        let dy = uniform_matrix(&mut rng_from_seed(7), map.n_out(), 4, -1.0, 1.0);
+        let direct = reference_dgrad(&dy, &w, &map);
+        let via_forward = reference_forward(&dy, &w.transposed(), &map.transposed());
+        assert!(direct.approx_eq(&via_forward, 1e-5));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based cross-dataflow equivalence: every executor computes
+//! the same convolution as the direct evaluation of Equation 1, on
+//! arbitrary sparse geometries.
+
+use proptest::prelude::*;
+
+use ts_dataflow::{
+    dgrad, forward, reference_dgrad, reference_forward, reference_wgrad, wgrad, ConvWeights,
+    DataflowConfig, ExecCtx,
+};
+use ts_gpusim::Device;
+use ts_kernelmap::{build_strided_map, build_submanifold_map, unique_coords, Coord, KernelOffsets};
+use ts_tensor::{rng_from_seed, uniform_matrix, Precision};
+
+fn coords_strategy() -> impl Strategy<Value = Vec<Coord>> {
+    prop::collection::vec(
+        (0..2i32, -8..8i32, -8..8i32, -3..3i32).prop_map(|(b, x, y, z)| Coord::new(b, x, y, z)),
+        1..80,
+    )
+    .prop_map(|v| unique_coords(&v))
+}
+
+fn all_configs() -> Vec<DataflowConfig> {
+    vec![
+        DataflowConfig::gather_scatter(false),
+        DataflowConfig::gather_scatter(true),
+        DataflowConfig::fetch_on_demand(false),
+        DataflowConfig::fetch_on_demand(true),
+        DataflowConfig::implicit_gemm(0),
+        DataflowConfig::implicit_gemm(1),
+        DataflowConfig::implicit_gemm(2),
+        DataflowConfig::implicit_gemm(4),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_dataflows_match_reference_forward(coords in coords_strategy(), seed in 0u64..500) {
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let mut rng = rng_from_seed(seed);
+        let c_in = 3 + (seed % 5) as usize;
+        let c_out = 2 + (seed % 7) as usize;
+        let x = uniform_matrix(&mut rng, coords.len(), c_in, -1.0, 1.0);
+        let w = ConvWeights::random(&mut rng, 27, c_in, c_out);
+        let expected = reference_forward(&x, &w, &map);
+        let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
+        for cfg in all_configs() {
+            let got = forward(&x, &w, &map, &cfg, &ctx).features.unwrap();
+            prop_assert!(got.approx_eq(&expected, 1e-3), "dataflow {cfg} diverged");
+        }
+    }
+
+    #[test]
+    fn strided_maps_match_reference(coords in coords_strategy(), seed in 0u64..500) {
+        let (map, _out) = build_strided_map(&coords, &KernelOffsets::cube(2), 2);
+        let mut rng = rng_from_seed(seed);
+        let x = uniform_matrix(&mut rng, coords.len(), 4, -1.0, 1.0);
+        let w = ConvWeights::random(&mut rng, 8, 4, 6);
+        let expected = reference_forward(&x, &w, &map);
+        let ctx = ExecCtx::functional(Device::a100(), Precision::Fp32);
+        for cfg in [DataflowConfig::implicit_gemm(2), DataflowConfig::fetch_on_demand(true)] {
+            let got = forward(&x, &w, &map, &cfg, &ctx).features.unwrap();
+            prop_assert!(got.approx_eq(&expected, 1e-3), "dataflow {cfg} diverged");
+        }
+    }
+
+    #[test]
+    fn dgrad_matches_reference(coords in coords_strategy(), seed in 0u64..500) {
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let map_t = map.transposed();
+        let mut rng = rng_from_seed(seed);
+        let x_unused = uniform_matrix(&mut rng, coords.len(), 4, -1.0, 1.0);
+        let _ = x_unused;
+        let w = ConvWeights::random(&mut rng, 27, 4, 5);
+        let dy = uniform_matrix(&mut rng, map.n_out(), 5, -1.0, 1.0);
+        let expected = reference_dgrad(&dy, &w, &map);
+        let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
+        for cfg in [DataflowConfig::gather_scatter(true), DataflowConfig::implicit_gemm(1)] {
+            let got = dgrad(&dy, &w, &map_t, &cfg, &ctx).features.unwrap();
+            prop_assert!(got.approx_eq(&expected, 1e-3), "dgrad {cfg} diverged");
+        }
+    }
+
+    #[test]
+    fn wgrad_matches_reference(coords in coords_strategy(), seed in 0u64..500) {
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let mut rng = rng_from_seed(seed);
+        let x = uniform_matrix(&mut rng, coords.len(), 3, -1.0, 1.0);
+        let dy = uniform_matrix(&mut rng, map.n_out(), 4, -1.0, 1.0);
+        let expected = reference_wgrad(&x, &dy, &map);
+        let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
+        for cfg in [DataflowConfig::gather_scatter(false), DataflowConfig::implicit_gemm(2)] {
+            let got = wgrad(&x, &dy, &map, &cfg, &ctx).dw.unwrap();
+            for k in 0..27 {
+                prop_assert!(
+                    got.offset(k).approx_eq(expected.offset(k), 1e-3),
+                    "wgrad {cfg} diverged at offset {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_scale_monotone(coords in coords_strategy(), seed in 0u64..200) {
+        // Doubling channel width must not make any dataflow faster.
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let mut rng = rng_from_seed(seed);
+        let x_small = uniform_matrix(&mut rng, coords.len(), 8, -1.0, 1.0);
+        let x_large = uniform_matrix(&mut rng, coords.len(), 16, -1.0, 1.0);
+        for cfg in all_configs() {
+            let w_small = ConvWeights::random(&mut rng, 27, 8, 8);
+            let w_large = ConvWeights::random(&mut rng, 27, 16, 16);
+            let t_small = forward(&x_small, &w_small, &map, &cfg, &ctx).trace.total_us();
+            let t_large = forward(&x_large, &w_large, &map, &cfg, &ctx).trace.total_us();
+            prop_assert!(t_large >= t_small * 0.99, "{cfg}: {t_large} < {t_small}");
+        }
+    }
+
+    #[test]
+    fn simulate_and_functional_traces_agree(coords in coords_strategy(), seed in 0u64..200) {
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let mut rng = rng_from_seed(seed);
+        let x = uniform_matrix(&mut rng, coords.len(), 4, -1.0, 1.0);
+        let w = ConvWeights::random(&mut rng, 27, 4, 4);
+        let fctx = ExecCtx::functional(Device::a100(), Precision::Fp16);
+        let sctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        for cfg in all_configs() {
+            let f = forward(&x, &w, &map, &cfg, &fctx).trace;
+            let s = forward(&x, &w, &map, &cfg, &sctx).trace;
+            prop_assert_eq!(f.total_us().to_bits(), s.total_us().to_bits(), "{} trace mismatch", cfg);
+        }
+    }
+}

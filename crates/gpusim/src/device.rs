@@ -1,0 +1,310 @@
+//! GPU device specifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Precision;
+
+/// NVIDIA GPU micro-architecture generation.
+///
+/// Determines which precisions have tensor-core support: TF32 exists only
+/// on Ampere; Pascal has no tensor cores at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// GTX 10-series (no tensor cores).
+    Pascal,
+    /// RTX 20-series (FP16 tensor cores, no TF32).
+    Turing,
+    /// A100 / RTX 30-series / Orin (FP16 + TF32 tensor cores).
+    Ampere,
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arch::Pascal => write!(f, "Pascal"),
+            Arch::Turing => write!(f, "Turing"),
+            Arch::Ampere => write!(f, "Ampere"),
+        }
+    }
+}
+
+/// Specification of a simulated GPU.
+///
+/// The presets mirror the five devices of the paper's evaluation. All
+/// figures are public datasheet numbers; the cost model only relies on
+/// their *ratios* (tensor-core vs. CUDA-core throughput, compute vs.
+/// bandwidth), which is what makes the paper's device-dependent
+/// conclusions (e.g. "A100 is far less sensitive to redundant computation
+/// than to mapping overhead") reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable device name.
+    pub name: String,
+    /// Micro-architecture generation.
+    pub arch: Arch,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak FP16 tensor-core throughput in TFLOPS (2 * TMACS).
+    pub fp16_tflops: f64,
+    /// Peak TF32 tensor-core throughput in TFLOPS.
+    pub tf32_tflops: f64,
+    /// Peak FP32 CUDA-core throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Shared-memory capacity per SM in KiB.
+    pub smem_kib_per_sm: u32,
+    /// Fixed cost of launching one kernel, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Multiplier applied to atomically-written DRAM bytes
+    /// (serialisation of conflicting writes in fetch-on-demand).
+    pub atomic_penalty: f64,
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} SMs @ {:.2} GHz, {:.0}/{:.0}/{:.0} TFLOPS fp16/tf32/fp32, {:.0} GB/s)",
+            self.name,
+            self.arch,
+            self.sm_count,
+            self.clock_ghz,
+            self.fp16_tflops,
+            self.tf32_tflops,
+            self.fp32_tflops,
+            self.dram_gbps
+        )
+    }
+}
+
+impl Device {
+    /// NVIDIA A100 (SXM4 40 GB).
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_owned(),
+            arch: Arch::Ampere,
+            sm_count: 108,
+            clock_ghz: 1.41,
+            fp16_tflops: 312.0,
+            tf32_tflops: 156.0,
+            fp32_tflops: 19.5,
+            dram_gbps: 1555.0,
+            smem_kib_per_sm: 164,
+            launch_overhead_us: 4.0,
+            atomic_penalty: 2.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090".to_owned(),
+            arch: Arch::Ampere,
+            sm_count: 82,
+            clock_ghz: 1.70,
+            // The paper quotes "an ample 71 TFLOPS FP16 peak throughput".
+            fp16_tflops: 71.0,
+            tf32_tflops: 35.6,
+            fp32_tflops: 35.6,
+            dram_gbps: 936.0,
+            smem_kib_per_sm: 100,
+            launch_overhead_us: 4.0,
+            atomic_penalty: 2.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 2080 Ti.
+    ///
+    /// The paper calls out a "much smaller performance gap between tensor
+    /// and CUDA cores on 2080 Ti (3x)"; the preset encodes exactly that
+    /// ratio.
+    pub fn rtx2080ti() -> Self {
+        Self {
+            name: "RTX 2080 Ti".to_owned(),
+            arch: Arch::Turing,
+            sm_count: 68,
+            clock_ghz: 1.545,
+            fp16_tflops: 40.2, // 3x the CUDA-core FP32 peak
+            tf32_tflops: 13.4, // no TF32 on Turing: falls back to FP32
+            fp32_tflops: 13.4,
+            dram_gbps: 616.0,
+            smem_kib_per_sm: 64,
+            launch_overhead_us: 4.5,
+            atomic_penalty: 2.5,
+        }
+    }
+
+    /// NVIDIA GeForce GTX 1080 Ti (Pascal, no tensor cores).
+    pub fn gtx1080ti() -> Self {
+        Self {
+            name: "GTX 1080 Ti".to_owned(),
+            arch: Arch::Pascal,
+            sm_count: 28,
+            clock_ghz: 1.582,
+            fp16_tflops: 11.3, // no tensor cores: FP16 executes at FP32 rate
+            tf32_tflops: 11.3,
+            fp32_tflops: 11.3,
+            dram_gbps: 484.0,
+            smem_kib_per_sm: 96,
+            launch_overhead_us: 5.0,
+            atomic_penalty: 3.0,
+        }
+    }
+
+    /// NVIDIA Jetson AGX Orin (edge platform used for ADAS deployment).
+    pub fn jetson_orin() -> Self {
+        Self {
+            name: "Jetson Orin".to_owned(),
+            arch: Arch::Ampere,
+            sm_count: 16,
+            clock_ghz: 1.3,
+            fp16_tflops: 10.6,
+            tf32_tflops: 5.3,
+            fp32_tflops: 5.3,
+            dram_gbps: 204.8,
+            smem_kib_per_sm: 164,
+            launch_overhead_us: 8.0,
+            atomic_penalty: 2.5,
+        }
+    }
+
+    /// All five evaluation devices of the paper.
+    pub fn paper_lineup() -> Vec<Device> {
+        vec![
+            Device::a100(),
+            Device::rtx3090(),
+            Device::rtx2080ti(),
+            Device::gtx1080ti(),
+            Device::jetson_orin(),
+        ]
+    }
+
+    /// Peak MAC throughput in MACs per microsecond for `precision`.
+    ///
+    /// One FLOP pair (multiply+add) counts as one MAC, so this is
+    /// `TFLOPS / 2 * 1e6`.
+    pub fn peak_macs_per_us(&self, precision: Precision) -> f64 {
+        let tflops = match precision {
+            Precision::Fp16 => self.fp16_tflops,
+            Precision::Tf32 => self.tf32_tflops,
+            Precision::Fp32 => self.fp32_tflops,
+        };
+        tflops / 2.0 * 1e6
+    }
+
+    /// CUDA-core scalar throughput in operations per microsecond
+    /// (used for mapping kernels: hashing, sorting, reordering).
+    pub fn cuda_ops_per_us(&self) -> f64 {
+        self.fp32_tflops * 1e6
+    }
+
+    /// DRAM bandwidth in bytes per microsecond.
+    pub fn bytes_per_us(&self) -> f64 {
+        self.dram_gbps * 1e3
+    }
+
+    /// Ratio of tensor-core to CUDA-core throughput at `precision`
+    /// (the paper's "16x on A100, 3x on 2080 Ti" device characteristic).
+    pub fn tensor_to_cuda_ratio(&self, precision: Precision) -> f64 {
+        self.peak_macs_per_us(precision) / (self.fp32_tflops / 2.0 * 1e6)
+    }
+
+    /// Returns a copy with DRAM bandwidth scaled by `factor`
+    /// (micro-architectural ablation of Section 6.3).
+    pub fn with_bandwidth_scale(&self, factor: f64) -> Device {
+        let mut d = self.clone();
+        d.dram_gbps *= factor;
+        d.name = format!("{} (bw x{factor})", self.name);
+        d
+    }
+
+    /// Returns a copy with the SM domain scaled by `factor` — peak MMA
+    /// and CUDA throughput *and* the clock that drives latency hiding
+    /// (the paper's compute ablation locks the SM clock, which slows
+    /// everything on-chip while DRAM bandwidth stays fixed; Section 6.3).
+    pub fn with_compute_scale(&self, factor: f64) -> Device {
+        let mut d = self.clone();
+        d.fp16_tflops *= factor;
+        d.tf32_tflops *= factor;
+        d.fp32_tflops *= factor;
+        d.clock_ghz *= factor;
+        d.name = format!("{} (compute x{factor})", self.name);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_has_16x_tensor_to_cuda_gap() {
+        let d = Device::a100();
+        let ratio = d.tensor_to_cuda_ratio(Precision::Fp16);
+        assert!((ratio - 16.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn rtx2080ti_has_3x_tensor_to_cuda_gap() {
+        let d = Device::rtx2080ti();
+        let ratio = d.tensor_to_cuda_ratio(Precision::Fp16);
+        assert!((ratio - 3.0).abs() < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pascal_has_no_tensor_speedup() {
+        let d = Device::gtx1080ti();
+        assert_eq!(d.peak_macs_per_us(Precision::Fp16), d.peak_macs_per_us(Precision::Fp32));
+    }
+
+    #[test]
+    fn turing_tf32_falls_back_to_fp32() {
+        let d = Device::rtx2080ti();
+        assert_eq!(d.peak_macs_per_us(Precision::Tf32), d.peak_macs_per_us(Precision::Fp32));
+    }
+
+    #[test]
+    fn lineup_covers_three_architectures() {
+        let archs: std::collections::HashSet<_> =
+            Device::paper_lineup().iter().map(|d| d.arch).collect();
+        assert!(archs.contains(&Arch::Pascal));
+        assert!(archs.contains(&Arch::Turing));
+        assert!(archs.contains(&Arch::Ampere));
+    }
+
+    #[test]
+    fn bandwidth_scaling_only_touches_dram() {
+        let d = Device::rtx3090();
+        let half = d.with_bandwidth_scale(0.5);
+        assert_eq!(half.dram_gbps, d.dram_gbps * 0.5);
+        assert_eq!(half.fp16_tflops, d.fp16_tflops);
+    }
+
+    #[test]
+    fn compute_scaling_touches_all_precisions() {
+        let d = Device::rtx3090();
+        let half = d.with_compute_scale(0.5);
+        assert_eq!(half.fp16_tflops, d.fp16_tflops * 0.5);
+        assert_eq!(half.fp32_tflops, d.fp32_tflops * 0.5);
+        assert_eq!(half.dram_gbps, d.dram_gbps);
+    }
+
+    #[test]
+    fn display_includes_key_specs() {
+        let d = Device::a100();
+        let s = d.to_string();
+        assert!(s.contains("A100") && s.contains("Ampere") && s.contains("108 SMs"));
+    }
+
+    #[test]
+    fn orin_is_the_lowest_parallelism_device() {
+        let lineup = Device::paper_lineup();
+        let orin = Device::jetson_orin();
+        assert!(lineup.iter().all(|d| d.sm_count >= orin.sm_count));
+    }
+}

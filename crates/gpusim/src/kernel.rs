@@ -1,0 +1,369 @@
+//! Kernel workload descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Precision;
+
+/// What a kernel contributes to when traces are aggregated.
+///
+/// The split between `Mapping` and `Compute` is the load-bearing
+/// distinction of the paper's analysis (Tables 3 vs. 4): mapping kernels
+/// (hash building, bitmask sorting, map reordering) run on CUDA cores and
+/// can dominate end-to-end time even when compute kernels got faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Matrix-multiply style compute (GEMM, implicit GEMM, fetch-on-demand).
+    Compute,
+    /// Map construction: hashing, neighbor queries, bitmasks, sorting,
+    /// reordering, padding.
+    Mapping,
+    /// Partial-sum reduction across mask splits.
+    Reduction,
+    /// Pure data movement: gather/scatter/transpose/copy.
+    Memory,
+    /// Element-wise layers (bias, BN, ReLU) and other small kernels.
+    Elementwise,
+}
+
+impl KernelClass {
+    /// All classes, for aggregation tables.
+    pub const ALL: [KernelClass; 5] = [
+        KernelClass::Compute,
+        KernelClass::Mapping,
+        KernelClass::Reduction,
+        KernelClass::Memory,
+        KernelClass::Elementwise,
+    ];
+
+    /// Short label used in printed breakdowns.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelClass::Compute => "compute",
+            KernelClass::Mapping => "mapping",
+            KernelClass::Reduction => "reduction",
+            KernelClass::Memory => "memory",
+            KernelClass::Elementwise => "elementwise",
+        }
+    }
+}
+
+/// Whether a kernel can hide memory latency behind computation.
+///
+/// Gather-GEMM-scatter launches separate memory and compute kernels, so
+/// nothing overlaps (Figure 3a/b of the paper); fetch-on-demand and
+/// implicit GEMM pipeline loads against MMA instructions (Figure 3c/d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Overlap {
+    /// Memory and compute phases serialise: `t = t_mem + t_compute`.
+    None,
+    /// Memory access is pipelined behind compute: `t = max(t_mem, t_compute)`.
+    Full,
+}
+
+/// CTA-level tile shape of a generated GEMM kernel.
+///
+/// Only tiling sizes are tunable in the Sparse Kernel Generator (Section
+/// 3.2 of the paper argues this reduced design space does not compromise
+/// performance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileShape {
+    /// Output rows computed per CTA.
+    pub cta_m: u32,
+    /// Output columns computed per CTA.
+    pub cta_n: u32,
+    /// K-dimension chunk staged through shared memory per iteration.
+    pub cta_k: u32,
+    /// Number of pipeline stages (double buffering = 2).
+    pub stages: u32,
+}
+
+impl TileShape {
+    /// Creates a tile shape with double buffering.
+    pub fn new(cta_m: u32, cta_n: u32, cta_k: u32) -> Self {
+        Self { cta_m, cta_n, cta_k, stages: 2 }
+    }
+
+    /// Shared-memory footprint in bytes for `precision` operands.
+    pub fn smem_bytes(&self, precision: Precision) -> u64 {
+        let elems = (self.cta_m + self.cta_n) as u64 * self.cta_k as u64;
+        elems * precision.bytes() as u64 * self.stages as u64
+    }
+
+    /// The large default tile used for compute-heavy layers.
+    pub fn large() -> Self {
+        Self::new(128, 128, 32)
+    }
+
+    /// The small default tile used for low-parallelism layers.
+    pub fn small() -> Self {
+        Self::new(64, 64, 32)
+    }
+
+    /// The tile-size search space of the Sparse Kernel Generator.
+    pub fn search_space() -> Vec<TileShape> {
+        let mut v = Vec::new();
+        for &(m, n) in &[(128, 128), (128, 64), (64, 128), (64, 64), (32, 64), (64, 32), (32, 32), (16, 64)] {
+            for &k in &[16, 32, 64] {
+                v.push(TileShape::new(m, n, k));
+            }
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for TileShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.cta_m, self.cta_n, self.cta_k)
+    }
+}
+
+/// Descriptor of one simulated kernel launch.
+///
+/// Dataflow executors build these from *exact* workload statistics (real
+/// kernel maps, real bitmask population counts), then [`crate::CostModel`]
+/// prices them. Construct via the provided constructors and refine with
+/// the builder-style `with_*` methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Human-readable label (appears in traces).
+    pub name: String,
+    /// Aggregation category.
+    pub class: KernelClass,
+    /// Total MACs executed, *including* warp-lockstep waste.
+    pub macs: u64,
+    /// Scalar CUDA-core operations (mapping work, address math priced
+    /// separately from MMA).
+    pub cuda_ops: u64,
+    /// Bytes read from DRAM.
+    pub dram_read: u64,
+    /// Bytes written to DRAM (non-atomic).
+    pub dram_write: u64,
+    /// Bytes written atomically (subject to the device atomic penalty).
+    pub atomic_write: u64,
+    /// Overlap semantics of this kernel.
+    pub overlap: Overlap,
+    /// Execution precision for MAC throughput selection.
+    pub precision: Precision,
+    /// Logical GEMM shape, when the kernel is a (implicit) GEMM; enables
+    /// tile/wave quantization modelling.
+    pub gemm_shape: Option<(u64, u64, u64)>,
+    /// CTA tile, when the kernel is a generated GEMM.
+    pub tile: Option<TileShape>,
+    /// Multiplier (>= 1) on kernel time from address arithmetic that was
+    /// *not* hoisted out of the inner loop (Section 3.2 / Figure 20).
+    /// Address math sits on the load path, so it slows the whole kernel.
+    pub addr_overhead: f64,
+    /// Multiplier (>= 1) on kernel time from boundary-check control flow
+    /// (Section 3.2 / Figure 21).
+    pub ctrl_overhead: f64,
+    /// Explicit MMA-pipe utilization override. When set, it replaces the
+    /// tile/shape-derived utilization (used by sparse kernels, whose
+    /// occupancy effects are modelled as [`KernelDesc::latency_stretch`]
+    /// instead).
+    pub util_override: Option<f64>,
+    /// Wall-clock stretch (>= 1) from SM under-occupancy: latency-bound
+    /// kernels with too few CTAs cannot hide memory latency, stretching
+    /// both compute and memory phases.
+    pub latency_stretch: f64,
+    /// Number of sub-kernels this descriptor stands for (multiplies the
+    /// launch overhead; used for per-offset host loops).
+    pub launches: u32,
+}
+
+impl KernelDesc {
+    /// A GEMM compute kernel of logical shape `m x n x k` with the default
+    /// operand/output DRAM traffic and full overlap.
+    pub fn gemm(name: impl Into<String>, m: u64, n: u64, k: u64, precision: Precision) -> Self {
+        let tile = TileShape::large();
+        let (read, write) = crate::cost::gemm_dram_traffic(m, n, k, tile, precision);
+        Self {
+            name: name.into(),
+            class: KernelClass::Compute,
+            macs: m * n * k,
+            cuda_ops: 0,
+            dram_read: read,
+            dram_write: write,
+            atomic_write: 0,
+            overlap: Overlap::Full,
+            precision,
+            gemm_shape: Some((m, n, k)),
+            tile: Some(tile),
+            addr_overhead: 1.0,
+            ctrl_overhead: 1.0,
+            util_override: None,
+            latency_stretch: 1.0,
+            launches: 1,
+        }
+    }
+
+    /// A mapping kernel processing `elems` elements with `bytes` of DRAM
+    /// traffic (split evenly read/write) on CUDA cores.
+    pub fn mapping(name: impl Into<String>, elems: u64, bytes: u64) -> Self {
+        Self {
+            name: name.into(),
+            class: KernelClass::Mapping,
+            macs: 0,
+            cuda_ops: elems,
+            dram_read: bytes / 2,
+            dram_write: bytes - bytes / 2,
+            atomic_write: 0,
+            overlap: Overlap::Full,
+            precision: Precision::Fp32,
+            gemm_shape: None,
+            tile: None,
+            addr_overhead: 1.0,
+            ctrl_overhead: 1.0,
+            util_override: None,
+            latency_stretch: 1.0,
+            launches: 1,
+        }
+    }
+
+    /// A pure data-movement kernel (gather/scatter/copy).
+    pub fn memory(name: impl Into<String>, read: u64, write: u64) -> Self {
+        Self {
+            name: name.into(),
+            class: KernelClass::Memory,
+            macs: 0,
+            cuda_ops: 0,
+            dram_read: read,
+            dram_write: write,
+            atomic_write: 0,
+            overlap: Overlap::Full,
+            precision: Precision::Fp32,
+            gemm_shape: None,
+            tile: None,
+            addr_overhead: 1.0,
+            ctrl_overhead: 1.0,
+            util_override: None,
+            latency_stretch: 1.0,
+            launches: 1,
+        }
+    }
+
+    /// Sets the kernel class.
+    pub fn with_class(mut self, class: KernelClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the total MAC count (e.g. to include warp-lockstep waste).
+    pub fn with_macs(mut self, macs: u64) -> Self {
+        self.macs = macs;
+        self
+    }
+
+    /// Sets the CTA tile.
+    pub fn with_tile(mut self, tile: TileShape) -> Self {
+        self.tile = Some(tile);
+        self
+    }
+
+    /// Sets explicit DRAM traffic.
+    pub fn with_traffic(mut self, read: u64, write: u64) -> Self {
+        self.dram_read = read;
+        self.dram_write = write;
+        self
+    }
+
+    /// Marks `bytes` of the write traffic as atomic.
+    pub fn with_atomic_write(mut self, bytes: u64) -> Self {
+        self.atomic_write = bytes;
+        self
+    }
+
+    /// Sets overlap semantics.
+    pub fn with_overlap(mut self, overlap: Overlap) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the addressing-overhead multiplier (>= 1).
+    pub fn with_addr_overhead(mut self, factor: f64) -> Self {
+        self.addr_overhead = factor;
+        self
+    }
+
+    /// Sets the control-flow-overhead multiplier (>= 1).
+    pub fn with_ctrl_overhead(mut self, factor: f64) -> Self {
+        self.ctrl_overhead = factor;
+        self
+    }
+
+    /// Sets an explicit MMA utilization (see [`KernelDesc::util_override`]).
+    pub fn with_util(mut self, util: f64) -> Self {
+        self.util_override = Some(util.clamp(1e-4, 1.0));
+        self
+    }
+
+    /// Sets the under-occupancy stretch factor (>= 1).
+    pub fn with_latency_stretch(mut self, stretch: f64) -> Self {
+        self.latency_stretch = stretch.max(1.0);
+        self
+    }
+
+    /// Sets how many kernel launches this descriptor stands for.
+    pub fn with_launches(mut self, launches: u32) -> Self {
+        self.launches = launches.max(1);
+        self
+    }
+
+    /// Total DRAM bytes moved (read + write, atomics included once).
+    pub fn total_bytes(&self) -> u64 {
+        self.dram_read + self.dram_write + self.atomic_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_constructor_sets_macs() {
+        let k = KernelDesc::gemm("g", 100, 64, 32, Precision::Fp16);
+        assert_eq!(k.macs, 100 * 64 * 32);
+        assert_eq!(k.class, KernelClass::Compute);
+        assert!(k.dram_read > 0 && k.dram_write > 0);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let k = KernelDesc::gemm("g", 10, 10, 10, Precision::Fp32)
+            .with_macs(2000)
+            .with_addr_overhead(1.5)
+            .with_ctrl_overhead(1.3)
+            .with_launches(27);
+        assert_eq!(k.macs, 2000);
+        assert_eq!(k.addr_overhead, 1.5);
+        assert_eq!(k.ctrl_overhead, 1.3);
+        assert_eq!(k.launches, 27);
+    }
+
+    #[test]
+    fn tile_smem_footprint() {
+        let t = TileShape::new(128, 128, 32);
+        // (128+128)*32 elems * 2 bytes * 2 stages = 32 KiB
+        assert_eq!(t.smem_bytes(Precision::Fp16), 32 * 1024);
+    }
+
+    #[test]
+    fn search_space_is_nontrivial_and_unique() {
+        let space = TileShape::search_space();
+        assert!(space.len() >= 20);
+        let set: std::collections::HashSet<_> = space.iter().collect();
+        assert_eq!(set.len(), space.len());
+    }
+
+    #[test]
+    fn launches_clamped_to_one() {
+        let k = KernelDesc::mapping("m", 10, 10).with_launches(0);
+        assert_eq!(k.launches, 1);
+    }
+
+    #[test]
+    fn class_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            KernelClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), KernelClass::ALL.len());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the cost model: monotonicity, bounds, and
+//! device-scaling behaviour.
+
+use proptest::prelude::*;
+
+use ts_gpusim::{
+    gemm_dram_traffic, gemm_utilization, CostModel, Device, KernelDesc, Overlap, Precision,
+    TileShape,
+};
+
+fn devices() -> Vec<Device> {
+    Device::paper_lineup()
+}
+
+fn tile_strategy() -> impl Strategy<Value = TileShape> {
+    prop::sample::select(TileShape::search_space())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_time_is_positive_and_finite(
+        macs in 0u64..1 << 36,
+        read in 0u64..1 << 32,
+        write in 0u64..1 << 30,
+        launches in 1u32..64,
+        di in 0usize..5,
+    ) {
+        let model = CostModel::new(devices()[di].clone());
+        let k = KernelDesc::gemm("k", 1024, 64, 64, Precision::Fp16)
+            .with_macs(macs)
+            .with_traffic(read, write)
+            .with_launches(launches);
+        let t = model.kernel_time_us(&k);
+        prop_assert!(t.is_finite() && t > 0.0);
+        // Launch overhead is a hard floor.
+        prop_assert!(t >= launches as f64 * model.device().launch_overhead_us);
+    }
+
+    #[test]
+    fn more_macs_never_run_faster(macs in 0u64..1 << 34, extra in 0u64..1 << 34, di in 0usize..5) {
+        let model = CostModel::new(devices()[di].clone());
+        let base = KernelDesc::gemm("a", 4096, 128, 512, Precision::Fp16).with_macs(macs);
+        let bigger = base.clone().with_macs(macs + extra);
+        prop_assert!(model.kernel_time_us(&bigger) >= model.kernel_time_us(&base));
+    }
+
+    #[test]
+    fn more_bytes_never_run_faster(read in 0u64..1 << 30, extra in 0u64..1 << 30, di in 0usize..5) {
+        let model = CostModel::new(devices()[di].clone());
+        let base = KernelDesc::memory("m", read, 0);
+        let bigger = KernelDesc::memory("m", read + extra, 0);
+        prop_assert!(model.kernel_time_us(&bigger) >= model.kernel_time_us(&base));
+    }
+
+    #[test]
+    fn overlap_full_never_slower_than_none(
+        macs in 1u64..1 << 33,
+        read in 1u64..1 << 30,
+        di in 0usize..5,
+    ) {
+        let model = CostModel::new(devices()[di].clone());
+        let over = KernelDesc::gemm("a", 2048, 128, 256, Precision::Fp16)
+            .with_macs(macs)
+            .with_traffic(read, read / 2)
+            .with_overlap(Overlap::Full);
+        let seq = over.clone().with_overlap(Overlap::None);
+        prop_assert!(model.kernel_time_us(&over) <= model.kernel_time_us(&seq) + 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded(
+        m in 1u64..1 << 20,
+        n in 1u64..512,
+        k in 1u64..1 << 14,
+        tile in tile_strategy(),
+        di in 0usize..5,
+        p in prop::sample::select(vec![Precision::Fp16, Precision::Tf32, Precision::Fp32]),
+    ) {
+        let u = gemm_utilization(m, n, k, tile, &devices()[di], p);
+        prop_assert!((0.0..=1.0).contains(&u), "u = {u}");
+    }
+
+    #[test]
+    fn traffic_is_monotone_in_every_dim(
+        m in 1u64..1 << 16,
+        n in 1u64..512,
+        k in 1u64..1 << 12,
+        tile in tile_strategy(),
+    ) {
+        let p = Precision::Fp16;
+        let (r0, w0) = gemm_dram_traffic(m, n, k, tile, p);
+        let (r1, w1) = gemm_dram_traffic(m + 64, n, k, tile, p);
+        prop_assert!(r1 >= r0 && w1 >= w0);
+        let (r2, w2) = gemm_dram_traffic(m, n + 16, k, tile, p);
+        prop_assert!(r2 >= r0 && w2 >= w0);
+        let (r3, w3) = gemm_dram_traffic(m, n, k + 32, tile, p);
+        prop_assert!(r3 >= r0 && w3 == w0);
+    }
+
+    #[test]
+    fn bandwidth_scaling_never_speeds_up_memory_kernels(
+        read in 1u64..1 << 30,
+        f in 0.1f64..1.0,
+        di in 0usize..5,
+    ) {
+        let d = devices()[di].clone();
+        let slow = CostModel::new(d.with_bandwidth_scale(f));
+        let fast = CostModel::new(d);
+        let k = KernelDesc::memory("m", read, read);
+        prop_assert!(slow.kernel_time_us(&k) >= fast.kernel_time_us(&k) - 1e-12);
+    }
+
+    #[test]
+    fn compute_scaling_never_speeds_up_gemms(
+        macs in 1u64..1 << 34,
+        f in 0.1f64..1.0,
+        di in 0usize..5,
+    ) {
+        let d = devices()[di].clone();
+        let slow = CostModel::new(d.with_compute_scale(f));
+        let fast = CostModel::new(d);
+        let k = KernelDesc::gemm("g", 8192, 256, 512, Precision::Fp16).with_macs(macs);
+        prop_assert!(slow.kernel_time_us(&k) >= fast.kernel_time_us(&k) - 1e-12);
+    }
+
+    #[test]
+    fn penalties_scale_whole_kernel(
+        macs in 1u64..1 << 32,
+        read in 1u64..1 << 28,
+        addr in 1.0f64..2.0,
+        ctrl in 1.0f64..1.5,
+    ) {
+        let model = CostModel::new(Device::rtx3090());
+        let base = KernelDesc::gemm("g", 4096, 128, 512, Precision::Fp16)
+            .with_macs(macs)
+            .with_traffic(read, read / 4);
+        let pen = base.clone().with_addr_overhead(addr).with_ctrl_overhead(ctrl);
+        let t0 = model.kernel_time_us(&base) - model.device().launch_overhead_us;
+        let t1 = model.kernel_time_us(&pen) - model.device().launch_overhead_us;
+        prop_assert!((t1 / t0 - addr * ctrl).abs() < 1e-6, "ratio {} vs {}", t1 / t0, addr * ctrl);
+    }
+}

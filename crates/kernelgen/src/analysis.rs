@@ -1,0 +1,150 @@
+//! Maps source structure to performance-penalty factors.
+//!
+//! The cost model in `ts-gpusim` multiplies a kernel's compute time by an
+//! addressing factor and a control-flow factor. Both are derived from the
+//! [`SourceStats`](crate::SourceStats) of the emitted kernel, calibrated
+//! against the paper's measured gaps: naive dynamic-shape kernels are
+//! 1.5–1.7x slower than fixed-shape ones (Figure 20), and unpadded
+//! boundary checks cost 1.14–1.35x (Figure 21).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{generate, KernelSpec, ShapeMode};
+
+/// Compute-time multipliers derived from a kernel's source structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenaltyFactors {
+    /// Multiplier from inner-loop address arithmetic (>= 1).
+    pub addr: f64,
+    /// Multiplier from inner-loop boundary checks (>= 1).
+    pub ctrl: f64,
+}
+
+impl PenaltyFactors {
+    /// Computes both factors for a spec.
+    pub fn for_spec(spec: &KernelSpec) -> Self {
+        Self { addr: addr_overhead_factor(spec), ctrl: ctrl_overhead_factor(spec) }
+    }
+
+    /// The combined multiplier.
+    pub fn combined(&self) -> f64 {
+        self.addr * self.ctrl
+    }
+}
+
+/// Cost in compute-time fraction of one un-hoisted address op executed
+/// every inner-loop iteration. Calibrated so six ops (div, mod, two mul,
+/// two add — the naive template) land in the paper's 1.5–1.7x band,
+/// modulated by `LD_A_THR` (more loads per thread amortise better).
+const ADDR_OP_COST: f64 = 0.115;
+
+/// Cost of one boundary-check branch per inner-loop iteration, modulated
+/// by `cta_m` (larger row tiles amortise the check over more work).
+/// Calibrated to the paper's 1.14–1.35x band.
+const BRANCH_COST_BASE: f64 = 18.0;
+
+/// Addressing-overhead multiplier for `spec` (Figure 20).
+///
+/// Fixed-shape kernels fold everything to constants (factor 1.0, with a
+/// small residual 1.01 from reduced register reuse relative to the
+/// hoisted pointer form — the paper observes hoisted dynamic kernels
+/// running slightly *faster* than fixed-shape ones on 5 of 7 workloads).
+pub fn addr_overhead_factor(spec: &KernelSpec) -> f64 {
+    let stats = generate(spec).stats;
+    match spec.shape_mode {
+        ShapeMode::Fixed => 1.01,
+        ShapeMode::Dynamic => {
+            if stats.inner_loop_addr_ops <= 1 {
+                1.0
+            } else {
+                // div/mod on an RF operand are the expensive ops; the
+                // amortisation improves with LD_A_THR but the paper's
+                // measured band is 1.5-1.7x for the 6-op naive template.
+                let amortise = 4.0 / stats.ld_a_thr as f64;
+                1.0 + ADDR_OP_COST * stats.inner_loop_addr_ops as f64 * (0.75 + 0.25 * amortise)
+            }
+        }
+    }
+}
+
+/// Control-flow-overhead multiplier for `spec` (Figure 21).
+pub fn ctrl_overhead_factor(spec: &KernelSpec) -> f64 {
+    let stats = generate(spec).stats;
+    if stats.inner_loop_branches == 0 {
+        return 1.0;
+    }
+    let cta_m = spec.tile.cta_m as f64;
+    (1.0 + BRANCH_COST_BASE / cta_m).clamp(1.1, 1.35)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratedDataflow;
+    use ts_gpusim::{Precision, TileShape};
+
+    fn base(tile: TileShape) -> KernelSpec {
+        KernelSpec::new(GeneratedDataflow::ImplicitGemm, tile, Precision::Fp16)
+    }
+
+    #[test]
+    fn optimised_kernel_pays_no_penalty() {
+        let f = PenaltyFactors::for_spec(&base(TileShape::large()));
+        assert_eq!(f.addr, 1.0);
+        assert_eq!(f.ctrl, 1.0);
+        assert_eq!(f.combined(), 1.0);
+    }
+
+    #[test]
+    fn naive_dynamic_lands_in_paper_band() {
+        // Paper: up to 1.7x for LD_A_THR=4, at least 1.5x overall.
+        for &k in &[32u32, 64] {
+            let spec = KernelSpec::naive_dynamic(
+                GeneratedDataflow::ImplicitGemm,
+                TileShape::new(128, 128, k),
+                Precision::Fp16,
+            );
+            let f = addr_overhead_factor(&spec);
+            assert!((1.45..=1.75).contains(&f), "cta_k={k}: addr factor {f}");
+        }
+    }
+
+    #[test]
+    fn unpadded_branch_cost_in_paper_band() {
+        for &m in &[32u32, 64, 128] {
+            let spec = base(TileShape::new(m, 64, 32)).with_padding(false);
+            let f = ctrl_overhead_factor(&spec);
+            assert!((1.1..=1.35).contains(&f), "cta_m={m}: ctrl factor {f}");
+        }
+    }
+
+    #[test]
+    fn smaller_cta_m_pays_more_for_branches() {
+        let small = ctrl_overhead_factor(&base(TileShape::new(32, 64, 32)).with_padding(false));
+        let large = ctrl_overhead_factor(&base(TileShape::new(128, 64, 32)).with_padding(false));
+        assert!(small > large);
+    }
+
+    #[test]
+    fn fixed_shape_slightly_slower_than_hoisted_dynamic() {
+        let fixed = addr_overhead_factor(&KernelSpec::fixed_shape(
+            GeneratedDataflow::ImplicitGemm,
+            TileShape::large(),
+            Precision::Fp16,
+        ));
+        let hoisted = addr_overhead_factor(&base(TileShape::large()));
+        assert!(fixed > hoisted);
+    }
+
+    #[test]
+    fn hoisting_alone_closes_most_of_the_gap() {
+        let naive = KernelSpec::naive_dynamic(
+            GeneratedDataflow::ImplicitGemm,
+            TileShape::large(),
+            Precision::Fp16,
+        );
+        let hoisted = naive.with_hoisting(true);
+        assert!(addr_overhead_factor(&naive) > 1.4);
+        assert_eq!(addr_overhead_factor(&hoisted), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Engineering-cost accounting: the "one-tenth of the engineering cost"
+//! claim.
+//!
+//! SpConv v2 re-implemented CUTLASS in a custom Python metaprogrammer of
+//! more than 40,000 lines. The Sparse Kernel Generator only hand-writes
+//! the fixed sparse-iterator template plus a TensorIR-style MMA template
+//! ("hundreds of lines"); everything else is emitted. We count the
+//! template source that would need to be hand-maintained.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{generate, GeneratedDataflow, KernelSpec};
+use ts_gpusim::{Precision, TileShape};
+
+/// Lines of code of the SpConv v2 metaprogrammer, as reported in the
+/// paper (Sections 1 and 2.3).
+pub const SPCONV_V2_METAPROGRAMMER_LOC: usize = 40_000;
+
+/// Engineering cost comparison between this generator and SpConv v2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineeringCost {
+    /// Hand-maintained template lines in this generator.
+    pub generator_loc: usize,
+    /// SpConv v2 metaprogrammer lines.
+    pub spconv_v2_loc: usize,
+}
+
+impl EngineeringCost {
+    /// Fraction of SpConv v2's engineering cost (paper: < 10 %, quoted
+    /// as "only 5 % of the lines of code" in Section 6.3).
+    pub fn fraction_of_spconv(&self) -> f64 {
+        self.generator_loc as f64 / self.spconv_v2_loc as f64
+    }
+}
+
+/// Counts the hand-maintained template lines: one emission of each
+/// dataflow's template (the red sparse iterators + gray scaffolding are
+/// the fixed hand-written part; the blue MMA body is compiler-emitted
+/// per tile, so it is counted once, not per tile size).
+pub fn generator_loc() -> EngineeringCost {
+    let mut loc = 0;
+    for dataflow in [GeneratedDataflow::ImplicitGemm, GeneratedDataflow::FetchOnDemand] {
+        let spec = KernelSpec::new(dataflow, TileShape::large(), Precision::Fp16);
+        loc += generate(&spec).stats.total_lines;
+        // The naive/hoisted/padded variants share the template; the
+        // transform passes themselves are ~100 lines each.
+        loc += 100;
+    }
+    // TensorIR-style MMA emission template.
+    loc += 150;
+    EngineeringCost { generator_loc: loc, spconv_v2_loc: SPCONV_V2_METAPROGRAMMER_LOC }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_under_a_tenth_of_spconv() {
+        let cost = generator_loc();
+        assert!(
+            cost.fraction_of_spconv() < 0.10,
+            "generator fraction = {:.3}",
+            cost.fraction_of_spconv()
+        );
+    }
+
+    #[test]
+    fn generator_is_hundreds_of_lines() {
+        let cost = generator_loc();
+        assert!(cost.generator_loc >= 200, "loc = {}", cost.generator_loc);
+        assert!(cost.generator_loc <= 2000, "loc = {}", cost.generator_loc);
+    }
+}

@@ -1,0 +1,160 @@
+//! Kernel generation requests.
+
+use serde::{Deserialize, Serialize};
+
+use ts_gpusim::{Precision, TileShape};
+
+/// Which overlapped dataflow the generator should emit.
+///
+/// Gather-GEMM-scatter needs no generated kernel (it calls vendor GEMM),
+/// so only the two fused dataflows appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GeneratedDataflow {
+    /// Output-stationary implicit GEMM (Figure 5 of the paper).
+    ImplicitGemm,
+    /// Block-fused fetch-on-demand (Section 2.2.2).
+    FetchOnDemand,
+}
+
+impl GeneratedDataflow {
+    /// Kernel-name fragment used in emitted source.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratedDataflow::ImplicitGemm => "implicit_gemm",
+            GeneratedDataflow::FetchOnDemand => "fetch_on_demand",
+        }
+    }
+}
+
+/// Whether workload shapes are compile-time constants or runtime values.
+///
+/// Point clouds have a different point count every frame, so deployable
+/// kernels must be [`ShapeMode::Dynamic`]; [`ShapeMode::Fixed`] exists to
+/// reproduce the idealized constant-folded experiment of Figure 8 and the
+/// gap studies of Figures 20–21.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeMode {
+    /// Shapes compiled in as constants (TVM/TensorRT style).
+    Fixed,
+    /// Shapes passed as kernel arguments.
+    Dynamic,
+}
+
+/// A complete kernel-generation request.
+///
+/// Defaults correspond to the shipped TorchSparse++ configuration:
+/// dynamic shapes with hoisting and padding both enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Dataflow to emit.
+    pub dataflow: GeneratedDataflow,
+    /// CTA tile sizes (the only tunable dimension, per Section 3.2).
+    pub tile: TileShape,
+    /// Execution precision.
+    pub precision: Precision,
+    /// Fixed or dynamic shape mode.
+    pub shape_mode: ShapeMode,
+    /// Hoist loop-invariant address arithmetic out of the inner loop.
+    pub hoist_invariants: bool,
+    /// Assume the map was padded to a multiple of `cta_m`, removing
+    /// boundary checks.
+    pub padded_map: bool,
+}
+
+impl KernelSpec {
+    /// Creates the default (shipping) configuration for a dataflow, tile
+    /// and precision: dynamic shapes, hoisting and padding enabled.
+    pub fn new(dataflow: GeneratedDataflow, tile: TileShape, precision: Precision) -> Self {
+        Self {
+            dataflow,
+            tile,
+            precision,
+            shape_mode: ShapeMode::Dynamic,
+            hoist_invariants: true,
+            padded_map: true,
+        }
+    }
+
+    /// The naive dynamic-shape port of a fixed-shape kernel: constants
+    /// unfolded, nothing hoisted, boundary checks everywhere. This is the
+    /// starting point of the Figure 20/21 ablations.
+    pub fn naive_dynamic(dataflow: GeneratedDataflow, tile: TileShape, precision: Precision) -> Self {
+        Self {
+            dataflow,
+            tile,
+            precision,
+            shape_mode: ShapeMode::Dynamic,
+            hoist_invariants: false,
+            padded_map: false,
+        }
+    }
+
+    /// The idealized constant-folded kernel of Figure 8 (not deployable:
+    /// requires compiling one kernel per workload shape).
+    pub fn fixed_shape(dataflow: GeneratedDataflow, tile: TileShape, precision: Precision) -> Self {
+        Self {
+            dataflow,
+            tile,
+            precision,
+            shape_mode: ShapeMode::Fixed,
+            hoist_invariants: true,
+            padded_map: true,
+        }
+    }
+
+    /// Returns a copy with hoisting toggled.
+    pub fn with_hoisting(mut self, on: bool) -> Self {
+        self.hoist_invariants = on;
+        self
+    }
+
+    /// Returns a copy with map padding toggled.
+    pub fn with_padding(mut self, on: bool) -> Self {
+        self.padded_map = on;
+        self
+    }
+
+    /// Returns a copy with a different tile.
+    pub fn with_tile(mut self, tile: TileShape) -> Self {
+        self.tile = tile;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_fully_optimised() {
+        let s = KernelSpec::new(GeneratedDataflow::ImplicitGemm, TileShape::large(), Precision::Fp16);
+        assert!(s.hoist_invariants);
+        assert!(s.padded_map);
+        assert_eq!(s.shape_mode, ShapeMode::Dynamic);
+    }
+
+    #[test]
+    fn naive_dynamic_disables_optimisations() {
+        let s =
+            KernelSpec::naive_dynamic(GeneratedDataflow::ImplicitGemm, TileShape::large(), Precision::Fp16);
+        assert!(!s.hoist_invariants);
+        assert!(!s.padded_map);
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let s = KernelSpec::new(GeneratedDataflow::FetchOnDemand, TileShape::small(), Precision::Fp32)
+            .with_hoisting(false)
+            .with_padding(false);
+        assert!(!s.hoist_invariants);
+        assert!(!s.padded_map);
+    }
+
+    #[test]
+    fn dataflow_names_differ() {
+        assert_ne!(
+            GeneratedDataflow::ImplicitGemm.name(),
+            GeneratedDataflow::FetchOnDemand.name()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! TensorIR-style emission of the on-chip MMA subroutine — the "blue"
+//! part of Figure 7.
+//!
+//! The paper's generator hand-writes one TensorIR template whose
+//! scheduled output (for each tile size) becomes the on-chip MMA
+//! subroutine of the CUDA kernel. This module emits that template as a
+//! TVM-script-like text block, parameterised by tile sizes only —
+//! demonstrating the paper's point that the *entire* compiler-facing
+//! surface is a few dozen lines.
+
+use serde::{Deserialize, Serialize};
+
+use ts_gpusim::{Precision, TileShape};
+
+/// An emitted TensorIR-style schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorIrTemplate {
+    /// The TVM-script-like source text.
+    pub script: String,
+    /// Number of MMA intrinsic tensorizations in the schedule.
+    pub mma_tensorizations: usize,
+    /// Warp-level tile grid (warps_m, warps_n).
+    pub warp_grid: (u32, u32),
+}
+
+/// Warp tile constants of the emitted schedule (one tensor-core MMA
+/// fragment per step).
+const WARP_M: u32 = 16;
+const WARP_N: u32 = 16;
+const MMA_K: u32 = 16;
+
+/// Emits the TensorIR matmul template scheduled for `tile` at
+/// `precision`.
+///
+/// The schedule follows the standard tensorized GEMM recipe: block the
+/// output space by the CTA tile, stage operands through shared memory
+/// with double buffering, split the warp grid, and tensorize the inner
+/// 16x16x16 block to the `mma_sync` intrinsic.
+pub fn emit_tensorir(tile: TileShape, precision: Precision) -> TensorIrTemplate {
+    let warps_m = (tile.cta_m / WARP_M).max(1);
+    let warps_n = (tile.cta_n / WARP_N).max(1);
+    let k_steps = (tile.cta_k / MMA_K).max(1);
+    let dtype = match precision {
+        Precision::Fp16 => "float16",
+        Precision::Tf32 => "tfloat32",
+        Precision::Fp32 => "float32",
+    };
+
+    let mut s = String::new();
+    let mut push = |line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    push("# TensorIR template (blue part of Figure 7); only tile sizes vary.");
+    push("@T.prim_func");
+    push(&format!(
+        "def mma_subroutine(A: T.Buffer(({}, {}), \"{dtype}\"),",
+        tile.cta_m, tile.cta_k
+    ));
+    push(&format!(
+        "                   B: T.Buffer(({}, {}), \"{dtype}\"),",
+        tile.cta_k, tile.cta_n
+    ));
+    push(&format!(
+        "                   C: T.Buffer(({}, {}), \"float32\")):",
+        tile.cta_m, tile.cta_n
+    ));
+    push("    # schedule: shared-memory staging with double buffering");
+    push(&format!("    A_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")", tile.cta_m, tile.cta_k));
+    push(&format!("    B_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")", tile.cta_k, tile.cta_n));
+    push(&format!("    for wm in T.thread_binding({warps_m}, thread=\"threadIdx.y\"):"));
+    push(&format!("        for wn in T.thread_binding({warps_n}, thread=\"threadIdx.z\"):"));
+    push(&format!("            for kk in T.serial({k_steps}):"));
+    push("                with T.block(\"mma\"):");
+    push(&format!(
+        "                    T.reads(A_sh[wm * {WARP_M}, kk * {MMA_K}], B_sh[kk * {MMA_K}, wn * {WARP_N}])"
+    ));
+    push(&format!("                    T.writes(C[wm * {WARP_M}, wn * {WARP_N}])"));
+    push(&format!(
+        "                    T.tensorize(mma_sync_m{WARP_M}n{WARP_N}k{MMA_K}_{dtype})"
+    ));
+
+    TensorIrTemplate {
+        script: s,
+        mma_tensorizations: (warps_m * warps_n * k_steps) as usize,
+        warp_grid: (warps_m, warps_n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_parameterises_by_tile_only() {
+        let a = emit_tensorir(TileShape::new(128, 128, 32), Precision::Fp16);
+        let b = emit_tensorir(TileShape::new(64, 64, 32), Precision::Fp16);
+        assert_ne!(a.script, b.script);
+        // Same structure: identical line count, only constants differ.
+        assert_eq!(a.script.lines().count(), b.script.lines().count());
+    }
+
+    #[test]
+    fn warp_grid_matches_tile() {
+        let t = emit_tensorir(TileShape::new(128, 64, 32), Precision::Fp16);
+        assert_eq!(t.warp_grid, (8, 4));
+        assert_eq!(t.mma_tensorizations, 8 * 4 * 2);
+    }
+
+    #[test]
+    fn precision_selects_dtype() {
+        let f16 = emit_tensorir(TileShape::large(), Precision::Fp16);
+        assert!(f16.script.contains("float16"));
+        let tf32 = emit_tensorir(TileShape::large(), Precision::Tf32);
+        assert!(tf32.script.contains("tfloat32"));
+    }
+
+    #[test]
+    fn template_stays_tiny() {
+        // The paper's engineering-cost claim: "hundreds of lines" total;
+        // the compiler-facing template itself is a few dozen.
+        let t = emit_tensorir(TileShape::large(), Precision::Fp16);
+        assert!(t.script.lines().count() < 40);
+        assert!(t.script.contains("T.tensorize"));
+    }
+}

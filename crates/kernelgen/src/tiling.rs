@@ -1,0 +1,91 @@
+//! Tile-size selection policies, including the adaptive tiling of
+//! Section 6.2 ("up to 1.6x speedup over fixed tiling").
+
+use serde::{Deserialize, Serialize};
+
+use ts_gpusim::{best_tile_for, Device, Precision, TileShape};
+
+/// MAC threshold above which the adaptive policy switches to the large
+/// tile set (the paper keys its two tile sets on "the MACs of the
+/// workload").
+pub const ADAPTIVE_MAC_THRESHOLD: u64 = 1 << 31;
+
+/// How a layer picks its CTA tile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TilePolicy {
+    /// Always use one tile (the fixed-tiling ablation baselines).
+    Fixed(TileShape),
+    /// Pick between the small and large tile sets by workload MACs
+    /// (the shipping TorchSparse++ behaviour).
+    #[default]
+    Adaptive,
+    /// Exhaustively search the full tile space per shape (the idealized
+    /// Figure 8 experiment; too slow to deploy, used by benchmarks).
+    Searched,
+}
+
+impl TilePolicy {
+    /// Resolves the tile for a GEMM of logical shape `m x n x k`.
+    pub fn tile_for(&self, m: u64, n: u64, k: u64, device: &Device, precision: Precision) -> TileShape {
+        match *self {
+            TilePolicy::Fixed(t) => t,
+            TilePolicy::Adaptive => adaptive_tile(m, n, k),
+            TilePolicy::Searched => best_tile_for(m, n, k, device, precision).0,
+        }
+    }
+}
+
+/// The two-set adaptive tile choice keyed on workload MACs.
+pub fn adaptive_tile(m: u64, n: u64, k: u64) -> TileShape {
+    let macs = m.saturating_mul(n).saturating_mul(k);
+    if macs >= ADAPTIVE_MAC_THRESHOLD && n >= 128 {
+        TileShape::large()
+    } else if macs >= ADAPTIVE_MAC_THRESHOLD {
+        TileShape::new(128, 64, 32)
+    } else if n >= 64 {
+        TileShape::small()
+    } else {
+        TileShape::new(64, 32, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_uses_large_tiles_for_big_workloads() {
+        let t = adaptive_tile(1 << 18, 256, 1728);
+        assert_eq!(t, TileShape::large());
+    }
+
+    #[test]
+    fn adaptive_uses_small_tiles_for_small_workloads() {
+        let t = adaptive_tile(2000, 64, 576);
+        assert_eq!(t, TileShape::small());
+    }
+
+    #[test]
+    fn narrow_outputs_get_narrow_tiles() {
+        let t = adaptive_tile(2000, 32, 288);
+        assert!(t.cta_n <= 32);
+    }
+
+    #[test]
+    fn searched_policy_never_loses_to_fixed() {
+        let d = Device::rtx3090();
+        let p = Precision::Fp16;
+        for &(m, n, k) in &[(100_000u64, 256, 1728), (2000, 64, 576), (30_000, 128, 3456)] {
+            let searched = TilePolicy::Searched.tile_for(m, n, k, &d, p);
+            let fixed = TileShape::large();
+            let u_s = ts_gpusim::gemm_utilization(m, n, k, searched, &d, p);
+            let u_f = ts_gpusim::gemm_utilization(m, n, k, fixed, &d, p);
+            assert!(u_s >= u_f, "searched {u_s} < fixed {u_f} at ({m},{n},{k})");
+        }
+    }
+
+    #[test]
+    fn default_policy_is_adaptive() {
+        assert_eq!(TilePolicy::default(), TilePolicy::Adaptive);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the Sparse Kernel Generator across its whole
+//! specification space.
+
+use proptest::prelude::*;
+
+use ts_gpusim::{Precision, TileShape};
+use ts_kernelgen::{
+    addr_overhead_factor, ctrl_overhead_factor, emit_tensorir, generate, GeneratedDataflow,
+    KernelSpec, ShapeMode,
+};
+
+fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
+    (
+        prop::sample::select(vec![GeneratedDataflow::ImplicitGemm, GeneratedDataflow::FetchOnDemand]),
+        prop::sample::select(TileShape::search_space()),
+        prop::sample::select(vec![Precision::Fp16, Precision::Tf32, Precision::Fp32]),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(dataflow, tile, precision, hoist, pad, fixed)| KernelSpec {
+            dataflow,
+            tile,
+            precision,
+            shape_mode: if fixed { ShapeMode::Fixed } else { ShapeMode::Dynamic },
+            hoist_invariants: hoist,
+            padded_map: pad,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emission_is_deterministic_and_structured(spec in spec_strategy()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.source.contains("__global__"));
+        prop_assert!(a.source.ends_with("}\n"), "source must close the kernel body");
+        prop_assert_eq!(a.stats.total_lines, a.source.lines().count());
+    }
+
+    #[test]
+    fn penalties_are_bounded_and_consistent(spec in spec_strategy()) {
+        let addr = addr_overhead_factor(&spec);
+        let ctrl = ctrl_overhead_factor(&spec);
+        prop_assert!((1.0..=2.0).contains(&addr), "addr = {addr}");
+        prop_assert!((1.0..=1.35).contains(&ctrl), "ctrl = {ctrl}");
+        // Fully optimised dynamic kernels pay nothing.
+        if spec.shape_mode == ShapeMode::Dynamic && spec.hoist_invariants {
+            prop_assert_eq!(addr, 1.0);
+        }
+        if spec.padded_map || spec.shape_mode == ShapeMode::Fixed {
+            prop_assert_eq!(ctrl, 1.0);
+        }
+    }
+
+    #[test]
+    fn hoisting_and_padding_never_hurt(spec in spec_strategy()) {
+        let hoisted = spec.with_hoisting(true);
+        let unhoisted = spec.with_hoisting(false);
+        prop_assert!(addr_overhead_factor(&hoisted) <= addr_overhead_factor(&unhoisted));
+        let padded = spec.with_padding(true);
+        let unpadded = spec.with_padding(false);
+        prop_assert!(ctrl_overhead_factor(&padded) <= ctrl_overhead_factor(&unpadded));
+    }
+
+    #[test]
+    fn kernel_names_are_unique_per_spec_dimension(
+        tile_a in prop::sample::select(TileShape::search_space()),
+        tile_b in prop::sample::select(TileShape::search_space()),
+    ) {
+        let a = generate(&KernelSpec::new(GeneratedDataflow::ImplicitGemm, tile_a, Precision::Fp16));
+        let b = generate(&KernelSpec::new(GeneratedDataflow::ImplicitGemm, tile_b, Precision::Fp16));
+        if tile_a != tile_b {
+            prop_assert_ne!(a.source, b.source);
+        } else {
+            prop_assert_eq!(a.source, b.source);
+        }
+    }
+
+    #[test]
+    fn tensorir_tensorizations_match_tile_arithmetic(
+        tile in prop::sample::select(TileShape::search_space()),
+        p in prop::sample::select(vec![Precision::Fp16, Precision::Tf32, Precision::Fp32]),
+    ) {
+        let t = emit_tensorir(tile, p);
+        let (wm, wn) = t.warp_grid;
+        prop_assert_eq!(wm, (tile.cta_m / 16).max(1));
+        prop_assert_eq!(wn, (tile.cta_n / 16).max(1));
+        prop_assert_eq!(
+            t.mma_tensorizations as u32,
+            wm * wn * (tile.cta_k / 16).max(1)
+        );
+        prop_assert!(t.script.contains("T.tensorize"));
+    }
+}

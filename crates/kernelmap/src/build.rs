@@ -1,0 +1,238 @@
+//! Kernel-map builders for submanifold and strided sparse convolution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Coord, CoordHashMap, KernelMap, KernelOffsets};
+
+/// Instrumentation gathered while building a map, used by the layer
+/// runner to price mapping kernels on the simulated GPU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapStats {
+    /// Number of hash-table insertions performed.
+    pub inserts: u64,
+    /// Number of hash-table queries performed.
+    pub queries: u64,
+    /// Number of (input, output) pairs produced.
+    pub pairs: u64,
+}
+
+/// Deduplicates coordinates, preserving first occurrence order.
+///
+/// This is the `unique` step applied after coordinate quantization
+/// (Section 2 of the paper).
+pub fn unique_coords(coords: &[Coord]) -> Vec<Coord> {
+    let mut table = CoordHashMap::with_capacity(coords.len());
+    let mut out = Vec::new();
+    for &c in coords {
+        if table.insert(c.key(), out.len() as i32).is_none() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Downsamples coordinates by `stride` (floor division) and deduplicates.
+///
+/// Produces the output coordinate set of a strided sparse convolution.
+pub fn downsample_coords(coords: &[Coord], stride: i32) -> Vec<Coord> {
+    let scaled: Vec<Coord> = coords.iter().map(|c| c.downsample(stride)).collect();
+    unique_coords(&scaled)
+}
+
+/// Builds the kernel map of a *submanifold* convolution: outputs sit at
+/// exactly the input coordinates, and offset δ pairs `(p + δ, p)` when
+/// both coordinates exist.
+///
+/// # Examples
+///
+/// ```
+/// use ts_kernelmap::{build_submanifold_map, Coord, KernelOffsets};
+///
+/// let coords = vec![Coord::new(0, 0, 0, 0)];
+/// let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+/// // An isolated point only sees itself through the center offset.
+/// assert_eq!(map.total_pairs(), 1);
+/// ```
+pub fn build_submanifold_map(coords: &[Coord], offsets: &KernelOffsets) -> KernelMap {
+    build_submanifold_map_with_stats(coords, offsets).0
+}
+
+/// [`build_submanifold_map`] plus mapping-cost instrumentation.
+pub fn build_submanifold_map_with_stats(
+    coords: &[Coord],
+    offsets: &KernelOffsets,
+) -> (KernelMap, MapStats) {
+    let table = CoordHashMap::build(coords);
+    let mut pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); offsets.volume()];
+    let mut stats = MapStats { inserts: coords.len() as u64, ..MapStats::default() };
+    for (out_idx, &q) in coords.iter().enumerate() {
+        for (k, &delta) in offsets.deltas().iter().enumerate() {
+            stats.queries += 1;
+            if let Some(in_idx) = table.get(q.offset(delta).key()) {
+                pairs[k].push((in_idx as u32, out_idx as u32));
+            }
+        }
+    }
+    stats.pairs = pairs.iter().map(|p| p.len() as u64).sum();
+    (KernelMap::from_pairs(coords.len(), coords.len(), pairs), stats)
+}
+
+/// Builds the kernel map of a *strided* convolution: outputs are the
+/// deduplicated floor-divided input coordinates, and offset δ pairs
+/// `(s*q + δ, q)` for every input coordinate `s*q + δ` that exists.
+///
+/// Returns the map and the output coordinate set.
+pub fn build_strided_map(
+    coords: &[Coord],
+    offsets: &KernelOffsets,
+    stride: i32,
+) -> (KernelMap, Vec<Coord>) {
+    let (map, out, _) = build_strided_map_with_stats(coords, offsets, stride);
+    (map, out)
+}
+
+/// [`build_strided_map`] plus mapping-cost instrumentation.
+pub fn build_strided_map_with_stats(
+    coords: &[Coord],
+    offsets: &KernelOffsets,
+    stride: i32,
+) -> (KernelMap, Vec<Coord>, MapStats) {
+    let out_coords = downsample_coords(coords, stride);
+    let in_table = CoordHashMap::build(coords);
+    let mut pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); offsets.volume()];
+    let mut stats = MapStats {
+        inserts: (coords.len() + out_coords.len()) as u64,
+        ..MapStats::default()
+    };
+    for (out_idx, &q) in out_coords.iter().enumerate() {
+        let base = q.upscale(stride);
+        for (k, &delta) in offsets.deltas().iter().enumerate() {
+            stats.queries += 1;
+            if let Some(in_idx) = in_table.get(base.offset(delta).key()) {
+                pairs[k].push((in_idx as u32, out_idx as u32));
+            }
+        }
+    }
+    stats.pairs = pairs.iter().map(|p| p.len() as u64).sum();
+    let map = KernelMap::from_pairs(coords.len(), out_coords.len(), pairs);
+    (map, out_coords, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: i32) -> Vec<Coord> {
+        (0..n).map(|i| Coord::new(0, i, 0, 0)).collect()
+    }
+
+    #[test]
+    fn unique_preserves_first_occurrence() {
+        let coords = vec![
+            Coord::new(0, 1, 0, 0),
+            Coord::new(0, 2, 0, 0),
+            Coord::new(0, 1, 0, 0),
+        ];
+        let u = unique_coords(&coords);
+        assert_eq!(u, vec![Coord::new(0, 1, 0, 0), Coord::new(0, 2, 0, 0)]);
+    }
+
+    #[test]
+    fn downsample_merges_voxels() {
+        let coords = vec![
+            Coord::new(0, 0, 0, 0),
+            Coord::new(0, 1, 0, 0),
+            Coord::new(0, 2, 0, 0),
+            Coord::new(0, 3, 0, 0),
+        ];
+        let d = downsample_coords(&coords, 2);
+        assert_eq!(d, vec![Coord::new(0, 0, 0, 0), Coord::new(0, 1, 0, 0)]);
+    }
+
+    #[test]
+    fn submanifold_line_has_expected_pairs() {
+        // 5 colinear points, kernel 3: interior points have 3 neighbors
+        // along x, end points 2.
+        let map = build_submanifold_map(&line(5), &KernelOffsets::cube(3));
+        assert_eq!(map.n_in(), 5);
+        assert_eq!(map.n_out(), 5);
+        assert_eq!(map.total_pairs(), 3 * 3 + 2 * 2);
+    }
+
+    #[test]
+    fn submanifold_center_offset_is_identity() {
+        let coords = line(4);
+        let offsets = KernelOffsets::cube(3);
+        let map = build_submanifold_map(&coords, &offsets);
+        let center = offsets.center().unwrap();
+        let center_pairs = map.pairs(center);
+        assert_eq!(center_pairs.len(), 4);
+        assert!(center_pairs.iter().all(|&(i, o)| i == o));
+    }
+
+    #[test]
+    fn submanifold_map_pairs_are_symmetric() {
+        // If (p, q) in M_delta then (q, p) in M_{-delta}.
+        let coords: Vec<Coord> = (0..4)
+            .flat_map(|x| (0..3).map(move |y| Coord::new(0, x, y, 0)))
+            .collect();
+        let offsets = KernelOffsets::cube(3);
+        let map = build_submanifold_map(&coords, &offsets);
+        for k in 0..offsets.volume() {
+            let mirrored = offsets.mirror(k);
+            let mut fwd: Vec<_> = map.pairs(k).iter().map(|&(i, o)| (o, i)).collect();
+            let mut bwd: Vec<_> = map.pairs(mirrored).to_vec();
+            fwd.sort_unstable();
+            bwd.sort_unstable();
+            assert_eq!(fwd, bwd, "offset {k} vs {mirrored}");
+        }
+    }
+
+    #[test]
+    fn strided_map_covers_all_inputs_for_k2_s2() {
+        // With K=2 offsets {0,1}^3 and stride 2, every input p maps to
+        // exactly one output floor(p/2): the map partitions inputs.
+        let coords: Vec<Coord> = (0..4)
+            .flat_map(|x| {
+                (0..4).flat_map(move |y| (0..4).map(move |z| Coord::new(0, x, y, z)))
+            })
+            .collect();
+        let (map, out) = build_strided_map(&coords, &KernelOffsets::cube(2), 2);
+        assert_eq!(out.len(), 8);
+        assert_eq!(map.total_pairs(), coords.len() as u64);
+    }
+
+    #[test]
+    fn strided_map_k3_s2_overlaps() {
+        // K=3 stride 2: windows overlap, inputs can feed several outputs.
+        let coords = line(8);
+        let (map, out) = build_strided_map(&coords, &KernelOffsets::cube(3), 2);
+        assert_eq!(out.len(), 4);
+        assert!(map.total_pairs() > coords.len() as u64);
+    }
+
+    #[test]
+    fn stats_count_queries_and_pairs() {
+        let coords = line(5);
+        let offsets = KernelOffsets::cube(3);
+        let (map, stats) = build_submanifold_map_with_stats(&coords, &offsets);
+        assert_eq!(stats.inserts, 5);
+        assert_eq!(stats.queries, 5 * 27);
+        assert_eq!(stats.pairs, map.total_pairs());
+    }
+
+    #[test]
+    fn batch_isolation() {
+        // Points in different batches never pair.
+        let coords = vec![Coord::new(0, 0, 0, 0), Coord::new(1, 1, 0, 0)];
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        assert_eq!(map.total_pairs(), 2); // center offsets only
+    }
+
+    #[test]
+    fn empty_input_produces_empty_map() {
+        let map = build_submanifold_map(&[], &KernelOffsets::cube(3));
+        assert_eq!(map.n_out(), 0);
+        assert_eq!(map.total_pairs(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Open-addressing coordinate hash table.
+//!
+//! GPU sparse-conv libraries build a hash table from coordinate keys to
+//! row indices, then issue massively parallel neighbor queries against
+//! it. This is the CPU analog: linear probing over a power-of-two table
+//! with Fibonacci hashing, no tombstones (the table is insert-only, which
+//! matches how kernel maps are built).
+
+use crate::Coord;
+
+const EMPTY: u64 = u64::MAX;
+
+/// Insert-only hash map from packed coordinate keys to `i32` indices.
+///
+/// # Examples
+///
+/// ```
+/// use ts_kernelmap::{Coord, CoordHashMap};
+///
+/// let coords = vec![Coord::new(0, 1, 2, 3), Coord::new(0, 4, 5, 6)];
+/// let map = CoordHashMap::build(&coords);
+/// assert_eq!(map.get(coords[1].key()), Some(1));
+/// assert_eq!(map.get(Coord::new(0, 9, 9, 9).key()), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoordHashMap {
+    keys: Vec<u64>,
+    vals: Vec<i32>,
+    mask: usize,
+    len: usize,
+    probes: u64,
+}
+
+impl CoordHashMap {
+    /// Creates a table sized for `capacity` insertions (load factor 0.5).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
+        Self { keys: vec![EMPTY; slots], vals: vec![-1; slots], mask: slots - 1, len: 0, probes: 0 }
+    }
+
+    /// Builds a table mapping each coordinate's key to its index.
+    ///
+    /// Duplicate coordinates keep the *first* index (matching the unique
+    /// semantics of coordinate quantization).
+    pub fn build(coords: &[Coord]) -> Self {
+        let mut map = Self::with_capacity(coords.len());
+        for (i, c) in coords.iter().enumerate() {
+            map.insert(c.key(), i as i32);
+        }
+        map
+    }
+
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing spreads the packed coordinate bits.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    /// Inserts `key -> val`; returns the existing value if the key was
+    /// already present (and leaves it unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u64::MAX` (reserved sentinel) or the table is full.
+    pub fn insert(&mut self, key: u64, val: i32) -> Option<i32> {
+        assert_ne!(key, EMPTY, "key u64::MAX is reserved");
+        assert!(self.len < self.keys.len(), "hash table is full");
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                self.len += 1;
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<i32> {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == EMPTY {
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `key` while counting probe steps (used by mapping-cost
+    /// instrumentation).
+    pub fn get_counting(&mut self, key: u64) -> Option<i32> {
+        let mut slot = self.slot_of(key);
+        loop {
+            self.probes += 1;
+            if self.keys[slot] == EMPTY {
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots allocated.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Probe count accumulated by [`Self::get_counting`].
+    pub fn probe_count(&self) -> u64 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = CoordHashMap::with_capacity(4);
+        assert_eq!(m.insert(10, 1), None);
+        assert_eq!(m.insert(20, 2), None);
+        assert_eq!(m.get(10), Some(1));
+        assert_eq!(m.get(20), Some(2));
+        assert_eq!(m.get(30), None);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let mut m = CoordHashMap::with_capacity(4);
+        m.insert(10, 1);
+        assert_eq!(m.insert(10, 99), Some(1));
+        assert_eq!(m.get(10), Some(1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn build_from_coords() {
+        let coords: Vec<Coord> = (0..100).map(|i| Coord::new(0, i, 2 * i, -i)).collect();
+        let m = CoordHashMap::build(&coords);
+        assert_eq!(m.len(), 100);
+        for (i, c) in coords.iter().enumerate() {
+            assert_eq!(m.get(c.key()), Some(i as i32));
+        }
+    }
+
+    #[test]
+    fn survives_heavy_collisions() {
+        // Sequential keys stress linear probing.
+        let mut m = CoordHashMap::with_capacity(1000);
+        for k in 0..1000u64 {
+            m.insert(k, k as i32);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k), Some(k as i32));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn counting_get_accumulates_probes() {
+        let coords: Vec<Coord> = (0..32).map(|i| Coord::new(0, i, 0, 0)).collect();
+        let mut m = CoordHashMap::build(&coords);
+        assert_eq!(m.probe_count(), 0);
+        m.get_counting(coords[0].key());
+        assert!(m.probe_count() >= 1);
+    }
+
+    #[test]
+    fn capacity_is_power_of_two_and_roomy() {
+        let m = CoordHashMap::with_capacity(100);
+        assert!(m.capacity() >= 200);
+        assert!(m.capacity().is_power_of_two());
+    }
+}

@@ -1,0 +1,148 @@
+//! The convolution neighborhood Δ³(K).
+
+use serde::{Deserialize, Serialize};
+
+/// The set of kernel offsets Δ³(K) with a stable ordering.
+///
+/// For odd `K` the offsets are centered (`Δ³(3) = {-1,0,1}³`); for even
+/// `K` they cover `{0..K}³` (the convention for stride-2 downsampling
+/// convolutions with K=2, as used by MinkUNet).
+///
+/// # Examples
+///
+/// ```
+/// use ts_kernelmap::KernelOffsets;
+///
+/// let o = KernelOffsets::cube(3);
+/// assert_eq!(o.volume(), 27);
+/// assert_eq!(o.delta(13), (0, 0, 0)); // the center offset
+/// assert_eq!(o.mirror(0), 26);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelOffsets {
+    kernel_size: u32,
+    deltas: Vec<(i32, i32, i32)>,
+}
+
+impl KernelOffsets {
+    /// Creates the cubic neighborhood of size `k` per axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn cube(k: u32) -> Self {
+        assert!(k > 0, "kernel size must be positive");
+        let range: Vec<i32> = if k % 2 == 1 {
+            let h = (k / 2) as i32;
+            (-h..=h).collect()
+        } else {
+            (0..k as i32).collect()
+        };
+        let mut deltas = Vec::with_capacity((k * k * k) as usize);
+        for &x in &range {
+            for &y in &range {
+                for &z in &range {
+                    deltas.push((x, y, z));
+                }
+            }
+        }
+        Self { kernel_size: k, deltas }
+    }
+
+    /// A degenerate 1x1x1 neighborhood (pointwise convolution).
+    pub fn pointwise() -> Self {
+        Self::cube(1)
+    }
+
+    /// Kernel size per axis.
+    pub fn kernel_size(&self) -> u32 {
+        self.kernel_size
+    }
+
+    /// Number of offsets `K³`.
+    pub fn volume(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The `i`-th offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= volume()`.
+    pub fn delta(&self, i: usize) -> (i32, i32, i32) {
+        self.deltas[i]
+    }
+
+    /// All offsets in order.
+    pub fn deltas(&self) -> &[(i32, i32, i32)] {
+        &self.deltas
+    }
+
+    /// Index of the offset `-delta(i)` (only meaningful for odd kernel
+    /// sizes, where the neighborhood is symmetric).
+    ///
+    /// The ordering is lexicographic over a symmetric range, so mirroring
+    /// is index reversal.
+    pub fn mirror(&self, i: usize) -> usize {
+        debug_assert!(self.kernel_size % 2 == 1, "mirror requires an odd kernel");
+        self.volume() - 1 - i
+    }
+
+    /// Index of the central (0,0,0) offset, when present.
+    pub fn center(&self) -> Option<usize> {
+        self.deltas.iter().position(|&d| d == (0, 0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_cube_is_centered() {
+        let o = KernelOffsets::cube(3);
+        assert_eq!(o.volume(), 27);
+        assert!(o.deltas().contains(&(-1, -1, -1)));
+        assert!(o.deltas().contains(&(1, 1, 1)));
+        assert_eq!(o.center(), Some(13));
+    }
+
+    #[test]
+    fn even_cube_is_positive() {
+        let o = KernelOffsets::cube(2);
+        assert_eq!(o.volume(), 8);
+        assert!(o.deltas().iter().all(|&(x, y, z)| x >= 0 && y >= 0 && z >= 0));
+        assert_eq!(o.center(), Some(0));
+    }
+
+    #[test]
+    fn mirror_negates_odd_offsets() {
+        let o = KernelOffsets::cube(3);
+        for i in 0..o.volume() {
+            let (x, y, z) = o.delta(i);
+            assert_eq!(o.delta(o.mirror(i)), (-x, -y, -z));
+        }
+    }
+
+    #[test]
+    fn mirror_of_mirror_is_identity() {
+        let o = KernelOffsets::cube(5);
+        for i in 0..o.volume() {
+            assert_eq!(o.mirror(o.mirror(i)), i);
+        }
+    }
+
+    #[test]
+    fn pointwise_has_single_offset() {
+        let o = KernelOffsets::pointwise();
+        assert_eq!(o.volume(), 1);
+        assert_eq!(o.delta(0), (0, 0, 0));
+    }
+
+    #[test]
+    fn offsets_are_unique() {
+        let o = KernelOffsets::cube(5);
+        let set: std::collections::HashSet<_> = o.deltas().iter().collect();
+        assert_eq!(set.len(), o.volume());
+    }
+}

@@ -1,0 +1,391 @@
+//! Bitmask sorting, mask splits and redundant-computation accounting.
+//!
+//! Implicit GEMM executes warps in lockstep: whenever *any* row in a warp
+//! has a neighbor at offset k, all rows spend the cycles (Figure 5 of the
+//! paper). SpConv v2 reduces this waste by argsorting rows by bitmask
+//! (Figure 6); TorchSparse++ generalises to an arbitrary number of *mask
+//! splits* (Figure 10): the offset axis is partitioned into `s` ranges,
+//! each range is sorted independently and computed as its own (more
+//! parallel) GEMM whose partial sums are reduced at the end.
+
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+use crate::KernelMap;
+
+/// Number of rows that execute in lockstep for redundancy accounting:
+/// one warp's worth of output rows. Whenever any of them has a neighbor
+/// at offset k, the whole warp spends the cycles (Figure 5 of the paper
+/// illustrates the effect with 4 rows; real kernels skip at warp
+/// granularity).
+pub const LOCKSTEP_ROWS: usize = 16;
+
+/// Rounds `n` up to a multiple of `m` (the map padding of Section 3.2
+/// that eliminates boundary checks).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn pad_to_multiple(n: usize, m: usize) -> usize {
+    assert!(m > 0, "padding multiple must be positive");
+    n.div_ceil(m) * m
+}
+
+/// Argsorts row indices `0..bitmasks.len()` by the bitmask bits within
+/// offset range `[k_begin, k_end)`, using the paper's convention: the
+/// sub-bitmask is read as a number with the *first* offset as the most
+/// significant bit, and rows are sorted ascending (Figure 6: the row with
+/// bitmask value 17 computes first). The sort is stable so equal masks
+/// keep their spatial locality.
+pub fn argsort_by_bitmask(bitmasks: &[u32], k_begin: usize, k_end: usize) -> Vec<u32> {
+    let key = |m: u32| -> u32 {
+        let mut v = 0;
+        for k in k_begin..k_end {
+            v = (v << 1) | ((m >> k) & 1);
+        }
+        v
+    };
+    let mut order: Vec<u32> = (0..bitmasks.len() as u32).collect();
+    order.sort_by_key(|&r| key(bitmasks[r as usize]));
+    order
+}
+
+/// One contiguous offset range of a split plan, with its row ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitRange {
+    /// First offset index (inclusive).
+    pub k_begin: usize,
+    /// Last offset index (exclusive).
+    pub k_end: usize,
+    /// Row computation order (indices into the output dimension).
+    pub order: Vec<u32>,
+}
+
+impl SplitRange {
+    /// Number of offsets in this range.
+    pub fn width(&self) -> usize {
+        self.k_end - self.k_begin
+    }
+}
+
+/// A complete mask-split execution plan for implicit GEMM.
+///
+/// `split_count` uses the paper's encoding: `0` = unsorted single range
+/// (Figure 5), `1` = sorted single range (Figure 6, SpConv v2 default),
+/// `s >= 2` = `s` independently sorted ranges (Figure 10).
+///
+/// # Examples
+///
+/// ```
+/// use ts_kernelmap::{KernelMap, SplitPlan};
+///
+/// let map = KernelMap::from_pairs(2, 2, vec![vec![(0, 0)], vec![(1, 1)], vec![]]);
+/// let unsorted = SplitPlan::from_split_count(&map, 0);
+/// assert_eq!(unsorted.ranges().len(), 1);
+/// let two = SplitPlan::from_split_count(&map, 2);
+/// assert_eq!(two.ranges().len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitPlan {
+    split_count: u32,
+    sorted: bool,
+    ranges: Vec<SplitRange>,
+    #[serde(skip)]
+    unit_counts: OnceLock<Vec<MacCounts>>,
+}
+
+impl PartialEq for SplitPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.split_count == other.split_count
+            && self.sorted == other.sorted
+            && self.ranges == other.ranges
+    }
+}
+
+impl SplitPlan {
+    /// Builds the plan for the paper's split encoding `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= 1` and the map has no output-stationary
+    /// representation (relational maps cannot be bitmask-sorted).
+    pub fn from_split_count(map: &KernelMap, s: u32) -> Self {
+        assert!(
+            s == 0 || map.has_dense_repr(),
+            "sorted implicit GEMM needs an output-stationary map"
+        );
+        let kvol = map.kernel_volume();
+        if s == 0 {
+            let order = (0..map.n_out() as u32).collect();
+            return Self {
+                split_count: 0,
+                sorted: false,
+                ranges: vec![SplitRange { k_begin: 0, k_end: kvol, order }],
+                unit_counts: OnceLock::new(),
+            };
+        }
+        let n_ranges = (s as usize).min(kvol.max(1));
+        let mut ranges = Vec::with_capacity(n_ranges);
+        let base = kvol / n_ranges;
+        let extra = kvol % n_ranges;
+        let mut k = 0;
+        for r in 0..n_ranges {
+            let width = base + usize::from(r < extra);
+            let (k_begin, k_end) = (k, k + width);
+            k = k_end;
+            let order = argsort_by_bitmask(map.bitmasks(), k_begin, k_end);
+            ranges.push(SplitRange { k_begin, k_end, order });
+        }
+        Self { split_count: s, sorted: true, ranges, unit_counts: OnceLock::new() }
+    }
+
+    /// Per-range MAC counts at unit channel size (`c_in = c_out = 1`),
+    /// computed once and cached (counts scale linearly with
+    /// `c_in * c_out`, so executors multiply instead of recounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `map` disagrees with the plan's shape.
+    pub fn unit_counts<'a>(&'a self, map: &KernelMap) -> &'a [MacCounts] {
+        self.unit_counts.get_or_init(|| {
+            self.ranges
+                .iter()
+                .map(|r| mac_counts_range(map, r, LOCKSTEP_ROWS, 1, 1))
+                .collect()
+        })
+    }
+
+    /// The paper's split encoding this plan was built with.
+    pub fn split_count(&self) -> u32 {
+        self.split_count
+    }
+
+    /// True when rows are bitmask-sorted (`split_count >= 1`).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// The offset ranges with their row orders.
+    pub fn ranges(&self) -> &[SplitRange] {
+        &self.ranges
+    }
+
+    /// Number of partial-sum buffers the executor needs (1 means the
+    /// output can be written directly).
+    pub fn partial_buffers(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Effective vs. executed MAC counts of an implicit GEMM under a split
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacCounts {
+    /// MACs that contribute to the output.
+    pub effective: u64,
+    /// MACs actually executed, including warp-lockstep waste.
+    pub total: u64,
+}
+
+impl MacCounts {
+    /// `total / effective`; 1.0 for an empty workload.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.effective == 0 {
+            1.0
+        } else {
+            self.total as f64 / self.effective as f64
+        }
+    }
+}
+
+/// Counts effective and executed MACs for `map` under `plan`, with
+/// `lockstep_rows` rows executing in lockstep and `c_in * c_out` MACs per
+/// (row, offset) slot.
+///
+/// This is the exact computation behind Figures 5, 6, 10 and 11 of the
+/// paper: a lockstep group executes offset `k` iff any of its rows has a
+/// neighbor there.
+pub fn mac_counts(
+    map: &KernelMap,
+    plan: &SplitPlan,
+    lockstep_rows: usize,
+    c_in: usize,
+    c_out: usize,
+) -> MacCounts {
+    let mut acc = MacCounts { effective: 0, total: 0 };
+    for range in plan.ranges() {
+        let c = mac_counts_range(map, range, lockstep_rows, c_in, c_out);
+        acc.effective += c.effective;
+        acc.total += c.total;
+    }
+    acc
+}
+
+/// [`mac_counts`] restricted to one [`SplitRange`] (one compute kernel).
+pub fn mac_counts_range(
+    map: &KernelMap,
+    range: &SplitRange,
+    lockstep_rows: usize,
+    c_in: usize,
+    c_out: usize,
+) -> MacCounts {
+    assert!(lockstep_rows > 0, "lockstep group must be non-empty");
+    let per_slot = (c_in * c_out) as u64;
+    let mut effective = 0u64;
+    let mut total = 0u64;
+    for group in range.order.chunks(lockstep_rows) {
+        for k in range.k_begin..range.k_end {
+            let active =
+                group.iter().filter(|&&r| map.neighbor(r as usize, k).is_some()).count() as u64;
+            if active > 0 {
+                effective += active;
+                // All lockstep lanes spend the cycles, including the
+                // padding lanes of a ragged final group.
+                total += lockstep_rows as u64;
+            }
+        }
+    }
+    MacCounts { effective: effective * per_slot, total: total * per_slot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 8-output example of paper Figures 5/6/10, reconstructed from
+    /// the decimal bitmask values in Figure 6a (x0=25, x1=58, x2=52,
+    /// x3=464, x4=17, x5=20, x6=272, x7=80; leftmost offset = MSB).
+    fn paper_example() -> KernelMap {
+        let rows: [[u8; 9]; 8] = [
+            [0, 0, 0, 0, 1, 1, 0, 0, 1],
+            [0, 0, 0, 1, 1, 1, 0, 1, 0],
+            [0, 0, 0, 1, 1, 0, 1, 0, 0],
+            [1, 1, 1, 0, 1, 0, 0, 0, 0],
+            [0, 0, 0, 0, 1, 0, 0, 0, 1],
+            [0, 0, 0, 0, 1, 0, 1, 0, 0],
+            [1, 0, 0, 0, 1, 0, 0, 0, 0],
+            [0, 0, 1, 0, 1, 0, 0, 0, 0],
+        ];
+        let mut pairs = vec![Vec::new(); 9];
+        for (o, row) in rows.iter().enumerate() {
+            for (k, &bit) in row.iter().enumerate() {
+                if bit == 1 {
+                    // Input index is irrelevant for MAC counting; use o.
+                    pairs[k].push((o as u32, o as u32));
+                }
+            }
+        }
+        KernelMap::from_pairs(8, 8, pairs)
+    }
+
+    #[test]
+    fn unsorted_redundancy_matches_paper_figure5() {
+        let map = paper_example();
+        let plan = SplitPlan::from_split_count(&map, 0);
+        let c = mac_counts(&map, &plan, 4, 1, 1);
+        // Paper: 22 effective MACs, 34 redundant => 56 executed.
+        assert_eq!(c.effective, 22);
+        assert_eq!(c.total, 56);
+    }
+
+    #[test]
+    fn sorting_reduces_redundancy_like_figure6() {
+        let map = paper_example();
+        let unsorted = mac_counts(&map, &SplitPlan::from_split_count(&map, 0), 4, 1, 1);
+        let sorted = mac_counts(&map, &SplitPlan::from_split_count(&map, 1), 4, 1, 1);
+        // Paper: redundant MACs drop from 34 to 26.
+        assert_eq!(unsorted.total - unsorted.effective, 34);
+        assert_eq!(sorted.total - sorted.effective, 26);
+        assert_eq!(sorted.effective, unsorted.effective);
+    }
+
+    #[test]
+    fn more_splits_do_not_increase_redundancy() {
+        let map = paper_example();
+        let mut prev = u64::MAX;
+        for s in 1..=4u32 {
+            let c = mac_counts(&map, &SplitPlan::from_split_count(&map, s), 4, 1, 1);
+            assert!(c.total <= prev, "splits={s} total={} prev={prev}", c.total);
+            prev = c.total;
+        }
+    }
+
+    #[test]
+    fn three_splits_match_paper_figure10() {
+        let map = paper_example();
+        let plan = SplitPlan::from_split_count(&map, 3);
+        let c = mac_counts(&map, &plan, 4, 1, 1);
+        // Paper: redundant computation drops to 22 effective + 22 waste = 44
+        // ("redundant computation is further reduced from 26 to 22").
+        assert_eq!(c.effective, 22);
+        assert_eq!(c.total - c.effective, 22);
+    }
+
+    #[test]
+    fn argsort_is_ascending_msb_first() {
+        let masks = vec![0b001, 0b111, 0b010, 0b110];
+        // Keys (offset 0 = MSB over range 0..3): 4, 7, 2, 3.
+        let order = argsort_by_bitmask(&masks, 0, 3);
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn argsort_respects_range() {
+        let masks = vec![0b100, 0b011];
+        // Only bit 2 considered: row 1 (bit clear) sorts first.
+        let order = argsort_by_bitmask(&masks, 2, 3);
+        assert_eq!(order[0], 1);
+        // Only bits 0..2: row 0 (no bits set) sorts first.
+        let order = argsort_by_bitmask(&masks, 0, 2);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn argsort_matches_paper_figure6_order() {
+        let map = paper_example();
+        let order = argsort_by_bitmask(map.bitmasks(), 0, 9);
+        // Paper Figure 6a ranks: x4 1st, x5 2nd, x0 3rd, x2 4th, x1 5th,
+        // x7 6th, x6 7th, x3 8th.
+        assert_eq!(order, vec![4, 5, 0, 2, 1, 7, 6, 3]);
+    }
+
+    #[test]
+    fn split_ranges_partition_offsets() {
+        let map = paper_example();
+        for s in 1..=5u32 {
+            let plan = SplitPlan::from_split_count(&map, s);
+            let mut covered = vec![false; map.kernel_volume()];
+            for r in plan.ranges() {
+                for k in r.k_begin..r.k_end {
+                    assert!(!covered[k], "offset {k} covered twice");
+                    covered[k] = true;
+                }
+                assert_eq!(r.order.len(), map.n_out());
+            }
+            assert!(covered.iter().all(|&c| c));
+        }
+    }
+
+    #[test]
+    fn split_zero_is_identity_order() {
+        let map = paper_example();
+        let plan = SplitPlan::from_split_count(&map, 0);
+        assert!(!plan.is_sorted());
+        assert_eq!(plan.ranges()[0].order, (0..8u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn padding_rounds_up() {
+        assert_eq!(pad_to_multiple(0, 128), 0);
+        assert_eq!(pad_to_multiple(1, 128), 128);
+        assert_eq!(pad_to_multiple(128, 128), 128);
+        assert_eq!(pad_to_multiple(129, 128), 256);
+    }
+
+    #[test]
+    fn overhead_ratio_of_empty_map_is_one() {
+        let c = MacCounts { effective: 0, total: 0 };
+        assert_eq!(c.overhead_ratio(), 1.0);
+    }
+}

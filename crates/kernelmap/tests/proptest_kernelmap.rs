@@ -1,0 +1,182 @@
+//! Property-based tests for coordinate hashing, kernel maps, and split
+//! plans.
+
+use proptest::prelude::*;
+
+use ts_kernelmap::{
+    argsort_by_bitmask, build_strided_map, build_submanifold_map, mac_counts, pad_to_multiple,
+    unique_coords, Coord, CoordHashMap, KernelMap, KernelOffsets, SplitPlan,
+};
+
+fn coord_strategy() -> impl Strategy<Value = Coord> {
+    (0..3i32, -60..60i32, -60..60i32, -20..20i32)
+        .prop_map(|(b, x, y, z)| Coord::new(b, x, y, z))
+}
+
+fn coords_strategy(max: usize) -> impl Strategy<Value = Vec<Coord>> {
+    prop::collection::vec(coord_strategy(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coord_key_round_trips(c in coord_strategy()) {
+        prop_assert_eq!(Coord::from_key(c.key()), c);
+    }
+
+    #[test]
+    fn hash_map_agrees_with_std_hashmap(coords in coords_strategy(300)) {
+        let table = CoordHashMap::build(&coords);
+        let mut model = std::collections::HashMap::new();
+        for (i, c) in coords.iter().enumerate() {
+            model.entry(c.key()).or_insert(i as i32);
+        }
+        for c in &coords {
+            prop_assert_eq!(table.get(c.key()), model.get(&c.key()).copied());
+        }
+        // Absent keys miss.
+        let absent = Coord::new(7, 999, 999, 999);
+        prop_assert_eq!(table.get(absent.key()), None);
+        prop_assert_eq!(table.len(), model.len());
+    }
+
+    #[test]
+    fn unique_preserves_set_and_order(coords in coords_strategy(300)) {
+        let u = unique_coords(&coords);
+        // No duplicates.
+        let set: std::collections::HashSet<_> = u.iter().map(|c| c.key()).collect();
+        prop_assert_eq!(set.len(), u.len());
+        // Same set as input.
+        let input_set: std::collections::HashSet<_> = coords.iter().map(|c| c.key()).collect();
+        prop_assert_eq!(set, input_set);
+        // First-occurrence order.
+        let mut seen = std::collections::HashSet::new();
+        let expected: Vec<Coord> = coords
+            .iter()
+            .filter(|c| seen.insert(c.key()))
+            .copied()
+            .collect();
+        prop_assert_eq!(u, expected);
+    }
+
+    #[test]
+    fn submanifold_map_is_symmetric_and_bounded(coords in coords_strategy(200)) {
+        let coords = unique_coords(&coords);
+        let offsets = KernelOffsets::cube(3);
+        let map = build_submanifold_map(&coords, &offsets);
+        // Self pairs exist for every point via the center offset.
+        let center = offsets.center().unwrap();
+        prop_assert_eq!(map.pairs(center).len(), coords.len());
+        // Pair count bounded by n * kvol.
+        prop_assert!(map.total_pairs() <= (coords.len() * 27) as u64);
+        // delta/-delta symmetry.
+        for k in 0..offsets.volume() {
+            prop_assert_eq!(map.pairs(k).len(), map.pairs(offsets.mirror(k)).len());
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(coords in coords_strategy(150)) {
+        let coords = unique_coords(&coords);
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let back = map.transposed().transposed();
+        prop_assert_eq!(back.all_pairs(), map.all_pairs());
+        prop_assert_eq!(map.transposed().total_pairs(), map.total_pairs());
+    }
+
+    #[test]
+    fn strided_map_partitions_k2_s2(coords in coords_strategy(200)) {
+        let coords = unique_coords(&coords);
+        let (map, out) = build_strided_map(&coords, &KernelOffsets::cube(2), 2);
+        // Every input appears exactly once (K=2/s=2 windows tile space).
+        prop_assert_eq!(map.total_pairs(), coords.len() as u64);
+        // Outputs are the unique downsampled coords.
+        let expected: std::collections::HashSet<_> =
+            coords.iter().map(|c| c.downsample(2).key()).collect();
+        prop_assert_eq!(out.len(), expected.len());
+    }
+
+    #[test]
+    fn split_plans_partition_offsets(coords in coords_strategy(150), s in 0u32..6) {
+        let coords = unique_coords(&coords);
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let plan = SplitPlan::from_split_count(&map, s);
+        let mut covered = vec![0u8; map.kernel_volume()];
+        for r in plan.ranges() {
+            prop_assert_eq!(r.order.len(), map.n_out());
+            // Order is a permutation.
+            let mut sorted: Vec<u32> = r.order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..map.n_out() as u32).collect::<Vec<_>>());
+            for k in r.k_begin..r.k_end {
+                covered[k] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn mac_counts_invariants(coords in coords_strategy(150), s in 0u32..5, lockstep in 1usize..33) {
+        let coords = unique_coords(&coords);
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let plan = SplitPlan::from_split_count(&map, s);
+        let c = mac_counts(&map, &plan, lockstep, 4, 8);
+        // Effective MACs are exactly pairs * c_in * c_out, independent of
+        // the plan or lockstep width.
+        prop_assert_eq!(c.effective, map.effective_macs(4, 8));
+        // Total >= effective, and bounded by full-density execution.
+        prop_assert!(c.total >= c.effective);
+        let dense_bound = (map.n_out() as u64 + lockstep as u64) * 27 * 4 * 8;
+        prop_assert!(c.total <= dense_bound);
+        // Lockstep of 1 has zero waste.
+        let exact = mac_counts(&map, &plan, 1, 4, 8);
+        prop_assert_eq!(exact.total, exact.effective);
+    }
+
+    #[test]
+    fn sorting_never_increases_waste(coords in coords_strategy(150)) {
+        let coords = unique_coords(&coords);
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        let unsorted = mac_counts(&map, &SplitPlan::from_split_count(&map, 0), 16, 1, 1);
+        let sorted = mac_counts(&map, &SplitPlan::from_split_count(&map, 1), 16, 1, 1);
+        prop_assert!(sorted.total <= unsorted.total,
+            "sorted {} > unsorted {}", sorted.total, unsorted.total);
+    }
+
+    #[test]
+    fn argsort_is_permutation_and_ordered(masks in prop::collection::vec(0u32..(1 << 27), 1..200)) {
+        let order = argsort_by_bitmask(&masks, 0, 27);
+        let mut sorted: Vec<u32> = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..masks.len() as u32).collect::<Vec<_>>());
+        // Keys (MSB-first read) are non-decreasing along the order.
+        let key = |m: u32| -> u32 {
+            let mut v = 0;
+            for k in 0..27 {
+                v = (v << 1) | ((m >> k) & 1);
+            }
+            v
+        };
+        for w in order.windows(2) {
+            prop_assert!(key(masks[w[0] as usize]) <= key(masks[w[1] as usize]));
+        }
+    }
+
+    #[test]
+    fn padding_properties(n in 0usize..100_000, m in 1usize..512) {
+        let p = pad_to_multiple(n, m);
+        prop_assert!(p >= n);
+        prop_assert!(p < n + m);
+        prop_assert_eq!(p % m, 0);
+    }
+
+    #[test]
+    fn relational_maps_reject_dense_paths(edges in prop::collection::vec((0u32..50, 0u32..50), 1..200)) {
+        let map = KernelMap::from_relational_pairs(50, 50, vec![edges.clone(), edges]);
+        prop_assert!(!map.has_dense_repr());
+        prop_assert!(map.has_multi_edges());
+        // Transpose keeps the sparse-only representation.
+        prop_assert!(!map.transposed().has_dense_repr());
+    }
+}

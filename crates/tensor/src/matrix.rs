@@ -1,0 +1,392 @@
+//! Row-major dense matrix and GEMM kernels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when matrix dimensions do not line up for an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixShapeError {
+    op: &'static str,
+    lhs: (usize, usize),
+    rhs: (usize, usize),
+}
+
+impl fmt::Display for MatrixShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: lhs is {}x{}, rhs is {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for MatrixShapeError {}
+
+/// A row-major dense `f32` matrix.
+///
+/// This is the feature-map and weight container used throughout the
+/// workspace. Rows usually index points (or output locations), columns
+/// index channels.
+///
+/// # Examples
+///
+/// ```
+/// use ts_tensor::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(1, 2)] = 5.0;
+/// assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a square identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "inconsistent row lengths");
+            data.extend_from_slice(row);
+        }
+        Self { rows: n_rows, cols: n_cols, data }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Largest absolute difference to `other`; `None` when shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f32> {
+        if self.shape() != other.shape() {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max),
+        )
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True when `other` has the same shape and all entries are within
+    /// `tol` in absolute-or-relative terms (whichever is looser).
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        self.data.iter().zip(other.data.iter()).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Computes `a * b`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    gemm_accumulate(a, b, &mut out);
+    out
+}
+
+/// Computes `out += a * b` (row-major, ikj loop order for locality).
+///
+/// # Panics
+///
+/// Panics if shapes do not line up.
+pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(out.shape(), (a.rows(), b.cols()), "gemm output shape mismatch");
+    let n = b.cols();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(k);
+            for j in 0..n {
+                out_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// Computes `a^T * b` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn leading dimension mismatch");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for (i, &ai) in a_row.iter().enumerate() {
+            if ai == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (j, &bj) in b_row.iter().enumerate() {
+                out_row[j] += ai * bj;
+            }
+        }
+    }
+    out
+}
+
+/// Computes `a * b^T` without materialising the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt inner dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, out_v) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a_row[k] * b_row[k];
+            }
+            *out_v = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = Matrix::zeros(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        m[(2, 1)] = 4.5;
+        assert_eq!(m[(2, 1)], 4.5);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 9.0]]);
+        assert_eq!(gemm(&a, &Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 3.0], &[1.0, 1.0, 1.0]]);
+        let expected = gemm(&a.transposed(), &b);
+        assert_eq!(gemm_tn(&a, &b), expected);
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        let expected = gemm(&a, &b.transposed());
+        assert_eq!(gemm_nt(&a, &b), expected);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a, Matrix::filled(2, 2, 1.5));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_error() {
+        let a = Matrix::filled(2, 2, 100.0);
+        let mut b = a.clone();
+        b[(0, 0)] = 100.0001;
+        assert!(a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn max_abs_diff_none_for_shape_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.max_abs_diff(&b).is_none());
+    }
+
+    #[test]
+    fn transposed_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = gemm(&a, &b);
+    }
+}

@@ -1,0 +1,177 @@
+//! Numerical precision descriptors.
+//!
+//! The simulated GPU prices compute throughput per precision; the
+//! functional path always runs in `f32` but can apply storage rounding to
+//! model FP16/TF32 quantisation error.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Data precision a kernel executes in.
+///
+/// Matches the three precisions evaluated in the paper (Figure 14):
+/// FP16 (tensor cores), TF32 (Ampere tensor cores) and FP32 (CUDA cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE half precision, executed on tensor cores where available.
+    Fp16,
+    /// NVIDIA TensorFloat-32 (19-bit mantissa truncation of FP32).
+    Tf32,
+    /// IEEE single precision on CUDA cores.
+    Fp32,
+}
+
+impl Precision {
+    /// All precisions in the order the paper reports them.
+    pub const ALL: [Precision; 3] = [Precision::Fp16, Precision::Tf32, Precision::Fp32];
+
+    /// Bytes per element when stored in DRAM.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Fp16 => 2,
+            Precision::Tf32 | Precision::Fp32 => 4,
+        }
+    }
+
+    /// Rounds `v` to the representable grid of this precision.
+    ///
+    /// FP16 performs a round-trip through IEEE binary16 (with overflow to
+    /// infinity clamped to the max finite half). TF32 truncates the
+    /// mantissa to 10 explicit bits. FP32 is the identity.
+    pub fn quantize(self, v: f32) -> f32 {
+        match self {
+            Precision::Fp32 => v,
+            Precision::Tf32 => {
+                // Zero out the 13 low mantissa bits (23 -> 10 explicit bits).
+                f32::from_bits(v.to_bits() & !0x1fff)
+            }
+            Precision::Fp16 => f16_round_trip(v),
+        }
+    }
+
+    /// Applies [`Self::quantize`] to every element of a slice.
+    pub fn quantize_slice(self, vs: &mut [f32]) {
+        if self == Precision::Fp32 {
+            return;
+        }
+        for v in vs {
+            *v = self.quantize(*v);
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Fp16 => write!(f, "FP16"),
+            Precision::Tf32 => write!(f, "TF32"),
+            Precision::Fp32 => write!(f, "FP32"),
+        }
+    }
+}
+
+/// Round-trips an `f32` through IEEE binary16 with round-to-nearest-even.
+fn f16_round_trip(v: f32) -> f32 {
+    let bits = v.to_bits();
+    let sign = bits >> 31;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN pass through.
+        return v;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow: clamp to max finite half (65504).
+        return if sign == 1 { -65504.0 } else { 65504.0 };
+    }
+    if unbiased < -24 {
+        return if sign == 1 { -0.0 } else { 0.0 };
+    }
+    if unbiased < -14 {
+        // Subnormal half: quantise to multiples of 2^-24.
+        let q = (v / 2f32.powi(-24)).round();
+        return q * 2f32.powi(-24);
+    }
+    // Normal half: keep 10 mantissa bits with round-to-nearest-even.
+    let shift = 13;
+    let halfway = 1u32 << (shift - 1);
+    let tie_to_even = (frac >> shift) & 1;
+    let rounded = frac + (halfway - 1) + tie_to_even;
+    let new_frac = rounded >> shift << shift;
+    if new_frac > 0x7f_ffff {
+        // Mantissa overflowed into the exponent.
+        return f32::from_bits((sign << 31) | (((exp + 1) as u32) << 23));
+    }
+    f32::from_bits((sign << 31) | ((exp as u32) << 23) | new_frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp32_is_identity() {
+        for v in [0.0, -1.5, 3.14159, 1e-30, 1e30] {
+            assert_eq!(Precision::Fp32.quantize(v), v);
+        }
+    }
+
+    #[test]
+    fn fp16_preserves_exact_halves() {
+        for v in [0.0f32, 1.0, -2.0, 0.5, 65504.0, 1024.0] {
+            assert_eq!(Precision::Fp16.quantize(v), v, "{v} should be exact in fp16");
+        }
+    }
+
+    #[test]
+    fn fp16_rounds_fine_values() {
+        let v = 1.0 + 1e-4; // below half-precision resolution near 1.0
+        let q = Precision::Fp16.quantize(v);
+        assert!((q - 1.0).abs() < 1e-3);
+        assert_ne!(q, v);
+    }
+
+    #[test]
+    fn fp16_clamps_overflow() {
+        assert_eq!(Precision::Fp16.quantize(1e6), 65504.0);
+        assert_eq!(Precision::Fp16.quantize(-1e6), -65504.0);
+    }
+
+    #[test]
+    fn fp16_flushes_tiny_values() {
+        assert_eq!(Precision::Fp16.quantize(1e-30), 0.0);
+    }
+
+    #[test]
+    fn tf32_truncates_mantissa() {
+        let v = 1.0 + 2f32.powi(-20);
+        assert_eq!(Precision::Tf32.quantize(v), 1.0);
+        let w = 1.0 + 2f32.powi(-9);
+        assert_eq!(Precision::Tf32.quantize(w), w);
+    }
+
+    #[test]
+    fn bytes_per_element() {
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Tf32.bytes(), 4);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn quantize_error_is_relative() {
+        for &v in &[0.1f32, 1.7, 123.456, 9999.0] {
+            let q = Precision::Fp16.quantize(v);
+            assert!((q - v).abs() / v < 1e-3, "v={v} q={q}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+        assert_eq!(Precision::Tf32.to_string(), "TF32");
+        assert_eq!(Precision::Fp32.to_string(), "FP32");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the dense matrix substrate.
+
+use proptest::prelude::*;
+
+use ts_tensor::{gemm, gemm_nt, gemm_tn, Matrix, Precision};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_identity_left_and_right((m, n, _) in dims(), seed in 0u64..1000) {
+        let a = ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(seed), m, n, -5.0, 5.0);
+        prop_assert!(gemm(&Matrix::identity(m), &a).approx_eq(&a, 1e-5));
+        prop_assert!(gemm(&a, &Matrix::identity(n)).approx_eq(&a, 1e-5));
+    }
+
+    #[test]
+    fn gemm_distributes_over_addition((m, k, n) in dims(), s1 in 0u64..100, s2 in 100u64..200, s3 in 200u64..300) {
+        let mut rng = ts_tensor::rng_from_seed(s1);
+        let a = ts_tensor::uniform_matrix(&mut rng, m, k, -3.0, 3.0);
+        let mut rng = ts_tensor::rng_from_seed(s2);
+        let b1 = ts_tensor::uniform_matrix(&mut rng, k, n, -3.0, 3.0);
+        let mut rng = ts_tensor::rng_from_seed(s3);
+        let b2 = ts_tensor::uniform_matrix(&mut rng, k, n, -3.0, 3.0);
+
+        let mut b_sum = b1.clone();
+        b_sum.add_assign(&b2);
+        let lhs = gemm(&a, &b_sum);
+        let mut rhs = gemm(&a, &b1);
+        rhs.add_assign(&gemm(&a, &b2));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn transpose_variants_agree((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = ts_tensor::rng_from_seed(seed);
+        let a = ts_tensor::uniform_matrix(&mut rng, m, k, -3.0, 3.0);
+        let b = ts_tensor::uniform_matrix(&mut rng, k, n, -3.0, 3.0);
+
+        // gemm_tn(a^T stored as a) == gemm(a^T, b)
+        let tn = gemm_tn(&a, &ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(seed + 1), m, n, -3.0, 3.0));
+        let a_t = a.transposed();
+        let tn_ref = gemm(&a_t, &ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(seed + 1), m, n, -3.0, 3.0));
+        prop_assert!(tn.approx_eq(&tn_ref, 1e-4));
+
+        // gemm_nt(a, b^T stored as b2) == gemm(a, b2^T)
+        let b2 = b.transposed(); // n x k
+        let nt = gemm_nt(&a, &b2);
+        let nt_ref = gemm(&a, &b2.transposed());
+        prop_assert!(nt.approx_eq(&nt_ref, 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n, _) in dims(), seed in 0u64..1000) {
+        let a = ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(seed), m, n, -5.0, 5.0);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn quantization_is_idempotent(v in -70000.0f32..70000.0, p in prop::sample::select(vec![Precision::Fp16, Precision::Tf32, Precision::Fp32])) {
+        let once = p.quantize(v);
+        let twice = p.quantize(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn fp16_error_is_bounded(v in -60000.0f32..60000.0) {
+        let q = Precision::Fp16.quantize(v);
+        if v.abs() > 1e-3 {
+            // Relative error below 2^-10 for normal halfs.
+            prop_assert!((q - v).abs() / v.abs() < 1.0 / 1024.0 + 1e-6, "v={v} q={q}");
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_triangle(m in 1usize..8, n in 1usize..8, s1 in 0u64..100, s2 in 100u64..200) {
+        let a = ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(s1), m, n, -5.0, 5.0);
+        let b = ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(s2), m, n, -5.0, 5.0);
+        let mut sum = a.clone();
+        sum.add_assign(&b);
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-4);
+    }
+
+    #[test]
+    fn scale_scales_norm(m in 1usize..8, n in 1usize..8, s in 0u64..100, f in -4.0f32..4.0) {
+        let mut a = ts_tensor::uniform_matrix(&mut ts_tensor::rng_from_seed(s), m, n, -5.0, 5.0);
+        let before = a.frobenius_norm();
+        a.scale(f);
+        prop_assert!((a.frobenius_norm() - f.abs() * before).abs() < 1e-3 * (1.0 + before));
+    }
+}

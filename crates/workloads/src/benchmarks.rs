@@ -1,0 +1,218 @@
+//! The seven evaluation workloads of the paper (Section 5.1).
+
+use serde::{Deserialize, Serialize};
+
+use ts_core::{Network, SparseTensor};
+
+use crate::{models, LidarConfig, LidarScene};
+
+/// Task family of a workload (Figure 11 and the split-count analysis
+/// treat segmentation and detection differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// LiDAR semantic segmentation (MinkUNet).
+    Segmentation,
+    /// 3D object detection (CenterPoint; only SparseConv layers timed).
+    Detection,
+}
+
+/// One of the paper's seven benchmark workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// MinkUNet 0.5x width on SemanticKITTI (SK-M 0.5x).
+    SemanticKittiMinkUNet05,
+    /// MinkUNet 1x width on SemanticKITTI (SK-M 1x).
+    SemanticKittiMinkUNet10,
+    /// MinkUNet, 1 frame, on nuScenes-LiDARSeg (NS-M 1f).
+    NuScenesMinkUNet1f,
+    /// MinkUNet, 3 frames, on nuScenes-LiDARSeg (NS-M 3f).
+    NuScenesMinkUNet3f,
+    /// CenterPoint, 10 frames, on nuScenes detection (NS-C 10f).
+    NuScenesCenterPoint10f,
+    /// CenterPoint, 1 frame, on Waymo (WM-C 1f).
+    WaymoCenterPoint1f,
+    /// CenterPoint, 3 frames, on Waymo (WM-C 3f).
+    WaymoCenterPoint3f,
+}
+
+/// All seven workloads in the paper's reporting order.
+pub const ALL_WORKLOADS: [Workload; 7] = [
+    Workload::SemanticKittiMinkUNet05,
+    Workload::SemanticKittiMinkUNet10,
+    Workload::NuScenesMinkUNet1f,
+    Workload::NuScenesMinkUNet3f,
+    Workload::NuScenesCenterPoint10f,
+    Workload::WaymoCenterPoint1f,
+    Workload::WaymoCenterPoint3f,
+];
+
+/// A 64-beam SemanticKITTI-class sensor (Velodyne HDL-64E): ~80 m range,
+/// 0.05 m voxels (the MinkUNet convention).
+fn semantic_kitti_sensor() -> LidarConfig {
+    LidarConfig {
+        beams: 64,
+        azimuth_steps: 4096,
+        elevation_min_deg: -24.8,
+        elevation_max_deg: 2.0,
+        max_range_m: 80.0,
+        voxel_size_m: 0.05,
+        obstacles: 60,
+        dropout: 0.12,
+    }
+}
+
+/// A 32-beam nuScenes-class sensor: 0.1 m voxels.
+fn nuscenes_sensor() -> LidarConfig {
+    LidarConfig {
+        beams: 32,
+        azimuth_steps: 1800,
+        elevation_min_deg: -30.0,
+        elevation_max_deg: 10.0,
+        max_range_m: 70.0,
+        voxel_size_m: 0.1,
+        obstacles: 35,
+        dropout: 0.15,
+    }
+}
+
+/// A 64-beam Waymo-class sensor: 75 m range, 0.1 m voxels (CenterPoint).
+fn waymo_sensor() -> LidarConfig {
+    LidarConfig {
+        beams: 64,
+        azimuth_steps: 2048,
+        elevation_min_deg: -17.6,
+        elevation_max_deg: 2.4,
+        max_range_m: 75.0,
+        voxel_size_m: 0.1,
+        obstacles: 60,
+        dropout: 0.10,
+    }
+}
+
+impl Workload {
+    /// Short name used in tables (matches the paper's abbreviations).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::SemanticKittiMinkUNet05 => "SK-M 0.5x",
+            Workload::SemanticKittiMinkUNet10 => "SK-M 1x",
+            Workload::NuScenesMinkUNet1f => "NS-M 1f",
+            Workload::NuScenesMinkUNet3f => "NS-M 3f",
+            Workload::NuScenesCenterPoint10f => "NS-C 10f",
+            Workload::WaymoCenterPoint1f => "WM-C 1f",
+            Workload::WaymoCenterPoint3f => "WM-C 3f",
+        }
+    }
+
+    /// Segmentation or detection.
+    pub fn kind(self) -> WorkloadKind {
+        match self {
+            Workload::SemanticKittiMinkUNet05
+            | Workload::SemanticKittiMinkUNet10
+            | Workload::NuScenesMinkUNet1f
+            | Workload::NuScenesMinkUNet3f => WorkloadKind::Segmentation,
+            _ => WorkloadKind::Detection,
+        }
+    }
+
+    /// Sensor configuration of the workload's dataset.
+    pub fn sensor(self) -> LidarConfig {
+        match self {
+            Workload::SemanticKittiMinkUNet05 | Workload::SemanticKittiMinkUNet10 => {
+                semantic_kitti_sensor()
+            }
+            Workload::NuScenesMinkUNet1f
+            | Workload::NuScenesMinkUNet3f
+            | Workload::NuScenesCenterPoint10f => nuscenes_sensor(),
+            Workload::WaymoCenterPoint1f | Workload::WaymoCenterPoint3f => waymo_sensor(),
+        }
+    }
+
+    /// Number of superimposed LiDAR sweeps.
+    pub fn frames(self) -> u32 {
+        match self {
+            Workload::NuScenesMinkUNet3f | Workload::WaymoCenterPoint3f => 3,
+            Workload::NuScenesCenterPoint10f => 10,
+            _ => 1,
+        }
+    }
+
+    /// Builds the workload's network.
+    pub fn network(self) -> Network {
+        match self {
+            Workload::SemanticKittiMinkUNet05 => models::minkunet(0.5, 4, 19),
+            Workload::SemanticKittiMinkUNet10 => models::minkunet(1.0, 4, 19),
+            Workload::NuScenesMinkUNet1f | Workload::NuScenesMinkUNet3f => {
+                models::minkunet(1.0, 4, 16)
+            }
+            Workload::NuScenesCenterPoint10f
+            | Workload::WaymoCenterPoint1f
+            | Workload::WaymoCenterPoint3f => models::centerpoint_backbone(4),
+        }
+    }
+
+    /// Generates one input scene at full fidelity.
+    pub fn scene(self, seed: u64) -> SparseTensor {
+        self.scene_scaled(seed, 1.0)
+    }
+
+    /// Generates one input scene with angular resolution scaled by
+    /// `scale` (use < 1 for fast tests; 1.0 for benchmark fidelity).
+    pub fn scene_scaled(self, seed: u64, scale: f32) -> SparseTensor {
+        let cfg = self.sensor().scaled(scale);
+        LidarScene::generate(&cfg, seed, self.frames(), 0).into_tensor()
+    }
+
+    /// Generates a training batch (the paper trains at batch size 2).
+    pub fn batch_scaled(self, seed: u64, scale: f32, batch: u32) -> SparseTensor {
+        let cfg = self.sensor().scaled(scale);
+        LidarScene::generate_batch(&cfg, seed, self.frames(), batch)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ALL_WORKLOADS.iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), ALL_WORKLOADS.len());
+    }
+
+    #[test]
+    fn kinds_split_four_three() {
+        let segs = ALL_WORKLOADS.iter().filter(|w| w.kind() == WorkloadKind::Segmentation).count();
+        assert_eq!(segs, 4);
+    }
+
+    #[test]
+    fn scenes_have_plausible_sizes() {
+        // At 20% angular scale, SemanticKITTI-class scenes should still
+        // clearly out-point 1-frame nuScenes scenes (64 vs 32 beams).
+        let sk = Workload::SemanticKittiMinkUNet10.scene_scaled(1, 0.2);
+        let ns = Workload::NuScenesMinkUNet1f.scene_scaled(1, 0.2);
+        assert!(sk.num_points() > ns.num_points(), "{} <= {}", sk.num_points(), ns.num_points());
+    }
+
+    #[test]
+    fn multi_frame_detection_is_denser() {
+        let w1 = Workload::WaymoCenterPoint1f.scene_scaled(3, 0.15);
+        let w3 = Workload::WaymoCenterPoint3f.scene_scaled(3, 0.15);
+        assert!(w3.num_points() > w1.num_points());
+    }
+
+    #[test]
+    fn networks_build_for_all_workloads() {
+        for w in ALL_WORKLOADS {
+            let net = w.network();
+            assert!(net.conv_count() > 10, "{}: {}", w.name(), net.conv_count());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sparse masked-image workloads — the paper's "future applications"
+//! (Section 6.3), implemented.
+//!
+//! Masked autoencoders (MAEs) drop a large fraction of image patches
+//! during pre-training; the surviving patches form a *2D sparse tensor*
+//! that sparse convolution can process directly instead of wasting
+//! compute on masked positions. This module generates such inputs (a 2D
+//! grid with z = 0, structured random masking) and a patch-encoder
+//! network, so the same engine, autotuner and cost model cover the
+//! image domain.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ts_core::{Network, NetworkBuilder, SparseTensor};
+use ts_kernelmap::Coord;
+use ts_tensor::{rng_from_seed, Matrix};
+
+/// Configuration of a masked-image input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskedImageConfig {
+    /// Patch-grid height (e.g. 224/16 = 14 for ViT-B, or larger for
+    /// dense prediction backbones).
+    pub grid_h: u32,
+    /// Patch-grid width.
+    pub grid_w: u32,
+    /// Fraction of patches KEPT visible (MAE keeps 25 %).
+    pub keep_ratio: f32,
+    /// Channels per patch token.
+    pub channels: u32,
+}
+
+impl MaskedImageConfig {
+    /// The standard MAE pre-training setup: 75 % of patches masked.
+    pub fn mae(grid: u32, channels: u32) -> Self {
+        Self { grid_h: grid, grid_w: grid, keep_ratio: 0.25, channels }
+    }
+
+    /// Total patch count before masking.
+    pub fn total_patches(&self) -> usize {
+        (self.grid_h * self.grid_w) as usize
+    }
+}
+
+/// Generates a batch of masked images as one sparse tensor (2D coords,
+/// `z = 0`). Masking is block-structured (runs of adjacent masked
+/// patches), matching how MAE implementations sample masks.
+pub fn masked_image_batch(cfg: &MaskedImageConfig, seed: u64, batch: u32) -> SparseTensor {
+    let mut rng = rng_from_seed(seed);
+    let mut coords = Vec::new();
+    for b in 0..batch.max(1) {
+        // Block-structured mask: flip 2x2 blocks until the target ratio.
+        let mut keep = vec![true; cfg.total_patches()];
+        let target_masked =
+            ((1.0 - cfg.keep_ratio).clamp(0.0, 1.0) * cfg.total_patches() as f32) as usize;
+        let mut masked = 0;
+        while masked < target_masked {
+            let bx = rng.gen_range(0..cfg.grid_w.max(2) - 1);
+            let by = rng.gen_range(0..cfg.grid_h.max(2) - 1);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let idx = ((by + dy) * cfg.grid_w + bx + dx) as usize;
+                    if keep[idx] {
+                        keep[idx] = false;
+                        masked += 1;
+                    }
+                }
+            }
+        }
+        for y in 0..cfg.grid_h {
+            for x in 0..cfg.grid_w {
+                if keep[(y * cfg.grid_w + x) as usize] {
+                    coords.push(Coord::new(b as i32, x as i32, y as i32, 0));
+                }
+            }
+        }
+    }
+    let n = coords.len();
+    let data = (0..n * cfg.channels as usize).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    SparseTensor::new(coords, Matrix::from_vec(n, cfg.channels as usize, data))
+}
+
+/// A sparse convolutional patch encoder (SparK/GreenMIM-style): three
+/// submanifold stages with stride-2 downsampling between them.
+///
+/// Kernel size 3 with z extent 1 behaves as a 2D 3x3 convolution because
+/// all coordinates sit on the `z = 0` plane.
+pub fn masked_image_encoder(channels: u32) -> Network {
+    let c = channels as usize;
+    let mut b = NetworkBuilder::new("masked-image-encoder", c);
+    let s1 = b.conv_block("stage1.a", NetworkBuilder::INPUT, 64, 3, 1);
+    let s1 = b.conv_block("stage1.b", s1, 64, 3, 1);
+    let d1 = b.conv_block("down1", s1, 128, 2, 2);
+    let s2 = b.residual_block("stage2", d1, 128, 3);
+    let d2 = b.conv_block("down2", s2, 256, 2, 2);
+    let _s3 = b.residual_block("stage3", d2, 256, 3);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_masking_keeps_requested_fraction() {
+        let cfg = MaskedImageConfig::mae(32, 8);
+        let t = masked_image_batch(&cfg, 1, 1);
+        let keep = t.num_points() as f32 / cfg.total_patches() as f32;
+        assert!((0.2..=0.3).contains(&keep), "keep ratio = {keep}");
+        assert_eq!(t.channels(), 8);
+    }
+
+    #[test]
+    fn coords_are_planar_and_unique() {
+        let cfg = MaskedImageConfig::mae(24, 4);
+        let t = masked_image_batch(&cfg, 2, 2);
+        assert!(t.coords().iter().all(|c| c.z == 0));
+        assert_eq!(
+            ts_kernelmap::unique_coords(t.coords()).len(),
+            t.num_points(),
+            "patch coords must be unique"
+        );
+        assert_eq!(t.batch_size(), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MaskedImageConfig::mae(16, 4);
+        let a = masked_image_batch(&cfg, 9, 1);
+        let b = masked_image_batch(&cfg, 9, 1);
+        assert_eq!(a.coords(), b.coords());
+        assert_eq!(a.feats(), b.feats());
+    }
+
+    #[test]
+    fn keep_ratio_one_is_dense() {
+        let cfg = MaskedImageConfig { grid_h: 10, grid_w: 10, keep_ratio: 1.0, channels: 4 };
+        let t = masked_image_batch(&cfg, 3, 1);
+        assert_eq!(t.num_points(), 100);
+    }
+
+    #[test]
+    fn encoder_downsamples_twice() {
+        let net = masked_image_encoder(8);
+        assert_eq!(net.stride(net.output()), 4);
+        assert!(net.conv_count() >= 8);
+    }
+}

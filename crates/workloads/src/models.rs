@@ -1,0 +1,109 @@
+//! Model architectures: MinkUNet and the CenterPoint sparse backbone.
+
+use ts_core::{Network, NetworkBuilder};
+
+/// Builds MinkUNet (the MinkowskiNet semantic-segmentation U-Net of
+/// Choy et al., as shipped in TorchSparse) at the given width multiplier
+/// (the paper evaluates 0.5x and 1x).
+///
+/// Structure: a two-conv stem, four encoder stages (stride-2 K=2
+/// downsample + two residual blocks each), four decoder stages
+/// (stride-2 K=2 transposed conv + skip concat + two residual blocks
+/// each), and a pointwise classification head.
+pub fn minkunet(width: f32, in_channels: usize, num_classes: usize) -> Network {
+    let ch = |c: usize| ((c as f32 * width) as usize).max(4);
+    let enc = [ch(32), ch(64), ch(128), ch(256)];
+    let dec = [ch(256), ch(128), ch(96), ch(96)];
+    let stem_c = ch(32);
+
+    let mut b = NetworkBuilder::new(format!("MinkUNet(x{width})"), in_channels);
+    let mut x = b.conv_block("stem1", NetworkBuilder::INPUT, stem_c, 3, 1);
+    x = b.conv_block("stem2", x, stem_c, 3, 1);
+
+    // Encoder, remembering skip tensors.
+    let mut skips = Vec::new();
+    for (i, &c) in enc.iter().enumerate() {
+        skips.push(x);
+        x = b.conv_block(&format!("enc{i}.down"), x, c, 2, 2);
+        x = b.residual_block(&format!("enc{i}.res1"), x, c, 3);
+        x = b.residual_block(&format!("enc{i}.res2"), x, c, 3);
+    }
+
+    // Decoder with U-Net concat skips.
+    for (i, &c) in dec.iter().enumerate() {
+        x = b.conv_block_transposed(&format!("dec{i}.up"), x, c, 2, 2);
+        let skip = skips[enc.len() - 1 - i];
+        x = b.concat(&format!("dec{i}.skip"), x, skip);
+        x = b.residual_block(&format!("dec{i}.res1"), x, c, 3);
+        x = b.residual_block(&format!("dec{i}.res2"), x, c, 3);
+    }
+
+    let _ = b.conv("head", x, num_classes, 1, 1);
+    b.build()
+}
+
+/// Builds the CenterPoint sparse 3D backbone (the SECOND-style encoder
+/// of Yin et al.): submanifold residual stages separated by stride-2
+/// downsampling convolutions, no decoder (the BEV head is 2D and is
+/// excluded from the paper's timing, Section 5.1).
+pub fn centerpoint_backbone(in_channels: usize) -> Network {
+    let mut b = NetworkBuilder::new("CenterPoint-backbone", in_channels);
+    let mut x = b.conv_block("stem", NetworkBuilder::INPUT, 16, 3, 1);
+    let stages: [(usize, &str); 4] =
+        [(16, "stage1"), (32, "stage2"), (64, "stage3"), (128, "stage4")];
+    for (i, &(c, name)) in stages.iter().enumerate() {
+        if i > 0 {
+            x = b.conv_block(&format!("{name}.down"), x, c, 3, 2);
+        }
+        x = b.residual_block(&format!("{name}.res1"), x, c, 3);
+        x = b.residual_block(&format!("{name}.res2"), x, c, 3);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::Op;
+
+    #[test]
+    fn minkunet_full_width_structure() {
+        let net = minkunet(1.0, 4, 19);
+        // Stem 2, per encoder stage 1 down + 2 res (2 convs each, +proj on
+        // width change), decoder similar, + head.
+        assert!(net.conv_count() >= 30, "convs = {}", net.conv_count());
+        assert_eq!(net.in_channels(), 4);
+        // Output head produces num_classes at stride 1.
+        let out = net.output();
+        assert_eq!(net.out_channels(out), 19);
+        assert_eq!(net.stride(out), 1);
+    }
+
+    #[test]
+    fn half_width_has_fewer_params() {
+        let full = minkunet(1.0, 4, 19);
+        let half = minkunet(0.5, 4, 19);
+        assert!(half.param_count() * 3 < full.param_count());
+    }
+
+    #[test]
+    fn minkunet_reaches_stride_16() {
+        let net = minkunet(1.0, 4, 19);
+        let max_stride = (0..net.nodes().len()).map(|i| net.stride(i)).max().unwrap();
+        assert_eq!(max_stride, 16);
+    }
+
+    #[test]
+    fn centerpoint_downsamples_three_times() {
+        let net = centerpoint_backbone(5);
+        let out = net.output();
+        assert_eq!(net.stride(out), 8);
+        assert!(net.conv_count() >= 12);
+        // Detection backbone has no transposed convolutions.
+        let has_transposed = net.nodes().iter().any(|n| match n.op {
+            Op::Conv(c) => c.transposed,
+            _ => false,
+        });
+        assert!(!has_transposed);
+    }
+}

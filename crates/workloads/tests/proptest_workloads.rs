@@ -1,0 +1,105 @@
+//! Property-based tests of the synthetic data generators.
+
+use proptest::prelude::*;
+
+use ts_workloads::graphs::HeteroGraph;
+use ts_workloads::{masked_image_batch, LidarConfig, LidarScene, MaskedImageConfig};
+
+fn lidar_cfg_strategy() -> impl Strategy<Value = LidarConfig> {
+    (4u32..24, 32u32..200, 10.0f32..60.0, 0.05f32..0.3, 5u32..30, 0.0f32..0.3).prop_map(
+        |(beams, azimuth, range, voxel, obstacles, dropout)| LidarConfig {
+            beams,
+            azimuth_steps: azimuth,
+            elevation_min_deg: -25.0,
+            elevation_max_deg: 3.0,
+            max_range_m: range,
+            voxel_size_m: voxel,
+            obstacles,
+            dropout,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lidar_scenes_are_valid_for_any_sensor(cfg in lidar_cfg_strategy(), seed in 0u64..100) {
+        let s = LidarScene::generate(&cfg, seed, 1, 0);
+        // Unique voxels, features aligned, stats consistent.
+        prop_assert_eq!(ts_kernelmap::unique_coords(&s.coords).len(), s.coords.len());
+        prop_assert_eq!(s.feats.rows(), s.coords.len());
+        prop_assert_eq!(s.stats.voxels, s.coords.len());
+        prop_assert!(s.stats.raw_points >= s.stats.voxels);
+        // Every voxel within sensor range.
+        let max_vox = (cfg.max_range_m / cfg.voxel_size_m).ceil() as i32 + 2;
+        for c in &s.coords {
+            prop_assert!(c.x.abs() <= max_vox && c.y.abs() <= max_vox);
+            prop_assert!(c.batch == 0);
+        }
+        // Intensity channel within the reflectivity range.
+        for r in 0..s.feats.rows() {
+            let intensity = s.feats.row(r)[3];
+            prop_assert!((0.0..=1.0).contains(&intensity));
+        }
+    }
+
+    #[test]
+    fn lidar_generation_is_deterministic(cfg in lidar_cfg_strategy(), seed in 0u64..100) {
+        let a = LidarScene::generate(&cfg, seed, 1, 0);
+        let b = LidarScene::generate(&cfg, seed, 1, 0);
+        prop_assert_eq!(a.coords, b.coords);
+        prop_assert_eq!(a.feats, b.feats);
+    }
+
+    #[test]
+    fn more_frames_never_lose_points(cfg in lidar_cfg_strategy(), seed in 0u64..50) {
+        let one = LidarScene::generate(&cfg, seed, 1, 0);
+        let three = LidarScene::generate(&cfg, seed, 3, 0);
+        prop_assert!(three.coords.len() >= one.coords.len() * 9 / 10);
+    }
+
+    #[test]
+    fn batches_are_isolated(cfg in lidar_cfg_strategy(), seed in 0u64..50, batch in 1u32..4) {
+        let t = LidarScene::generate_batch(&cfg, seed, 1, batch);
+        prop_assert_eq!(t.batch_size(), batch as usize);
+        prop_assert_eq!(
+            ts_kernelmap::unique_coords(t.coords()).len(),
+            t.num_points()
+        );
+    }
+
+    #[test]
+    fn masked_images_respect_any_keep_ratio(
+        grid in 8u32..48,
+        keep in 0.05f32..1.0,
+        seed in 0u64..100,
+    ) {
+        let cfg = MaskedImageConfig { grid_h: grid, grid_w: grid, keep_ratio: keep, channels: 4 };
+        let t = masked_image_batch(&cfg, seed, 1);
+        let actual = t.num_points() as f32 / cfg.total_patches() as f32;
+        // Block masking overshoots by at most a block's worth.
+        prop_assert!(actual <= keep + 0.05, "kept {actual} > requested {keep}");
+        prop_assert!(actual >= keep - 4.0 / cfg.total_patches() as f32 - 0.05);
+        prop_assert!(t.coords().iter().all(|c| c.z == 0));
+    }
+
+    #[test]
+    fn graphs_have_exact_size_for_any_shape(
+        nodes in 10usize..5000,
+        rels in 1usize..64,
+        edges in 1usize..20_000,
+        seed in 0u64..100,
+    ) {
+        let g = HeteroGraph::generate("p", nodes, rels, edges, seed);
+        prop_assert_eq!(g.n_edges(), edges);
+        prop_assert_eq!(g.edges.len(), rels);
+        for rel in &g.edges {
+            for &(s, d) in rel {
+                prop_assert!((s as usize) < nodes && (d as usize) < nodes);
+            }
+        }
+        // Zipf skew: the first relation is never smaller than the last.
+        prop_assert!(g.edges[0].len() >= g.edges[rels - 1].len());
+    }
+}

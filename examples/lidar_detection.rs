@@ -1,0 +1,64 @@
+//! 3D object detection: the CenterPoint sparse backbone on a Waymo-class
+//! scene, demonstrating the paper's central analysis — unsorted implicit
+//! GEMM wins end-to-end on server GPUs even though sorted kernels
+//! compute less (Tables 3/4).
+//!
+//! ```sh
+//! cargo run --release --example lidar_detection
+//! ```
+
+use torchsparse::core::{GroupConfigs, Session};
+use torchsparse::dataflow::{DataflowConfig, ExecCtx};
+use torchsparse::gpusim::Device;
+use torchsparse::kernelmap::{mac_counts, SplitPlan, LOCKSTEP_ROWS};
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::Workload;
+
+fn main() {
+    let workload = Workload::WaymoCenterPoint1f;
+    let scene = workload.scene_scaled(7, 0.35);
+    let net = workload.network();
+    println!("{}: {} voxels", workload.name(), scene.num_points());
+
+    let session = Session::new(&net, scene.coords());
+
+    // Redundant-computation accounting straight from the kernel maps.
+    println!("\nwarp-lockstep computation overhead by split count (stride-1 group):");
+    let map = &session.groups()[0].map;
+    for s in 0..=4u32 {
+        let plan = SplitPlan::from_split_count(map, s);
+        let c = mac_counts(map, &plan, LOCKSTEP_ROWS, 1, 1);
+        println!(
+            "  splits={s}: {:.2}x executed/effective MACs",
+            c.overhead_ratio()
+        );
+    }
+
+    // End-to-end vs kernel-only on server and edge GPUs.
+    for device in [Device::rtx3090(), Device::jetson_orin()] {
+        let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
+        println!("\n{} (FP16):", device.name);
+        println!("  {:<22} {:>12} {:>12} {:>12}", "dataflow", "total (ms)", "kernels (ms)", "mapping (ms)");
+        for s in [0u32, 1, 2] {
+            let r = session.simulate_inference(
+                &GroupConfigs::uniform(DataflowConfig::implicit_gemm(s)),
+                &ctx,
+            );
+            let label = if s == 0 { "unsorted".to_owned() } else { format!("sorted, {s} split(s)") };
+            println!(
+                "  {:<22} {:>12.2} {:>12.2} {:>12.2}",
+                label,
+                r.total_ms(),
+                r.kernel_only_us() / 1e3,
+                r.mapping_us() / 1e3
+            );
+        }
+    }
+
+    println!(
+        "\nNote how sorting shrinks the kernel column but grows the mapping\n\
+         column — on the RTX 3090 the unsorted dataflow wins end-to-end,\n\
+         which is exactly the paper's argument against using kernel time\n\
+         as a proxy for end-to-end performance."
+    );
+}

@@ -1,0 +1,66 @@
+//! LiDAR semantic segmentation: MinkUNet on a SemanticKITTI-class scene,
+//! autotuned with the Sparse Autotuner and compared against the baseline
+//! system emulations.
+//!
+//! ```sh
+//! cargo run --release --example lidar_segmentation
+//! ```
+
+use torchsparse::autotune::{tune_inference, TunerOptions};
+use torchsparse::baselines::ALL_SYSTEMS;
+use torchsparse::core::Session;
+use torchsparse::dataflow::ExecCtx;
+use torchsparse::gpusim::Device;
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::Workload;
+
+fn main() {
+    let workload = Workload::SemanticKittiMinkUNet10;
+    // Scale 0.35 keeps this example snappy; raise toward 1.0 for
+    // full-fidelity scenes (~110k voxels).
+    let scene = workload.scene_scaled(1, 0.35);
+    println!(
+        "{}: {} voxels, {} conv layers",
+        workload.name(),
+        scene.num_points(),
+        workload.network().conv_count()
+    );
+
+    let net = workload.network();
+    let session = Session::new(&net, scene.coords());
+    println!("layer groups (shared kernel maps): {}", session.groups().len());
+
+    // Autotune on an RTX 3090 at FP16.
+    let device = Device::rtx3090();
+    let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
+    let result = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    println!(
+        "\nSparse Autotuner: {:.2} ms -> {:.2} ms ({:.2}x) in {} end-to-end evaluations",
+        result.default_latency_us / 1e3,
+        result.tuned_latency_us / 1e3,
+        result.speedup(),
+        result.evaluations
+    );
+    println!("\nper-group dataflow choices:");
+    for (key, cfg) in &result.per_group_choice {
+        println!(
+            "  stride {:>2}->{:<2} k{}  ->  {}",
+            key.lo_stride, key.hi_stride, key.kernel_size, cfg
+        );
+    }
+
+    // Compare against the baseline systems.
+    println!("\nsystem comparison ({} FP16):", device.name);
+    let mut ours = f64::NAN;
+    for sys in ALL_SYSTEMS {
+        let ms = sys.inference_ms(&session, device.clone(), Precision::Fp16);
+        if sys.name() == "TorchSparse++" {
+            ours = ms;
+        }
+        println!("  {:<16} {:>8.2} ms", sys.name(), ms);
+    }
+    for sys in &ALL_SYSTEMS[..4] {
+        let ms = sys.inference_ms(&session, device.clone(), Precision::Fp16);
+        println!("  speedup over {:<16} {:.2}x", sys.name(), ms / ours);
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: synthetic LiDAR scenes through full networks,
+//! functionally and on the simulated GPU.
+
+use torchsparse::core::{GroupConfigs, Session};
+use torchsparse::dataflow::{DataflowConfig, ExecCtx};
+use torchsparse::gpusim::Device;
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::{models, Workload, ALL_WORKLOADS};
+
+#[test]
+fn minkunet_functional_forward_on_synthetic_scene() {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let scene = w.scene_scaled(1, 0.04);
+    let weights = net.init_weights(7);
+    let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
+    let input = scene;
+    let (out, report) = torchsparse::core::run_network(
+        &net,
+        &weights,
+        &input,
+        &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+        &ctx,
+    );
+    // Segmentation output: one prediction per input voxel, 16 classes.
+    assert_eq!(out.num_points(), input.num_points());
+    assert_eq!(out.channels(), 16);
+    assert_eq!(out.stride(), 1);
+    assert!(report.total_us() > 0.0);
+    assert!(out.feats().as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn centerpoint_backbone_downsamples() {
+    let net = models::centerpoint_backbone(4);
+    let w = Workload::WaymoCenterPoint1f;
+    let scene = w.scene_scaled(2, 0.04);
+    let n_in = scene.num_points();
+    let weights = net.init_weights(3);
+    let ctx = ExecCtx::functional(Device::jetson_orin(), Precision::Fp32);
+    let (out, _) = torchsparse::core::run_network(
+        &net,
+        &weights,
+        &scene,
+        &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)),
+        &ctx,
+    );
+    assert_eq!(out.stride(), 8);
+    assert!(out.num_points() < n_in, "{} !< {n_in}", out.num_points());
+    assert_eq!(out.channels(), 128);
+}
+
+#[test]
+fn every_workload_compiles_into_a_session() {
+    for w in ALL_WORKLOADS {
+        let net = w.network();
+        let scene = w.scene_scaled(5, 0.03);
+        let session = Session::new(&net, scene.coords());
+        assert!(session.groups().len() >= 3, "{}: {} groups", w.name(), session.groups().len());
+        assert_eq!(session.conv_layer_count(), net.conv_count());
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        let r = session.simulate_inference(
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            &ctx,
+        );
+        assert!(r.total_us() > 0.0, "{}", w.name());
+        assert!(r.mapping_us() > 0.0, "{}", w.name());
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let w = Workload::NuScenesCenterPoint10f;
+    let net = w.network();
+    let scene = w.scene_scaled(11, 0.05);
+    let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(2));
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let a = Session::new(&net, scene.coords()).simulate_inference(&cfg, &ctx).total_us();
+    let b = Session::new(&net, scene.coords()).simulate_inference(&cfg, &ctx).total_us();
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn precision_ordering_holds_on_tensor_core_devices() {
+    let w = Workload::SemanticKittiMinkUNet05;
+    let net = w.network();
+    let scene = w.scene_scaled(3, 0.05);
+    let session = Session::new(&net, scene.coords());
+    let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+    let t16 = session
+        .simulate_inference(&cfg, &ExecCtx::simulate(Device::a100(), Precision::Fp16))
+        .total_us();
+    let t32 = session
+        .simulate_inference(&cfg, &ExecCtx::simulate(Device::a100(), Precision::Fp32))
+        .total_us();
+    assert!(t16 < t32, "FP16 {t16} should beat FP32 {t32} on A100");
+}
+
+#[test]
+fn faster_device_is_faster_end_to_end() {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let scene = w.scene_scaled(9, 0.05);
+    let session = Session::new(&net, scene.coords());
+    let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+    let a100 = session
+        .simulate_inference(&cfg, &ExecCtx::simulate(Device::a100(), Precision::Fp16))
+        .total_us();
+    let orin = session
+        .simulate_inference(&cfg, &ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16))
+        .total_us();
+    assert!(a100 < orin, "A100 {a100} should beat Orin {orin}");
+}

@@ -1,0 +1,69 @@
+//! Integration: tuned schedules survive serialization and drive the
+//! deployment engine across devices.
+
+use torchsparse::autotune::{tune_inference, TuneResult, TunerOptions};
+use torchsparse::core::{Engine, Session};
+use torchsparse::dataflow::ExecCtx;
+use torchsparse::gpusim::Device;
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::Workload;
+
+#[test]
+fn tune_save_load_deploy() {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let tuning_scene = w.scene_scaled(1, 0.05);
+    let session = Session::new(&net, tuning_scene.coords());
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+
+    // Tune once, persist the schedule.
+    let result = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    let json = result.to_json().expect("schedule serializes");
+
+    // "Deploy" from the serialized schedule on fresh scenes.
+    let restored = TuneResult::from_json(&json).expect("schedule loads");
+    let weights = net.init_weights(5);
+    let engine = Engine::new(
+        net.clone(),
+        weights,
+        restored.group_configs().clone(),
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    );
+    for seed in 10..13 {
+        let scene = w.scene_scaled(seed, 0.05);
+        let (out, report) = engine.infer(&scene);
+        assert_eq!(out.num_points(), scene.num_points());
+        assert!(report.total_us() > 0.0);
+    }
+
+    // The restored schedule must time identically to the fresh one.
+    let fresh = session.simulate_inference(result.group_configs(), &ctx).total_us();
+    let loaded = session.simulate_inference(restored.group_configs(), &ctx).total_us();
+    assert_eq!(fresh.to_bits(), loaded.to_bits());
+}
+
+#[test]
+fn schedules_transfer_across_devices_with_degradation() {
+    // A schedule tuned for the A100 still *runs* on Orin, but retuning
+    // for Orin must not be worse — device-specific tuning is the point.
+    let w = Workload::WaymoCenterPoint1f;
+    let net = w.network();
+    let scene = w.scene_scaled(2, 0.05);
+    let session = Session::new(&net, scene.coords());
+
+    let a100_ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+    let orin_ctx = ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16);
+
+    let a100_schedule =
+        tune_inference(std::slice::from_ref(&session), &a100_ctx, &TunerOptions::default());
+    let orin_schedule =
+        tune_inference(std::slice::from_ref(&session), &orin_ctx, &TunerOptions::default());
+
+    let foreign = session
+        .simulate_inference(a100_schedule.group_configs(), &orin_ctx)
+        .total_us();
+    let native = session
+        .simulate_inference(orin_schedule.group_configs(), &orin_ctx)
+        .total_us();
+    assert!(native <= foreign + 1e-6, "native {native} > foreign {foreign}");
+}
