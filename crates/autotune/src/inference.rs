@@ -1,9 +1,25 @@
 //! Group-based greedy exhaustive search for inference (Figure 12).
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use ts_core::{GroupConfigs, GroupKey, Session};
 use ts_dataflow::{DataflowConfig, ExecCtx};
+
+/// How candidate configurations are priced during the greedy search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Decomposed objective: per-group latency contributions are cached
+    /// and only the group under test is re-simulated per candidate.
+    /// Chooses the same configurations as [`EvalMode::FullResimulation`]
+    /// at a fraction of the cost (the contribution of a group depends
+    /// only on its own configuration).
+    Incremental,
+    /// Re-simulate the whole network end-to-end for every candidate
+    /// (the naive reference implementation; kept for validation).
+    FullResimulation,
+}
 
 /// Options controlling the inference tuner.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +29,11 @@ pub struct TunerOptions {
     /// Configuration used for not-yet-tuned groups and as the
     /// comparison baseline (SpConv v2's default: sorted implicit GEMM).
     pub default: DataflowConfig,
+    /// Candidate pricing strategy.
+    pub mode: EvalMode,
+    /// Worker threads for the candidate sweep; 0 means one per
+    /// available CPU. The result does not depend on this value.
+    pub threads: usize,
 }
 
 impl Default for TunerOptions {
@@ -20,6 +41,8 @@ impl Default for TunerOptions {
         Self {
             space: DataflowConfig::full_space(4),
             default: DataflowConfig::implicit_gemm(1),
+            mode: EvalMode::Incremental,
+            threads: 0,
         }
     }
 }
@@ -27,7 +50,23 @@ impl Default for TunerOptions {
 impl TunerOptions {
     /// Tuner restricted to SpConv v2's design space (splits 1–2 only).
     pub fn spconv_v2() -> Self {
-        Self { space: DataflowConfig::spconv_v2_space(), default: DataflowConfig::implicit_gemm(1) }
+        Self {
+            space: DataflowConfig::spconv_v2_space(),
+            default: DataflowConfig::implicit_gemm(1),
+            ..Self::default()
+        }
+    }
+
+    /// Switches the candidate pricing strategy.
+    pub fn with_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the candidate-sweep worker-thread count (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Expands the design space with explicit tile policies: every
@@ -46,10 +85,84 @@ impl TunerOptions {
     /// (Table 5's design-space-restriction study).
     pub fn implicit_only(splits: &[u32]) -> Self {
         Self {
-            space: splits.iter().map(|&s| DataflowConfig::implicit_gemm(s)).collect(),
+            space: splits
+                .iter()
+                .map(|&s| DataflowConfig::implicit_gemm(s))
+                .collect(),
             default: DataflowConfig::implicit_gemm(splits[0]),
+            ..Self::default()
         }
     }
+}
+
+/// Instrumentation of one tuning run: wall-clock cost and prepare-cache
+/// behaviour (the simulated-latency *result* is in the accompanying
+/// tune result; these numbers describe the tuner itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerStats {
+    /// End-to-end wall-clock time of the tuning run, microseconds.
+    pub wall_us: f64,
+    /// Wall-clock time spent sweeping each group, microseconds.
+    pub group_wall_us: Vec<f64>,
+    /// Session prepare-cache hits during the run (summed over sessions).
+    pub prepare_cache_hits: u64,
+    /// Session prepare-cache misses during the run.
+    pub prepare_cache_misses: u64,
+    /// Worker threads used for candidate sweeps.
+    pub threads: usize,
+    /// Whether the incremental (decomposed) objective was used.
+    pub incremental: bool,
+}
+
+/// Resolves a requested thread count (0 = one per available CPU).
+pub(crate) fn effective_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates `eval(i, &space[i])` for every candidate using up to
+/// `threads` scoped worker threads, returning results in candidate
+/// order — so the caller's argmin is deterministic and identical to a
+/// serial sweep regardless of parallelism.
+pub(crate) fn sweep<F>(space: &[DataflowConfig], threads: usize, eval: F) -> Vec<f64>
+where
+    F: Fn(usize, &DataflowConfig) -> f64 + Sync,
+{
+    let n = space.len();
+    let workers = effective_threads(threads).min(n).max(1);
+    let mut out = vec![0.0f64; n];
+    if workers == 1 {
+        for (i, cand) in space.iter().enumerate() {
+            out[i] = eval(i, cand);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(workers);
+    let eval = &eval;
+    crossbeam::thread::scope(|scope| {
+        for (ci, (cands, outs)) in space.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            let base = ci * chunk;
+            scope.spawn(move |_| {
+                for (j, (cand, slot)) in cands.iter().zip(outs.iter_mut()).enumerate() {
+                    *slot = eval(base + j, cand);
+                }
+            });
+        }
+    })
+    .expect("candidate sweep worker panicked");
+    out
+}
+
+/// Sums `(hits, misses)` of every session's prepare cache.
+pub(crate) fn cache_stats(sessions: &[Session]) -> (u64, u64) {
+    sessions.iter().fold((0, 0), |(h, m), s| {
+        let (sh, sm) = s.prepare_cache_stats();
+        (h + sh, m + sm)
+    })
 }
 
 /// Result of an inference tuning run.
@@ -67,6 +180,8 @@ pub struct TuneResult {
     pub evaluations: usize,
     /// The winning choice per group, in group order.
     pub per_group_choice: Vec<(GroupKey, DataflowConfig)>,
+    /// Wall-clock and cache instrumentation of the run.
+    pub stats: TunerStats,
 }
 
 impl TuneResult {
@@ -75,13 +190,10 @@ impl TuneResult {
         self.default_latency_us / self.tuned_latency_us.max(1e-9)
     }
 
-    /// The tuned per-group configuration table.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `configs` was stripped before serialization.
-    pub fn group_configs(&self) -> &GroupConfigs {
-        self.configs.as_ref().expect("configs present on tuned results")
+    /// The tuned per-group configuration table, or `None` if `configs`
+    /// was stripped before serialization (e.g. a latency-only export).
+    pub fn group_configs(&self) -> Option<&GroupConfigs> {
+        self.configs.as_ref()
     }
 
     /// Serialises the full result (including the schedule) to JSON.
@@ -104,8 +216,11 @@ impl TuneResult {
 }
 
 fn mean_latency(sessions: &[Session], cfgs: &GroupConfigs, ctx: &ExecCtx) -> f64 {
-    sessions.iter().map(|s| s.simulate_inference(cfgs, ctx).total_us()).sum::<f64>()
-        / sessions.len().max(1) as f64
+    sessions
+        .iter()
+        .map(|s| s.simulate_inference(cfgs, ctx).total_us())
+        .sum::<f64>()
+        / sessions.len() as f64
 }
 
 /// Runs the group-based greedy exhaustive search over `sessions`
@@ -119,30 +234,107 @@ fn mean_latency(sessions: &[Session], cfgs: &GroupConfigs, ctx: &ExecCtx) -> f64
 /// latency is the objective, because U-Net groups interleave and
 /// per-group times alone cannot capture mapping amortisation.
 ///
+/// Under [`EvalMode::Incremental`] (the default) the end-to-end
+/// objective is evaluated as `residual + Σ per-group contributions`
+/// with every clean group's contribution served from a cache, so each
+/// candidate only re-simulates the group under test; candidates are
+/// additionally swept in parallel with scoped threads. Reported
+/// latencies (`default_latency_us`, `tuned_latency_us`) always come
+/// from full monolithic simulations, so they are bit-identical across
+/// modes.
+///
 /// # Panics
 ///
 /// Panics if `sessions` is empty or the search space is empty.
 pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) -> TuneResult {
-    assert!(!sessions.is_empty(), "tuner needs at least one sample scene");
-    assert!(!opts.space.is_empty(), "tuner needs a non-empty design space");
+    assert!(
+        !sessions.is_empty(),
+        "tuner needs at least one sample scene"
+    );
+    assert!(
+        !opts.space.is_empty(),
+        "tuner needs a non-empty design space"
+    );
+    let wall_start = Instant::now();
     let n_groups = sessions[0].groups().len();
+    let threads = effective_threads(opts.threads);
+    let incremental = opts.mode == EvalMode::Incremental;
+    let (hits0, misses0) = cache_stats(sessions);
 
     let mut configs = GroupConfigs::uniform(opts.default);
     let default_latency_us = mean_latency(sessions, &configs, ctx);
     let mut evaluations = 1;
 
+    // Incremental state: per-session residual plus per-(session, group)
+    // latency contributions under the current `configs`.
+    let residuals: Vec<f64> = if incremental {
+        sessions
+            .iter()
+            .map(|s| s.inference_residual_us(ctx))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut contrib: Vec<Vec<f64>> = if incremental {
+        sessions
+            .iter()
+            .map(|s| {
+                (0..s.groups().len())
+                    .map(|g| s.group_inference_us(g, &opts.default, ctx))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut group_wall_us = Vec::with_capacity(n_groups);
     for g in 0..n_groups {
+        let group_start = Instant::now();
+        let cand_us = if incremental {
+            let (residuals, contrib) = (&residuals, &contrib);
+            sweep(&opts.space, threads, |_, cand| {
+                let mut total = 0.0;
+                for (si, s) in sessions.iter().enumerate() {
+                    let mut t = residuals[si];
+                    for (g2, &clean) in contrib[si].iter().enumerate() {
+                        t += if g2 == g {
+                            s.group_inference_us(g, cand, ctx)
+                        } else {
+                            clean
+                        };
+                    }
+                    total += t;
+                }
+                total / sessions.len() as f64
+            })
+        } else {
+            let configs = &configs;
+            sweep(&opts.space, threads, |_, cand| {
+                let mut trial = configs.clone();
+                trial.set(g, *cand);
+                mean_latency(sessions, &trial, ctx)
+            })
+        };
+        evaluations += opts.space.len();
+
+        // Serial argmin in candidate order with strict `<`: identical
+        // tie-breaking to the naive serial tuner.
         let mut best = (opts.default, f64::INFINITY);
-        for &candidate in &opts.space {
-            let mut trial = configs.clone();
-            trial.set(g, candidate);
-            let t = mean_latency(sessions, &trial, ctx);
-            evaluations += 1;
+        for (i, &t) in cand_us.iter().enumerate() {
             if t < best.1 {
-                best = (candidate, t);
+                best = (opts.space[i], t);
             }
         }
         configs.set(g, best.0);
+        if incremental {
+            for (si, s) in sessions.iter().enumerate() {
+                if g < contrib[si].len() {
+                    contrib[si][g] = s.group_inference_us(g, &best.0, ctx);
+                }
+            }
+        }
+        group_wall_us.push(group_start.elapsed().as_secs_f64() * 1e6);
     }
 
     let tuned_latency_us = mean_latency(sessions, &configs, ctx);
@@ -152,6 +344,7 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         .enumerate()
         .map(|(g, info)| (info.key, configs.for_group(g)))
         .collect();
+    let (hits1, misses1) = cache_stats(sessions);
 
     TuneResult {
         configs: Some(configs),
@@ -159,6 +352,14 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         default_latency_us,
         evaluations,
         per_group_choice,
+        stats: TunerStats {
+            wall_us: wall_start.elapsed().as_secs_f64() * 1e6,
+            group_wall_us,
+            prepare_cache_hits: hits1 - hits0,
+            prepare_cache_misses: misses1 - misses0,
+            threads,
+            incremental,
+        },
     }
 }
 
@@ -244,17 +445,70 @@ mod tests {
         let back = TuneResult::from_json(&json).expect("deserializes");
         assert_eq!(back.per_group_choice, r.per_group_choice);
         assert_eq!(
-            back.group_configs().for_group(0),
-            r.group_configs().for_group(0)
+            back.group_configs().expect("configs present").for_group(0),
+            r.group_configs().expect("configs present").for_group(0)
         );
         assert_eq!(back.tuned_latency_us, r.tuned_latency_us);
+        assert_eq!(back.stats, r.stats);
+    }
+
+    /// The tentpole equivalence claim: incremental pricing picks the
+    /// same schedule as full re-simulation, bit for bit.
+    #[test]
+    fn incremental_matches_full_resimulation() {
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let inc = tune_inference(&[session(0.06)], &ctx, &TunerOptions::default());
+        let full = tune_inference(
+            &[session(0.06)],
+            &ctx,
+            &TunerOptions::default().with_mode(EvalMode::FullResimulation),
+        );
+        assert_eq!(inc.per_group_choice, full.per_group_choice);
+        assert_eq!(inc.tuned_latency_us, full.tuned_latency_us);
+        assert_eq!(inc.default_latency_us, full.default_latency_us);
+        assert_eq!(inc.evaluations, full.evaluations);
+        assert!(inc.stats.incremental);
+        assert!(!full.stats.incremental);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        let serial = tune_inference(
+            &[session(0.05)],
+            &ctx,
+            &TunerOptions::default().with_threads(1),
+        );
+        let par = tune_inference(
+            &[session(0.05)],
+            &ctx,
+            &TunerOptions::default().with_threads(4),
+        );
+        assert_eq!(serial.per_group_choice, par.per_group_choice);
+        assert_eq!(serial.tuned_latency_us, par.tuned_latency_us);
+        assert_eq!(par.stats.threads, 4);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let s = session(0.05);
+        let n = s.groups().len();
+        let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+        let r = tune_inference(&[s], &ctx, &TunerOptions::default());
+        assert!(r.stats.wall_us > 0.0);
+        assert_eq!(r.stats.group_wall_us.len(), n);
+        assert!(
+            r.stats.prepare_cache_hits > 0,
+            "greedy sweep revisits configurations, so the cache must hit"
+        );
+        assert!(r.stats.prepare_cache_misses > 0);
     }
 
     #[test]
     fn tile_policy_dimension_never_loses() {
         let s = session(0.05);
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-        let base = tune_inference(&[s.clone()], &ctx, &TunerOptions::default());
+        let base = tune_inference(std::slice::from_ref(&s), &ctx, &TunerOptions::default());
         let with_tiles = tune_inference(
             &[s],
             &ctx,
@@ -278,8 +532,7 @@ mod tests {
         let c = b.conv_block("c", ts_core::NetworkBuilder::INPUT, 8, 3, 1);
         let _ = b.conv_block("d", c, 16, 2, 2);
         let net = b.build();
-        let coords: Vec<Coord> =
-            (0..100).map(|i| Coord::new(0, i % 10, i / 10, 0)).collect();
+        let coords: Vec<Coord> = (0..100).map(|i| Coord::new(0, i % 10, i / 10, 0)).collect();
         let s = Session::new(&net, &coords);
         let ctx = ExecCtx::simulate(Device::gtx1080ti(), Precision::Fp32);
         let r = tune_inference(&[s], &ctx, &TunerOptions::default());

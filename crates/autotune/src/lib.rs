@@ -36,7 +36,5 @@
 mod inference;
 mod training;
 
-pub use inference::{tune_inference, TuneResult, TunerOptions};
-pub use training::{
-    default_scheme_for, tune_training, BindingScheme, TrainTuneResult,
-};
+pub use inference::{tune_inference, EvalMode, TuneResult, TunerOptions, TunerStats};
+pub use training::{default_scheme_for, tune_training, BindingScheme, TrainTuneResult};

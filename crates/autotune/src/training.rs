@@ -1,12 +1,15 @@
 //! Training tuner with parameter-binding schemes (Figure 13 / 22).
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use ts_core::{GroupConfigs, Session, TrainConfigs};
 use ts_dataflow::{DataflowConfig, ExecCtx};
 use ts_gpusim::Device;
 
-use crate::TunerOptions;
+use crate::inference::{cache_stats, effective_threads, sweep};
+use crate::{EvalMode, TunerOptions, TunerStats};
 
 /// How forward / dgrad / wgrad dataflow parameters are coupled during
 /// training tuning.
@@ -73,6 +76,8 @@ pub struct TrainTuneResult {
     pub evaluations: usize,
     /// The binding scheme used.
     pub scheme: BindingScheme,
+    /// Wall-clock and cache instrumentation of the run.
+    pub stats: TunerStats,
 }
 
 impl TrainTuneResult {
@@ -83,8 +88,11 @@ impl TrainTuneResult {
 }
 
 fn mean_latency(sessions: &[Session], cfgs: &TrainConfigs, ctx: &ExecCtx) -> f64 {
-    sessions.iter().map(|s| s.simulate_training(cfgs, ctx).total_us()).sum::<f64>()
-        / sessions.len().max(1) as f64
+    sessions
+        .iter()
+        .map(|s| s.simulate_training(cfgs, ctx).total_us())
+        .sum::<f64>()
+        / sessions.len() as f64
 }
 
 /// Tunes training dataflows under `scheme` by reusing the group-based
@@ -101,7 +109,11 @@ pub fn tune_training(
     scheme: BindingScheme,
 ) -> TrainTuneResult {
     assert!(!sessions.is_empty() && !opts.space.is_empty());
+    let wall_start = Instant::now();
     let n_groups = sessions[0].groups().len();
+    let threads = effective_threads(opts.threads);
+    let incremental = opts.mode == EvalMode::Incremental;
+    let (hits0, misses0) = cache_stats(sessions);
     let mut evaluations = 0usize;
 
     let default = TrainConfigs::bound(opts.default);
@@ -117,31 +129,123 @@ pub fn tune_training(
         BindingScheme::Decoupled => vec![vec![0], vec![1], vec![2]],
     };
 
+    // Incremental state: per-session residual plus per-(session, group)
+    // training contributions under the current `configs`.
+    let residuals: Vec<f64> = if incremental {
+        sessions
+            .iter()
+            .map(|s| s.training_residual_us(ctx))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let group_contrib = |s: &Session, g: usize, cfgs: &TrainConfigs| {
+        s.group_training_us(
+            g,
+            &cfgs.fwd.for_group(g),
+            &cfgs.dgrad.for_group(g),
+            &cfgs.wgrad.for_group(g),
+            ctx,
+        )
+    };
+
     let mut configs = TrainConfigs::bound(opts.default);
+    let mut contrib: Vec<Vec<f64>> = if incremental {
+        sessions
+            .iter()
+            .map(|s| {
+                (0..s.groups().len())
+                    .map(|g| group_contrib(s, g, &configs))
+                    .collect()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut group_wall_us = Vec::new();
     for set in &family_sets {
         // One greedy group sweep per bound family set, holding the other
         // families at their current (already tuned or default) choices.
         for g in 0..n_groups {
+            let group_start = Instant::now();
+            let cand_us = if incremental {
+                // The group's per-family configs under `candidate`
+                // applied to this family set.
+                let cur = [
+                    configs.fwd.for_group(g),
+                    configs.dgrad.for_group(g),
+                    configs.wgrad.for_group(g),
+                ];
+                let (residuals, contrib) = (&residuals, &contrib);
+                sweep(&opts.space, threads, |_, cand| {
+                    let mut fam = cur;
+                    for &f in set {
+                        fam[f] = *cand;
+                    }
+                    let mut total = 0.0;
+                    for (si, s) in sessions.iter().enumerate() {
+                        let mut t = residuals[si];
+                        for (g2, &clean) in contrib[si].iter().enumerate() {
+                            t += if g2 == g {
+                                s.group_training_us(g, &fam[0], &fam[1], &fam[2], ctx)
+                            } else {
+                                clean
+                            };
+                        }
+                        total += t;
+                    }
+                    total / sessions.len() as f64
+                })
+            } else {
+                let configs = &configs;
+                sweep(&opts.space, threads, |_, cand| {
+                    let mut trial = configs.clone();
+                    for &fam in set {
+                        family_mut(&mut trial, fam).set(g, *cand);
+                    }
+                    mean_latency(sessions, &trial, ctx)
+                })
+            };
+            evaluations += opts.space.len();
+
             let mut best: (DataflowConfig, f64) = (opts.default, f64::INFINITY);
-            for &candidate in &opts.space {
-                let mut trial = configs.clone();
-                for &fam in set {
-                    family_mut(&mut trial, fam).set(g, candidate);
-                }
-                let t = mean_latency(sessions, &trial, ctx);
-                evaluations += 1;
+            for (i, &t) in cand_us.iter().enumerate() {
                 if t < best.1 {
-                    best = (candidate, t);
+                    best = (opts.space[i], t);
                 }
             }
             for &fam in set {
                 family_mut(&mut configs, fam).set(g, best.0);
             }
+            if incremental {
+                for (si, s) in sessions.iter().enumerate() {
+                    if g < contrib[si].len() {
+                        contrib[si][g] = group_contrib(s, g, &configs);
+                    }
+                }
+            }
+            group_wall_us.push(group_start.elapsed().as_secs_f64() * 1e6);
         }
     }
 
     let tuned_latency_us = mean_latency(sessions, &configs, ctx);
-    TrainTuneResult { configs, tuned_latency_us, default_latency_us, evaluations, scheme }
+    let (hits1, misses1) = cache_stats(sessions);
+    TrainTuneResult {
+        configs,
+        tuned_latency_us,
+        default_latency_us,
+        evaluations,
+        scheme,
+        stats: TunerStats {
+            wall_us: wall_start.elapsed().as_secs_f64() * 1e6,
+            group_wall_us,
+            prepare_cache_hits: hits1 - hits0,
+            prepare_cache_misses: misses1 - misses0,
+            threads,
+            incremental,
+        },
+    }
 }
 
 fn family_mut(cfgs: &mut TrainConfigs, fam: usize) -> &mut GroupConfigs {
@@ -171,7 +275,12 @@ mod tests {
         let s = session();
         let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
         for scheme in BindingScheme::ALL {
-            let r = tune_training(&[s.clone()], &ctx, &TunerOptions::default(), scheme);
+            let r = tune_training(
+                std::slice::from_ref(&s),
+                &ctx,
+                &TunerOptions::default(),
+                scheme,
+            );
             assert!(
                 r.tuned_latency_us <= r.default_latency_us + 1e-6,
                 "{}: {} > {}",
@@ -186,8 +295,18 @@ mod tests {
     fn partial_binding_not_worse_than_all_bound() {
         let s = session();
         let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
-        let all = tune_training(&[s.clone()], &ctx, &TunerOptions::default(), BindingScheme::AllBound);
-        let dw = tune_training(&[s], &ctx, &TunerOptions::default(), BindingScheme::DgradWgrad);
+        let all = tune_training(
+            std::slice::from_ref(&s),
+            &ctx,
+            &TunerOptions::default(),
+            BindingScheme::AllBound,
+        );
+        let dw = tune_training(
+            &[s],
+            &ctx,
+            &TunerOptions::default(),
+            BindingScheme::DgradWgrad,
+        );
         assert!(dw.tuned_latency_us <= all.tuned_latency_us * 1.001);
     }
 
@@ -196,16 +315,56 @@ mod tests {
         let s = session();
         let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp16);
         let opts = TunerOptions::default();
-        let all = tune_training(&[s.clone()], &ctx, &opts, BindingScheme::AllBound);
-        let fd = tune_training(&[s.clone()], &ctx, &opts, BindingScheme::ForwardDgrad);
+        let all = tune_training(
+            std::slice::from_ref(&s),
+            &ctx,
+            &opts,
+            BindingScheme::AllBound,
+        );
+        let fd = tune_training(
+            std::slice::from_ref(&s),
+            &ctx,
+            &opts,
+            BindingScheme::ForwardDgrad,
+        );
         let dec = tune_training(&[s], &ctx, &opts, BindingScheme::Decoupled);
         assert!(all.evaluations < fd.evaluations);
         assert!(fd.evaluations < dec.evaluations);
     }
 
     #[test]
+    fn incremental_matches_full_resimulation_for_training() {
+        let s = session();
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        for scheme in [BindingScheme::DgradWgrad, BindingScheme::Decoupled] {
+            let inc = tune_training(
+                std::slice::from_ref(&s),
+                &ctx,
+                &TunerOptions::default(),
+                scheme,
+            );
+            let full = tune_training(
+                std::slice::from_ref(&s),
+                &ctx,
+                &TunerOptions::default().with_mode(EvalMode::FullResimulation),
+                scheme,
+            );
+            assert_eq!(inc.configs, full.configs, "{}", scheme.name());
+            assert_eq!(inc.tuned_latency_us, full.tuned_latency_us);
+            assert_eq!(inc.default_latency_us, full.default_latency_us);
+            assert_eq!(inc.evaluations, full.evaluations);
+        }
+    }
+
+    #[test]
     fn device_scheme_defaults_match_paper() {
-        assert_eq!(default_scheme_for(&Device::a100()), BindingScheme::DgradWgrad);
-        assert_eq!(default_scheme_for(&Device::rtx2080ti()), BindingScheme::ForwardDgrad);
+        assert_eq!(
+            default_scheme_for(&Device::a100()),
+            BindingScheme::DgradWgrad
+        );
+        assert_eq!(
+            default_scheme_for(&Device::rtx2080ti()),
+            BindingScheme::ForwardDgrad
+        );
     }
 }

@@ -1,0 +1,202 @@
+//! Property-based equivalence of the incremental tuner and the naive
+//! full-resimulation tuner, plus concurrency smoke tests.
+//!
+//! The incremental evaluator's correctness argument is that a group's
+//! latency contribution depends only on its own configuration, so
+//! `residual + Σ contributions` recomposes the monolithic objective.
+//! These properties stress that claim across random networks, scenes,
+//! devices, precisions and binding schemes: the chosen schedule, the
+//! reported latencies (bit for bit) and the evaluation accounting must
+//! all match the naive reference.
+
+use proptest::prelude::*;
+
+use ts_autotune::{tune_inference, tune_training, BindingScheme, EvalMode, TunerOptions};
+use ts_core::{Network, NetworkBuilder, Session};
+use ts_dataflow::ExecCtx;
+use ts_gpusim::Device;
+use ts_kernelmap::{unique_coords, Coord};
+use ts_tensor::Precision;
+use ts_workloads::Workload;
+
+fn device(idx: usize) -> Device {
+    match idx % 5 {
+        0 => Device::rtx3090(),
+        1 => Device::a100(),
+        2 => Device::rtx2080ti(),
+        3 => Device::jetson_orin(),
+        _ => Device::gtx1080ti(),
+    }
+}
+
+fn precision(idx: usize) -> Precision {
+    if idx.is_multiple_of(2) {
+        Precision::Fp16
+    } else {
+        Precision::Fp32
+    }
+}
+
+/// A small random network: a chain of submanifold blocks, optionally
+/// followed by a strided downsample + transposed upsample pair (so both
+/// map orientations are exercised).
+fn build_network(channels: &[usize], downsample: bool) -> Network {
+    let mut b = NetworkBuilder::new("prop", 4);
+    let mut prev = NetworkBuilder::INPUT;
+    for (i, &c) in channels.iter().enumerate() {
+        prev = b.conv_block(&format!("c{i}"), prev, c, 3, 1);
+    }
+    if downsample {
+        let d = b.conv_block("down", prev, 16, 2, 2);
+        let _ = b.conv_block_transposed("up", d, 8, 2, 2);
+    }
+    b.build()
+}
+
+fn coords_strategy() -> impl Strategy<Value = Vec<Coord>> {
+    prop::collection::vec((0..10i32, 0..10i32, 0..4i32), 20..120).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y, z)| Coord::new(0, x, y, z))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_inference_equals_naive(
+        coords in coords_strategy(),
+        channels in prop::collection::vec(4usize..17, 1..3),
+        downsample in any::<bool>(),
+        dev in 0usize..5,
+        prec in 0usize..2,
+    ) {
+        let net = build_network(&channels, downsample);
+        let coords = unique_coords(&coords);
+        let session = Session::new(&net, &coords);
+        let sessions = std::slice::from_ref(&session);
+        let ctx = ExecCtx::simulate(device(dev), precision(prec));
+        let opts = TunerOptions::default().with_threads(1);
+        let inc = tune_inference(sessions, &ctx, &opts);
+        let full = tune_inference(
+            sessions,
+            &ctx,
+            &opts.clone().with_mode(EvalMode::FullResimulation),
+        );
+        prop_assert_eq!(&inc.per_group_choice, &full.per_group_choice);
+        prop_assert_eq!(inc.tuned_latency_us.to_bits(), full.tuned_latency_us.to_bits());
+        prop_assert_eq!(inc.default_latency_us.to_bits(), full.default_latency_us.to_bits());
+        prop_assert_eq!(inc.evaluations, full.evaluations);
+    }
+
+    #[test]
+    fn incremental_training_equals_naive(
+        coords in coords_strategy(),
+        channels in prop::collection::vec(4usize..17, 1..3),
+        downsample in any::<bool>(),
+        dev in 0usize..5,
+        prec in 0usize..2,
+        scheme in 0usize..4,
+    ) {
+        let net = build_network(&channels, downsample);
+        let coords = unique_coords(&coords);
+        let session = Session::new(&net, &coords);
+        let sessions = std::slice::from_ref(&session);
+        let ctx = ExecCtx::simulate(device(dev), precision(prec));
+        let scheme = BindingScheme::ALL[scheme];
+        let opts = TunerOptions::default().with_threads(1);
+        let inc = tune_training(sessions, &ctx, &opts, scheme);
+        let full = tune_training(
+            sessions,
+            &ctx,
+            &opts.clone().with_mode(EvalMode::FullResimulation),
+            scheme,
+        );
+        prop_assert_eq!(inc.tuned_latency_us.to_bits(), full.tuned_latency_us.to_bits());
+        prop_assert_eq!(inc.default_latency_us.to_bits(), full.default_latency_us.to_bits());
+        prop_assert_eq!(inc.evaluations, full.evaluations);
+        prop_assert_eq!(
+            inc.configs.fwd.for_group(0), full.configs.fwd.for_group(0)
+        );
+        prop_assert_eq!(
+            inc.configs.dgrad.for_group(0), full.configs.dgrad.for_group(0)
+        );
+        prop_assert_eq!(
+            inc.configs.wgrad.for_group(0), full.configs.wgrad.for_group(0)
+        );
+    }
+}
+
+fn workload_session() -> Session {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let scene = w.scene_scaled(5, 0.05);
+    Session::new(&net, scene.coords())
+}
+
+/// Parallel sweeps must agree with serial sweeps: same schedule, same
+/// bit-identical latencies, regardless of worker count.
+#[test]
+fn parallel_and_serial_sweeps_agree() {
+    let session = workload_session();
+    let sessions = std::slice::from_ref(&session);
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let serial = tune_inference(sessions, &ctx, &TunerOptions::default().with_threads(1));
+    for threads in [2, 4, 8] {
+        let par = tune_inference(
+            sessions,
+            &ctx,
+            &TunerOptions::default().with_threads(threads),
+        );
+        assert_eq!(
+            par.per_group_choice, serial.per_group_choice,
+            "threads={threads}"
+        );
+        assert_eq!(
+            par.tuned_latency_us.to_bits(),
+            serial.tuned_latency_us.to_bits(),
+            "threads={threads}"
+        );
+    }
+}
+
+/// `Session` is shared across scoped threads by the sweep; hammer the
+/// same session from several *concurrent tuning runs* to smoke-test the
+/// prepare cache's interior locking.
+#[test]
+fn concurrent_tuning_runs_share_a_session() {
+    let session = workload_session();
+    let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+    let reference = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default().with_threads(1),
+    );
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let session = &session;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    tune_inference(
+                        std::slice::from_ref(session),
+                        ctx,
+                        &TunerOptions::default().with_threads(1 + i % 2),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tuning thread panicked"))
+            .collect()
+    });
+    for r in &results {
+        assert_eq!(r.per_group_choice, reference.per_group_choice);
+        assert_eq!(
+            r.tuned_latency_us.to_bits(),
+            reference.tuned_latency_us.to_bits()
+        );
+    }
+}

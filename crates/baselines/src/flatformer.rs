@@ -29,7 +29,12 @@ pub struct FlatFormerSpec {
 
 impl Default for FlatFormerSpec {
     fn default() -> Self {
-        Self { group_size: 69, channels: 128, blocks: 8, heads: 8 }
+        Self {
+            group_size: 69,
+            channels: 128,
+            blocks: 8,
+            heads: 8,
+        }
     }
 }
 
@@ -107,7 +112,11 @@ mod tests {
         let d = Device::jetson_orin();
         let t = flatformer_trace(60_000, &FlatFormerSpec::default(), d);
         let compute = t.class_us(ts_gpusim::KernelClass::Compute);
-        assert!(compute > t.total_us() * 0.3, "compute {compute} of {}", t.total_us());
+        assert!(
+            compute > t.total_us() * 0.3,
+            "compute {compute} of {}",
+            t.total_us()
+        );
     }
 
     #[test]

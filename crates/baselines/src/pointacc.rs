@@ -23,12 +23,20 @@ pub struct PointAccSpec {
 impl PointAccSpec {
     /// The original PointAcc (MICRO'21): 64x64 at 1 GHz.
     pub fn base() -> Self {
-        Self { name: "PointAcc", array_dim: 64, clock_ghz: 1.0 }
+        Self {
+            name: "PointAcc",
+            array_dim: 64,
+            clock_ghz: 1.0,
+        }
     }
 
     /// The scaled PointAcc-L of Table 2: 128x128 at 1 GHz.
     pub fn large() -> Self {
-        Self { name: "PointAcc-L", array_dim: 128, clock_ghz: 1.0 }
+        Self {
+            name: "PointAcc-L",
+            array_dim: 128,
+            clock_ghz: 1.0,
+        }
     }
 
     /// Number of MAC units (`array_dim^2`).

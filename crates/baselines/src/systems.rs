@@ -84,24 +84,35 @@ impl System {
     /// SpConv v2 (restricted space) and TorchSparse++ (full space).
     pub fn inference_configs(self, session: &Session, ctx: &ExecCtx) -> GroupConfigs {
         match self {
-            System::MinkowskiEngine => GroupConfigs::uniform(DataflowConfig::fetch_on_demand(false)),
+            System::MinkowskiEngine => {
+                GroupConfigs::uniform(DataflowConfig::fetch_on_demand(false))
+            }
             System::SpConv1 => GroupConfigs::uniform(DataflowConfig::gather_scatter(false)),
             System::TorchSparse => GroupConfigs::uniform(DataflowConfig::gather_scatter(true)),
-            System::SpConvV2 => {
-                tune_inference(std::slice::from_ref(session), ctx, &TunerOptions::spconv_v2())
-                    .group_configs()
-                    .clone()
-            }
+            System::SpConvV2 => tune_inference(
+                std::slice::from_ref(session),
+                ctx,
+                &TunerOptions::spconv_v2(),
+            )
+            .group_configs()
+            .expect("tuner results carry configs")
+            .clone(),
             System::TorchSparsePP => {
                 tune_inference(std::slice::from_ref(session), ctx, &TunerOptions::default())
                     .group_configs()
+                    .expect("tuner results carry configs")
                     .clone()
             }
         }
     }
 
     /// Simulates one inference pass of this system.
-    pub fn inference_report(self, session: &Session, device: Device, precision: Precision) -> RunReport {
+    pub fn inference_report(
+        self,
+        session: &Session,
+        device: Device,
+        precision: Precision,
+    ) -> RunReport {
         let ctx = self.ctx(device, precision);
         let cfgs = self.inference_configs(session, &ctx);
         session.simulate_inference(&cfgs, &ctx)
@@ -117,9 +128,7 @@ impl System {
     /// binding scheme).
     pub fn training_configs(self, session: &Session, ctx: &ExecCtx) -> TrainConfigs {
         match self {
-            System::MinkowskiEngine => {
-                TrainConfigs::bound(DataflowConfig::fetch_on_demand(false))
-            }
+            System::MinkowskiEngine => TrainConfigs::bound(DataflowConfig::fetch_on_demand(false)),
             System::SpConv1 => TrainConfigs::bound(DataflowConfig::gather_scatter(false)),
             System::TorchSparse => TrainConfigs::bound(DataflowConfig::gather_scatter(true)),
             System::SpConvV2 => {
@@ -146,7 +155,12 @@ impl System {
 
     /// Simulates one training iteration (mixed precision where
     /// supported; MinkowskiEngine falls back to FP32, as in Figure 15).
-    pub fn training_report(self, session: &Session, device: Device, precision: Precision) -> RunReport {
+    pub fn training_report(
+        self,
+        session: &Session,
+        device: Device,
+        precision: Precision,
+    ) -> RunReport {
         let ctx = self.ctx(device, precision);
         let cfgs = self.training_configs(session, &ctx);
         session.simulate_training(&cfgs, &ctx)
@@ -182,7 +196,10 @@ mod tests {
             System::MinkowskiEngine.effective_precision(Precision::Fp16, &d),
             Precision::Fp32
         );
-        assert_eq!(System::SpConvV2.effective_precision(Precision::Fp16, &d), Precision::Fp16);
+        assert_eq!(
+            System::SpConvV2.effective_precision(Precision::Fp16, &d),
+            Precision::Fp16
+        );
     }
 
     #[test]
@@ -208,7 +225,10 @@ mod tests {
         assert!(tspp <= sp2, "TS++ {tspp} > SpConv2 {sp2}");
         assert!(sp2 < ts, "SpConv2 {sp2} >= TorchSparse {ts}");
         assert!(ts < sp1.max(mink), "TorchSparse {ts} >= worst baseline");
-        assert!(mink > tspp * 1.5, "Minkowski {mink} not clearly slower than TS++ {tspp}");
+        assert!(
+            mink > tspp * 1.5,
+            "Minkowski {mink} not clearly slower than TS++ {tspp}"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ use ts_workloads::{Workload, ALL_WORKLOADS};
 fn run(w: Workload, policy: TilePolicy, ctx: &ExecCtx) -> f64 {
     let session = session_for(w, 29);
     let cfg = DataflowConfig::implicit_gemm(1).with_tile_policy(policy);
-    session.simulate_inference(&GroupConfigs::uniform(cfg), ctx).total_ms()
+    session
+        .simulate_inference(&GroupConfigs::uniform(cfg), ctx)
+        .total_ms()
 }
 
 fn main() {
@@ -44,16 +46,32 @@ fn main() {
     }
     print_table(
         "Adaptive tiling ablation (RTX 3090, FP16, sorted implicit GEMM, ms)",
-        &["workload", "always small", "always large", "adaptive", "gain vs worst fixed"],
+        &[
+            "workload",
+            "always small",
+            "always large",
+            "adaptive",
+            "gain vs worst fixed",
+        ],
         &rows,
     );
-    paper_check("adaptive tiling gain", "up to 1.6x vs fixed tiling (Sec. 6.2)", &format!("up to {max_gain:.2}x"));
+    paper_check(
+        "adaptive tiling gain",
+        "up to 1.6x vs fixed tiling (Sec. 6.2)",
+        &format!("up to {max_gain:.2}x"),
+    );
     // Adaptive must track the better fixed tile on aggregate (at bench
     // scale small scenes are deeply under-occupied, which narrows the
     // per-workload gaps relative to the paper's full-size inputs).
     let gm = ts_bench::geomean(&adaptive_vs_best);
     assert!(gm <= 1.15, "adaptive geomean vs best fixed = {gm:.2}");
-    assert!(max_gain > 1.0, "adaptive must beat the worst fixed tile somewhere");
+    assert!(
+        max_gain > 1.0,
+        "adaptive must beat the worst fixed tile somewhere"
+    );
 
-    write_json("abl_adaptive_tiling", &json!({ "workloads": records, "max_gain": max_gain }));
+    write_json(
+        "abl_adaptive_tiling",
+        &json!({ "workloads": records, "max_gain": max_gain }),
+    );
 }

@@ -15,7 +15,12 @@ use ts_gpusim::{Device, Precision};
 use ts_workloads::{masked_image_batch, masked_image_encoder, MaskedImageConfig};
 
 fn latency_ms(keep_ratio: f32, ctx: &ExecCtx) -> f64 {
-    let cfg = MaskedImageConfig { grid_h: 96, grid_w: 96, keep_ratio, channels: 16 };
+    let cfg = MaskedImageConfig {
+        grid_h: 96,
+        grid_w: 96,
+        keep_ratio,
+        channels: 16,
+    };
     let net = masked_image_encoder(cfg.channels);
     let reports: Vec<_> = (0..3)
         .map(|seed| {
@@ -64,8 +69,17 @@ fn main() {
     // it well below the ideal 4x — consistent with the 1.5-2.8x speedups
     // published for sparse MAE encoders (SparK, GreenMIM), and itself an
     // instance of the paper's mapping-overhead thesis.
-    assert!(mae_speedup > 1.4, "sparse execution must clearly pay off: {mae_speedup:.2}");
-    assert!(mae_speedup < 4.5, "speedup cannot exceed the compute ratio by much");
+    assert!(
+        mae_speedup > 1.4,
+        "sparse execution must clearly pay off: {mae_speedup:.2}"
+    );
+    assert!(
+        mae_speedup < 4.5,
+        "speedup cannot exceed the compute ratio by much"
+    );
 
-    write_json("abl_masked_image", &json!({ "sweep": records, "mae_speedup": mae_speedup }));
+    write_json(
+        "abl_masked_image",
+        &json!({ "sweep": records, "mae_speedup": mae_speedup }),
+    );
 }

@@ -13,7 +13,12 @@ use ts_workloads::Workload;
 
 fn tuned_ms(session: &ts_core::Session, device: Device) -> f64 {
     let ctx = ExecCtx::simulate(device, Precision::Fp16);
-    tune_inference(std::slice::from_ref(session), &ctx, &TunerOptions::default()).tuned_latency_us
+    tune_inference(
+        std::slice::from_ref(session),
+        &ctx,
+        &TunerOptions::default(),
+    )
+    .tuned_latency_us
         / 1e3
 }
 
@@ -33,12 +38,28 @@ fn main() {
         &["configuration", "latency (ms)", "slowdown"],
         &[
             vec!["baseline".into(), format!("{t_base:.2}"), "1.00x".into()],
-            vec!["1/2 DRAM bandwidth".into(), format!("{t_half_bw:.2}"), format!("{bw_slowdown:.2}x")],
-            vec!["1/2 peak compute".into(), format!("{t_half_compute:.2}"), format!("{compute_slowdown:.2}x")],
+            vec![
+                "1/2 DRAM bandwidth".into(),
+                format!("{t_half_bw:.2}"),
+                format!("{bw_slowdown:.2}x"),
+            ],
+            vec![
+                "1/2 peak compute".into(),
+                format!("{t_half_compute:.2}"),
+                format!("{compute_slowdown:.2}x"),
+            ],
         ],
     );
-    paper_check("bandwidth halving", "1.2x slowdown (Sec. 6.3)", &format!("{bw_slowdown:.2}x"));
-    paper_check("compute halving", "1.4x slowdown (Sec. 6.3)", &format!("{compute_slowdown:.2}x"));
+    paper_check(
+        "bandwidth halving",
+        "1.2x slowdown (Sec. 6.3)",
+        &format!("{bw_slowdown:.2}x"),
+    );
+    paper_check(
+        "compute halving",
+        "1.4x slowdown (Sec. 6.3)",
+        &format!("{compute_slowdown:.2}x"),
+    );
     assert!(
         compute_slowdown > bw_slowdown,
         "compute must matter more than bandwidth ({compute_slowdown:.2} vs {bw_slowdown:.2})"

@@ -10,8 +10,8 @@
 use serde_json::json;
 use ts_baselines::cublas::cublas_utilization;
 use ts_bench::{geomean, paper_check, print_table, session_for, write_json};
-use ts_gpusim::{best_tile_for, Device, Precision};
 use ts_core::Op;
+use ts_gpusim::{best_tile_for, Device, Precision};
 use ts_workloads::Workload;
 
 fn main() {
@@ -67,7 +67,14 @@ fn main() {
 
     print_table(
         "Figure 8: tile-size-only tuning vs cuBLAS (RTX 3090, FP16)",
-        &["layer", "GEMM shape", "best tile", "ours", "cuBLAS", "ratio"],
+        &[
+            "layer",
+            "GEMM shape",
+            "best tile",
+            "ours",
+            "cuBLAS",
+            "ratio",
+        ],
         &rows,
     );
     let gm = geomean(&ratios);
@@ -77,7 +84,13 @@ fn main() {
         ">= 100% on average (Fig. 8)",
         &format!("{:.0}%", gm * 100.0),
     );
-    assert!(gm >= 0.95, "generated kernels should be cuBLAS-competitive, got {gm:.2}");
+    assert!(
+        gm >= 0.95,
+        "generated kernels should be cuBLAS-competitive, got {gm:.2}"
+    );
 
-    write_json("fig08_tile_sweep", &json!({ "layers": records, "geomean_ratio": gm }));
+    write_json(
+        "fig08_tile_sweep",
+        &json!({ "layers": records, "geomean_ratio": gm }),
+    );
 }

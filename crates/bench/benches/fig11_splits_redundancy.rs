@@ -31,7 +31,11 @@ fn main() {
     let rows: Vec<Vec<String>> = (0..=max_splits as usize)
         .map(|s| {
             vec![
-                if s == 0 { "0 (unsorted)".to_owned() } else { s.to_string() },
+                if s == 0 {
+                    "0 (unsorted)".to_owned()
+                } else {
+                    s.to_string()
+                },
                 format!("{:.2}x", seg[s]),
                 format!("{:.2}x", det[s]),
             ]
@@ -55,9 +59,18 @@ fn main() {
     );
 
     // Shape assertions: sorting helps, splits keep helping.
-    assert!(seg[1] < seg[0] && det[1] < det[0], "sorting must reduce redundancy");
-    assert!(seg[5] < seg[1], "5 splits must beat 1 split on segmentation");
-    assert!(det[0] > 1.5, "unsorted detection must show significant redundancy");
+    assert!(
+        seg[1] < seg[0] && det[1] < det[0],
+        "sorting must reduce redundancy"
+    );
+    assert!(
+        seg[5] < seg[1],
+        "5 splits must beat 1 split on segmentation"
+    );
+    assert!(
+        det[0] > 1.5,
+        "unsorted detection must show significant redundancy"
+    );
 
     write_json(
         "fig11_splits_redundancy",

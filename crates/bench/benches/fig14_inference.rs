@@ -21,8 +21,11 @@ fn main() {
     } else {
         vec![Device::a100(), Device::rtx3090(), Device::jetson_orin()]
     };
-    let precisions: Vec<Precision> =
-        if full_grid() { Precision::ALL.to_vec() } else { vec![Precision::Fp16, Precision::Fp32] };
+    let precisions: Vec<Precision> = if full_grid() {
+        Precision::ALL.to_vec()
+    } else {
+        vec![Precision::Fp16, Precision::Fp32]
+    };
 
     let mut records = Vec::new();
     let mut a100_fp16_speedups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -40,7 +43,10 @@ fn main() {
                 let ours = ms[ALL_SYSTEMS.len() - 1];
                 if device.name == "A100" && precision == Precision::Fp16 {
                     for (sys, &t) in ALL_SYSTEMS.iter().zip(&ms) {
-                        a100_fp16_speedups.entry(sys.name()).or_default().push(t / ours);
+                        a100_fp16_speedups
+                            .entry(sys.name())
+                            .or_default()
+                            .push(t / ours);
                     }
                 }
                 if device.name == "Jetson Orin" && precision == Precision::Fp16 {
@@ -62,7 +68,10 @@ fn main() {
                 .chain(std::iter::once("vs SpConv v2"))
                 .collect();
             print_table(
-                &format!("Figure 14: inference latency (ms), {} {}", device.name, precision),
+                &format!(
+                    "Figure 14: inference latency (ms), {} {}",
+                    device.name, precision
+                ),
                 &headers,
                 &rows,
             );
@@ -80,11 +89,19 @@ fn main() {
     for (name, paper) in paper_refs {
         let gm = geomean(&a100_fp16_speedups[name]);
         summary.insert(name, gm);
-        paper_check(&format!("A100 speedup over {name}"), paper, &format!("{gm:.2}x"));
+        paper_check(
+            &format!("A100 speedup over {name}"),
+            paper,
+            &format!("{gm:.2}x"),
+        );
         assert!(gm > 1.0, "TorchSparse++ must beat {name} (got {gm:.2}x)");
     }
     let orin = geomean(&orin_fp16_spconv2);
-    paper_check("Orin speedup over SpConv v2", "1.25x average", &format!("{orin:.2}x"));
+    paper_check(
+        "Orin speedup over SpConv v2",
+        "1.25x average",
+        &format!("{orin:.2}x"),
+    );
 
     // Shape assertions from the paper's ordering.
     assert!(summary["MinkowskiEngine"] > summary["SpConv v2"]);

@@ -28,7 +28,10 @@ fn main() {
                 .collect();
             let ours = ms[ALL_SYSTEMS.len() - 1];
             for (sys, &t) in ALL_SYSTEMS.iter().zip(&ms) {
-                speedups.entry((device.name.clone(), sys.name())).or_default().push(t / ours);
+                speedups
+                    .entry((device.name.clone(), sys.name()))
+                    .or_default()
+                    .push(t / ours);
             }
             records.push(json!({
                 "device": device.name, "workload": w.name(),
@@ -43,7 +46,10 @@ fn main() {
             .chain(ALL_SYSTEMS.iter().map(|s| s.name()))
             .collect();
         print_table(
-            &format!("Figure 15: training iteration latency (ms), {}, batch 2, AMP", device.name),
+            &format!(
+                "Figure 15: training iteration latency (ms), {}, batch 2, AMP",
+                device.name
+            ),
             &headers,
             &rows,
         );
@@ -71,8 +77,15 @@ fn main() {
     for device in &devices {
         let mink = geomean(&speedups[&(device.name.clone(), "MinkowskiEngine")]);
         let sp2 = geomean(&speedups[&(device.name.clone(), "SpConv v2")]);
-        assert!(mink > sp2 * 1.5, "{}: MinkowskiEngine must trail far behind", device.name);
+        assert!(
+            mink > sp2 * 1.5,
+            "{}: MinkowskiEngine must trail far behind",
+            device.name
+        );
     }
 
-    write_json("fig15_training", &json!({ "runs": records, "geomean_speedups": summary }));
+    write_json(
+        "fig15_training",
+        &json!({ "runs": records, "geomean_speedups": summary }),
+    );
 }

@@ -28,8 +28,14 @@ fn main() {
             .collect();
         let ours = runs.last().expect("TS++ is last").1;
         for (name, r) in &runs[..runs.len() - 1] {
-            speedups.entry(name).or_default().push(r.latency_us / ours.latency_us);
-            mem_ratios.entry(name).or_default().push(r.peak_bytes as f64 / ours.peak_bytes as f64);
+            speedups
+                .entry(name)
+                .or_default()
+                .push(r.latency_us / ours.latency_us);
+            mem_ratios
+                .entry(name)
+                .or_default()
+                .push(r.peak_bytes as f64 / ours.peak_bytes as f64);
         }
         records.push(json!({
             "graph": g.name, "nodes": g.n_nodes, "edges": g.n_edges(), "relations": g.n_relations,
@@ -37,17 +43,27 @@ fn main() {
             "peak_mb": runs.iter().map(|(n, r)| (*n, r.peak_bytes as f64 / 1e6)).collect::<BTreeMap<_,_>>(),
         }));
         let mut row = vec![g.name.clone()];
-        row.extend(runs.iter().map(|(_, r)| format!("{:.2}", r.latency_us / 1e3)));
+        row.extend(
+            runs.iter()
+                .map(|(_, r)| format!("{:.2}", r.latency_us / 1e3)),
+        );
         rows.push(row);
         let mut mrow = vec![g.name.clone()];
-        mrow.extend(runs.iter().map(|(_, r)| format!("{:.1}", r.peak_bytes as f64 / 1e6)));
+        mrow.extend(
+            runs.iter()
+                .map(|(_, r)| format!("{:.1}", r.peak_bytes as f64 / 1e6)),
+        );
         mem_rows.push(mrow);
     }
 
     let headers: Vec<&str> = std::iter::once("graph")
         .chain(ALL_GRAPH_SYSTEMS.iter().map(|s| s.name()))
         .collect();
-    print_table("Figure 16: R-GCN inference latency (ms), RTX 3090", &headers, &rows);
+    print_table(
+        "Figure 16: R-GCN inference latency (ms), RTX 3090",
+        &headers,
+        &rows,
+    );
     print_table("Figure 16: R-GCN peak memory (MB)", &headers, &mem_rows);
 
     println!();
@@ -58,8 +74,16 @@ fn main() {
     ] {
         let s = geomean(&speedups[sys.name()]);
         let m = geomean(&mem_ratios[sys.name()]);
-        paper_check(&format!("speedup vs {}", sys.name()), paper_speed, &format!("{s:.2}x"));
-        paper_check(&format!("memory saving vs {}", sys.name()), paper_mem, &format!("{m:.2}x"));
+        paper_check(
+            &format!("speedup vs {}", sys.name()),
+            paper_speed,
+            &format!("{s:.2}x"),
+        );
+        paper_check(
+            &format!("memory saving vs {}", sys.name()),
+            paper_mem,
+            &format!("{m:.2}x"),
+        );
         assert!(s > 1.5, "must clearly beat {}", sys.name());
         assert!(m > 1.2, "must use clearly less memory than {}", sys.name());
     }

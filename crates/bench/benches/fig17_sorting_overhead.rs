@@ -26,10 +26,14 @@ fn main() {
         (Workload::SemanticKittiMinkUNet10, "SK-M 1x (segmentation)"),
     ] {
         let session = session_for(w, 9);
-        let unsorted = session
-            .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)), &ctx);
-        let sorted = session
-            .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)), &ctx);
+        let unsorted = session.simulate_inference(
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)),
+            &ctx,
+        );
+        let sorted = session.simulate_inference(
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            &ctx,
+        );
 
         let u_compute = unsorted.kernel_only_us() / 1e3;
         let s_compute = sorted.kernel_only_us() / 1e3;
@@ -88,7 +92,10 @@ fn main() {
         "sorting reduces computation time (Fig. 17)",
         &format!("compute time drops with sorting: {seg_compute_drops}"),
     );
-    assert!(det_sorting_loses, "sorting must lose end-to-end on detection");
+    assert!(
+        det_sorting_loses,
+        "sorting must lose end-to-end on detection"
+    );
     assert!(seg_compute_drops, "sorting must cut compute time");
 
     write_json("fig17_sorting_overhead", &json!({ "workloads": records }));

@@ -32,10 +32,16 @@ fn main() {
         .tuned_latency_us
             / 1e3;
         let fod = session
-            .simulate_inference(&GroupConfigs::uniform(DataflowConfig::fetch_on_demand(true)), &ctx)
+            .simulate_inference(
+                &GroupConfigs::uniform(DataflowConfig::fetch_on_demand(true)),
+                &ctx,
+            )
             .total_ms();
-        let hybrid_result =
-            tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+        let hybrid_result = tune_inference(
+            std::slice::from_ref(&session),
+            &ctx,
+            &TunerOptions::default(),
+        );
         let hybrid = hybrid_result.tuned_latency_us / 1e3;
 
         let kinds: std::collections::HashSet<_> = hybrid_result
@@ -73,7 +79,13 @@ fn main() {
 
     print_table(
         "Figure 18: NS-M 1f FP32 — single dataflows vs hybrid (ms)",
-        &["device", "implicit GEMM", "fetch-on-demand", "hybrid", "hybrid gain"],
+        &[
+            "device",
+            "implicit GEMM",
+            "fetch-on-demand",
+            "hybrid",
+            "hybrid gain",
+        ],
         &rows,
     );
     paper_check(
@@ -81,7 +93,10 @@ fn main() {
         "hybrid up to 1.06x faster (Fig. 18a)",
         &format!("hybrid wins on {hybrid_wins}/2 devices; mixes dataflows: {hybrid_mixes}"),
     );
-    assert_eq!(hybrid_wins, 2, "the hybrid must never lose to its own subsets");
+    assert_eq!(
+        hybrid_wins, 2,
+        "the hybrid must never lose to its own subsets"
+    );
 
     write_json("fig18_hybrid_dataflow", &json!({ "devices": records }));
 }

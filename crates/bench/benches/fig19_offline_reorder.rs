@@ -23,13 +23,21 @@ fn main() {
 
     // Inference.
     let session = session_for(w, 13);
-    let inf_off = session.simulate_inference(&GroupConfigs::uniform(cfg), &offline).total_ms();
-    let inf_on = session.simulate_inference(&GroupConfigs::uniform(cfg), &online).total_ms();
+    let inf_off = session
+        .simulate_inference(&GroupConfigs::uniform(cfg), &offline)
+        .total_ms();
+    let inf_on = session
+        .simulate_inference(&GroupConfigs::uniform(cfg), &online)
+        .total_ms();
 
     // Training.
     let tsession = train_session_for(w, 13);
-    let tr_off = tsession.simulate_training(&TrainConfigs::bound(cfg), &offline).total_ms();
-    let tr_on = tsession.simulate_training(&TrainConfigs::bound(cfg), &online).total_ms();
+    let tr_off = tsession
+        .simulate_training(&TrainConfigs::bound(cfg), &offline)
+        .total_ms();
+    let tr_on = tsession
+        .simulate_training(&TrainConfigs::bound(cfg), &online)
+        .total_ms();
 
     let inf_gain = inf_on / inf_off;
     let tr_gain = tr_on / tr_off;
@@ -52,10 +60,21 @@ fn main() {
             ],
         ],
     );
-    paper_check("inference gain from offline reordering", "~4% (Fig. 19)", &format!("{:.1}%", (inf_gain - 1.0) * 100.0));
-    paper_check("training gain from offline reordering", "~12% (Fig. 19)", &format!("{:.1}%", (tr_gain - 1.0) * 100.0));
+    paper_check(
+        "inference gain from offline reordering",
+        "~4% (Fig. 19)",
+        &format!("{:.1}%", (inf_gain - 1.0) * 100.0),
+    );
+    paper_check(
+        "training gain from offline reordering",
+        "~12% (Fig. 19)",
+        &format!("{:.1}%", (tr_gain - 1.0) * 100.0),
+    );
     assert!(inf_gain > 1.0, "offline reordering must help inference");
-    assert!(tr_gain > inf_gain, "training must benefit more (wgrad indirection)");
+    assert!(
+        tr_gain > inf_gain,
+        "training must benefit more (wgrad indirection)"
+    );
 
     write_json(
         "fig19_offline_reorder",

@@ -58,18 +58,37 @@ fn main() {
 
     print_table(
         "Figure 20: compute-kernel time (ms) by shape handling (RTX 3090, FP16)",
-        &["workload", "fixed shape", "naive dynamic", "hoisted dynamic", "naive/fixed"],
+        &[
+            "workload",
+            "fixed shape",
+            "naive dynamic",
+            "hoisted dynamic",
+            "naive/fixed",
+        ],
         &rows,
     );
     let gm = geomean(&naive_ratios);
-    paper_check("naive dynamic-shape overhead", "1.5-1.7x (Fig. 20)", &format!("{gm:.2}x geomean"));
+    paper_check(
+        "naive dynamic-shape overhead",
+        "1.5-1.7x (Fig. 20)",
+        &format!("{gm:.2}x geomean"),
+    );
     paper_check(
         "hoisted vs fixed",
         "hoisted slightly faster on 5 of 7 workloads (Fig. 20)",
         &format!("hoisted <= fixed on {hoisted_beats_fixed}/7"),
     );
-    assert!((1.4..=1.8).contains(&gm), "naive overhead out of band: {gm:.2}");
-    assert!(hoisted_beats_fixed >= 5, "hoisting must recover fixed-shape performance");
+    assert!(
+        (1.4..=1.8).contains(&gm),
+        "naive overhead out of band: {gm:.2}"
+    );
+    assert!(
+        hoisted_beats_fixed >= 5,
+        "hoisting must recover fixed-shape performance"
+    );
 
-    write_json("fig20_hoisting", &json!({ "workloads": records, "naive_geomean": gm }));
+    write_json(
+        "fig20_hoisting",
+        &json!({ "workloads": records, "naive_geomean": gm }),
+    );
 }

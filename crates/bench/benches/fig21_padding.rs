@@ -46,14 +46,26 @@ fn main() {
 
     print_table(
         "Figure 21: boundary checking vs padded maps (RTX 3090, FP16)",
-        &["workload", "with checks (ms)", "padded (ms)", "check overhead"],
+        &[
+            "workload",
+            "with checks (ms)",
+            "padded (ms)",
+            "check overhead",
+        ],
         &rows,
     );
     let gm = geomean(&ratios);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
-    paper_check("boundary-check overhead", "1.14-1.35x, up to 1.3x (Fig. 21)", &format!("geomean {gm:.2}x, max {max:.2}x"));
+    paper_check(
+        "boundary-check overhead",
+        "1.14-1.35x, up to 1.3x (Fig. 21)",
+        &format!("geomean {gm:.2}x, max {max:.2}x"),
+    );
     assert!(gm > 1.05, "boundary checks must cost measurably");
     assert!(max <= 1.40, "overhead should stay near the paper's band");
 
-    write_json("fig21_padding", &json!({ "workloads": records, "geomean": gm, "max": max }));
+    write_json(
+        "fig21_padding",
+        &json!({ "workloads": records, "geomean": gm, "max": max }),
+    );
 }

@@ -24,15 +24,27 @@ fn main() {
         let session = session_for(w, 23);
         // (a) SpConv v2: restricted space, 1.15x slower kernels.
         let sp2_ctx = ExecCtx::simulate(device.clone(), Precision::Fp16).with_system_eff(1.15);
-        let sp2 = tune_inference(std::slice::from_ref(&session), &sp2_ctx, &TunerOptions::spconv_v2())
-            .tuned_latency_us;
+        let sp2 = tune_inference(
+            std::slice::from_ref(&session),
+            &sp2_ctx,
+            &TunerOptions::spconv_v2(),
+        )
+        .tuned_latency_us;
         // (b) our generator, same restricted dataflow space.
         let gen_ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
-        let gen = tune_inference(std::slice::from_ref(&session), &gen_ctx, &TunerOptions::spconv_v2())
-            .tuned_latency_us;
+        let gen = tune_inference(
+            std::slice::from_ref(&session),
+            &gen_ctx,
+            &TunerOptions::spconv_v2(),
+        )
+        .tuned_latency_us;
         // (c) + enlarged design space.
-        let full = tune_inference(std::slice::from_ref(&session), &gen_ctx, &TunerOptions::default())
-            .tuned_latency_us;
+        let full = tune_inference(
+            std::slice::from_ref(&session),
+            &gen_ctx,
+            &TunerOptions::default(),
+        )
+        .tuned_latency_us;
 
         gen_gains.push(sp2 / gen);
         space_gains.push(gen / full);
@@ -53,21 +65,44 @@ fn main() {
 
     print_table(
         "Figure 23: cumulative gains over SpConv v2 (RTX 3090, FP16, ms)",
-        &["workload", "SpConv v2", "+generator", "+design space", "gen gain", "space gain", "total"],
+        &[
+            "workload",
+            "SpConv v2",
+            "+generator",
+            "+design space",
+            "gen gain",
+            "space gain",
+            "total",
+        ],
         &rows,
     );
     let g1 = geomean(&gen_gains);
     let g2 = geomean(&space_gains);
-    paper_check("generator gain at same dataflow params", "1.1-1.2x (Fig. 23)", &format!("{g1:.2}x"));
-    paper_check("enlarged-space gain", "remainder of 1.4-1.7x total", &format!("{g2:.2}x"));
-    assert!((1.05..=1.30).contains(&g1), "generator gain out of band: {g1:.2}");
+    paper_check(
+        "generator gain at same dataflow params",
+        "1.1-1.2x (Fig. 23)",
+        &format!("{g1:.2}x"),
+    );
+    paper_check(
+        "enlarged-space gain",
+        "remainder of 1.4-1.7x total",
+        &format!("{g2:.2}x"),
+    );
+    assert!(
+        (1.05..=1.30).contains(&g1),
+        "generator gain out of band: {g1:.2}"
+    );
     assert!(g2 >= 1.0, "the enlarged space must never lose");
 
     let cost = generator_loc();
     paper_check(
         "engineering cost",
         "~5% of SpConv v2's 40k-line metaprogrammer",
-        &format!("{} lines = {:.1}%", cost.generator_loc, cost.fraction_of_spconv() * 100.0),
+        &format!(
+            "{} lines = {:.1}%",
+            cost.generator_loc,
+            cost.fraction_of_spconv() * 100.0
+        ),
     );
 
     write_json(

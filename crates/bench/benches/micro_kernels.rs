@@ -8,14 +8,12 @@ use ts_gpusim::Device;
 use ts_kernelmap::{
     argsort_by_bitmask, build_submanifold_map, Coord, CoordHashMap, KernelOffsets, SplitPlan,
 };
-use ts_tensor::{gemm, rng_from_seed, uniform_matrix, Precision};
+use ts_tensor::{gemm, gemm_tn, gemm_tn_naive, rng_from_seed, uniform_matrix, Precision};
 use ts_workloads::{LidarConfig, LidarScene};
 
 fn scene_coords(n_side: i32) -> Vec<Coord> {
     (0..n_side)
-        .flat_map(|x| {
-            (0..n_side).flat_map(move |y| (0..3).map(move |z| Coord::new(0, x, y, z)))
-        })
+        .flat_map(|x| (0..n_side).flat_map(move |y| (0..3).map(move |z| Coord::new(0, x, y, z))))
         .collect()
 }
 
@@ -53,7 +51,12 @@ fn bench_sorting(c: &mut Criterion) {
         b.iter(|| argsort_by_bitmask(black_box(map.bitmasks()), 0, 27))
     });
     c.bench_function("split_plan_s3_10k", |b| {
-        b.iter(|| SplitPlan::from_split_count(black_box(&map), 3))
+        // Plan construction is lazy; unit_counts forces the per-range
+        // key sort + MAC census the cost model actually pays.
+        b.iter(|| {
+            let plan = SplitPlan::from_split_count(black_box(&map), 3);
+            plan.unit_counts(&map).to_vec()
+        })
     });
 }
 
@@ -61,7 +64,21 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
     let a = uniform_matrix(&mut rng, 256, 256, -1.0, 1.0);
     let b_m = uniform_matrix(&mut rng, 256, 256, -1.0, 1.0);
-    c.bench_function("gemm_256", |b| b.iter(|| gemm(black_box(&a), black_box(&b_m))));
+    c.bench_function("gemm_256", |b| {
+        b.iter(|| gemm(black_box(&a), black_box(&b_m)))
+    });
+
+    // The wgrad shape: tall-skinny operands reduced over many points.
+    // Compares the reduction-blocked gemm_tn against the row-at-a-time
+    // reference it replaced.
+    let ta = uniform_matrix(&mut rng, 8192, 64, -1.0, 1.0);
+    let tb = uniform_matrix(&mut rng, 8192, 64, -1.0, 1.0);
+    c.bench_function("gemm_tn_8k_x64_blocked", |b| {
+        b.iter(|| gemm_tn(black_box(&ta), black_box(&tb)))
+    });
+    c.bench_function("gemm_tn_8k_x64_naive", |b| {
+        b.iter(|| gemm_tn_naive(black_box(&ta), black_box(&tb)))
+    });
 }
 
 fn bench_dataflow_forward(c: &mut Criterion) {
@@ -72,7 +89,10 @@ fn bench_dataflow_forward(c: &mut Criterion) {
     let w = ConvWeights::random(&mut rng, 27, 16, 16);
     let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
     for (name, cfg) in [
-        ("forward_gather_scatter", DataflowConfig::gather_scatter(true)),
+        (
+            "forward_gather_scatter",
+            DataflowConfig::gather_scatter(true),
+        ),
         ("forward_implicit_s1", DataflowConfig::implicit_gemm(1)),
         ("forward_fod", DataflowConfig::fetch_on_demand(true)),
     ] {

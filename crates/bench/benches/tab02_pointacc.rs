@@ -19,10 +19,13 @@ fn main() {
     let asic = PointAccSpec::large();
     let session = session_for(Workload::SemanticKittiMinkUNet10, 3);
     let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-    let gpu_ms =
-        tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default())
-            .tuned_latency_us
-            / 1e3;
+    let gpu_ms = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    )
+    .tuned_latency_us
+        / 1e3;
     let gpu_projected = normalize_gpu_latency_ms(gpu_ms, &asic);
 
     // ASIC latency model: the network's exact effective MACs at high
@@ -53,7 +56,12 @@ fn main() {
         "Table 2: TorchSparse++ (RTX 3090) vs scaled PointAcc",
         &["metric", "RTX 3090", "PointAcc", "PointAcc-L"],
         &[
-            vec!["cores".into(), Rtx3090Tensor::CORES.to_string(), "64^2".into(), "128^2".into()],
+            vec![
+                "cores".into(),
+                Rtx3090Tensor::CORES.to_string(),
+                "64^2".into(),
+                "128^2".into(),
+            ],
             vec![
                 "MACs".into(),
                 Rtx3090Tensor::macs().to_string(),
@@ -77,7 +85,10 @@ fn main() {
     paper_check(
         "GPU fraction of ASIC speed",
         "56% (31.6 ms projected vs 17.8 ms; Table 2)",
-        &format!("{:.0}% ({gpu_projected:.1} ms vs {asic_ms:.1} ms)", fraction * 100.0),
+        &format!(
+            "{:.0}% ({gpu_projected:.1} ms vs {asic_ms:.1} ms)",
+            fraction * 100.0
+        ),
     );
     assert!(
         (0.1..1.0).contains(&fraction),

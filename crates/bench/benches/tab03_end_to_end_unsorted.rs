@@ -15,9 +15,21 @@ use ts_workloads::Workload;
 
 fn main() {
     let cases = [
-        (Workload::NuScenesCenterPoint10f, Device::rtx3090(), "NS-C, RTX 3090"),
-        (Workload::NuScenesCenterPoint10f, Device::jetson_orin(), "NS-C, Orin"),
-        (Workload::WaymoCenterPoint1f, Device::rtx3090(), "WM-C-1f, RTX 3090"),
+        (
+            Workload::NuScenesCenterPoint10f,
+            Device::rtx3090(),
+            "NS-C, RTX 3090",
+        ),
+        (
+            Workload::NuScenesCenterPoint10f,
+            Device::jetson_orin(),
+            "NS-C, Orin",
+        ),
+        (
+            Workload::WaymoCenterPoint1f,
+            Device::rtx3090(),
+            "WM-C-1f, RTX 3090",
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -62,7 +74,10 @@ fn main() {
         "unsorted up to 1.2x faster end-to-end (Table 3)",
         &format!("unsorted wins {unsorted_wins_on_3090}/2 RTX 3090 cases"),
     );
-    assert!(unsorted_wins_on_3090 >= 1, "unsorted should win end-to-end on the server GPU");
+    assert!(
+        unsorted_wins_on_3090 >= 1,
+        "unsorted should win end-to-end on the server GPU"
+    );
 
     write_json("tab03_end_to_end_unsorted", &json!({ "cases": records }));
 }

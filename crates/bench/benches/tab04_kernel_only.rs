@@ -14,10 +14,26 @@ use ts_workloads::Workload;
 
 fn main() {
     let cases = [
-        (Workload::NuScenesCenterPoint10f, Device::rtx3090(), "NS-C, RTX 3090"),
-        (Workload::NuScenesCenterPoint10f, Device::jetson_orin(), "NS-C, Orin"),
-        (Workload::WaymoCenterPoint1f, Device::rtx3090(), "WM-C-1f, RTX 3090"),
-        (Workload::WaymoCenterPoint1f, Device::jetson_orin(), "WM-C-1f, Orin"),
+        (
+            Workload::NuScenesCenterPoint10f,
+            Device::rtx3090(),
+            "NS-C, RTX 3090",
+        ),
+        (
+            Workload::NuScenesCenterPoint10f,
+            Device::jetson_orin(),
+            "NS-C, Orin",
+        ),
+        (
+            Workload::WaymoCenterPoint1f,
+            Device::rtx3090(),
+            "WM-C-1f, RTX 3090",
+        ),
+        (
+            Workload::WaymoCenterPoint1f,
+            Device::jetson_orin(),
+            "WM-C-1f, Orin",
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -64,7 +80,10 @@ fn main() {
     paper_check(
         "kernel-only ranking",
         "sorted kernels are faster when mapping is excluded (Table 4)",
-        &format!("sorted wins kernel-only in {sorted_wins_kernel_only}/{} cases", cases.len()),
+        &format!(
+            "sorted wins kernel-only in {sorted_wins_kernel_only}/{} cases",
+            cases.len()
+        ),
     );
     assert!(
         sorted_wins_kernel_only >= cases.len() - 1,

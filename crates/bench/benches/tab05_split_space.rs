@@ -15,8 +15,11 @@ use ts_workloads::Workload;
 fn main() {
     let session = session_for(Workload::SemanticKittiMinkUNet10, 3);
     let device = Device::rtx3090();
-    let spaces: [(&str, Vec<u32>); 3] =
-        [("{1}", vec![1]), ("{1,2}", vec![1, 2]), ("{0,1,2,3,4}", vec![0, 1, 2, 3, 4])];
+    let spaces: [(&str, Vec<u32>); 3] = [
+        ("{1}", vec![1]),
+        ("{1,2}", vec![1, 2]),
+        ("{0,1,2,3,4}", vec![0, 1, 2, 3, 4]),
+    ];
 
     let mut rows = Vec::new();
     let mut records = Vec::new();
@@ -60,5 +63,8 @@ fn main() {
     );
     assert!(max_gain > 1.0, "a larger split space must never lose");
 
-    write_json("tab05_split_space", &json!({ "rows": records, "max_gain": max_gain }));
+    write_json(
+        "tab05_split_space",
+        &json!({ "rows": records, "max_gain": max_gain }),
+    );
 }

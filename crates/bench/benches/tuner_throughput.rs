@@ -1,0 +1,155 @@
+//! Autotuner throughput: incremental + parallel candidate evaluation
+//! versus naive full re-simulation.
+//!
+//! The greedy group search is unchanged in *what* it evaluates; this
+//! harness measures how fast the evaluations run. Three configurations
+//! of the same tuner run on the same NuScenes MinkUNet session:
+//!
+//! 1. naive      — full end-to-end re-simulation per candidate, serial;
+//! 2. incr(1)    — decomposed per-group objective, serial;
+//! 3. incr(auto) — decomposed objective, crossbeam-parallel sweep.
+//!
+//! Each mode runs twice on its own fresh session: the first (cold) run
+//! pays the one-time map-structure construction shared by every mode
+//! (split plans, MAC censuses — reported for transparency), and the
+//! second run is the steady-state measurement, the usual post-warmup
+//! convention. All runs must pick the identical schedule and report
+//! bit-identical latencies; only wall-clock differs. Results land in
+//! `target/repro/BENCH_tuner.json` and a copy at `BENCH_tuner.json`.
+
+use serde_json::json;
+use ts_autotune::{tune_inference, EvalMode, TuneResult, TunerOptions};
+use ts_bench::{print_table, session_for, write_json};
+use ts_dataflow::ExecCtx;
+use ts_gpusim::{Device, Precision};
+use ts_workloads::Workload;
+
+/// Cold run + steady-state run of one tuner mode on a fresh session.
+fn run(base: &ts_core::Session, ctx: &ExecCtx, opts: &TunerOptions) -> (TuneResult, TuneResult) {
+    let session = base.clone(); // fresh prepare cache: cold first run
+    let sessions = std::slice::from_ref(&session);
+    let cold = tune_inference(sessions, ctx, opts);
+    let steady = tune_inference(sessions, ctx, opts);
+    (cold, steady)
+}
+
+fn main() {
+    let base = session_for(Workload::NuScenesMinkUNet1f, 7);
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let n_groups = base.groups().len();
+
+    let naive_opts = TunerOptions::default()
+        .with_mode(EvalMode::FullResimulation)
+        .with_threads(1);
+    let (naive_cold, naive) = run(&base, &ctx, &naive_opts);
+    let (incr_cold, incr_serial) = run(&base, &ctx, &TunerOptions::default().with_threads(1));
+    let (_, incr_par) = run(&base, &ctx, &TunerOptions::default().with_threads(0));
+
+    // Equivalence: identical schedule and bit-identical latencies in
+    // every mode, cold or warm.
+    for (name, r) in [
+        ("naive-steady", &naive),
+        ("incremental-cold", &incr_cold),
+        ("incremental-serial", &incr_serial),
+        ("incremental-parallel", &incr_par),
+    ] {
+        assert_eq!(
+            r.per_group_choice, naive_cold.per_group_choice,
+            "{name} schedule differs"
+        );
+        assert_eq!(
+            r.tuned_latency_us.to_bits(),
+            naive_cold.tuned_latency_us.to_bits(),
+            "{name}"
+        );
+        assert_eq!(r.evaluations, naive_cold.evaluations, "{name}");
+    }
+
+    let speedup_incr = naive.stats.wall_us / incr_serial.stats.wall_us;
+    let speedup_total = naive.stats.wall_us / incr_par.stats.wall_us;
+    let speedup_cold = naive_cold.stats.wall_us / incr_cold.stats.wall_us;
+
+    let rows: Vec<Vec<String>> = [
+        ("naive full re-simulation", &naive),
+        ("incremental, 1 thread", &incr_serial),
+        ("incremental, parallel", &incr_par),
+    ]
+    .iter()
+    .map(|(name, r)| {
+        vec![
+            (*name).to_owned(),
+            format!("{:.1}", r.stats.wall_us / 1e3),
+            format!("{}", r.stats.threads),
+            format!("{}", r.stats.prepare_cache_hits),
+            format!("{}", r.stats.prepare_cache_misses),
+            format!("{:.2}x", naive.stats.wall_us / r.stats.wall_us),
+        ]
+    })
+    .collect();
+    print_table(
+        "Autotuner throughput, steady state (NuScenes MinkUNet, RTX 3090 / FP16)",
+        &[
+            "mode",
+            "wall ms",
+            "threads",
+            "cache hits",
+            "cache misses",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "cold first run (incl. one-time map structures): naive {:.1} ms, incremental {:.1} ms ({speedup_cold:.2}x)",
+        naive_cold.stats.wall_us / 1e3,
+        incr_cold.stats.wall_us / 1e3,
+    );
+    println!(
+        "groups: {n_groups}, evaluations: {}, schedule speedup over default: {:.2}x",
+        naive.evaluations,
+        naive.speedup()
+    );
+
+    let record = json!({
+        "workload": "NuScenesMinkUNet1f",
+        "device": "RTX 3090",
+        "precision": "fp16",
+        "groups": n_groups,
+        "evaluations": naive.evaluations,
+        "naive_wall_ms": naive.stats.wall_us / 1e3,
+        "incremental_serial_wall_ms": incr_serial.stats.wall_us / 1e3,
+        "incremental_parallel_wall_ms": incr_par.stats.wall_us / 1e3,
+        "naive_cold_wall_ms": naive_cold.stats.wall_us / 1e3,
+        "incremental_cold_wall_ms": incr_cold.stats.wall_us / 1e3,
+        "speedup_incremental": speedup_incr,
+        "speedup_incremental_parallel": speedup_total,
+        "speedup_cold": speedup_cold,
+        "parallel_threads": incr_par.stats.threads,
+        "cache_hits_incremental": incr_serial.stats.prepare_cache_hits,
+        "cache_misses_incremental": incr_cold.stats.prepare_cache_misses,
+        "group_wall_us_incremental": incr_par.stats.group_wall_us,
+        "schedules_identical": true,
+        "tuned_latency_us": naive.tuned_latency_us,
+        "default_latency_us": naive.default_latency_us,
+    });
+    write_json("BENCH_tuner", &record);
+    // Repo-root copy for quick inspection without digging into target/
+    // (benches run with CWD = crates/bench, so resolve the workspace root).
+    let root_copy = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tuner.json");
+    match serde_json::to_string_pretty(&record) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(root_copy, s) {
+                eprintln!("warning: could not write {root_copy}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize BENCH_tuner record: {e}"),
+    }
+
+    assert!(
+        speedup_incr >= 5.0,
+        "incremental evaluation must be at least 5x faster than naive (got {speedup_incr:.2}x)"
+    );
+    assert!(
+        speedup_cold >= 2.0,
+        "even a cold run (shared map-structure setup included) should be well ahead of naive (got {speedup_cold:.2}x)"
+    );
+}

@@ -28,7 +28,9 @@ pub fn bench_scale() -> f32 {
 
 /// Whether to run the full device/precision grid (`TS_BENCH_FULL=1`).
 pub fn full_grid() -> bool {
-    std::env::var("TS_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TS_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Output directory for JSON records.
@@ -88,7 +90,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .map(|(i, c)| format!("{:>w$}", c, w = widths[i] + 2))
             .collect::<String>()
     };
-    println!("{}", fmt_row(headers.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(headers.iter().map(|s| s.to_string()).collect())
+    );
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }

@@ -29,7 +29,12 @@ impl Engine {
         configs: GroupConfigs,
         ctx: ExecCtx,
     ) -> Self {
-        Self { network, weights, configs, ctx }
+        Self {
+            network,
+            weights,
+            configs,
+            ctx,
+        }
     }
 
     /// The network this engine executes.
@@ -50,7 +55,13 @@ impl Engine {
     /// Panics if the input channels disagree with the network or the
     /// coordinates are not deduplicated.
     pub fn infer(&self, input: &SparseTensor) -> (SparseTensor, RunReport) {
-        run_network(&self.network, &self.weights, input, &self.configs, &self.ctx)
+        run_network(
+            &self.network,
+            &self.weights,
+            input,
+            &self.configs,
+            &self.ctx,
+        )
     }
 
     /// Prices one scene on the simulated GPU without computing features
@@ -93,11 +104,15 @@ mod tests {
     }
 
     fn scene(seed: u64) -> SparseTensor {
-        let coords: Vec<Coord> =
-            (0..40).map(|i| Coord::new(0, i % 8, i / 8, (i % 3) as i32)).collect();
+        let coords: Vec<Coord> = (0..40)
+            .map(|i| Coord::new(0, i % 8, i / 8, i % 3))
+            .collect();
         let coords = ts_kernelmap::unique_coords(&coords);
         let n = coords.len();
-        SparseTensor::new(coords, uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0))
+        SparseTensor::new(
+            coords,
+            uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0),
+        )
     }
 
     #[test]

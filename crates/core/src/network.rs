@@ -108,7 +108,10 @@ impl Network {
 
     /// Number of sparse convolution layers.
     pub fn conv_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.op, Op::Conv(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.op, Op::Conv(_)))
+            .count()
     }
 
     /// Total parameter count over all convolutions.
@@ -227,15 +230,26 @@ impl NetworkBuilder {
         Self {
             name: name.into(),
             in_channels,
-            nodes: vec![Node { name: "input".to_owned(), op: Op::Input, input: 0 }],
+            nodes: vec![Node {
+                name: "input".to_owned(),
+                op: Op::Input,
+                input: 0,
+            }],
             channels: vec![in_channels],
             strides: vec![1],
         }
     }
 
     fn push(&mut self, name: &str, op: Op, input: usize, channels: usize, stride: i32) -> usize {
-        assert!(input < self.nodes.len(), "input node {input} does not exist");
-        self.nodes.push(Node { name: name.to_owned(), op, input });
+        assert!(
+            input < self.nodes.len(),
+            "input node {input} does not exist"
+        );
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            op,
+            input,
+        });
         self.channels.push(channels);
         self.strides.push(stride);
         self.nodes.len() - 1
@@ -246,10 +260,23 @@ impl NetworkBuilder {
     /// # Panics
     ///
     /// Panics if `stride < 1` or `input` does not exist.
-    pub fn conv(&mut self, name: &str, input: usize, c_out: usize, kernel: u32, stride: i32) -> usize {
+    pub fn conv(
+        &mut self,
+        name: &str,
+        input: usize,
+        c_out: usize,
+        kernel: u32,
+        stride: i32,
+    ) -> usize {
         assert!(stride >= 1, "use conv_transposed for upsampling");
         let c_in = self.channels[input];
-        let spec = ConvSpec { c_in, c_out, kernel_size: kernel, stride, transposed: false };
+        let spec = ConvSpec {
+            c_in,
+            c_out,
+            kernel_size: kernel,
+            stride,
+            transposed: false,
+        };
         let out_stride = self.strides[input] * stride;
         self.push(name, Op::Conv(spec), input, c_out, out_stride)
     }
@@ -268,9 +295,18 @@ impl NetworkBuilder {
         stride: i32,
     ) -> usize {
         let in_stride = self.strides[input];
-        assert!(stride >= 1 && in_stride % stride == 0, "cannot upsample stride {in_stride} by {stride}");
+        assert!(
+            stride >= 1 && in_stride % stride == 0,
+            "cannot upsample stride {in_stride} by {stride}"
+        );
         let c_in = self.channels[input];
-        let spec = ConvSpec { c_in, c_out, kernel_size: kernel, stride, transposed: true };
+        let spec = ConvSpec {
+            c_in,
+            c_out,
+            kernel_size: kernel,
+            stride,
+            transposed: true,
+        };
         self.push(name, Op::Conv(spec), input, c_out, in_stride / stride)
     }
 
@@ -292,8 +328,14 @@ impl NetworkBuilder {
     ///
     /// Panics if channels or strides differ.
     pub fn add(&mut self, name: &str, input: usize, other: usize) -> usize {
-        assert_eq!(self.channels[input], self.channels[other], "residual channels must match");
-        assert_eq!(self.strides[input], self.strides[other], "residual strides must match");
+        assert_eq!(
+            self.channels[input], self.channels[other],
+            "residual channels must match"
+        );
+        assert_eq!(
+            self.strides[input], self.strides[other],
+            "residual strides must match"
+        );
         let (c, s) = (self.channels[input], self.strides[input]);
         self.push(name, Op::Add { other }, input, c, s)
     }
@@ -304,14 +346,24 @@ impl NetworkBuilder {
     ///
     /// Panics if strides differ.
     pub fn concat(&mut self, name: &str, input: usize, other: usize) -> usize {
-        assert_eq!(self.strides[input], self.strides[other], "concat strides must match");
+        assert_eq!(
+            self.strides[input], self.strides[other],
+            "concat strides must match"
+        );
         let c = self.channels[input] + self.channels[other];
         let s = self.strides[input];
         self.push(name, Op::Concat { other }, input, c, s)
     }
 
     /// Convenience: conv + BN + ReLU.
-    pub fn conv_block(&mut self, name: &str, input: usize, c_out: usize, kernel: u32, stride: i32) -> usize {
+    pub fn conv_block(
+        &mut self,
+        name: &str,
+        input: usize,
+        c_out: usize,
+        kernel: u32,
+        stride: i32,
+    ) -> usize {
         let c = self.conv(&format!("{name}.conv"), input, c_out, kernel, stride);
         let b = self.bn(&format!("{name}.bn"), c);
         self.relu(&format!("{name}.relu"), b)

@@ -139,12 +139,25 @@ mod tests {
     fn sample() -> RunReport {
         let mut trace = KernelTrace::new();
         trace.push(KernelDesc::mapping("m", 10, 10), 5.0);
-        trace.push(KernelDesc::gemm("g", 8, 8, 8, ts_gpusim::Precision::Fp32), 20.0);
+        trace.push(
+            KernelDesc::gemm("g", 8, 8, 8, ts_gpusim::Precision::Fp32),
+            20.0,
+        );
         RunReport::new(
             trace,
             vec![
-                LayerTiming { name: "map".into(), node: usize::MAX, group: Some(0), time_us: 5.0 },
-                LayerTiming { name: "conv".into(), node: 1, group: Some(0), time_us: 20.0 },
+                LayerTiming {
+                    name: "map".into(),
+                    node: usize::MAX,
+                    group: Some(0),
+                    time_us: 5.0,
+                },
+                LayerTiming {
+                    name: "conv".into(),
+                    node: 1,
+                    group: Some(0),
+                    time_us: 20.0,
+                },
             ],
         )
     }

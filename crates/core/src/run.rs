@@ -30,7 +30,11 @@ pub fn run_network(
     cfgs: &GroupConfigs,
     ctx: &ExecCtx,
 ) -> (SparseTensor, RunReport) {
-    assert_eq!(input.channels(), network.in_channels(), "input channel mismatch");
+    assert_eq!(
+        input.channels(),
+        network.in_channels(),
+        "input channel mismatch"
+    );
     assert_eq!(
         ts_kernelmap::unique_coords(input.coords()).len(),
         input.num_points(),
@@ -41,7 +45,10 @@ pub fn run_network(
     let report = session.simulate_inference(cfgs, ctx);
 
     // Functional feature walk.
-    let fctx = ExecCtx { functional: true, ..ctx.clone() };
+    let fctx = ExecCtx {
+        functional: true,
+        ..ctx.clone()
+    };
     let mut feats: Vec<Option<Matrix>> = vec![None; network.nodes().len()];
     let mut coords: Vec<Option<Arc<Vec<Coord>>>> = vec![None; network.nodes().len()];
     let mut stride_coords: HashMap<i32, Arc<Vec<Coord>>> = HashMap::new();
@@ -51,13 +58,17 @@ pub fn run_network(
     stride_coords.insert(1, input_coords);
 
     for (i, node) in network.nodes().iter().enumerate().skip(1) {
-        let x = feats[node.input].as_ref().expect("producer already executed").clone();
+        let x = feats[node.input]
+            .as_ref()
+            .expect("producer already executed")
+            .clone();
         let in_coords = Arc::clone(coords[node.input].as_ref().expect("coords known"));
         match node.op {
             Op::Input => unreachable!(),
             Op::Conv(spec) => {
-                let (map, group, _) =
-                    session.map_for_node(i).expect("conv node has a compiled map");
+                let (map, group, _) = session
+                    .map_for_node(i)
+                    .expect("conv node has a compiled map");
                 let w = weights.convs[i].as_ref().expect("conv weights initialised");
                 let cfg = cfgs.for_group(group);
                 let prepared = prepare(&map, &cfg, &fctx);
@@ -135,7 +146,9 @@ mod tests {
     use ts_tensor::{rng_from_seed, uniform_matrix, Precision};
 
     fn coords(n: i32) -> Vec<Coord> {
-        (0..n).flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, 0))).collect()
+        (0..n)
+            .flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, 0)))
+            .collect()
     }
 
     fn input(n: i32, c: usize) -> SparseTensor {
@@ -161,8 +174,13 @@ mod tests {
         let (net, w) = unet();
         let x = input(8, 4);
         let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
-        let (y, report) =
-            run_network(&net, &w, &x, &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)), &ctx);
+        let (y, report) = run_network(
+            &net,
+            &w,
+            &x,
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            &ctx,
+        );
         assert_eq!(y.num_points(), x.num_points());
         assert_eq!(y.channels(), 4);
         assert_eq!(y.stride(), 1);
@@ -203,8 +221,13 @@ mod tests {
         let w = net.init_weights(5);
         let x = input(6, 6);
         let ctx = ExecCtx::functional(Device::a100(), Precision::Fp32);
-        let (y, _) =
-            run_network(&net, &w, &x, &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)), &ctx);
+        let (y, _) = run_network(
+            &net,
+            &w,
+            &x,
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)),
+            &ctx,
+        );
         assert_eq!(y.channels(), 12);
         // ReLU output is non-negative.
         assert!(y.feats().as_slice().iter().all(|&v| v >= 0.0));
@@ -217,8 +240,8 @@ mod tests {
         let exact_ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp32);
         let cfgs = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
         let (exact, _) = run_network(&net, &w, &x, &cfgs, &exact_ctx);
-        let quant_ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp16)
-            .with_storage_quantization(true);
+        let quant_ctx =
+            ExecCtx::functional(Device::rtx3090(), Precision::Fp16).with_storage_quantization(true);
         let (quant, _) = run_network(&net, &w, &x, &cfgs, &quant_ctx);
         // Quantization changes values...
         assert_ne!(exact.feats(), quant.feats());
@@ -236,6 +259,12 @@ mod tests {
         let net = b.build();
         let w = net.init_weights(0);
         let ctx = ExecCtx::functional(Device::a100(), Precision::Fp32);
-        let _ = run_network(&net, &w, &x, &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)), &ctx);
+        let _ = run_network(
+            &net,
+            &w,
+            &x,
+            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)),
+            &ctx,
+        );
     }
 }

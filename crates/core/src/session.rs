@@ -1,9 +1,11 @@
 //! Compiled execution sessions: map building, layer grouping, and fast
 //! latency simulation with per-group dataflow configurations.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use serde::{Deserialize, Serialize};
 
@@ -14,8 +16,8 @@ use ts_kernelmap::{
     KernelOffsets, MapStats,
 };
 
-use crate::{ConvSpec, Network, Op};
 use crate::report::{LayerTiming, RunReport};
+use crate::{ConvSpec, Network, Op};
 
 /// Error compiling a network against an input coordinate set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,7 +114,10 @@ pub struct GroupConfigs {
 impl GroupConfigs {
     /// All groups run `cfg`.
     pub fn uniform(cfg: DataflowConfig) -> Self {
-        Self { default: cfg, per_group: HashMap::new() }
+        Self {
+            default: cfg,
+            per_group: HashMap::new(),
+        }
     }
 
     /// Resolves the configuration for group `g`.
@@ -153,17 +158,66 @@ impl TrainConfigs {
 /// kernel map is built once, layers are assigned to groups, and
 /// inference/training latency can be simulated cheaply for any per-group
 /// dataflow assignment (the autotuner calls this in its inner loop).
-#[derive(Debug, Clone)]
+///
+/// `Session` is `Sync`: the prepare cache sits behind an `RwLock`, so
+/// the autotuner can evaluate candidate configurations from multiple
+/// threads against one shared session.
+#[derive(Debug)]
 pub struct Session {
     network: Network,
     groups: Vec<GroupInfo>,
     layers: Vec<LayerPlan>,
+    group_used_forward: Vec<bool>,
     group_used_transposed: Vec<bool>,
-    prepare_cache: RefCell<PrepareCache>,
+    prepare_cache: RwLock<PrepareCache>,
+    prepare_hits: AtomicU64,
+    prepare_misses: AtomicU64,
+}
+
+impl Clone for Session {
+    fn clone(&self) -> Self {
+        Session {
+            network: self.network.clone(),
+            groups: self.groups.clone(),
+            layers: self.layers.clone(),
+            group_used_forward: self.group_used_forward.clone(),
+            group_used_transposed: self.group_used_transposed.clone(),
+            prepare_cache: RwLock::new(self.prepare_cache.read().clone()),
+            prepare_hits: AtomicU64::new(self.prepare_hits.load(Ordering::Relaxed)),
+            prepare_misses: AtomicU64::new(self.prepare_misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Cache of prepared plans keyed by `(group, transposed, config)`.
 type PrepareCache = HashMap<(usize, bool, DataflowConfig), Arc<(Prepared, KernelTrace)>>;
+
+/// Per-group latency decomposition of one pass (inference or training):
+/// the total is `residual_us + group_us.iter().sum()` where the residual
+/// covers the configuration-independent elementwise layers and each
+/// `group_us[g]` covers group `g`'s one-time mapping work plus all of
+/// its conv layers under the configuration it was computed with.
+///
+/// The decomposition is sound because the cost model prices every
+/// kernel independently of trace order; the recomposed total matches
+/// the corresponding `simulate_*` report up to floating-point summation
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Configuration-independent cost (elementwise layers), us.
+    pub residual_us: f64,
+    /// Per-group cost (mapping + conv layers), us, indexed by group.
+    pub group_us: Vec<f64>,
+}
+
+impl LatencyBreakdown {
+    /// Recomposed end-to-end latency: residual plus the group terms in
+    /// group order (a fixed summation order, so equal inputs give
+    /// bitwise-equal totals).
+    pub fn total_us(&self) -> f64 {
+        self.residual_us + self.group_us.iter().sum::<f64>()
+    }
+}
 
 impl Session {
     /// Compiles `network` against `input_coords` (stride-1 coordinates,
@@ -207,17 +261,11 @@ impl Session {
                     let gid = match group_index.get(&key) {
                         Some(&g) => g,
                         None => {
-                            let g = build_group(
-                                key,
-                                &spec,
-                                transposed,
-                                &in_coords,
-                                &stride_cache,
-                            )
-                            .ok_or_else(|| CompileError::TransposedWithoutEncoder {
-                                layer: node.name.clone(),
-                                missing_stride: key.lo_stride,
-                            })?;
+                            let g = build_group(key, &spec, transposed, &in_coords, &stride_cache)
+                                .ok_or_else(|| CompileError::TransposedWithoutEncoder {
+                                    layer: node.name.clone(),
+                                    missing_stride: key.lo_stride,
+                                })?;
                             groups.push(g);
                             group_index.insert(key, groups.len() - 1);
                             groups.len() - 1
@@ -274,11 +322,14 @@ impl Session {
             }
         }
 
+        let mut group_used_forward = vec![false; groups.len()];
         let mut group_used_transposed = vec![false; groups.len()];
         for l in &layers {
             if let LayerPlan::Conv(c) = l {
                 if c.transposed {
                     group_used_transposed[c.group] = true;
+                } else {
+                    group_used_forward[c.group] = true;
                 }
             }
         }
@@ -287,9 +338,21 @@ impl Session {
             network: network.clone(),
             groups,
             layers,
+            group_used_forward,
             group_used_transposed,
-            prepare_cache: RefCell::new(HashMap::new()),
+            prepare_cache: RwLock::new(HashMap::new()),
+            prepare_hits: AtomicU64::new(0),
+            prepare_misses: AtomicU64::new(0),
         })
+    }
+
+    /// Prepare-cache statistics as `(hits, misses)` since construction
+    /// (or since the values captured at [`Clone`] time).
+    pub fn prepare_cache_stats(&self) -> (u64, u64) {
+        (
+            self.prepare_hits.load(Ordering::Relaxed),
+            self.prepare_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The compiled network.
@@ -304,7 +367,10 @@ impl Session {
 
     /// Number of conv layers.
     pub fn conv_layer_count(&self) -> usize {
-        self.layers.iter().filter(|l| matches!(l, LayerPlan::Conv(_))).count()
+        self.layers
+            .iter()
+            .filter(|l| matches!(l, LayerPlan::Conv(_)))
+            .count()
     }
 
     /// The kernel map a conv node consumes (in its own orientation) and
@@ -313,8 +379,11 @@ impl Session {
         self.layers.iter().find_map(|l| match l {
             LayerPlan::Conv(c) if c.node == node => {
                 let g = &self.groups[c.group];
-                let map =
-                    if c.transposed { Arc::clone(&g.map_t) } else { Arc::clone(&g.map) };
+                let map = if c.transposed {
+                    Arc::clone(&g.map_t)
+                } else {
+                    Arc::clone(&g.map)
+                };
                 Some((map, c.group, c.transposed))
             }
             _ => None,
@@ -346,16 +415,19 @@ impl Session {
         ctx: &ExecCtx,
     ) -> Arc<(Prepared, KernelTrace)> {
         let key = (group, transposed, *cfg);
-        if let Some(hit) = self.prepare_cache.borrow().get(&key) {
+        if let Some(hit) = self.prepare_cache.read().get(&key) {
+            self.prepare_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        self.prepare_misses.fetch_add(1, Ordering::Relaxed);
         let g = &self.groups[group];
         let map = if transposed { &g.map_t } else { &g.map };
         let prepared = prepare(map, cfg, ctx);
         let trace = prepared.trace.clone();
         let arc = Arc::new((prepared, trace));
-        self.prepare_cache.borrow_mut().insert(key, Arc::clone(&arc));
-        arc
+        // Racing preparers compute identical plans; keep the first
+        // insert so every caller sees the same Arc.
+        Arc::clone(self.prepare_cache.write().entry(key).or_insert(arc))
     }
 
     /// Charges the base map-construction kernels of group `g`.
@@ -367,7 +439,11 @@ impl Session {
         ctx.record(trace, query);
         let kvol = g.map.kernel_volume() as u64;
         let n_out = g.map.n_out() as u64;
-        let mat = KernelDesc::mapping("map:materialize", n_out * kvol * 4, n_out * kvol * 4 + s.pairs * 8);
+        let mat = KernelDesc::mapping(
+            "map:materialize",
+            n_out * kvol * 4,
+            n_out * kvol * 4 + s.pairs * 8,
+        );
         ctx.record(trace, mat);
     }
 
@@ -385,18 +461,11 @@ impl Session {
         let mut timings = Vec::new();
 
         // Per-group one-time mapping cost.
-        let mut group_orientations: Vec<(bool, bool)> = vec![(false, false); self.groups.len()];
-        for l in &self.layers {
-            if let LayerPlan::Conv(c) = l {
-                if c.transposed {
-                    group_orientations[c.group].1 = true;
-                } else {
-                    group_orientations[c.group].0 = true;
-                }
-            }
-        }
         for (gid, g) in self.groups.iter().enumerate() {
-            let (fwd_used, t_used) = group_orientations[gid];
+            let (fwd_used, t_used) = (
+                self.group_used_forward[gid],
+                self.group_used_transposed[gid],
+            );
             if !fwd_used && !t_used {
                 continue;
             }
@@ -510,11 +579,8 @@ impl Session {
                 let w_prep = self.prepared_for(gid, false, &w_cfg, ctx);
                 trace.merge(w_prep.1.clone());
                 let s = g.build_stats;
-                let dup = KernelDesc::mapping(
-                    "map:wgrad-structures",
-                    s.queries * 32,
-                    s.queries * 16,
-                );
+                let dup =
+                    KernelDesc::mapping("map:wgrad-structures", s.queries * 32, s.queries * 16);
                 ctx.record(&mut trace, dup);
             }
             timings.push(LayerTiming {
@@ -533,8 +599,11 @@ impl Session {
                     let d_cfg = cfgs.dgrad.for_group(c.group);
                     let w_cfg = cfgs.wgrad.for_group(c.group);
                     // dgrad: convolution in the opposite orientation.
-                    let (d_map, d_transposed) =
-                        if c.transposed { (&g.map, false) } else { (&g.map_t, true) };
+                    let (d_map, d_transposed) = if c.transposed {
+                        (&g.map, false)
+                    } else {
+                        (&g.map_t, true)
+                    };
                     let d_prep = self.prepared_for(c.group, d_transposed, &d_cfg, ctx);
                     let dt = forward_trace(c.c_out, c.c_in, d_map, &d_prep.0, &d_cfg, ctx);
                     // wgrad over the layer's own orientation.
@@ -563,13 +632,184 @@ impl Session {
 
         RunReport::new(trace, timings)
     }
+
+    // ------------------------------------------------------------------
+    // Decomposed simulation API (used by the incremental autotuner).
+    //
+    // These methods record exactly the kernels the corresponding
+    // `simulate_*` call records, partitioned by group. The cost model
+    // prices each kernel independently of trace state, so the partition
+    // is exact up to floating-point summation order.
+    // ------------------------------------------------------------------
+
+    /// Configuration-independent inference cost: the elementwise layers
+    /// (BN/ReLU/Add/Concat), which no dataflow choice affects.
+    pub fn inference_residual_us(&self, ctx: &ExecCtx) -> f64 {
+        let mut trace = KernelTrace::new();
+        for l in &self.layers {
+            if let LayerPlan::Elem(e) = l {
+                self.elementwise_cost(e, ctx, &mut trace);
+            }
+        }
+        trace.total_us()
+    }
+
+    /// Group `gid`'s inference contribution under `cfg`: the one-time
+    /// mapping work (base build, transpose if needed, dataflow prepare)
+    /// plus every conv layer of the group. Returns 0 for groups no conv
+    /// layer uses. Depends only on (`gid`, `cfg`), never on the other
+    /// groups' configurations.
+    pub fn group_inference_us(&self, gid: usize, cfg: &DataflowConfig, ctx: &ExecCtx) -> f64 {
+        let (fwd_used, t_used) = (
+            self.group_used_forward[gid],
+            self.group_used_transposed[gid],
+        );
+        if !fwd_used && !t_used {
+            return 0.0;
+        }
+        let g = &self.groups[gid];
+        let mut trace = KernelTrace::new();
+        self.base_map_cost(g, ctx, &mut trace);
+        if t_used {
+            self.transpose_cost(g, ctx, &mut trace);
+        }
+        for (transposed, used) in [(false, fwd_used), (true, t_used)] {
+            if used {
+                let prep = self.prepared_for(gid, transposed, cfg, ctx);
+                trace.merge(prep.1.clone());
+            }
+        }
+        for l in &self.layers {
+            if let LayerPlan::Conv(c) = l {
+                if c.group != gid {
+                    continue;
+                }
+                let map = if c.transposed { &g.map_t } else { &g.map };
+                let prep = self.prepared_for(gid, c.transposed, cfg, ctx);
+                trace.merge(forward_trace(c.c_in, c.c_out, map, &prep.0, cfg, ctx));
+            }
+        }
+        trace.total_us()
+    }
+
+    /// Full per-group decomposition of one inference pass;
+    /// `breakdown.total_us()` matches
+    /// [`Session::simulate_inference`]`.total_us()` up to summation
+    /// order.
+    pub fn inference_breakdown(&self, cfgs: &GroupConfigs, ctx: &ExecCtx) -> LatencyBreakdown {
+        LatencyBreakdown {
+            residual_us: self.inference_residual_us(ctx),
+            group_us: (0..self.groups.len())
+                .map(|g| self.group_inference_us(g, &cfgs.for_group(g), ctx))
+                .collect(),
+        }
+    }
+
+    /// Configuration-independent training cost: the elementwise layers,
+    /// charged once forward and once backward as in
+    /// [`Session::simulate_training`].
+    pub fn training_residual_us(&self, ctx: &ExecCtx) -> f64 {
+        let mut trace = KernelTrace::new();
+        for l in &self.layers {
+            if let LayerPlan::Elem(e) = l {
+                self.elementwise_cost(e, ctx, &mut trace);
+            }
+        }
+        for l in self.layers.iter().rev() {
+            if let LayerPlan::Elem(e) = l {
+                self.elementwise_cost(e, ctx, &mut trace);
+            }
+        }
+        trace.total_us()
+    }
+
+    /// Group `gid`'s training contribution under per-family configs:
+    /// the forward contribution plus backward mapping preparation and
+    /// the dgrad/wgrad kernels of every conv layer in the group.
+    /// Depends only on (`gid`, `fwd_cfg`, `d_cfg`, `w_cfg`).
+    pub fn group_training_us(
+        &self,
+        gid: usize,
+        fwd_cfg: &DataflowConfig,
+        d_cfg: &DataflowConfig,
+        w_cfg: &DataflowConfig,
+        ctx: &ExecCtx,
+    ) -> f64 {
+        if !self.group_used_forward[gid] && !self.group_used_transposed[gid] {
+            return 0.0;
+        }
+        let fwd_us = self.group_inference_us(gid, fwd_cfg, ctx);
+        let g = &self.groups[gid];
+        let mut trace = KernelTrace::new();
+
+        // Backward mapping preparation (mirrors simulate_training).
+        if !self.group_used_transposed[gid] {
+            self.transpose_cost(g, ctx, &mut trace);
+        }
+        let d_prep = self.prepared_for(gid, true, d_cfg, ctx);
+        trace.merge(d_prep.1.clone());
+        if w_cfg != d_cfg && w_cfg != fwd_cfg {
+            let w_prep = self.prepared_for(gid, false, w_cfg, ctx);
+            trace.merge(w_prep.1.clone());
+            let s = g.build_stats;
+            let dup = KernelDesc::mapping("map:wgrad-structures", s.queries * 32, s.queries * 16);
+            ctx.record(&mut trace, dup);
+        }
+
+        // Backward per-layer kernels.
+        for l in self.layers.iter().rev() {
+            if let LayerPlan::Conv(c) = l {
+                if c.group != gid {
+                    continue;
+                }
+                let (d_map, d_transposed) = if c.transposed {
+                    (&g.map, false)
+                } else {
+                    (&g.map_t, true)
+                };
+                let d_prep = self.prepared_for(gid, d_transposed, d_cfg, ctx);
+                trace.merge(forward_trace(c.c_out, c.c_in, d_map, &d_prep.0, d_cfg, ctx));
+                let w_map = if c.transposed { &g.map_t } else { &g.map };
+                trace.merge(wgrad_trace(c.c_in, c.c_out, w_map, w_cfg, ctx));
+            }
+        }
+        fwd_us + trace.total_us()
+    }
+
+    /// Full per-group decomposition of one training iteration;
+    /// `breakdown.total_us()` matches
+    /// [`Session::simulate_training`]`.total_us()` up to summation
+    /// order.
+    pub fn training_breakdown(&self, cfgs: &TrainConfigs, ctx: &ExecCtx) -> LatencyBreakdown {
+        LatencyBreakdown {
+            residual_us: self.training_residual_us(ctx),
+            group_us: (0..self.groups.len())
+                .map(|g| {
+                    self.group_training_us(
+                        g,
+                        &cfgs.fwd.for_group(g),
+                        &cfgs.dgrad.for_group(g),
+                        &cfgs.wgrad.for_group(g),
+                        ctx,
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Computes the group key of a conv layer at `in_stride`.
 fn group_key_for(spec: &ConvSpec, in_stride: i32) -> (GroupKey, bool) {
     if spec.transposed {
         let out = in_stride / spec.stride;
-        (GroupKey { lo_stride: out, hi_stride: in_stride, kernel_size: spec.kernel_size }, true)
+        (
+            GroupKey {
+                lo_stride: out,
+                hi_stride: in_stride,
+                kernel_size: spec.kernel_size,
+            },
+            true,
+        )
     } else if spec.stride > 1 {
         (
             GroupKey {
@@ -580,7 +820,14 @@ fn group_key_for(spec: &ConvSpec, in_stride: i32) -> (GroupKey, bool) {
             false,
         )
     } else {
-        (GroupKey { lo_stride: in_stride, hi_stride: in_stride, kernel_size: spec.kernel_size }, false)
+        (
+            GroupKey {
+                lo_stride: in_stride,
+                hi_stride: in_stride,
+                kernel_size: spec.kernel_size,
+            },
+            false,
+        )
     }
 }
 
@@ -597,17 +844,32 @@ fn build_group(
         let (map, stats) = build_submanifold_map_with_stats(in_coords, &offsets);
         let map = Arc::new(map);
         let map_t = Arc::new(map.transposed());
-        Some(GroupInfo { key, map, map_t, build_stats: stats, layer_count: 0 })
+        Some(GroupInfo {
+            key,
+            map,
+            map_t,
+            build_stats: stats,
+            layer_count: 0,
+        })
     } else {
         // Strided: always build fine -> coarse. For a transposed first
         // use, the fine coords come from the stride cache.
-        let fine: &Arc<Vec<Coord>> =
-            if transposed { stride_cache.get(&key.lo_stride)? } else { in_coords };
+        let fine: &Arc<Vec<Coord>> = if transposed {
+            stride_cache.get(&key.lo_stride)?
+        } else {
+            in_coords
+        };
         let ratio = key.hi_stride / key.lo_stride;
         let (map, _out, stats) = build_strided_map_with_stats(fine, &offsets, ratio);
         let map = Arc::new(map);
         let map_t = Arc::new(map.transposed());
-        Some(GroupInfo { key, map, map_t, build_stats: stats, layer_count: 0 })
+        Some(GroupInfo {
+            key,
+            map,
+            map_t,
+            build_stats: stats,
+            layer_count: 0,
+        })
     }
 }
 
@@ -653,7 +915,12 @@ mod tests {
         let s = Session::new(&net, &grid_coords(12));
         // Expected groups: submanifold@1 (enc1, enc1b, dec1), strided
         // 1<->2 k2 (down1 and up1 SHARE this group), submanifold@2 (enc2).
-        assert_eq!(s.groups().len(), 3, "groups: {:?}", s.groups().iter().map(|g| g.key).collect::<Vec<_>>());
+        assert_eq!(
+            s.groups().len(),
+            3,
+            "groups: {:?}",
+            s.groups().iter().map(|g| g.key).collect::<Vec<_>>()
+        );
         let strided = s
             .groups()
             .iter()
@@ -674,7 +941,10 @@ mod tests {
         assert!(r.mapping_us() > 0.0);
         assert!(r.compute_us() > 0.0);
         assert_eq!(
-            r.timings().iter().filter(|t| t.node != usize::MAX && t.group.is_some()).count(),
+            r.timings()
+                .iter()
+                .filter(|t| t.node != usize::MAX && t.group.is_some())
+                .count(),
             net.conv_count()
         );
     }
@@ -698,7 +968,12 @@ mod tests {
         let c = ctx();
         let t1 = Session::new(&one, &coords).simulate_inference(&cfg, &c);
         let t4 = Session::new(&four, &coords).simulate_inference(&cfg, &c);
-        assert!(t4.mapping_us() < t1.mapping_us() * 1.5, "mapping shared: {} vs {}", t4.mapping_us(), t1.mapping_us());
+        assert!(
+            t4.mapping_us() < t1.mapping_us() * 1.5,
+            "mapping shared: {} vs {}",
+            t4.mapping_us(),
+            t1.mapping_us()
+        );
         assert!(t4.compute_us() > t1.compute_us() * 3.0);
     }
 
@@ -707,17 +982,17 @@ mod tests {
         let net = unet();
         let s = Session::new(&net, &grid_coords(10));
         let c = ctx();
-        let inf = s.simulate_inference(
-            &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
-            &c,
-        );
-        let tr = s.simulate_training(
-            &TrainConfigs::bound(DataflowConfig::implicit_gemm(1)),
-            &c,
-        );
+        let inf =
+            s.simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)), &c);
+        let tr = s.simulate_training(&TrainConfigs::bound(DataflowConfig::implicit_gemm(1)), &c);
         // Backward adds dgrad + wgrad kernels on top of forward; mapping
         // is shared, so the end-to-end ratio sits between 1.5x and ~3x.
-        assert!(tr.total_us() > inf.total_us() * 1.5, "{} vs {}", tr.total_us(), inf.total_us());
+        assert!(
+            tr.total_us() > inf.total_us() * 1.5,
+            "{} vs {}",
+            tr.total_us(),
+            inf.total_us()
+        );
         assert!(tr.compute_us() >= inf.compute_us() * 2.0);
     }
 
@@ -757,7 +1032,10 @@ mod tests {
         let net = b.build();
         let err = Session::try_new(&net, &grid_coords(8)).unwrap_err();
         match &err {
-            CompileError::TransposedWithoutEncoder { layer, missing_stride } => {
+            CompileError::TransposedWithoutEncoder {
+                layer,
+                missing_stride,
+            } => {
                 assert_eq!(layer, "up_to_2");
                 assert_eq!(*missing_stride, 2);
             }
@@ -773,11 +1051,96 @@ mod tests {
     }
 
     #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn prepare_cache_counts_hits_and_misses() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(10));
+        let c = ctx();
+        assert_eq!(s.prepare_cache_stats(), (0, 0));
+        let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        s.simulate_inference(&cfg, &c);
+        let (h1, m1) = s.prepare_cache_stats();
+        assert!(m1 > 0, "first simulation must populate the cache");
+        s.simulate_inference(&cfg, &c);
+        let (h2, m2) = s.prepare_cache_stats();
+        assert_eq!(m2, m1, "repeat simulation prepares nothing new");
+        assert!(h2 > h1);
+    }
+
+    /// The per-group decomposition recomposes to the monolithic
+    /// simulation (identical kernels, so only FP summation order can
+    /// differ).
+    #[test]
+    fn inference_breakdown_matches_simulation() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(12));
+        let c = ctx();
+        let mut cfgs = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        cfgs.set(1, DataflowConfig::gather_scatter(false));
+        cfgs.set(2, DataflowConfig::implicit_gemm(3));
+        let naive = s.simulate_inference(&cfgs, &c).total_us();
+        let bd = s.inference_breakdown(&cfgs, &c);
+        assert_eq!(bd.group_us.len(), s.groups().len());
+        let rel = (bd.total_us() - naive).abs() / naive;
+        assert!(
+            rel < 1e-12,
+            "breakdown {} vs simulate {}",
+            bd.total_us(),
+            naive
+        );
+    }
+
+    #[test]
+    fn training_breakdown_matches_simulation() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(10));
+        let c = ctx();
+        let mut cfgs = TrainConfigs::bound(DataflowConfig::implicit_gemm(1));
+        cfgs.dgrad.set(0, DataflowConfig::implicit_gemm(2));
+        cfgs.wgrad = GroupConfigs::uniform(DataflowConfig::gather_scatter(false));
+        let naive = s.simulate_training(&cfgs, &c).total_us();
+        let bd = s.training_breakdown(&cfgs, &c);
+        let rel = (bd.total_us() - naive).abs() / naive;
+        assert!(
+            rel < 1e-12,
+            "breakdown {} vs simulate {}",
+            bd.total_us(),
+            naive
+        );
+    }
+
+    /// Changing one group's config must not change any other group's
+    /// contribution (the invariant the incremental tuner relies on).
+    #[test]
+    fn group_contribution_is_independent_of_other_groups() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(12));
+        let c = ctx();
+        let a = DataflowConfig::implicit_gemm(1);
+        let b = DataflowConfig::gather_scatter(false);
+        let g0_under_a = s.group_inference_us(0, &a, &c);
+        // Touch every other group with a different config; group 0's
+        // contribution must be bitwise unchanged.
+        for g in 1..s.groups().len() {
+            s.group_inference_us(g, &b, &c);
+        }
+        assert_eq!(s.group_inference_us(0, &a, &c), g0_under_a);
+    }
+
+    #[test]
     fn simulation_is_deterministic() {
         let net = unet();
         let s = Session::new(&net, &grid_coords(10));
         let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(2));
         let c = ctx();
-        assert_eq!(s.simulate_inference(&cfg, &c).total_us(), s.simulate_inference(&cfg, &c).total_us());
+        assert_eq!(
+            s.simulate_inference(&cfg, &c).total_us(),
+            s.simulate_inference(&cfg, &c).total_us()
+        );
     }
 }

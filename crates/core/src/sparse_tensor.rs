@@ -43,7 +43,11 @@ impl SparseTensor {
     pub fn with_stride(coords: Vec<Coord>, feats: Matrix, stride: i32) -> Self {
         assert_eq!(coords.len(), feats.rows(), "one feature row per coordinate");
         assert!(stride > 0, "stride must be positive");
-        Self { coords, feats, stride }
+        Self {
+            coords,
+            feats,
+            stride,
+        }
     }
 
     /// The coordinates.
@@ -153,12 +157,7 @@ mod tests {
             Coord::new(0, 3, 3, 1),
             Coord::new(1, 1, 2, 0), // different batch: stays separate
         ];
-        let feats = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[2.0, 1.0],
-            &[0.5, 0.5],
-            &[9.0, 9.0],
-        ]);
+        let feats = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0], &[0.5, 0.5], &[9.0, 9.0]]);
         let t = SparseTensor::new(coords, feats);
         let bev = t.to_bev();
         assert_eq!(bev.num_points(), 3);

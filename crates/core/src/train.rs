@@ -40,14 +40,20 @@ pub fn train_step(
 ) -> TrainOutput {
     let session = Session::new(network, input.coords());
     let report = session.simulate_training(cfgs, ctx);
-    let fctx = ExecCtx { functional: true, ..ctx.clone() };
+    let fctx = ExecCtx {
+        functional: true,
+        ..ctx.clone()
+    };
 
     // ---- forward, storing every node's features ----
     let n_nodes = network.nodes().len();
     let mut feats: Vec<Option<Matrix>> = vec![None; n_nodes];
     feats[0] = Some(input.feats().clone());
     for (i, node) in network.nodes().iter().enumerate().skip(1) {
-        let x = feats[node.input].as_ref().expect("producer executed").clone();
+        let x = feats[node.input]
+            .as_ref()
+            .expect("producer executed")
+            .clone();
         feats[i] = Some(match node.op {
             Op::Input => unreachable!(),
             Op::Conv(_) => {
@@ -111,7 +117,9 @@ pub fn train_step(
                 accumulate(&mut grads, node.input, dx);
                 // Weight gradient + SGD update.
                 let x_in = feats[node.input].as_ref().expect("activation stored");
-                let dw = wgrad(x_in, &g, &map, &w_cfg, &fctx).dw.expect("functional wgrad");
+                let dw = wgrad(x_in, &g, &map, &w_cfg, &fctx)
+                    .dw
+                    .expect("functional wgrad");
                 for k in 0..dw.kernel_volume() {
                     grad_norm_sq += dw
                         .offset(k)
@@ -156,7 +164,11 @@ pub fn train_step(
         }
     }
 
-    TrainOutput { loss, report, grad_norm: (grad_norm_sq as f32).sqrt() }
+    TrainOutput {
+        loss,
+        report,
+        grad_norm: (grad_norm_sq as f32).sqrt(),
+    }
 }
 
 fn accumulate(grads: &mut [Option<Matrix>], node: usize, g: Matrix) {
@@ -176,8 +188,9 @@ mod tests {
     use ts_tensor::{rng_from_seed, uniform_matrix, Precision};
 
     fn input(n: i32, c: usize, seed: u64) -> SparseTensor {
-        let cs: Vec<Coord> =
-            (0..n).flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, 0))).collect();
+        let cs: Vec<Coord> = (0..n)
+            .flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, 0)))
+            .collect();
         let feats = uniform_matrix(&mut rng_from_seed(seed), cs.len(), c, -1.0, 1.0);
         SparseTensor::new(cs, feats)
     }
@@ -226,8 +239,14 @@ mod tests {
             DataflowConfig::implicit_gemm(2),
         ] {
             let (l, g, w) = run(cfg);
-            assert!((l - l0).abs() / l0.max(1e-6) < 1e-3, "loss differs for {cfg}");
-            assert!((g - g0).abs() / g0.max(1e-6) < 1e-2, "grad norm differs for {cfg}");
+            assert!(
+                (l - l0).abs() / l0.max(1e-6) < 1e-3,
+                "loss differs for {cfg}"
+            );
+            assert!(
+                (g - g0).abs() / g0.max(1e-6) < 1e-2,
+                "grad norm differs for {cfg}"
+            );
             for (a, b) in w.convs.iter().zip(w0.convs.iter()) {
                 if let (Some(a), Some(b)) = (a, b) {
                     for k in 0..a.kernel_volume() {

@@ -65,7 +65,12 @@ pub struct LossScaler {
 impl LossScaler {
     /// The conventional starting configuration (scale 2^16).
     pub fn new() -> Self {
-        Self { scale: 65536.0, good_steps: 0, skipped: 0, growth_interval: 200 }
+        Self {
+            scale: 65536.0,
+            good_steps: 0,
+            skipped: 0,
+            growth_interval: 200,
+        }
     }
 }
 
@@ -90,10 +95,17 @@ impl Trainer {
             .convs
             .iter()
             .map(|w| {
-                w.as_ref().map(|w| ConvWeights::zeros(w.kernel_volume(), w.c_in(), w.c_out()))
+                w.as_ref()
+                    .map(|w| ConvWeights::zeros(w.kernel_volume(), w.c_in(), w.c_out()))
             })
             .collect();
-        Self { weights, velocity, lr, momentum, amp: None }
+        Self {
+            weights,
+            velocity,
+            lr,
+            momentum,
+            amp: None,
+        }
     }
 
     /// Enables mixed-precision training with dynamic loss scaling:
@@ -130,7 +142,9 @@ impl Trainer {
         steps: usize,
     ) -> Vec<f32> {
         let session = Session::new(network, input.coords());
-        (0..steps).map(|_| self.step(network, &session, input, cfgs, ctx)).collect()
+        (0..steps)
+            .map(|_| self.step(network, &session, input, cfgs, ctx))
+            .collect()
     }
 
     /// One forward + backward + momentum update; returns the loss before
@@ -143,14 +157,20 @@ impl Trainer {
         cfgs: &TrainConfigs,
         ctx: &ExecCtx,
     ) -> f32 {
-        let fctx = ExecCtx { functional: true, ..ctx.clone() };
+        let fctx = ExecCtx {
+            functional: true,
+            ..ctx.clone()
+        };
         let n_nodes = network.nodes().len();
 
         // Forward, storing activations.
         let mut feats: Vec<Option<Matrix>> = vec![None; n_nodes];
         feats[0] = Some(input.feats().clone());
         for (i, node) in network.nodes().iter().enumerate().skip(1) {
-            let x = feats[node.input].as_ref().expect("producer executed").clone();
+            let x = feats[node.input]
+                .as_ref()
+                .expect("producer executed")
+                .clone();
             feats[i] = Some(match node.op {
                 Op::Input => unreachable!(),
                 Op::Conv(_) => {
@@ -219,13 +239,13 @@ impl Trainer {
                     let w = self.weights.convs[i].as_ref().expect("weights").clone();
                     let d_cfg = cfgs.dgrad.for_group(group);
                     let w_cfg = cfgs.wgrad.for_group(group);
-                    let mut dx =
-                        dgrad(&g, &w, &grad_map, &d_cfg, &fctx).features.expect("functional");
+                    let mut dx = dgrad(&g, &w, &grad_map, &d_cfg, &fctx)
+                        .features
+                        .expect("functional");
                     quantize(&mut dx);
                     accumulate(&mut grads, node.input, dx);
                     let x_in = feats[node.input].as_ref().expect("activation");
-                    let mut dw =
-                        wgrad(x_in, &g, &map, &w_cfg, &fctx).dw.expect("functional");
+                    let mut dw = wgrad(x_in, &g, &map, &w_cfg, &fctx).dw.expect("functional");
                     for k in 0..dw.kernel_volume() {
                         quantize(dw.offset_mut(k));
                         // FP16 saturation (|v| at the max finite half) or
@@ -331,8 +351,10 @@ mod tests {
         let net = b.build();
         let coords: Vec<Coord> = (0..36).map(|i| Coord::new(0, i % 6, i / 6, 0)).collect();
         let n = coords.len();
-        let input =
-            SparseTensor::new(coords, uniform_matrix(&mut rng_from_seed(2), n, 4, -1.0, 1.0));
+        let input = SparseTensor::new(
+            coords,
+            uniform_matrix(&mut rng_from_seed(2), n, 4, -1.0, 1.0),
+        );
         (net, input)
     }
 
@@ -369,7 +391,10 @@ mod tests {
             s_hist.push(crate::train_step(&net, &mut w, &input, &cfgs, &ctx, 1e-3).loss);
         }
         for (a, b) in t_hist.iter().zip(&s_hist) {
-            assert!((a - b).abs() < 1e-4 * b.max(1.0), "{t_hist:?} vs {s_hist:?}");
+            assert!(
+                (a - b).abs() < 1e-4 * b.max(1.0),
+                "{t_hist:?} vs {s_hist:?}"
+            );
         }
     }
 
@@ -381,11 +406,18 @@ mod tests {
 
         let mut amp = Trainer::new(&net, 7, 5e-3, 0.9).with_amp();
         let amp_hist = amp.fit(&net, &input, &cfgs, &ctx, 14);
-        assert!(amp_hist.last().unwrap() < &(amp_hist[0] * 0.9), "{amp_hist:?}");
+        assert!(
+            amp_hist.last().unwrap() < &(amp_hist[0] * 0.9),
+            "{amp_hist:?}"
+        );
         let scaler = amp.scaler().expect("amp enabled");
         // The conventional 2^16 starting scale overflows on the first
         // step or two (exactly like real AMP), then settles.
-        assert!(scaler.skipped <= 4, "too many skipped steps: {}", scaler.skipped);
+        assert!(
+            scaler.skipped <= 4,
+            "too many skipped steps: {}",
+            scaler.skipped
+        );
         assert!(scaler.scale < 65536.0, "scale should have backed off");
         assert!(scaler.good_steps >= 8);
 
@@ -395,7 +427,10 @@ mod tests {
         let fp32_hist = fp32.fit(&net, &input, &cfgs, &ctx, 14);
         assert_eq!(amp_hist[0], fp32_hist[0], "first loss is pre-update");
         let (a, b) = (amp_hist.last().unwrap(), fp32_hist.last().unwrap());
-        assert!((a - b).abs() < 0.4 * b.max(1.0), "amp {amp_hist:?} vs fp32 {fp32_hist:?}");
+        assert!(
+            (a - b).abs() < 0.4 * b.max(1.0),
+            "amp {amp_hist:?} vs fp32 {fp32_hist:?}"
+        );
     }
 
     #[test]
@@ -411,7 +446,11 @@ mod tests {
         let scaler = t.scaler().unwrap();
         assert_eq!(scaler.skipped, 1);
         assert!(scaler.scale < 3.0e38);
-        assert_eq!(t.weights(), &w_before, "overflowing step must not update weights");
+        assert_eq!(
+            t.weights(),
+            &w_before,
+            "overflowing step must not update weights"
+        );
     }
 
     #[test]

@@ -59,17 +59,26 @@ pub struct DataflowConfig {
 impl DataflowConfig {
     /// Gather-GEMM-scatter (optionally fused) with adaptive tiling.
     pub fn gather_scatter(fused: bool) -> Self {
-        Self { kind: DataflowKind::GatherScatter { fused }, tile_policy: TilePolicy::Adaptive }
+        Self {
+            kind: DataflowKind::GatherScatter { fused },
+            tile_policy: TilePolicy::Adaptive,
+        }
     }
 
     /// Fetch-on-demand (optionally block-fused) with adaptive tiling.
     pub fn fetch_on_demand(fused: bool) -> Self {
-        Self { kind: DataflowKind::FetchOnDemand { fused }, tile_policy: TilePolicy::Adaptive }
+        Self {
+            kind: DataflowKind::FetchOnDemand { fused },
+            tile_policy: TilePolicy::Adaptive,
+        }
     }
 
     /// Implicit GEMM with the given split encoding and adaptive tiling.
     pub fn implicit_gemm(splits: u32) -> Self {
-        Self { kind: DataflowKind::ImplicitGemm { splits }, tile_policy: TilePolicy::Adaptive }
+        Self {
+            kind: DataflowKind::ImplicitGemm { splits },
+            tile_policy: TilePolicy::Adaptive,
+        }
     }
 
     /// Returns a copy with a different tile policy.
@@ -110,10 +119,16 @@ mod tests {
     #[test]
     fn full_space_contains_all_families() {
         let space = DataflowConfig::full_space(4);
-        assert!(space.iter().any(|c| matches!(c.kind, DataflowKind::FetchOnDemand { .. })));
-        assert!(space.iter().any(|c| matches!(c.kind, DataflowKind::GatherScatter { .. })));
+        assert!(space
+            .iter()
+            .any(|c| matches!(c.kind, DataflowKind::FetchOnDemand { .. })));
+        assert!(space
+            .iter()
+            .any(|c| matches!(c.kind, DataflowKind::GatherScatter { .. })));
         for s in 0..=4 {
-            assert!(space.iter().any(|c| c.kind == DataflowKind::ImplicitGemm { splits: s }));
+            assert!(space
+                .iter()
+                .any(|c| c.kind == DataflowKind::ImplicitGemm { splits: s }));
         }
         assert_eq!(space.len(), 7);
     }
@@ -122,14 +137,25 @@ mod tests {
     fn spconv_space_is_restricted() {
         let space = DataflowConfig::spconv_v2_space();
         assert_eq!(space.len(), 2);
-        assert!(!space.iter().any(|c| c.kind == DataflowKind::ImplicitGemm { splits: 0 }));
+        assert!(!space
+            .iter()
+            .any(|c| c.kind == DataflowKind::ImplicitGemm { splits: 0 }));
     }
 
     #[test]
     fn display_names_are_informative() {
-        assert_eq!(DataflowConfig::implicit_gemm(0).to_string(), "implicit-gemm(unsorted)");
-        assert_eq!(DataflowConfig::implicit_gemm(3).to_string(), "implicit-gemm(s=3)");
-        assert_eq!(DataflowConfig::fetch_on_demand(true).to_string(), "fetch-on-demand(fused)");
+        assert_eq!(
+            DataflowConfig::implicit_gemm(0).to_string(),
+            "implicit-gemm(unsorted)"
+        );
+        assert_eq!(
+            DataflowConfig::implicit_gemm(3).to_string(),
+            "implicit-gemm(s=3)"
+        );
+        assert_eq!(
+            DataflowConfig::fetch_on_demand(true).to_string(),
+            "fetch-on-demand(fused)"
+        );
     }
 
     #[test]

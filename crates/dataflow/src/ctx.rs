@@ -20,14 +20,22 @@ pub struct GenFlags {
 
 impl Default for GenFlags {
     fn default() -> Self {
-        Self { hoist_invariants: true, padded_map: true, fixed_shape: false }
+        Self {
+            hoist_invariants: true,
+            padded_map: true,
+            fixed_shape: false,
+        }
     }
 }
 
 impl GenFlags {
     /// The naive dynamic-shape port (everything off).
     pub fn naive() -> Self {
-        Self { hoist_invariants: false, padded_map: false, fixed_shape: false }
+        Self {
+            hoist_invariants: false,
+            padded_map: false,
+            fixed_shape: false,
+        }
     }
 
     /// Penalty factors for a generated kernel of `dataflow` with `tile`.
@@ -41,7 +49,11 @@ impl GenFlags {
             dataflow,
             tile,
             precision,
-            shape_mode: if self.fixed_shape { ShapeMode::Fixed } else { ShapeMode::Dynamic },
+            shape_mode: if self.fixed_shape {
+                ShapeMode::Fixed
+            } else {
+                ShapeMode::Dynamic
+            },
             hoist_invariants: self.hoist_invariants,
             padded_map: self.padded_map,
         };
@@ -109,7 +121,10 @@ impl ExecCtx {
 
     /// A simulate-only context (features are skipped; fast for sweeps).
     pub fn simulate(device: Device, precision: Precision) -> Self {
-        Self { functional: false, ..Self::functional(device, precision) }
+        Self {
+            functional: false,
+            ..Self::functional(device, precision)
+        }
     }
 
     /// The simulated device.
@@ -151,7 +166,11 @@ impl ExecCtx {
     /// Prices `desc` and appends it to `trace`, applying the context's
     /// mapping inefficiency to mapping-class kernels. All executors and
     /// the layer runner record kernels through this method.
-    pub fn record(&self, trace: &mut ts_gpusim::KernelTrace, mut desc: ts_gpusim::KernelDesc) -> f64 {
+    pub fn record(
+        &self,
+        trace: &mut ts_gpusim::KernelTrace,
+        mut desc: ts_gpusim::KernelDesc,
+    ) -> f64 {
         if desc.class == ts_gpusim::KernelClass::Mapping && self.mapping_eff != 1.0 {
             desc.cuda_ops = (desc.cuda_ops as f64 * self.mapping_eff) as u64;
             desc.dram_read = (desc.dram_read as f64 * self.mapping_eff) as u64;
@@ -191,7 +210,11 @@ mod tests {
     fn default_flags_are_optimised() {
         let g = GenFlags::default();
         assert!(g.hoist_invariants && g.padded_map && !g.fixed_shape);
-        let p = g.penalties(GeneratedDataflow::ImplicitGemm, ts_gpusim::TileShape::large(), Precision::Fp16);
+        let p = g.penalties(
+            GeneratedDataflow::ImplicitGemm,
+            ts_gpusim::TileShape::large(),
+            Precision::Fp16,
+        );
         assert_eq!(p.combined(), 1.0);
     }
 

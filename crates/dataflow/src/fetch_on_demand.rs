@@ -80,9 +80,12 @@ fn trace_per_offset(
         if m == 0 {
             continue;
         }
-        let tile =
-            cfg.tile_policy.tile_for(m, c_out, c_in, ctx.device(), ctx.precision);
-        let pen = ctx.gen_flags.penalties(GeneratedDataflow::FetchOnDemand, tile, ctx.precision);
+        let tile = cfg
+            .tile_policy
+            .tile_for(m, c_out, c_in, ctx.device(), ctx.precision);
+        let pen = ctx
+            .gen_flags
+            .penalties(GeneratedDataflow::FetchOnDemand, tile, ctx.precision);
         let util = crate::implicit_gemm::mma_pipe_utilization(tile, m, c_out, c_in, 1, ctx);
         let ctas = m.div_ceil(tile.cta_m as u64) * c_out.div_ceil(tile.cta_n as u64);
         let stretch = crate::implicit_gemm::occupancy_stretch(ctas, tile, ctx);
@@ -117,8 +120,12 @@ fn trace_fused(
         return trace;
     }
     let kvol = map.kernel_volume() as u64;
-    let tile = cfg.tile_policy.tile_for(pairs, c_out, c_in, ctx.device(), ctx.precision);
-    let pen = ctx.gen_flags.penalties(GeneratedDataflow::FetchOnDemand, tile, ctx.precision);
+    let tile = cfg
+        .tile_policy
+        .tile_for(pairs, c_out, c_in, ctx.device(), ctx.precision);
+    let pen = ctx
+        .gen_flags
+        .penalties(GeneratedDataflow::FetchOnDemand, tile, ctx.precision);
     // The K loop is only C_in long (no offset dimension in K), so the
     // MMA pipeline drains constantly; occupancy comes from the row
     // dimension over all offsets.
@@ -127,7 +134,10 @@ fn trace_fused(
     let stretch = crate::implicit_gemm::occupancy_stretch(ctas, tile, ctx);
     let desc = KernelDesc::gemm("fod(block-fused)", pairs, c_out, c_in, ctx.precision)
         .with_tile(tile)
-        .with_traffic(pairs * c_in * b * 2 + kvol * c_in * c_out * b + pairs * 8, 0)
+        .with_traffic(
+            pairs * c_in * b * 2 + kvol * c_in * c_out * b + pairs * 8,
+            0,
+        )
         .with_atomic_write(pairs * c_out * b)
         .with_overlap(ts_gpusim::Overlap::None)
         .with_util(util)
@@ -147,8 +157,9 @@ mod tests {
     use ts_tensor::{rng_from_seed, uniform_matrix, Precision};
 
     fn setup() -> (Matrix, ConvWeights, KernelMap) {
-        let coords: Vec<Coord> =
-            (0..50).map(|i| Coord::new(0, i % 10, (i / 10) % 5, i % 3)).collect();
+        let coords: Vec<Coord> = (0..50)
+            .map(|i| Coord::new(0, i % 10, (i / 10) % 5, i % 3))
+            .collect();
         let coords = ts_kernelmap::unique_coords(&coords);
         let n = coords.len();
         let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
@@ -169,10 +180,28 @@ mod tests {
     fn block_fusion_reduces_launches_to_one() {
         let (x, w, map) = setup();
         let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp32);
-        let per = run(&x, &w, &map, false, &DataflowConfig::fetch_on_demand(false), &ctx);
-        let fused = run(&x, &w, &map, true, &DataflowConfig::fetch_on_demand(true), &ctx);
+        let per = run(
+            &x,
+            &w,
+            &map,
+            false,
+            &DataflowConfig::fetch_on_demand(false),
+            &ctx,
+        );
+        let fused = run(
+            &x,
+            &w,
+            &map,
+            true,
+            &DataflowConfig::fetch_on_demand(true),
+            &ctx,
+        );
         assert_eq!(fused.trace.launch_count(), 1);
-        assert!(per.trace.launch_count() >= 5, "launches = {}", per.trace.launch_count());
+        assert!(
+            per.trace.launch_count() >= 5,
+            "launches = {}",
+            per.trace.launch_count()
+        );
         assert!(fused.trace.total_us() < per.trace.total_us());
     }
 
@@ -180,12 +209,23 @@ mod tests {
     fn write_back_is_atomic_and_amplified() {
         let (x, w, map) = setup();
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-        let out = run(&x, &w, &map, true, &DataflowConfig::fetch_on_demand(true), &ctx);
+        let out = run(
+            &x,
+            &w,
+            &map,
+            true,
+            &DataflowConfig::fetch_on_demand(true),
+            &ctx,
+        );
         let e = &out.trace.entries()[0].desc;
         // Atomic write traffic is total_pairs * c_out, several times the
         // theoretical minimum n_out * c_out.
         let min_write = map.n_out() as u64 * w.c_out() as u64 * 2;
-        assert!(e.atomic_write > min_write * 2, "atomic {} min {min_write}", e.atomic_write);
+        assert!(
+            e.atomic_write > min_write * 2,
+            "atomic {} min {min_write}",
+            e.atomic_write
+        );
         assert_eq!(e.dram_write, 0);
     }
 
@@ -193,7 +233,17 @@ mod tests {
     fn zero_redundant_computation() {
         let (x, w, map) = setup();
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-        let out = run(&x, &w, &map, true, &DataflowConfig::fetch_on_demand(true), &ctx);
-        assert_eq!(out.trace.total_macs(), map.effective_macs(w.c_in(), w.c_out()));
+        let out = run(
+            &x,
+            &w,
+            &map,
+            true,
+            &DataflowConfig::fetch_on_demand(true),
+            &ctx,
+        );
+        assert_eq!(
+            out.trace.total_macs(),
+            map.effective_macs(w.c_in(), w.c_out())
+        );
     }
 }

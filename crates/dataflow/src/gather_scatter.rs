@@ -165,7 +165,10 @@ fn trace_fused(c_in: u64, c_out: u64, map: &KernelMap, ctx: &ExecCtx) -> KernelT
     ctx.cost.record(&mut trace, gather);
 
     // Adaptively grouped batched GEMMs: members padded to the group max.
-    for (g, (max, count)) in adaptive_groups(&map.pairs_per_offset()).into_iter().enumerate() {
+    for (g, (max, count)) in adaptive_groups(&map.pairs_per_offset())
+        .into_iter()
+        .enumerate()
+    {
         let m_padded = (max * count) as u64;
         let mut gemm = KernelDesc::gemm(
             format!("batched-gemm[group {g}]"),
@@ -221,7 +224,14 @@ mod tests {
     fn naive_launches_three_kernels_per_nonempty_offset() {
         let (x, w, map) = setup();
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-        let out = run(&x, &w, &map, false, &DataflowConfig::gather_scatter(false), &ctx);
+        let out = run(
+            &x,
+            &w,
+            &map,
+            false,
+            &DataflowConfig::gather_scatter(false),
+            &ctx,
+        );
         let nonempty = map.pairs_per_offset().iter().filter(|&&s| s > 0).count() as u64;
         assert_eq!(out.trace.launch_count(), 3 * nonempty);
         assert!(out.features.is_none());
@@ -231,8 +241,22 @@ mod tests {
     fn fused_launches_far_fewer_kernels_and_is_faster() {
         let (x, w, map) = setup();
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-        let naive = run(&x, &w, &map, false, &DataflowConfig::gather_scatter(false), &ctx);
-        let fused = run(&x, &w, &map, true, &DataflowConfig::gather_scatter(true), &ctx);
+        let naive = run(
+            &x,
+            &w,
+            &map,
+            false,
+            &DataflowConfig::gather_scatter(false),
+            &ctx,
+        );
+        let fused = run(
+            &x,
+            &w,
+            &map,
+            true,
+            &DataflowConfig::gather_scatter(true),
+            &ctx,
+        );
         assert!(fused.trace.launch_count() < naive.trace.launch_count() / 3);
         assert!(fused.trace.total_us() < naive.trace.total_us());
     }

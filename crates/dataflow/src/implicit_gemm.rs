@@ -13,7 +13,9 @@ use ts_kernelgen::GeneratedDataflow;
 use ts_kernelmap::{pad_to_multiple, KernelMap, SplitPlan};
 use ts_tensor::Matrix;
 
-use crate::{ConvOutput, ConvWeights, DataflowConfig, DataflowKind, ExecCtx, Prepared, ReorderMode};
+use crate::{
+    ConvOutput, ConvWeights, DataflowConfig, DataflowKind, ExecCtx, Prepared, ReorderMode,
+};
 
 /// Compute-time multiplier the extra indirection of *online* reordering
 /// costs inside forward/dgrad kernels (Figure 19: ~4 % end-to-end).
@@ -85,7 +87,7 @@ fn compute(x: &Matrix, w: &ConvWeights, map: &KernelMap, plan: &SplitPlan) -> Ma
     let mut out = Matrix::zeros(map.n_out(), w.c_out());
     for range in plan.ranges() {
         let mut partial = Matrix::zeros(map.n_out(), w.c_out());
-        for &row in &range.order {
+        for &row in range.order(map) {
             let o = row as usize;
             let dst = partial.row_mut(o);
             for k in range.k_begin..range.k_end {
@@ -132,14 +134,18 @@ fn trace(
     let eff_pairs: u64 = unit_counts.iter().map(|u| u.effective).sum();
     let k_dim_total = map.kernel_volume() as u64 * c_in;
 
-    let tile = cfg.tile_policy.tile_for(n_out, c_out, k_dim_total, ctx.device(), ctx.precision);
+    let tile = cfg
+        .tile_policy
+        .tile_for(n_out, c_out, k_dim_total, ctx.device(), ctx.precision);
     let m_rows = if ctx.gen_flags.padded_map {
         pad_to_multiple(map.n_out(), tile.cta_m as usize) as u64
     } else {
         n_out
     };
 
-    let mut pen = ctx.gen_flags.penalties(GeneratedDataflow::ImplicitGemm, tile, ctx.precision);
+    let mut pen = ctx
+        .gen_flags
+        .penalties(GeneratedDataflow::ImplicitGemm, tile, ctx.precision);
     if plan.is_sorted() && ctx.reorder == ReorderMode::Online {
         pen.addr *= ONLINE_REORDER_FWD_PENALTY;
     }
@@ -177,12 +183,8 @@ fn trace(
 
     if plan.partial_buffers() > 1 {
         let s = plan.partial_buffers() as u64;
-        let reduce = KernelDesc::memory(
-            "splitk-reduce",
-            s * n_out * c_out * b,
-            n_out * c_out * b,
-        )
-        .with_class(KernelClass::Reduction);
+        let reduce = KernelDesc::memory("splitk-reduce", s * n_out * c_out * b, n_out * c_out * b)
+            .with_class(KernelClass::Reduction);
         ctx.cost.record(&mut trace, reduce);
     }
 
@@ -231,8 +233,7 @@ pub(crate) fn gather_kernel_stretch() -> f64 {
 /// (too few CTAs cannot hide latency; sub-linear and capped).
 pub(crate) fn occupancy_stretch(ctas: u64, tile: ts_gpusim::TileShape, ctx: &ExecCtx) -> f64 {
     let device = ctx.device();
-    let smem_limit =
-        (device.smem_kib_per_sm as u64 * 1024) / tile.smem_bytes(ctx.precision).max(1);
+    let smem_limit = (device.smem_kib_per_sm as u64 * 1024) / tile.smem_bytes(ctx.precision).max(1);
     let reg_limit = (256 * 256) / (tile.cta_m as u64 * tile.cta_n as u64).max(1);
     let ctas_per_sm = smem_limit.min(reg_limit).clamp(1, 8);
     let slots = (device.sm_count as u64 * ctas_per_sm).max(1);
@@ -289,13 +290,21 @@ mod tests {
         let (x, w, map) = setup(100);
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
         let s1 = forward(&x, &w, &map, &DataflowConfig::implicit_gemm(1), &ctx);
-        assert!(!s1.trace.entries().iter().any(|e| e.desc.class == KernelClass::Reduction));
+        assert!(!s1
+            .trace
+            .entries()
+            .iter()
+            .any(|e| e.desc.class == KernelClass::Reduction));
         let s3 = forward(&x, &w, &map, &DataflowConfig::implicit_gemm(3), &ctx);
-        assert!(s3.trace.entries().iter().any(|e| e.desc.class == KernelClass::Reduction));
+        assert!(s3
+            .trace
+            .entries()
+            .iter()
+            .any(|e| e.desc.class == KernelClass::Reduction));
     }
 
     #[test]
-    fn write_traffic_is_output_minimal_per_range(){
+    fn write_traffic_is_output_minimal_per_range() {
         let (x, w, map) = setup(100);
         let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
         let out = forward(&x, &w, &map, &DataflowConfig::implicit_gemm(0), &ctx);

@@ -101,15 +101,9 @@ pub fn forward_prepared(
     assert_eq!(x.rows(), map.n_in(), "input rows must match map inputs");
     assert_eq!(x.cols(), w.c_in(), "input channels must match weights");
     match cfg.kind {
-        DataflowKind::GatherScatter { fused } => {
-            gather_scatter::run(x, w, map, fused, cfg, ctx)
-        }
-        DataflowKind::FetchOnDemand { fused } => {
-            fetch_on_demand::run(x, w, map, fused, cfg, ctx)
-        }
-        DataflowKind::ImplicitGemm { .. } => {
-            implicit_gemm::run(x, w, map, prepared, cfg, ctx)
-        }
+        DataflowKind::GatherScatter { fused } => gather_scatter::run(x, w, map, fused, cfg, ctx),
+        DataflowKind::FetchOnDemand { fused } => fetch_on_demand::run(x, w, map, fused, cfg, ctx),
+        DataflowKind::ImplicitGemm { .. } => implicit_gemm::run(x, w, map, prepared, cfg, ctx),
     }
 }
 
@@ -165,7 +159,10 @@ fn relabel(trace: &mut KernelTrace, prefix: &str) {
         .map(|e| {
             let mut d = e.desc.clone();
             d.name = format!("{prefix}:{}", d.name);
-            ts_gpusim::TraceEntry { desc: d, time_us: e.time_us }
+            ts_gpusim::TraceEntry {
+                desc: d,
+                time_us: e.time_us,
+            }
         })
         .collect();
     *trace = entries.into_iter().collect();

@@ -52,7 +52,11 @@ pub fn prepare(map: &KernelMap, cfg: &DataflowConfig, ctx: &ExecCtx) -> Prepared
 
             if splits >= 1 {
                 // Bitmask construction: one pass over the neighbor matrix.
-                let bm = KernelDesc::mapping("map:bitmask-build", n_out * kvol * 4, n_out * kvol * 4 + n_out * 4);
+                let bm = KernelDesc::mapping(
+                    "map:bitmask-build",
+                    n_out * kvol * 4,
+                    n_out * kvol * 4 + n_out * 4,
+                );
                 ctx.record(&mut trace, bm);
 
                 // One argsort per split (bitonic sort on GPU: n log^2 n
@@ -86,16 +90,15 @@ pub fn prepare(map: &KernelMap, cfg: &DataflowConfig, ctx: &ExecCtx) -> Prepared
                 let padded = pad_to_multiple(map.n_out(), cta_m) as u64;
                 let pad_rows = padded - n_out;
                 if pad_rows > 0 {
-                    let pad = KernelDesc::mapping(
-                        "map:pad",
-                        pad_rows * kvol,
-                        pad_rows * kvol * 4,
-                    );
+                    let pad = KernelDesc::mapping("map:pad", pad_rows * kvol, pad_rows * kvol * 4);
                     ctx.record(&mut trace, pad);
                 }
             }
 
-            Prepared { plan: Some(plan), trace }
+            Prepared {
+                plan: Some(plan),
+                trace,
+            }
         }
     }
 }

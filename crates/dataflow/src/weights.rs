@@ -32,13 +32,19 @@ impl ConvWeights {
     ///
     /// Panics if matrices have inconsistent shapes or the list is empty.
     pub fn new(per_offset: Vec<Matrix>) -> Self {
-        let first = per_offset.first().expect("weights need at least one offset");
+        let first = per_offset
+            .first()
+            .expect("weights need at least one offset");
         let (c_in, c_out) = first.shape();
         assert!(
             per_offset.iter().all(|m| m.shape() == (c_in, c_out)),
             "all offset weights must share one shape"
         );
-        Self { per_offset, c_in, c_out }
+        Self {
+            per_offset,
+            c_in,
+            c_out,
+        }
     }
 
     /// Xavier-initialised random weights for `kvol` offsets.

@@ -8,7 +8,7 @@
 use ts_gpusim::{KernelDesc, KernelTrace, Overlap};
 use ts_kernelgen::GeneratedDataflow;
 use ts_kernelmap::KernelMap;
-use ts_tensor::{Matrix};
+use ts_tensor::Matrix;
 
 use crate::{ConvWeights, DataflowConfig, DataflowKind, ExecCtx, ReorderMode};
 
@@ -99,8 +99,7 @@ fn trace_gather(c_in: u64, c_out: u64, map: &KernelMap, ctx: &ExecCtx) -> Kernel
         )
         .with_latency_stretch(crate::implicit_gemm::gather_kernel_stretch());
         ctx.cost.record(&mut trace, gather);
-        let mut gemm =
-            KernelDesc::gemm(format!("wgrad-gemm[{k}]"), c_in, c_out, m, ctx.precision);
+        let mut gemm = KernelDesc::gemm(format!("wgrad-gemm[{k}]"), c_in, c_out, m, ctx.precision);
         gemm.dram_read = m * (c_in + c_out) * b;
         gemm.dram_write = c_in * c_out * b;
         gemm.overlap = Overlap::None;
@@ -135,13 +134,17 @@ fn trace_fused(
         DataflowKind::ImplicitGemm { splits } => splits.max(1) as u64,
         _ => 1,
     };
-    let tile = cfg.tile_policy.tile_for(c_in * kvol, c_out, k_dim, ctx.device(), ctx.precision);
-    let util = crate::implicit_gemm::mma_pipe_utilization(tile, c_in * kvol, c_out, k_dim, ranges, ctx);
-    let ctas = (c_in * kvol).div_ceil(tile.cta_m as u64)
-        * c_out.div_ceil(tile.cta_n as u64)
-        * ranges;
+    let tile = cfg
+        .tile_policy
+        .tile_for(c_in * kvol, c_out, k_dim, ctx.device(), ctx.precision);
+    let util =
+        crate::implicit_gemm::mma_pipe_utilization(tile, c_in * kvol, c_out, k_dim, ranges, ctx);
+    let ctas =
+        (c_in * kvol).div_ceil(tile.cta_m as u64) * c_out.div_ceil(tile.cta_n as u64) * ranges;
     let stretch = crate::implicit_gemm::occupancy_stretch(ctas, tile, ctx);
-    let mut pen = ctx.gen_flags.penalties(GeneratedDataflow::ImplicitGemm, tile, ctx.precision);
+    let mut pen = ctx
+        .gen_flags
+        .penalties(GeneratedDataflow::ImplicitGemm, tile, ctx.precision);
     let sorted = matches!(cfg.kind, DataflowKind::ImplicitGemm { splits } if splits >= 1);
     if sorted && ctx.reorder == ReorderMode::Online {
         // Online reordering adds an indirection inside the long K loop
@@ -195,7 +198,10 @@ mod tests {
         let expected = reference_wgrad(&x, &dy, &map);
         let got = compute(&x, &dy, &map);
         for k in 0..map.kernel_volume() {
-            assert!(got.offset(k).approx_eq(expected.offset(k), 1e-4), "offset {k}");
+            assert!(
+                got.offset(k).approx_eq(expected.offset(k), 1e-4),
+                "offset {k}"
+            );
         }
     }
 
@@ -234,6 +240,10 @@ mod tests {
         let out = wgrad(&x, &dy, &map, &DataflowConfig::implicit_gemm(0), &ctx);
         assert!(out.dw.is_some());
         let sim = ExecCtx::simulate(Device::a100(), Precision::Fp32);
-        assert!(wgrad(&x, &dy, &map, &DataflowConfig::implicit_gemm(0), &sim).dw.is_none());
+        assert!(
+            wgrad(&x, &dy, &map, &DataflowConfig::implicit_gemm(0), &sim)
+                .dw
+                .is_none()
+        );
     }
 }

@@ -32,7 +32,13 @@ const SM_LATENCY_CAPACITY: f64 = 5600.0;
 /// Each CTA column re-reads the A operand and each CTA row re-reads the
 /// B operand; re-reads beyond the first pass are discounted by the L2
 /// factor. Output is written once.
-pub fn gemm_dram_traffic(m: u64, n: u64, k: u64, tile: TileShape, precision: Precision) -> (u64, u64) {
+pub fn gemm_dram_traffic(
+    m: u64,
+    n: u64,
+    k: u64,
+    tile: TileShape,
+    precision: Precision,
+) -> (u64, u64) {
     let b = precision.bytes() as u64;
     let tiles_m = m.div_ceil(tile.cta_m as u64).max(1);
     let tiles_n = n.div_ceil(tile.cta_n as u64).max(1);
@@ -137,13 +143,15 @@ impl CostModel {
     fn exec_time_us(&self, kernel: &KernelDesc) -> f64 {
         let mac_time = if kernel.macs > 0 {
             let peak = self.device.peak_macs_per_us(kernel.precision);
-            let util = kernel.util_override.unwrap_or_else(|| match (kernel.gemm_shape, kernel.tile)
-            {
-                (Some((m, n, k)), Some(tile)) => {
-                    gemm_utilization(m, n, k, tile, &self.device, kernel.precision)
-                }
-                _ => DEFAULT_COMPUTE_UTIL,
-            });
+            let util =
+                kernel
+                    .util_override
+                    .unwrap_or_else(|| match (kernel.gemm_shape, kernel.tile) {
+                        (Some((m, n, k)), Some(tile)) => {
+                            gemm_utilization(m, n, k, tile, &self.device, kernel.precision)
+                        }
+                        _ => DEFAULT_COMPUTE_UTIL,
+                    });
             kernel.macs as f64 / (peak * util)
         } else {
             0.0
@@ -283,12 +291,24 @@ mod tests {
     fn bigger_tiles_win_on_big_workloads_small_tiles_on_small() {
         let d = Device::rtx3090();
         let big_big = gemm_utilization(1 << 17, 256, 1728, TileShape::large(), &d, Precision::Fp16);
-        let big_small =
-            gemm_utilization(1 << 17, 256, 1728, TileShape::new(32, 32, 16), &d, Precision::Fp16);
+        let big_small = gemm_utilization(
+            1 << 17,
+            256,
+            1728,
+            TileShape::new(32, 32, 16),
+            &d,
+            Precision::Fp16,
+        );
         assert!(big_big > big_small);
 
-        let small_small =
-            gemm_utilization(2000, 64, 576, TileShape::new(32, 64, 32), &d, Precision::Fp16);
+        let small_small = gemm_utilization(
+            2000,
+            64,
+            576,
+            TileShape::new(32, 64, 32),
+            &d,
+            Precision::Fp16,
+        );
         let small_big = gemm_utilization(2000, 64, 576, TileShape::large(), &d, Precision::Fp16);
         assert!(small_small > small_big, "{small_small} vs {small_big}");
     }

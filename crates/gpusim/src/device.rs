@@ -259,13 +259,19 @@ mod tests {
     #[test]
     fn pascal_has_no_tensor_speedup() {
         let d = Device::gtx1080ti();
-        assert_eq!(d.peak_macs_per_us(Precision::Fp16), d.peak_macs_per_us(Precision::Fp32));
+        assert_eq!(
+            d.peak_macs_per_us(Precision::Fp16),
+            d.peak_macs_per_us(Precision::Fp32)
+        );
     }
 
     #[test]
     fn turing_tf32_falls_back_to_fp32() {
         let d = Device::rtx2080ti();
-        assert_eq!(d.peak_macs_per_us(Precision::Tf32), d.peak_macs_per_us(Precision::Fp32));
+        assert_eq!(
+            d.peak_macs_per_us(Precision::Tf32),
+            d.peak_macs_per_us(Precision::Fp32)
+        );
     }
 
     #[test]

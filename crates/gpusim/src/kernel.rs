@@ -80,7 +80,12 @@ pub struct TileShape {
 impl TileShape {
     /// Creates a tile shape with double buffering.
     pub fn new(cta_m: u32, cta_n: u32, cta_k: u32) -> Self {
-        Self { cta_m, cta_n, cta_k, stages: 2 }
+        Self {
+            cta_m,
+            cta_n,
+            cta_k,
+            stages: 2,
+        }
     }
 
     /// Shared-memory footprint in bytes for `precision` operands.
@@ -102,7 +107,16 @@ impl TileShape {
     /// The tile-size search space of the Sparse Kernel Generator.
     pub fn search_space() -> Vec<TileShape> {
         let mut v = Vec::new();
-        for &(m, n) in &[(128, 128), (128, 64), (64, 128), (64, 64), (32, 64), (64, 32), (32, 32), (16, 64)] {
+        for &(m, n) in &[
+            (128, 128),
+            (128, 64),
+            (64, 128),
+            (64, 64),
+            (32, 64),
+            (64, 32),
+            (32, 32),
+            (16, 64),
+        ] {
             for &k in &[16, 32, 64] {
                 v.push(TileShape::new(m, n, k));
             }

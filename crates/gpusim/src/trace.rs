@@ -149,7 +149,9 @@ impl KernelTrace {
 
 impl FromIterator<TraceEntry> for KernelTrace {
     fn from_iter<T: IntoIterator<Item = TraceEntry>>(iter: T) -> Self {
-        Self { entries: iter.into_iter().collect() }
+        Self {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

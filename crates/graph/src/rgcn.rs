@@ -77,7 +77,9 @@ impl RgcnModel {
         let mut trace = KernelTrace::new();
         let mut feats = ctx.functional.then(|| x.clone());
         for (i, w) in self.layers.iter().enumerate() {
-            let input = feats.clone().unwrap_or_else(|| Matrix::zeros(self.map.n_in(), w.c_in()));
+            let input = feats
+                .clone()
+                .unwrap_or_else(|| Matrix::zeros(self.map.n_in(), w.c_in()));
             let out = forward(&input, w, &self.map, cfg, ctx);
             trace.merge(out.trace);
             feats = out.features.map(|mut f| {

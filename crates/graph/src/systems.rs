@@ -40,8 +40,12 @@ pub enum GraphSystem {
 }
 
 /// All systems in the paper's comparison order.
-pub const ALL_GRAPH_SYSTEMS: [GraphSystem; 4] =
-    [GraphSystem::Dgl, GraphSystem::Pyg, GraphSystem::Graphiler, GraphSystem::TorchSparsePP];
+pub const ALL_GRAPH_SYSTEMS: [GraphSystem; 4] = [
+    GraphSystem::Dgl,
+    GraphSystem::Pyg,
+    GraphSystem::Graphiler,
+    GraphSystem::TorchSparsePP,
+];
 
 /// Result of simulating one R-GCN inference.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,8 +79,10 @@ impl GraphSystem {
         // Feature storage common to everyone: input + both layer outputs
         // + weights.
         let dims = model.layer_dims();
-        let feat_bytes: u64 =
-            dims.iter().map(|&(ci, co)| n * (ci + co) as u64 * elem).sum::<u64>();
+        let feat_bytes: u64 = dims
+            .iter()
+            .map(|&(ci, co)| n * (ci + co) as u64 * elem)
+            .sum::<u64>();
         let weight_bytes: u64 = dims
             .iter()
             .map(|&(ci, co)| (map.kernel_volume() * ci * co) as u64 * elem)
@@ -89,9 +95,10 @@ impl GraphSystem {
                 // Tuned between the two fused dataflows; mapping cost
                 // (edge sort by relation) charged once.
                 let mut best = f64::INFINITY;
-                for cfg in
-                    [DataflowConfig::fetch_on_demand(true), DataflowConfig::gather_scatter(true)]
-                {
+                for cfg in [
+                    DataflowConfig::fetch_on_demand(true),
+                    DataflowConfig::gather_scatter(true),
+                ] {
                     let prep = prepare(map, &cfg, &ctx);
                     let mut t = prep.trace.total_us();
                     for &(ci, co) in &dims {
@@ -128,8 +135,7 @@ impl GraphSystem {
                         ctx.record(&mut trace, msg);
                     }
                 }
-                let latency_us =
-                    trace.total_us() + framework_us * trace.launch_count() as f64;
+                let latency_us = trace.total_us() + framework_us * trace.launch_count() as f64;
 
                 // Peak memory: gather buffers + materialised messages,
                 // held simultaneously for autograd.

@@ -23,7 +23,10 @@ pub struct PenaltyFactors {
 impl PenaltyFactors {
     /// Computes both factors for a spec.
     pub fn for_spec(spec: &KernelSpec) -> Self {
-        Self { addr: addr_overhead_factor(spec), ctrl: ctrl_overhead_factor(spec) }
+        Self {
+            addr: addr_overhead_factor(spec),
+            ctrl: ctrl_overhead_factor(spec),
+        }
     }
 
     /// The combined multiplier.

@@ -39,7 +39,10 @@ impl EngineeringCost {
 /// per tile, so it is counted once, not per tile size).
 pub fn generator_loc() -> EngineeringCost {
     let mut loc = 0;
-    for dataflow in [GeneratedDataflow::ImplicitGemm, GeneratedDataflow::FetchOnDemand] {
+    for dataflow in [
+        GeneratedDataflow::ImplicitGemm,
+        GeneratedDataflow::FetchOnDemand,
+    ] {
         let spec = KernelSpec::new(dataflow, TileShape::large(), Precision::Fp16);
         loc += generate(&spec).stats.total_lines;
         // The naive/hoisted/padded variants share the template; the
@@ -48,7 +51,10 @@ pub fn generator_loc() -> EngineeringCost {
     }
     // TensorIR-style MMA emission template.
     loc += 150;
-    EngineeringCost { generator_loc: loc, spconv_v2_loc: SPCONV_V2_METAPROGRAMMER_LOC }
+    EngineeringCost {
+        generator_loc: loc,
+        spconv_v2_loc: SPCONV_V2_METAPROGRAMMER_LOC,
+    }
 }
 
 #[cfg(test)]

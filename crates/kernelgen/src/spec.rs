@@ -78,7 +78,11 @@ impl KernelSpec {
     /// The naive dynamic-shape port of a fixed-shape kernel: constants
     /// unfolded, nothing hoisted, boundary checks everywhere. This is the
     /// starting point of the Figure 20/21 ablations.
-    pub fn naive_dynamic(dataflow: GeneratedDataflow, tile: TileShape, precision: Precision) -> Self {
+    pub fn naive_dynamic(
+        dataflow: GeneratedDataflow,
+        tile: TileShape,
+        precision: Precision,
+    ) -> Self {
         Self {
             dataflow,
             tile,
@@ -127,7 +131,11 @@ mod tests {
 
     #[test]
     fn default_spec_is_fully_optimised() {
-        let s = KernelSpec::new(GeneratedDataflow::ImplicitGemm, TileShape::large(), Precision::Fp16);
+        let s = KernelSpec::new(
+            GeneratedDataflow::ImplicitGemm,
+            TileShape::large(),
+            Precision::Fp16,
+        );
         assert!(s.hoist_invariants);
         assert!(s.padded_map);
         assert_eq!(s.shape_mode, ShapeMode::Dynamic);
@@ -135,17 +143,24 @@ mod tests {
 
     #[test]
     fn naive_dynamic_disables_optimisations() {
-        let s =
-            KernelSpec::naive_dynamic(GeneratedDataflow::ImplicitGemm, TileShape::large(), Precision::Fp16);
+        let s = KernelSpec::naive_dynamic(
+            GeneratedDataflow::ImplicitGemm,
+            TileShape::large(),
+            Precision::Fp16,
+        );
         assert!(!s.hoist_invariants);
         assert!(!s.padded_map);
     }
 
     #[test]
     fn builders_toggle_flags() {
-        let s = KernelSpec::new(GeneratedDataflow::FetchOnDemand, TileShape::small(), Precision::Fp32)
-            .with_hoisting(false)
-            .with_padding(false);
+        let s = KernelSpec::new(
+            GeneratedDataflow::FetchOnDemand,
+            TileShape::small(),
+            Precision::Fp32,
+        )
+        .with_hoisting(false)
+        .with_padding(false);
         assert!(!s.hoist_invariants);
         assert!(!s.padded_map);
     }

@@ -66,16 +66,28 @@ pub fn emit_tensorir(tile: TileShape, precision: Precision) -> TensorIrTemplate 
         tile.cta_m, tile.cta_n
     ));
     push("    # schedule: shared-memory staging with double buffering");
-    push(&format!("    A_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")", tile.cta_m, tile.cta_k));
-    push(&format!("    B_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")", tile.cta_k, tile.cta_n));
-    push(&format!("    for wm in T.thread_binding({warps_m}, thread=\"threadIdx.y\"):"));
-    push(&format!("        for wn in T.thread_binding({warps_n}, thread=\"threadIdx.z\"):"));
+    push(&format!(
+        "    A_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")",
+        tile.cta_m, tile.cta_k
+    ));
+    push(&format!(
+        "    B_sh = T.alloc_buffer(({}, {}), \"{dtype}\", scope=\"shared\")",
+        tile.cta_k, tile.cta_n
+    ));
+    push(&format!(
+        "    for wm in T.thread_binding({warps_m}, thread=\"threadIdx.y\"):"
+    ));
+    push(&format!(
+        "        for wn in T.thread_binding({warps_n}, thread=\"threadIdx.z\"):"
+    ));
     push(&format!("            for kk in T.serial({k_steps}):"));
     push("                with T.block(\"mma\"):");
     push(&format!(
         "                    T.reads(A_sh[wm * {WARP_M}, kk * {MMA_K}], B_sh[kk * {MMA_K}, wn * {WARP_N}])"
     ));
-    push(&format!("                    T.writes(C[wm * {WARP_M}, wn * {WARP_N}])"));
+    push(&format!(
+        "                    T.writes(C[wm * {WARP_M}, wn * {WARP_N}])"
+    ));
     push(&format!(
         "                    T.tensorize(mma_sync_m{WARP_M}n{WARP_N}k{MMA_K}_{dtype})"
     ));

@@ -26,7 +26,14 @@ pub enum TilePolicy {
 
 impl TilePolicy {
     /// Resolves the tile for a GEMM of logical shape `m x n x k`.
-    pub fn tile_for(&self, m: u64, n: u64, k: u64, device: &Device, precision: Precision) -> TileShape {
+    pub fn tile_for(
+        &self,
+        m: u64,
+        n: u64,
+        k: u64,
+        device: &Device,
+        precision: Precision,
+    ) -> TileShape {
         match *self {
             TilePolicy::Fixed(t) => t,
             TilePolicy::Adaptive => adaptive_tile(m, n, k),
@@ -75,7 +82,11 @@ mod tests {
     fn searched_policy_never_loses_to_fixed() {
         let d = Device::rtx3090();
         let p = Precision::Fp16;
-        for &(m, n, k) in &[(100_000u64, 256, 1728), (2000, 64, 576), (30_000, 128, 3456)] {
+        for &(m, n, k) in &[
+            (100_000u64, 256, 1728),
+            (2000, 64, 576),
+            (30_000, 128, 3456),
+        ] {
             let searched = TilePolicy::Searched.tile_for(m, n, k, &d, p);
             let fixed = TileShape::large();
             let u_s = ts_gpusim::gemm_utilization(m, n, k, searched, &d, p);

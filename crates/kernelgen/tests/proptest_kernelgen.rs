@@ -11,21 +11,30 @@ use ts_kernelgen::{
 
 fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
     (
-        prop::sample::select(vec![GeneratedDataflow::ImplicitGemm, GeneratedDataflow::FetchOnDemand]),
+        prop::sample::select(vec![
+            GeneratedDataflow::ImplicitGemm,
+            GeneratedDataflow::FetchOnDemand,
+        ]),
         prop::sample::select(TileShape::search_space()),
         prop::sample::select(vec![Precision::Fp16, Precision::Tf32, Precision::Fp32]),
         any::<bool>(),
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(dataflow, tile, precision, hoist, pad, fixed)| KernelSpec {
-            dataflow,
-            tile,
-            precision,
-            shape_mode: if fixed { ShapeMode::Fixed } else { ShapeMode::Dynamic },
-            hoist_invariants: hoist,
-            padded_map: pad,
-        })
+        .prop_map(
+            |(dataflow, tile, precision, hoist, pad, fixed)| KernelSpec {
+                dataflow,
+                tile,
+                precision,
+                shape_mode: if fixed {
+                    ShapeMode::Fixed
+                } else {
+                    ShapeMode::Dynamic
+                },
+                hoist_invariants: hoist,
+                padded_map: pad,
+            },
+        )
 }
 
 proptest! {

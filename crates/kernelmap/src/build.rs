@@ -64,7 +64,10 @@ pub fn build_submanifold_map_with_stats(
 ) -> (KernelMap, MapStats) {
     let table = CoordHashMap::build(coords);
     let mut pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); offsets.volume()];
-    let mut stats = MapStats { inserts: coords.len() as u64, ..MapStats::default() };
+    let mut stats = MapStats {
+        inserts: coords.len() as u64,
+        ..MapStats::default()
+    };
     for (out_idx, &q) in coords.iter().enumerate() {
         for (k, &delta) in offsets.deltas().iter().enumerate() {
             stats.queries += 1;
@@ -74,7 +77,10 @@ pub fn build_submanifold_map_with_stats(
         }
     }
     stats.pairs = pairs.iter().map(|p| p.len() as u64).sum();
-    (KernelMap::from_pairs(coords.len(), coords.len(), pairs), stats)
+    (
+        KernelMap::from_pairs(coords.len(), coords.len(), pairs),
+        stats,
+    )
 }
 
 /// Builds the kernel map of a *strided* convolution: outputs are the
@@ -193,9 +199,7 @@ mod tests {
         // With K=2 offsets {0,1}^3 and stride 2, every input p maps to
         // exactly one output floor(p/2): the map partitions inputs.
         let coords: Vec<Coord> = (0..4)
-            .flat_map(|x| {
-                (0..4).flat_map(move |y| (0..4).map(move |z| Coord::new(0, x, y, z)))
-            })
+            .flat_map(|x| (0..4).flat_map(move |y| (0..4).map(move |z| Coord::new(0, x, y, z))))
             .collect();
         let (map, out) = build_strided_map(&coords, &KernelOffsets::cube(2), 2);
         assert_eq!(out.len(), 8);

@@ -41,7 +41,9 @@ impl Coord {
     /// Panics in debug builds if any component is outside `[-32768, 32767]`.
     pub fn new(batch: i32, x: i32, y: i32, z: i32) -> Self {
         debug_assert!(
-            [batch, x, y, z].iter().all(|&v| (-(BIAS as i32)..BIAS as i32).contains(&v)),
+            [batch, x, y, z]
+                .iter()
+                .all(|&v| (-(BIAS as i32)..BIAS as i32).contains(&v)),
             "coordinate component out of 16-bit range: ({batch},{x},{y},{z})"
         );
         Self { batch, x, y, z }
@@ -69,13 +71,23 @@ impl Coord {
 
     /// Translates the spatial components by `(dx, dy, dz)`.
     pub fn offset(self, (dx, dy, dz): (i32, i32, i32)) -> Self {
-        Self { batch: self.batch, x: self.x + dx, y: self.y + dy, z: self.z + dz }
+        Self {
+            batch: self.batch,
+            x: self.x + dx,
+            y: self.y + dy,
+            z: self.z + dz,
+        }
     }
 
     /// Scales the spatial components by `stride` (used to map a
     /// downsampled output coordinate back to input resolution).
     pub fn upscale(self, stride: i32) -> Self {
-        Self { batch: self.batch, x: self.x * stride, y: self.y * stride, z: self.z * stride }
+        Self {
+            batch: self.batch,
+            x: self.x * stride,
+            y: self.y * stride,
+            z: self.z * stride,
+        }
     }
 
     /// Floor-divides the spatial components by `stride` (coordinate
@@ -145,7 +157,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Coord::new(0, 1, 0, 0), Coord::new(0, 0, 0, 0)];
+        let mut v = [Coord::new(0, 1, 0, 0), Coord::new(0, 0, 0, 0)];
         v.sort();
         assert_eq!(v[0], Coord::new(0, 0, 0, 0));
     }

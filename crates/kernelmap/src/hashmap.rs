@@ -35,7 +35,13 @@ impl CoordHashMap {
     /// Creates a table sized for `capacity` insertions (load factor 0.5).
     pub fn with_capacity(capacity: usize) -> Self {
         let slots = (capacity.max(1) * 2).next_power_of_two();
-        Self { keys: vec![EMPTY; slots], vals: vec![-1; slots], mask: slots - 1, len: 0, probes: 0 }
+        Self {
+            keys: vec![EMPTY; slots],
+            vals: vec![-1; slots],
+            mask: slots - 1,
+            len: 0,
+            probes: 0,
+        }
     }
 
     /// Builds a table mapping each coordinate's key to its index.

@@ -41,14 +41,20 @@ impl KernelMap {
     /// [`KernelMap::from_relational_pairs`]).
     pub fn from_pairs(n_in: usize, n_out: usize, pairs: Vec<Vec<(u32, u32)>>) -> Self {
         let kvol = pairs.len();
-        assert!(kvol <= 32, "kernel volume {kvol} exceeds 32-bit bitmask capacity");
+        assert!(
+            kvol <= 32,
+            "kernel volume {kvol} exceeds 32-bit bitmask capacity"
+        );
         let mut neighbors = vec![-1i32; n_out * kvol];
         let mut bitmasks = vec![0u32; n_out];
         let mut multi_edges = false;
         for (k, list) in pairs.iter().enumerate() {
             for &(i, o) in list {
                 assert!((i as usize) < n_in, "input index {i} out of range {n_in}");
-                assert!((o as usize) < n_out, "output index {o} out of range {n_out}");
+                assert!(
+                    (o as usize) < n_out,
+                    "output index {o} out of range {n_out}"
+                );
                 let slot = o as usize * kvol + k;
                 if neighbors[slot] != -1 {
                     multi_edges = true;
@@ -57,7 +63,16 @@ impl KernelMap {
                 bitmasks[o as usize] |= 1 << k;
             }
         }
-        Self { n_in, n_out, kvol, pairs, neighbors, bitmasks, multi_edges, dense_repr: true }
+        Self {
+            n_in,
+            n_out,
+            kvol,
+            pairs,
+            neighbors,
+            bitmasks,
+            multi_edges,
+            dense_repr: true,
+        }
     }
 
     /// Builds a weight-stationary-only map from relational edge lists
@@ -70,7 +85,10 @@ impl KernelMap {
         for list in &pairs {
             for &(i, o) in list {
                 assert!((i as usize) < n_in, "input index {i} out of range {n_in}");
-                assert!((o as usize) < n_out, "output index {o} out of range {n_out}");
+                assert!(
+                    (o as usize) < n_out,
+                    "output index {o} out of range {n_out}"
+                );
             }
         }
         Self {
@@ -133,7 +151,10 @@ impl KernelMap {
     /// Panics if the map has no dense representation
     /// (see [`KernelMap::has_dense_repr`]).
     pub fn neighbor(&self, o: usize, k: usize) -> Option<u32> {
-        assert!(self.dense_repr, "map has no output-stationary representation");
+        assert!(
+            self.dense_repr,
+            "map has no output-stationary representation"
+        );
         let v = self.neighbors[o * self.kvol + k];
         (v >= 0).then_some(v as u32)
     }
@@ -237,11 +258,7 @@ mod tests {
 
     fn sample_map() -> KernelMap {
         // 3 inputs, 2 outputs, 3 offsets.
-        KernelMap::from_pairs(
-            3,
-            2,
-            vec![vec![(0, 0), (1, 1)], vec![(2, 0)], vec![]],
-        )
+        KernelMap::from_pairs(3, 2, vec![vec![(0, 0), (1, 1)], vec![(2, 0)], vec![]])
     }
 
     #[test]
@@ -305,8 +322,8 @@ mod tests {
     #[test]
     fn memory_bytes_counts_both_representations() {
         let m = sample_map();
-        let expected = m.total_pairs() * 8 + (m.n_out() * m.kernel_volume()) as u64 * 4
-            + m.n_out() as u64 * 4;
+        let expected =
+            m.total_pairs() * 8 + (m.n_out() * m.kernel_volume()) as u64 * 4 + m.n_out() as u64 * 4;
         assert_eq!(m.memory_bytes(), expected);
         let rel = KernelMap::from_relational_pairs(2, 2, vec![vec![(0, 0), (1, 1)]]);
         assert_eq!(rel.memory_bytes(), 16);

@@ -46,7 +46,10 @@ impl KernelOffsets {
                 }
             }
         }
-        Self { kernel_size: k, deltas }
+        Self {
+            kernel_size: k,
+            deltas,
+        }
     }
 
     /// A degenerate 1x1x1 neighborhood (pointwise convolution).
@@ -111,7 +114,10 @@ mod tests {
     fn even_cube_is_positive() {
         let o = KernelOffsets::cube(2);
         assert_eq!(o.volume(), 8);
-        assert!(o.deltas().iter().all(|&(x, y, z)| x >= 0 && y >= 0 && z >= 0));
+        assert!(o
+            .deltas()
+            .iter()
+            .all(|&(x, y, z)| x >= 0 && y >= 0 && z >= 0));
         assert_eq!(o.center(), Some(0));
     }
 

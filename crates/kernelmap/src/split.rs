@@ -39,33 +39,138 @@ pub fn pad_to_multiple(n: usize, m: usize) -> usize {
 /// bitmask value 17 computes first). The sort is stable so equal masks
 /// keep their spatial locality.
 pub fn argsort_by_bitmask(bitmasks: &[u32], k_begin: usize, k_end: usize) -> Vec<u32> {
-    let key = |m: u32| -> u32 {
-        let mut v = 0;
-        for k in k_begin..k_end {
-            v = (v << 1) | ((m >> k) & 1);
+    let n = bitmasks.len();
+    let width = k_end - k_begin;
+    if width == 0 {
+        return (0..n as u32).collect();
+    }
+    // Stable LSD radix sort on the keys with the row index carried
+    // along: each counting pass is stable, so equal masks keep their
+    // original (spatially local) order, matching a stable comparison
+    // sort. ceil(width / 11) linear passes beat O(n log n) comparisons
+    // on the map sizes the tuner prepares.
+    let mut cur: Vec<(u32, u32)> = bitmasks
+        .iter()
+        .enumerate()
+        .map(|(r, &m)| (sort_key(m, k_begin, width), r as u32))
+        .collect();
+    let mut next = vec![(0u32, 0u32); n];
+    let mut shift = 0;
+    while shift < width {
+        let mut counts = [0u32; RADIX];
+        for &(k, _) in &cur {
+            counts[(k >> shift) as usize & (RADIX - 1)] += 1;
         }
-        v
-    };
-    let mut order: Vec<u32> = (0..bitmasks.len() as u32).collect();
-    order.sort_by_key(|&r| key(bitmasks[r as usize]));
-    order
+        prefix_sum(&mut counts);
+        for &(k, r) in &cur {
+            let d = (k >> shift) as usize & (RADIX - 1);
+            next[counts[d] as usize] = (k, r);
+            counts[d] += 1;
+        }
+        std::mem::swap(&mut cur, &mut next);
+        shift += DIGIT_BITS;
+    }
+    cur.into_iter().map(|(_, r)| r).collect()
+}
+
+const DIGIT_BITS: usize = 11;
+const RADIX: usize = 1 << DIGIT_BITS;
+
+/// MSB-first sort key of the paper's convention ("first offset in the
+/// range = most significant bit"): the masked sub-word bit-reversed,
+/// computed in O(1) per row. `width` must be in `1..=32`.
+#[inline]
+fn sort_key(mask: u32, k_begin: usize, width: usize) -> u32 {
+    let field: u32 = if width >= 32 { !0 } else { (1u32 << width) - 1 };
+    ((mask >> k_begin) & field).reverse_bits() >> (32 - width)
+}
+
+#[inline]
+fn prefix_sum(counts: &mut [u32; RADIX]) {
+    let mut pos = 0u32;
+    for c in counts.iter_mut() {
+        let run = *c;
+        *c = pos;
+        pos += run;
+    }
+}
+
+/// Sorts bare keys ascending with the same LSD radix passes as
+/// [`argsort_by_bitmask`] (half the memory traffic when row identities
+/// are not needed, e.g. for MAC accounting).
+fn radix_sort_keys(keys: &mut Vec<u32>, width: usize) {
+    let mut next = vec![0u32; keys.len()];
+    let mut shift = 0;
+    while shift < width {
+        let mut counts = [0u32; RADIX];
+        for &k in keys.iter() {
+            counts[(k >> shift) as usize & (RADIX - 1)] += 1;
+        }
+        prefix_sum(&mut counts);
+        for &k in keys.iter() {
+            let d = (k >> shift) as usize & (RADIX - 1);
+            next[counts[d] as usize] = k;
+            counts[d] += 1;
+        }
+        std::mem::swap(keys, &mut next);
+        shift += DIGIT_BITS;
+    }
 }
 
 /// One contiguous offset range of a split plan, with its row ordering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The row order is materialised lazily: the cost model only needs MAC
+/// counts (computable from the sorted key multiset alone), so the tuner
+/// can price thousands of candidate plans without ever scattering row
+/// indices; functional executors force the order on first use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SplitRange {
     /// First offset index (inclusive).
     pub k_begin: usize,
     /// Last offset index (exclusive).
     pub k_end: usize,
-    /// Row computation order (indices into the output dimension).
-    pub order: Vec<u32>,
+    sorted: bool,
+    n_rows: usize,
+    #[serde(skip)]
+    order: OnceLock<Vec<u32>>,
+}
+
+impl PartialEq for SplitRange {
+    fn eq(&self, other: &Self) -> bool {
+        self.k_begin == other.k_begin
+            && self.k_end == other.k_end
+            && self.sorted == other.sorted
+            && self.n_rows == other.n_rows
+    }
 }
 
 impl SplitRange {
     /// Number of offsets in this range.
     pub fn width(&self) -> usize {
         self.k_end - self.k_begin
+    }
+
+    /// True when rows of this range are bitmask-sorted.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Row computation order (indices into the output dimension),
+    /// computed on first access and cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` disagrees with the plan's shape, or if a sorted
+    /// range is forced on a map without a dense representation.
+    pub fn order<'a>(&'a self, map: &KernelMap) -> &'a [u32] {
+        self.order.get_or_init(|| {
+            assert_eq!(map.n_out(), self.n_rows, "map does not match this plan");
+            if self.sorted {
+                argsort_by_bitmask(map.bitmasks(), self.k_begin, self.k_end)
+            } else {
+                (0..self.n_rows as u32).collect()
+            }
+        })
     }
 }
 
@@ -116,12 +221,19 @@ impl SplitPlan {
             "sorted implicit GEMM needs an output-stationary map"
         );
         let kvol = map.kernel_volume();
+        let n_rows = map.n_out();
         if s == 0 {
-            let order = (0..map.n_out() as u32).collect();
+            let range = SplitRange {
+                k_begin: 0,
+                k_end: kvol,
+                sorted: false,
+                n_rows,
+                order: OnceLock::new(),
+            };
             return Self {
                 split_count: 0,
                 sorted: false,
-                ranges: vec![SplitRange { k_begin: 0, k_end: kvol, order }],
+                ranges: vec![range],
                 unit_counts: OnceLock::new(),
             };
         }
@@ -134,10 +246,20 @@ impl SplitPlan {
             let width = base + usize::from(r < extra);
             let (k_begin, k_end) = (k, k + width);
             k = k_end;
-            let order = argsort_by_bitmask(map.bitmasks(), k_begin, k_end);
-            ranges.push(SplitRange { k_begin, k_end, order });
+            ranges.push(SplitRange {
+                k_begin,
+                k_end,
+                sorted: true,
+                n_rows,
+                order: OnceLock::new(),
+            });
         }
-        Self { split_count: s, sorted: true, ranges, unit_counts: OnceLock::new() }
+        Self {
+            split_count: s,
+            sorted: true,
+            ranges,
+            unit_counts: OnceLock::new(),
+        }
     }
 
     /// Per-range MAC counts at unit channel size (`c_in = c_out = 1`),
@@ -213,7 +335,10 @@ pub fn mac_counts(
     c_in: usize,
     c_out: usize,
 ) -> MacCounts {
-    let mut acc = MacCounts { effective: 0, total: 0 };
+    let mut acc = MacCounts {
+        effective: 0,
+        total: 0,
+    };
     for range in plan.ranges() {
         let c = mac_counts_range(map, range, lockstep_rows, c_in, c_out);
         acc.effective += c.effective;
@@ -232,21 +357,60 @@ pub fn mac_counts_range(
 ) -> MacCounts {
     assert!(lockstep_rows > 0, "lockstep group must be non-empty");
     let per_slot = (c_in * c_out) as u64;
+    let width = range.width();
+    if width == 0 {
+        return MacCounts {
+            effective: 0,
+            total: 0,
+        };
+    }
     let mut effective = 0u64;
     let mut total = 0u64;
-    for group in range.order.chunks(lockstep_rows) {
-        for k in range.k_begin..range.k_end {
-            let active =
-                group.iter().filter(|&&r| map.neighbor(r as usize, k).is_some()).count() as u64;
-            if active > 0 {
-                effective += active;
-                // All lockstep lanes spend the cycles, including the
-                // padding lanes of a ragged final group.
-                total += lockstep_rows as u64;
+    if map.has_dense_repr() {
+        // Bit k of a row's bitmask is set iff the row has a neighbor at
+        // offset k, so the per-group active-lane census reduces to
+        // popcounts: effective slots are set bits per row, and the group
+        // executes offset k (all lanes) iff any row has bit k set. The
+        // census only needs the *multiset* of masks in execution order —
+        // popcount and OR commute with the key's bit reversal — so a
+        // keys-only radix sort reproduces the sorted order's counts
+        // without ever materialising row indices.
+        let mut keys: Vec<u32> = map
+            .bitmasks()
+            .iter()
+            .map(|&m| sort_key(m, range.k_begin, width))
+            .collect();
+        if range.is_sorted() {
+            radix_sort_keys(&mut keys, width);
+        }
+        for group in keys.chunks(lockstep_rows) {
+            let mut or_mask = 0u32;
+            for &k in group {
+                effective += u64::from(k.count_ones());
+                or_mask |= k;
+            }
+            // All lockstep lanes spend the cycles on every executed
+            // offset, including the padding lanes of a ragged final group.
+            total += u64::from(or_mask.count_ones()) * lockstep_rows as u64;
+        }
+    } else {
+        for group in range.order(map).chunks(lockstep_rows) {
+            for k in range.k_begin..range.k_end {
+                let active = group
+                    .iter()
+                    .filter(|&&r| map.neighbor(r as usize, k).is_some())
+                    .count() as u64;
+                if active > 0 {
+                    effective += active;
+                    total += lockstep_rows as u64;
+                }
             }
         }
     }
-    MacCounts { effective: effective * per_slot, total: total * per_slot }
+    MacCounts {
+        effective: effective * per_slot,
+        total: total * per_slot,
+    }
 }
 
 #[cfg(test)]
@@ -357,11 +521,11 @@ mod tests {
             let plan = SplitPlan::from_split_count(&map, s);
             let mut covered = vec![false; map.kernel_volume()];
             for r in plan.ranges() {
-                for k in r.k_begin..r.k_end {
-                    assert!(!covered[k], "offset {k} covered twice");
-                    covered[k] = true;
+                for (k, slot) in covered.iter_mut().enumerate().take(r.k_end).skip(r.k_begin) {
+                    assert!(!*slot, "offset {k} covered twice");
+                    *slot = true;
                 }
-                assert_eq!(r.order.len(), map.n_out());
+                assert_eq!(r.order(&map).len(), map.n_out());
             }
             assert!(covered.iter().all(|&c| c));
         }
@@ -372,7 +536,67 @@ mod tests {
         let map = paper_example();
         let plan = SplitPlan::from_split_count(&map, 0);
         assert!(!plan.is_sorted());
-        assert_eq!(plan.ranges()[0].order, (0..8u32).collect::<Vec<_>>());
+        assert_eq!(plan.ranges()[0].order(&map), (0..8u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn radix_argsort_matches_stable_comparison_sort() {
+        // Deterministic pseudo-random masks over the full 32-bit width.
+        let mut state = 0x2545_f491u32;
+        let masks: Vec<u32> = (0..1000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                state
+            })
+            .collect();
+        for (k_begin, k_end) in [(0, 32), (0, 27), (5, 14), (9, 9), (31, 32), (0, 1)] {
+            let fast = argsort_by_bitmask(&masks, k_begin, k_end);
+            let mut reference: Vec<u32> = (0..masks.len() as u32).collect();
+            reference.sort_by_key(|&r| {
+                let mut v = 0u64;
+                for k in k_begin..k_end {
+                    v = (v << 1) | u64::from((masks[r as usize] >> k) & 1);
+                }
+                v
+            });
+            assert_eq!(fast, reference, "range [{k_begin}, {k_end})");
+        }
+    }
+
+    #[test]
+    fn bitmask_census_matches_neighbor_lookup_reference() {
+        let map = paper_example();
+        for s in 0..=4u32 {
+            let plan = SplitPlan::from_split_count(&map, s);
+            for lockstep in [1, 3, 4, 16] {
+                for range in plan.ranges() {
+                    let fast = mac_counts_range(&map, range, lockstep, 2, 3);
+                    let mut effective = 0u64;
+                    let mut total = 0u64;
+                    for group in range.order(&map).chunks(lockstep) {
+                        for k in range.k_begin..range.k_end {
+                            let active = group
+                                .iter()
+                                .filter(|&&r| map.neighbor(r as usize, k).is_some())
+                                .count() as u64;
+                            if active > 0 {
+                                effective += active;
+                                total += lockstep as u64;
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        fast,
+                        MacCounts {
+                            effective: effective * 6,
+                            total: total * 6
+                        }
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -385,7 +609,10 @@ mod tests {
 
     #[test]
     fn overhead_ratio_of_empty_map_is_one() {
-        let c = MacCounts { effective: 0, total: 0 };
+        let c = MacCounts {
+            effective: 0,
+            total: 0,
+        };
         assert_eq!(c.overhead_ratio(), 1.0);
     }
 }

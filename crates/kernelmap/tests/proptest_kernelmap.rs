@@ -9,8 +9,7 @@ use ts_kernelmap::{
 };
 
 fn coord_strategy() -> impl Strategy<Value = Coord> {
-    (0..3i32, -60..60i32, -60..60i32, -20..20i32)
-        .prop_map(|(b, x, y, z)| Coord::new(b, x, y, z))
+    (0..3i32, -60..60i32, -60..60i32, -20..20i32).prop_map(|(b, x, y, z)| Coord::new(b, x, y, z))
 }
 
 fn coords_strategy(max: usize) -> impl Strategy<Value = Vec<Coord>> {
@@ -104,13 +103,13 @@ proptest! {
         let plan = SplitPlan::from_split_count(&map, s);
         let mut covered = vec![0u8; map.kernel_volume()];
         for r in plan.ranges() {
-            prop_assert_eq!(r.order.len(), map.n_out());
+            prop_assert_eq!(r.order(&map).len(), map.n_out());
             // Order is a permutation.
-            let mut sorted: Vec<u32> = r.order.clone();
+            let mut sorted: Vec<u32> = r.order(&map).to_vec();
             sorted.sort_unstable();
             prop_assert_eq!(sorted, (0..map.n_out() as u32).collect::<Vec<_>>());
-            for k in r.k_begin..r.k_end {
-                covered[k] += 1;
+            for slot in covered.iter_mut().take(r.k_end).skip(r.k_begin) {
+                *slot += 1;
             }
         }
         prop_assert!(covered.iter().all(|&c| c == 1));

@@ -49,12 +49,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a square identity matrix of size `n`.
@@ -79,7 +87,11 @@ impl Matrix {
             assert_eq!(row.len(), n_cols, "inconsistent row lengths");
             data.extend_from_slice(row);
         }
-        Self { rows: n_rows, cols: n_cols, data }
+        Self {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -88,7 +100,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must be rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -236,7 +252,11 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
 /// Panics if shapes do not line up.
 pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
-    assert_eq!(out.shape(), (a.rows(), b.cols()), "gemm output shape mismatch");
+    assert_eq!(
+        out.shape(),
+        (a.rows(), b.cols()),
+        "gemm output shape mismatch"
+    );
     let n = b.cols();
     for i in 0..a.rows() {
         let a_row = a.row(i);
@@ -255,10 +275,61 @@ pub fn gemm_accumulate(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// Computes `a^T * b` without materialising the transpose.
 ///
+/// Reduction rows are processed in blocks of [`GEMM_TN_BLOCK`]: each
+/// sweep over `out` retires a whole block, cutting output traffic by
+/// the block factor while the block's `b` rows stay cache-resident.
+/// Per output element the accumulation order equals the naive
+/// row-at-a-time loop, so results are bit-identical to
+/// [`gemm_tn_naive`].
+///
 /// # Panics
 ///
 /// Panics if `a.rows() != b.rows()`.
 pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn leading dimension mismatch");
+    let (k_dim, n) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(k_dim, n);
+    let mut r0 = 0;
+    while r0 < a.rows() {
+        let r1 = (r0 + GEMM_TN_BLOCK).min(a.rows());
+        for i in 0..k_dim {
+            // The block's column-i coefficients (the only strided loads).
+            let mut coeffs = [0.0f32; GEMM_TN_BLOCK];
+            let mut any_nonzero = false;
+            for (t, r) in (r0..r1).enumerate() {
+                coeffs[t] = a[(r, i)];
+                any_nonzero |= coeffs[t] != 0.0;
+            }
+            if !any_nonzero {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (t, r) in (r0..r1).enumerate() {
+                let c = coeffs[t];
+                if c == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(r);
+                for (o, &bj) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += c * bj;
+                }
+            }
+        }
+        r0 = r1;
+    }
+    out
+}
+
+/// Reduction-dimension block size of [`gemm_tn`].
+pub const GEMM_TN_BLOCK: usize = 8;
+
+/// Reference `a^T * b`: one full sweep over `out` per reduction row.
+/// Kept as the correctness/performance baseline for [`gemm_tn`].
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn gemm_tn_naive(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "gemm_tn leading dimension mismatch");
     let mut out = Matrix::zeros(a.cols(), b.cols());
     for r in 0..a.rows() {
@@ -341,6 +412,30 @@ mod tests {
         let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 3.0], &[1.0, 1.0, 1.0]]);
         let expected = gemm(&a.transposed(), &b);
         assert_eq!(gemm_tn(&a, &b), expected);
+    }
+
+    #[test]
+    fn gemm_tn_blocked_is_bit_identical_to_naive() {
+        // Sizes straddling the block boundary, including a ragged tail.
+        for rows in [1, 7, 8, 9, 40, 100] {
+            let a = Matrix::from_vec(
+                rows,
+                5,
+                (0..rows * 5)
+                    .map(|v| ((v * 37 % 17) as f32 - 8.0) * 0.25)
+                    .collect(),
+            );
+            let b = Matrix::from_vec(
+                rows,
+                6,
+                (0..rows * 6)
+                    .map(|v| ((v * 23 % 19) as f32 - 9.0) * 0.125)
+                    .collect(),
+            );
+            let blocked = gemm_tn(&a, &b);
+            let naive = gemm_tn_naive(&a, &b);
+            assert_eq!(blocked, naive, "rows={rows}");
+        }
     }
 
     #[test]

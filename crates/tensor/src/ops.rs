@@ -34,7 +34,11 @@ pub fn relu(m: &mut Matrix) {
 ///
 /// Panics if shapes differ.
 pub fn relu_backward(grad: &mut Matrix, forward_input: &Matrix) {
-    assert_eq!(grad.shape(), forward_input.shape(), "relu_backward shape mismatch");
+    assert_eq!(
+        grad.shape(),
+        forward_input.shape(),
+        "relu_backward shape mismatch"
+    );
     for (g, &x) in grad.as_mut_slice().iter_mut().zip(forward_input.as_slice()) {
         if x <= 0.0 {
             *g = 0.0;
@@ -55,7 +59,10 @@ pub struct BatchNormParams {
 impl BatchNormParams {
     /// Identity normalisation over `channels` channels.
     pub fn identity(channels: usize) -> Self {
-        Self { scale: vec![1.0; channels], shift: vec![0.0; channels] }
+        Self {
+            scale: vec![1.0; channels],
+            shift: vec![0.0; channels],
+        }
     }
 
     /// Number of channels this layer normalises.
@@ -108,7 +115,10 @@ mod tests {
     #[test]
     fn batch_norm_scales_and_shifts() {
         let mut m = Matrix::from_rows(&[&[1.0, 2.0]]);
-        let params = BatchNormParams { scale: vec![2.0, 0.5], shift: vec![1.0, -1.0] };
+        let params = BatchNormParams {
+            scale: vec![2.0, 0.5],
+            shift: vec![1.0, -1.0],
+        };
         batch_norm(&mut m, &params);
         assert_eq!(m, Matrix::from_rows(&[&[3.0, 0.0]]));
     }

@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn fp32_is_identity() {
-        for v in [0.0, -1.5, 3.14159, 1e-30, 1e30] {
+        for v in [0.0, -1.5, std::f32::consts::PI, 1e-30, 1e30] {
             assert_eq!(Precision::Fp32.quantize(v), v);
         }
     }
@@ -122,7 +122,11 @@ mod tests {
     #[test]
     fn fp16_preserves_exact_halves() {
         for v in [0.0f32, 1.0, -2.0, 0.5, 65504.0, 1024.0] {
-            assert_eq!(Precision::Fp16.quantize(v), v, "{v} should be exact in fp16");
+            assert_eq!(
+                Precision::Fp16.quantize(v),
+                v,
+                "{v} should be exact in fp16"
+            );
         }
     }
 

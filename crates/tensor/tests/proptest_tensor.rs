@@ -4,11 +4,6 @@ use proptest::prelude::*;
 
 use ts_tensor::{gemm, gemm_nt, gemm_tn, Matrix, Precision};
 
-fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
-}
-
 fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..12, 1usize..12, 1usize..12)
 }

@@ -181,14 +181,16 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            ALL_WORKLOADS.iter().map(|w| w.name()).collect();
+        let names: std::collections::HashSet<_> = ALL_WORKLOADS.iter().map(|w| w.name()).collect();
         assert_eq!(names.len(), ALL_WORKLOADS.len());
     }
 
     #[test]
     fn kinds_split_four_three() {
-        let segs = ALL_WORKLOADS.iter().filter(|w| w.kind() == WorkloadKind::Segmentation).count();
+        let segs = ALL_WORKLOADS
+            .iter()
+            .filter(|w| w.kind() == WorkloadKind::Segmentation)
+            .count();
         assert_eq!(segs, 4);
     }
 
@@ -198,7 +200,12 @@ mod tests {
         // clearly out-point 1-frame nuScenes scenes (64 vs 32 beams).
         let sk = Workload::SemanticKittiMinkUNet10.scene_scaled(1, 0.2);
         let ns = Workload::NuScenesMinkUNet1f.scene_scaled(1, 0.2);
-        assert!(sk.num_points() > ns.num_points(), "{} <= {}", sk.num_points(), ns.num_points());
+        assert!(
+            sk.num_points() > ns.num_points(),
+            "{} <= {}",
+            sk.num_points(),
+            ns.num_points()
+        );
     }
 
     #[test]

@@ -57,8 +57,10 @@ impl HeteroGraph {
         // Zipf weights over relations.
         let weights: Vec<f64> = (1..=n_relations).map(|r| 1.0 / r as f64).collect();
         let total_w: f64 = weights.iter().sum();
-        let mut counts: Vec<usize> =
-            weights.iter().map(|w| ((w / total_w) * n_edges as f64) as usize).collect();
+        let mut counts: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total_w) * n_edges as f64) as usize)
+            .collect();
         let assigned: usize = counts.iter().sum();
         counts[0] += n_edges - assigned;
 
@@ -77,7 +79,12 @@ impl HeteroGraph {
                     .collect()
             })
             .collect();
-        HeteroGraph { name: name.into(), n_nodes, n_relations, edges }
+        HeteroGraph {
+            name: name.into(),
+            n_nodes,
+            n_relations,
+            edges,
+        }
     }
 
     /// AIFB-like: 8.3k nodes, 29k edges, 45 relations.
@@ -163,7 +170,10 @@ mod tests {
             .filter(|&&(s, d)| s < 100 || d < 100)
             .count();
         let expected_uniform = (g.n_edges() as f64 * 2.0 * 100.0 / 10_000.0) as usize;
-        assert!(hub_degree > expected_uniform * 2, "{hub_degree} vs {expected_uniform}");
+        assert!(
+            hub_degree > expected_uniform * 2,
+            "{hub_degree} vs {expected_uniform}"
+        );
     }
 
     #[test]

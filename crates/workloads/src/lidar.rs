@@ -143,14 +143,26 @@ impl LidarScene {
         for (r, row) in feats_rows.iter().enumerate() {
             feats.row_mut(r).copy_from_slice(row);
         }
-        let stats = SceneStats { raw_points: raw.len(), voxels: coords.len() };
-        LidarScene { coords, feats, stats }
+        let stats = SceneStats {
+            raw_points: raw.len(),
+            voxels: coords.len(),
+        };
+        LidarScene {
+            coords,
+            feats,
+            stats,
+        }
     }
 
     /// Generates a batch of scenes (distinct seeds, distinct batch
     /// indices) merged into one sparse tensor — how training batches are
     /// formed (the paper trains with batch size 2).
-    pub fn generate_batch(cfg: &LidarConfig, seed: u64, frames: u32, batch_size: u32) -> SparseTensor {
+    pub fn generate_batch(
+        cfg: &LidarConfig,
+        seed: u64,
+        frames: u32,
+        batch_size: u32,
+    ) -> SparseTensor {
         let mut coords = Vec::new();
         let mut rows: Vec<f32> = Vec::new();
         for b in 0..batch_size {
@@ -182,9 +194,17 @@ fn spawn_obstacles(cfg: &LidarConfig, rng: &mut ChaCha8Rng) -> Vec<BoxObstacle> 
             let cy = rng.gen_range(-r..r);
             // Mix of car-sized and building-sized boxes.
             let (sx, sy, sz) = if rng.gen_bool(0.7) {
-                (rng.gen_range(1.5..2.5), rng.gen_range(3.5..5.5), rng.gen_range(1.4..2.0))
+                (
+                    rng.gen_range(1.5..2.5),
+                    rng.gen_range(3.5..5.5),
+                    rng.gen_range(1.4..2.0),
+                )
             } else {
-                (rng.gen_range(6.0..15.0), rng.gen_range(6.0..15.0), rng.gen_range(3.0..10.0))
+                (
+                    rng.gen_range(6.0..15.0),
+                    rng.gen_range(6.0..15.0),
+                    rng.gen_range(3.0..10.0),
+                )
             };
             BoxObstacle {
                 min: [cx - sx / 2.0, cy - sy / 2.0, 0.0],
@@ -205,7 +225,11 @@ fn cast_sweep(
     let elev_lo = cfg.elevation_min_deg.to_radians();
     let elev_hi = cfg.elevation_max_deg.to_radians();
     for beam in 0..cfg.beams {
-        let t = if cfg.beams > 1 { beam as f32 / (cfg.beams - 1) as f32 } else { 0.5 };
+        let t = if cfg.beams > 1 {
+            beam as f32 / (cfg.beams - 1) as f32
+        } else {
+            0.5
+        };
         let elev = elev_lo + t * (elev_hi - elev_lo);
         let (sin_e, cos_e) = elev.sin_cos();
         for step in 0..cfg.azimuth_steps {
@@ -350,11 +374,9 @@ mod tests {
             dropout: 0.08,
         };
         let s = LidarScene::generate(&cfg, 13, 1, 0);
-        let map = ts_kernelmap::build_submanifold_map(
-            &s.coords,
-            &ts_kernelmap::KernelOffsets::cube(3),
-        );
+        let map =
+            ts_kernelmap::build_submanifold_map(&s.coords, &ts_kernelmap::KernelOffsets::cube(3));
         let avg = map.avg_neighbors();
-        assert!(avg >= 3.5 && avg <= 12.0, "avg neighbors = {avg}");
+        assert!((3.5..=12.0).contains(&avg), "avg neighbors = {avg}");
     }
 }

@@ -33,7 +33,12 @@ pub struct MaskedImageConfig {
 impl MaskedImageConfig {
     /// The standard MAE pre-training setup: 75 % of patches masked.
     pub fn mae(grid: u32, channels: u32) -> Self {
-        Self { grid_h: grid, grid_w: grid, keep_ratio: 0.25, channels }
+        Self {
+            grid_h: grid,
+            grid_w: grid,
+            keep_ratio: 0.25,
+            channels,
+        }
     }
 
     /// Total patch count before masking.
@@ -76,7 +81,9 @@ pub fn masked_image_batch(cfg: &MaskedImageConfig, seed: u64, batch: u32) -> Spa
         }
     }
     let n = coords.len();
-    let data = (0..n * cfg.channels as usize).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let data = (0..n * cfg.channels as usize)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     SparseTensor::new(coords, Matrix::from_vec(n, cfg.channels as usize, data))
 }
 
@@ -134,7 +141,12 @@ mod tests {
 
     #[test]
     fn keep_ratio_one_is_dense() {
-        let cfg = MaskedImageConfig { grid_h: 10, grid_w: 10, keep_ratio: 1.0, channels: 4 };
+        let cfg = MaskedImageConfig {
+            grid_h: 10,
+            grid_w: 10,
+            keep_ratio: 1.0,
+            channels: 4,
+        };
         let t = masked_image_batch(&cfg, 3, 1);
         assert_eq!(t.num_points(), 100);
     }

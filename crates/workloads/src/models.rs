@@ -49,8 +49,12 @@ pub fn minkunet(width: f32, in_channels: usize, num_classes: usize) -> Network {
 pub fn centerpoint_backbone(in_channels: usize) -> Network {
     let mut b = NetworkBuilder::new("CenterPoint-backbone", in_channels);
     let mut x = b.conv_block("stem", NetworkBuilder::INPUT, 16, 3, 1);
-    let stages: [(usize, &str); 4] =
-        [(16, "stage1"), (32, "stage2"), (64, "stage3"), (128, "stage4")];
+    let stages: [(usize, &str); 4] = [
+        (16, "stage1"),
+        (32, "stage2"),
+        (64, "stage3"),
+        (128, "stage4"),
+    ];
     for (i, &(c, name)) in stages.iter().enumerate() {
         if i > 0 {
             x = b.conv_block(&format!("{name}.down"), x, c, 3, 2);

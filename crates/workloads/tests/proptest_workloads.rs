@@ -6,18 +6,26 @@ use ts_workloads::graphs::HeteroGraph;
 use ts_workloads::{masked_image_batch, LidarConfig, LidarScene, MaskedImageConfig};
 
 fn lidar_cfg_strategy() -> impl Strategy<Value = LidarConfig> {
-    (4u32..24, 32u32..200, 10.0f32..60.0, 0.05f32..0.3, 5u32..30, 0.0f32..0.3).prop_map(
-        |(beams, azimuth, range, voxel, obstacles, dropout)| LidarConfig {
-            beams,
-            azimuth_steps: azimuth,
-            elevation_min_deg: -25.0,
-            elevation_max_deg: 3.0,
-            max_range_m: range,
-            voxel_size_m: voxel,
-            obstacles,
-            dropout,
-        },
+    (
+        4u32..24,
+        32u32..200,
+        10.0f32..60.0,
+        0.05f32..0.3,
+        5u32..30,
+        0.0f32..0.3,
     )
+        .prop_map(
+            |(beams, azimuth, range, voxel, obstacles, dropout)| LidarConfig {
+                beams,
+                azimuth_steps: azimuth,
+                elevation_min_deg: -25.0,
+                elevation_max_deg: 3.0,
+                max_range_m: range,
+                voxel_size_m: voxel,
+                obstacles,
+                dropout,
+            },
+        )
 }
 
 proptest! {

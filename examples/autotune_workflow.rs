@@ -57,7 +57,10 @@ fn main() {
     let train_session = Session::new(&net, batch.coords());
     for device in [Device::a100(), Device::rtx2080ti()] {
         let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
-        println!("\ntraining binding schemes on {} (batch 2, AMP):", device.name);
+        println!(
+            "\ntraining binding schemes on {} (batch 2, AMP):",
+            device.name
+        );
         for scheme in BindingScheme::ALL {
             let r = tune_training(
                 std::slice::from_ref(&train_session),
@@ -81,8 +84,8 @@ fn main() {
 
     // --- persist the tuned schedule -------------------------------------
     let final_result = tune_inference(&sessions, &ctx, &TunerOptions::default());
-    let json = serde_json::to_string_pretty(&final_result.per_group_choice)
-        .expect("schedule serializes");
+    let json =
+        serde_json::to_string_pretty(&final_result.per_group_choice).expect("schedule serializes");
     let path = std::env::temp_dir().join("torchsparse_schedule.json");
     std::fs::write(&path, &json).expect("schedule written");
     println!("\ntuned schedule saved to {}", path.display());

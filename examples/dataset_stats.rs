@@ -11,7 +11,10 @@ use torchsparse::core::Session;
 use torchsparse::workloads::ALL_WORKLOADS;
 
 fn main() {
-    let scale: f32 = std::env::var("TS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.35);
+    let scale: f32 = std::env::var("TS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35);
     println!("angular-resolution scale: {scale} (1.0 = full sensor fidelity)\n");
     println!(
         "{:<10} {:>9} {:>9} {:>12} {:>8}  neighbor histogram (stride-1, k=3)",

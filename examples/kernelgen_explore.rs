@@ -19,7 +19,10 @@ fn main() {
     // 1. The shipped kernel: dynamic shapes, hoisted invariants, padded maps.
     let optimised = KernelSpec::new(GeneratedDataflow::ImplicitGemm, tile, Precision::Fp16);
     let kernel = generate(&optimised);
-    println!("=== generated sparse implicit GEMM kernel ===\n{}", kernel.source);
+    println!(
+        "=== generated sparse implicit GEMM kernel ===\n{}",
+        kernel.source
+    );
 
     // 2. The naive dynamic-shape port and what the transforms buy.
     let naive = KernelSpec::naive_dynamic(GeneratedDataflow::ImplicitGemm, tile, Precision::Fp16);
@@ -47,7 +50,11 @@ fn main() {
     // 3. Figure 8's idealized tile sweep vs cuBLAS.
     let device = Device::rtx3090();
     println!("\n=== tile sweep vs cuBLAS ({}) ===", device.name);
-    for (m, n, k) in [(100_000u64, 96, 2592), (20_000, 256, 6912), (4_000, 64, 1728)] {
+    for (m, n, k) in [
+        (100_000u64, 96, 2592),
+        (20_000, 256, 6912),
+        (4_000, 64, 1728),
+    ] {
         let (best, util) = best_tile_for(m, n, k, &device, Precision::Fp16);
         let cublas = cublas_utilization(m, n, k, &device, Precision::Fp16);
         println!(

@@ -38,13 +38,20 @@ fn main() {
     for device in [Device::rtx3090(), Device::jetson_orin()] {
         let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
         println!("\n{} (FP16):", device.name);
-        println!("  {:<22} {:>12} {:>12} {:>12}", "dataflow", "total (ms)", "kernels (ms)", "mapping (ms)");
+        println!(
+            "  {:<22} {:>12} {:>12} {:>12}",
+            "dataflow", "total (ms)", "kernels (ms)", "mapping (ms)"
+        );
         for s in [0u32, 1, 2] {
             let r = session.simulate_inference(
                 &GroupConfigs::uniform(DataflowConfig::implicit_gemm(s)),
                 &ctx,
             );
-            let label = if s == 0 { "unsorted".to_owned() } else { format!("sorted, {s} split(s)") };
+            let label = if s == 0 {
+                "unsorted".to_owned()
+            } else {
+                format!("sorted, {s} split(s)")
+            };
             println!(
                 "  {:<22} {:>12.2} {:>12.2} {:>12.2}",
                 label,

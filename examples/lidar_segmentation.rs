@@ -28,12 +28,19 @@ fn main() {
 
     let net = workload.network();
     let session = Session::new(&net, scene.coords());
-    println!("layer groups (shared kernel maps): {}", session.groups().len());
+    println!(
+        "layer groups (shared kernel maps): {}",
+        session.groups().len()
+    );
 
     // Autotune on an RTX 3090 at FP16.
     let device = Device::rtx3090();
     let ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
-    let result = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    );
     println!(
         "\nSparse Autotuner: {:.2} ms -> {:.2} ms ({:.2}x) in {} end-to-end evaluations",
         result.default_latency_us / 1e3,

@@ -38,13 +38,18 @@ fn main() {
     );
 
     // Sparse vs dense: the same encoder on the full (unmasked) grid.
-    let dense_cfg = MaskedImageConfig { keep_ratio: 1.0, ..cfg };
+    let dense_cfg = MaskedImageConfig {
+        keep_ratio: 1.0,
+        ..cfg
+    };
     let dense = masked_image_batch(&dense_cfg, 7, 2);
     let sctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
-    let sparse_ms =
-        Session::new(&net, batch.coords()).simulate_inference(&dataflow, &sctx).total_ms();
-    let dense_ms =
-        Session::new(&net, dense.coords()).simulate_inference(&dataflow, &sctx).total_ms();
+    let sparse_ms = Session::new(&net, batch.coords())
+        .simulate_inference(&dataflow, &sctx)
+        .total_ms();
+    let dense_ms = Session::new(&net, dense.coords())
+        .simulate_inference(&dataflow, &sctx)
+        .total_ms();
     println!(
         "sparse {:.2} ms vs dense {:.2} ms -> {:.2}x from skipping masked patches",
         sparse_ms,

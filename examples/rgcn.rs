@@ -40,7 +40,10 @@ fn main() {
 
     // The Figure 16 comparison across the five benchmark graphs.
     let device = Device::rtx3090();
-    println!("\n{:<10} {:>10} {:>6}  {}", "graph", "edges", "rels", "latency (ms) / peak memory (MB)");
+    println!(
+        "\n{:<10} {:>10} {:>6}  latency (ms) / peak memory (MB)",
+        "graph", "edges", "rels"
+    );
     for g in HeteroGraph::paper_suite(11) {
         let m = RgcnModel::new(&g, 64, 64, 8, 5);
         print!("{:<10} {:>10} {:>6}  ", g.name, g.n_edges(), g.n_relations);

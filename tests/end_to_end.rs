@@ -56,7 +56,12 @@ fn every_workload_compiles_into_a_session() {
         let net = w.network();
         let scene = w.scene_scaled(5, 0.03);
         let session = Session::new(&net, scene.coords());
-        assert!(session.groups().len() >= 3, "{}: {} groups", w.name(), session.groups().len());
+        assert!(
+            session.groups().len() >= 3,
+            "{}: {} groups",
+            w.name(),
+            session.groups().len()
+        );
         assert_eq!(session.conv_layer_count(), net.conv_count());
         let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
         let r = session.simulate_inference(
@@ -75,8 +80,12 @@ fn simulation_is_deterministic_across_runs() {
     let scene = w.scene_scaled(11, 0.05);
     let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(2));
     let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-    let a = Session::new(&net, scene.coords()).simulate_inference(&cfg, &ctx).total_us();
-    let b = Session::new(&net, scene.coords()).simulate_inference(&cfg, &ctx).total_us();
+    let a = Session::new(&net, scene.coords())
+        .simulate_inference(&cfg, &ctx)
+        .total_us();
+    let b = Session::new(&net, scene.coords())
+        .simulate_inference(&cfg, &ctx)
+        .total_us();
     assert_eq!(a.to_bits(), b.to_bits());
 }
 
@@ -107,7 +116,10 @@ fn faster_device_is_faster_end_to_end() {
         .simulate_inference(&cfg, &ExecCtx::simulate(Device::a100(), Precision::Fp16))
         .total_us();
     let orin = session
-        .simulate_inference(&cfg, &ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16))
+        .simulate_inference(
+            &cfg,
+            &ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16),
+        )
         .total_us();
     assert!(a100 < orin, "A100 {a100} should beat Orin {orin}");
 }

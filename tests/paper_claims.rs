@@ -20,10 +20,14 @@ fn tables_3_and_4_rank_opposite() {
     // loses end-to-end on the server GPU because of mapping overhead.
     let session = detection_session();
     let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
-    let unsorted = session
-        .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)), &ctx);
-    let sorted = session
-        .simulate_inference(&GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)), &ctx);
+    let unsorted = session.simulate_inference(
+        &GroupConfigs::uniform(DataflowConfig::implicit_gemm(0)),
+        &ctx,
+    );
+    let sorted = session.simulate_inference(
+        &GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+        &ctx,
+    );
     assert!(
         sorted.kernel_only_us() < unsorted.kernel_only_us(),
         "sorted kernels should be faster: {} vs {}",
@@ -53,10 +57,17 @@ fn figure_19_offline_reordering_wins_both_phases() {
         / session
             .simulate_inference(&GroupConfigs::uniform(cfg), &offline)
             .total_us();
-    let tr_gain = session.simulate_training(&TrainConfigs::bound(cfg), &online).total_us()
-        / session.simulate_training(&TrainConfigs::bound(cfg), &offline).total_us();
+    let tr_gain = session
+        .simulate_training(&TrainConfigs::bound(cfg), &online)
+        .total_us()
+        / session
+            .simulate_training(&TrainConfigs::bound(cfg), &offline)
+            .total_us();
     assert!(inf_gain > 1.0, "inference gain {inf_gain}");
-    assert!(tr_gain > inf_gain, "training should benefit more: {tr_gain} vs {inf_gain}");
+    assert!(
+        tr_gain > inf_gain,
+        "training should benefit more: {tr_gain} vs {inf_gain}"
+    );
 }
 
 #[test]
@@ -70,11 +81,17 @@ fn figures_20_21_generator_transforms_close_the_gap() {
     };
     let naive = run(GenFlags::naive());
     let optimised = run(GenFlags::default());
-    let fixed =
-        run(GenFlags { hoist_invariants: true, padded_map: true, fixed_shape: true });
+    let fixed = run(GenFlags {
+        hoist_invariants: true,
+        padded_map: true,
+        fixed_shape: true,
+    });
     let gap = naive / fixed;
     assert!((1.4..2.5).contains(&gap), "naive/fixed gap = {gap}");
-    assert!(optimised <= fixed * 1.01, "optimised dynamic should match fixed");
+    assert!(
+        optimised <= fixed * 1.01,
+        "optimised dynamic should match fixed"
+    );
 }
 
 #[test]
@@ -82,7 +99,10 @@ fn generator_engineering_cost_claim() {
     let cost = generator_loc();
     assert!(cost.fraction_of_spconv() < 0.10);
     // The emitted kernels stay structurally sound across the spec space.
-    for dataflow in [GeneratedDataflow::ImplicitGemm, GeneratedDataflow::FetchOnDemand] {
+    for dataflow in [
+        GeneratedDataflow::ImplicitGemm,
+        GeneratedDataflow::FetchOnDemand,
+    ] {
         for tile in ts_gpusim::TileShape::search_space().into_iter().take(6) {
             let spec = KernelSpec::new(dataflow, tile, Precision::Fp16);
             let k = torchsparse::kernelgen::generate(&spec);
@@ -98,7 +118,11 @@ fn hybrid_dataflow_beats_its_subsets() {
     let w = Workload::NuScenesMinkUNet1f;
     let session = Session::new(&w.network(), w.scene_scaled(5, 0.04).coords());
     let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp32);
-    let hybrid = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    let hybrid = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    );
     let implicit_only = tune_inference(
         std::slice::from_ref(&session),
         &ctx,

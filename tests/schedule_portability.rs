@@ -17,7 +17,11 @@ fn tune_save_load_deploy() {
     let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
 
     // Tune once, persist the schedule.
-    let result = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    );
     let json = result.to_json().expect("schedule serializes");
 
     // "Deploy" from the serialized schedule on fresh scenes.
@@ -26,7 +30,10 @@ fn tune_save_load_deploy() {
     let engine = Engine::new(
         net.clone(),
         weights,
-        restored.group_configs().clone(),
+        restored
+            .group_configs()
+            .expect("restored schedule carries configs")
+            .clone(),
         ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
     );
     for seed in 10..13 {
@@ -37,8 +44,12 @@ fn tune_save_load_deploy() {
     }
 
     // The restored schedule must time identically to the fresh one.
-    let fresh = session.simulate_inference(result.group_configs(), &ctx).total_us();
-    let loaded = session.simulate_inference(restored.group_configs(), &ctx).total_us();
+    let fresh = session
+        .simulate_inference(result.group_configs().expect("configs"), &ctx)
+        .total_us();
+    let loaded = session
+        .simulate_inference(restored.group_configs().expect("configs"), &ctx)
+        .total_us();
     assert_eq!(fresh.to_bits(), loaded.to_bits());
 }
 
@@ -54,16 +65,25 @@ fn schedules_transfer_across_devices_with_degradation() {
     let a100_ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
     let orin_ctx = ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16);
 
-    let a100_schedule =
-        tune_inference(std::slice::from_ref(&session), &a100_ctx, &TunerOptions::default());
-    let orin_schedule =
-        tune_inference(std::slice::from_ref(&session), &orin_ctx, &TunerOptions::default());
+    let a100_schedule = tune_inference(
+        std::slice::from_ref(&session),
+        &a100_ctx,
+        &TunerOptions::default(),
+    );
+    let orin_schedule = tune_inference(
+        std::slice::from_ref(&session),
+        &orin_ctx,
+        &TunerOptions::default(),
+    );
 
     let foreign = session
-        .simulate_inference(a100_schedule.group_configs(), &orin_ctx)
+        .simulate_inference(a100_schedule.group_configs().expect("configs"), &orin_ctx)
         .total_us();
     let native = session
-        .simulate_inference(orin_schedule.group_configs(), &orin_ctx)
+        .simulate_inference(orin_schedule.group_configs().expect("configs"), &orin_ctx)
         .total_us();
-    assert!(native <= foreign + 1e-6, "native {native} > foreign {foreign}");
+    assert!(
+        native <= foreign + 1e-6,
+        "native {native} > foreign {foreign}"
+    );
 }

@@ -94,7 +94,11 @@ fn tuned_configs_serialize_to_json() {
     let scene = w.scene_scaled(6, 0.03);
     let session = Session::new(&net, scene.coords());
     let ctx = ExecCtx::simulate(Device::jetson_orin(), Precision::Fp16);
-    let result = tune_inference(std::slice::from_ref(&session), &ctx, &TunerOptions::default());
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    );
 
     // The per-group schedule is what deployments persist and reuse for
     // millions of scenes (Section 4.2).

@@ -1,0 +1,115 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
+//! convention (spawn closures receive the scope, `scope` returns
+//! `thread::Result`), implemented on top of `std::thread::scope`.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::thread as std_thread;
+
+    /// Result alias matching crossbeam: `Err` carries a panic payload.
+    pub type Result<T> = std_thread::Result<T>;
+
+    /// Handle to a thread spawned in a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its value or the
+        /// panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// A scope within which borrowed-data threads can be spawned.
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawns a scoped thread. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+            'env: 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope {
+                        inner: inner_scope,
+                        _marker: PhantomData,
+                    };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all threads spawned in it are joined
+    /// before `scope` returns. Unlike `std::thread::scope`, a panic in
+    /// an un-joined child is returned as `Err` rather than propagated —
+    /// matching crossbeam. (Panics ARE still propagated if the caller's
+    /// own closure panics.)
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std_thread::scope(|s| {
+                let scope = Scope {
+                    inner: s,
+                    _marker: PhantomData,
+                };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panic_in_child_is_err() {
+        let r = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,590 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of serde the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` plus enough `impl`s for std types to round-trip every
+//! derived type through the JSON `Value` tree re-exported by the
+//! vendored `serde_json`. The traits are intentionally simpler than real
+//! serde (no `Serializer`/`Deserializer` visitors): serialization maps a
+//! value to a [`Value`], deserialization reads one back.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON document tree (re-exported as `serde_json::Value`).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64` or came
+    /// from an unsigned type).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // Integers compare numerically across signedness, as in
+            // serde_json's Number (I64(16) == U64(16)).
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::U64(b)) | (Value::U64(b), Value::I64(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Shared `null` for out-of-range [`Value`] indexing, as in serde_json.
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+macro_rules! impl_value_partial_eq {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::redundant_closure_call)]
+                ($conv)(self, other)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_value_partial_eq!(
+    bool => |v: &Value, o: &bool| v.as_bool() == Some(*o),
+    f64 => |v: &Value, o: &f64| v.as_f64() == Some(*o),
+    f32 => |v: &Value, o: &f32| v.as_f64() == Some(f64::from(*o)),
+    i32 => |v: &Value, o: &i32| v.as_i64() == Some(i64::from(*o)),
+    i64 => |v: &Value, o: &i64| v.as_i64() == Some(*o),
+    u32 => |v: &Value, o: &u32| v.as_u64() == Some(u64::from(*o)),
+    u64 => |v: &Value, o: &u64| v.as_u64() == Some(*o),
+    usize => |v: &Value, o: &usize| v.as_u64() == Some(*o as u64),
+    &str => |v: &Value, o: &&str| v.as_str() == Some(*o),
+    str => |v: &Value, o: &str| v.as_str() == Some(o),
+    String => |v: &Value, o: &String| v.as_str() == Some(o.as_str()),
+);
+
+/// Serialization/deserialization error (re-exported as
+/// `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Maps a value into the JSON tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reads a value back from the JSON tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Derive-support helpers (called from generated code).
+// ---------------------------------------------------------------------
+
+/// Reads field `name` of object `v` (derive helper).
+pub fn __de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => {
+            let field = v
+                .get(name)
+                .ok_or_else(|| Error::msg(format!("missing field '{name}'")))?;
+            T::deserialize_value(field).map_err(|e| Error::msg(format!("field '{name}': {e}")))
+        }
+        other => Err(Error::msg(format!(
+            "expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads element `idx` of array `v` (derive helper).
+pub fn __de_seq_field<T: Deserialize>(v: &Value, idx: usize) -> Result<T, Error> {
+    match v {
+        Value::Array(a) => {
+            let elem = a
+                .get(idx)
+                .ok_or_else(|| Error::msg(format!("missing tuple element {idx}")))?;
+            T::deserialize_value(elem)
+        }
+        other => Err(Error::msg(format!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts the variant tag of an externally tagged enum value
+/// (derive helper): either a bare string or a single-key object.
+pub fn __de_variant_tag(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Object(o) if o.len() == 1 => Ok(o[0].0.clone()),
+        other => Err(Error::msg(format!(
+            "expected enum variant (string or single-key object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts the payload of tagged variant `name` (derive helper).
+pub fn __de_payload<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    v.get(name)
+        .ok_or_else(|| Error::msg(format!("missing payload for variant '{name}'")))
+}
+
+// ---------------------------------------------------------------------
+// Impls for std types.
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected unsigned integer, found {}", v.kind())))?;
+                <$t>::try_from(u).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected integer, found {}", v.kind())))?;
+                <$t>::try_from(i).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        // Deserializing into a 'static borrow requires giving the string
+        // a 'static home: leak it. Only config-sized names flow through
+        // this path, so the leak is bounded and acceptable.
+        String::deserialize_value(v).map(|s| &*s.leak())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                Ok(($(__de_seq_field::<$t>(v, $idx)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+/// Types usable as JSON object keys when serializing maps.
+pub trait ToJsonKey {
+    /// The key's string form.
+    fn to_json_key(&self) -> String;
+}
+
+/// Types reconstructible from JSON object keys when deserializing maps.
+pub trait FromJsonKey: Sized {
+    /// Parses the key back from its string form.
+    fn from_json_key(key: &str) -> Result<Self, Error>;
+}
+
+impl ToJsonKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl ToJsonKey for str {
+    fn to_json_key(&self) -> String {
+        self.to_owned()
+    }
+}
+
+impl<T: ToJsonKey + ?Sized> ToJsonKey for &T {
+    fn to_json_key(&self) -> String {
+        (**self).to_json_key()
+    }
+}
+
+impl FromJsonKey for String {
+    fn from_json_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl ToJsonKey for $t {
+            fn to_json_key(&self) -> String {
+                self.to_string()
+            }
+        }
+        impl FromJsonKey for $t {
+            fn from_json_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| Error::msg(format!(
+                    "invalid integer map key '{key}'")))
+            }
+        }
+    )*};
+}
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: ToJsonKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_json_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: FromJsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: ToJsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_json_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: FromJsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

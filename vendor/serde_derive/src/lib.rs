@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a reduced `serde` whose `Serialize`/`Deserialize` traits map
+//! types to a JSON-like [`Value`] tree. This proc macro derives those
+//! traits for the shapes the workspace actually uses: named-field
+//! structs, unit structs, tuple structs, and enums with unit, tuple and
+//! struct variants (externally tagged, like real serde). The only field
+//! attribute honoured is `#[serde(skip)]`, which omits the field on
+//! serialization and fills it from `Default` on deserialization.
+//!
+//! No `syn`/`quote`: the item is parsed directly from the raw
+//! `proc_macro` token stream, which is sufficient because the workspace
+//! derives only on plain, non-generic items.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips any `#[...]` attributes, returning whether one of them was
+    /// `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_skip = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if attr_is_serde_skip(g.stream()) {
+                        has_skip = true;
+                    }
+                    self.pos += 2;
+                }
+                _ => return has_skip,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)` visibility qualifiers.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes tokens of a type up to (not including) a top-level `,`,
+    /// tracking `<...>` nesting so generic-argument commas don't split.
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g))) if i.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        c.skip_vis();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {name}, found {other:?}")),
+        }
+        c.skip_type();
+        fields.push(Field { name, skip });
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => return Err(format!("expected ',' between fields, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts top-level fields of a tuple payload `(A, B<C, D>, E)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '=' {
+                c.pos += 1;
+                c.skip_type();
+            }
+        }
+        variants.push(Variant { name, kind });
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => return Err(format!("expected ',' between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type {name} is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            other => Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+        other => Err(format!("cannot derive for item kind '{other}'")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match &item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n                 fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n             }}"
+        ),
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = &f.name;
+                pushes.push_str(&format!(
+                    "__o.push((::std::string::String::from(\"{fname}\"), \
+                     ::serde::Serialize::serialize_value(&self.{fname})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                     fn serialize_value(&self) -> ::serde::Value {{\n                         let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n                             ::std::vec::Vec::new();\n                         {pushes}\n                         ::serde::Value::Object(__o)\n                     }}\n                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                     fn serialize_value(&self) -> ::serde::Value {{\n                         ::serde::Value::Array(::std::vec![{}])\n                     }}\n                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_owned()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\n                                 ::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            let fname = &f.name;
+                            pushes.push_str(&format!(
+                                "__p.push((::std::string::String::from(\"{fname}\"), \
+                                 ::serde::Serialize::serialize_value({fname})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n                                 let mut __p: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n                                     ::std::vec::Vec::new();\n                                 {pushes}\n                                 ::serde::Value::Object(::std::vec![(\n                                     ::std::string::String::from(\"{vname}\"),\n                                     ::serde::Value::Object(__p))])\n                             }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                     fn serialize_value(&self) -> ::serde::Value {{\n                         match self {{ {arms} }}\n                     }}\n                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match &item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n                 fn deserialize_value(_v: &::serde::Value)\n                     -> ::std::result::Result<Self, ::serde::Error> {{\n                     ::std::result::Result::Ok({name})\n                 }}\n             }}"
+        ),
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!("{fname}: ::serde::__de_field(__v, \"{fname}\")?,\n"));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                     fn deserialize_value(__v: &::serde::Value)\n                         -> ::std::result::Result<Self, ::serde::Error> {{\n                         ::std::result::Result::Ok({name} {{ {inits} }})\n                     }}\n                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::__de_seq_field(__v, {i})?")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                     fn deserialize_value(__v: &::serde::Value)\n                         -> ::std::result::Result<Self, ::serde::Error> {{\n                         ::std::result::Result::Ok({name}({}))\n                     }}\n                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}(\n                                     ::serde::Deserialize::deserialize_value(__p)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::__de_seq_field(__p, {i})?"))
+                                .collect();
+                            format!(
+                                "::std::result::Result::Ok({name}::{vname}({}))",
+                                elems.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n                                 let __p = ::serde::__de_payload(__v, \"{vname}\")?;\n                                 {body}\n                             }},\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{fname}: ::std::default::Default::default(),\n"
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{fname}: ::serde::__de_field(__p, \"{fname}\")?,\n"
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "\"{vname}\" => {{\n                                 let __p = ::serde::__de_payload(__v, \"{vname}\")?;\n                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n                     fn deserialize_value(__v: &::serde::Value)\n                         -> ::std::result::Result<Self, ::serde::Error> {{\n                         let __tag = ::serde::__de_variant_tag(__v)?;\n                         match __tag.as_str() {{\n                             {arms}\n                             __other => ::std::result::Result::Err(::serde::Error::msg(\n                                 ::std::format!(\"unknown variant '{{}}' for {name}\", __other))),\n                         }}\n                     }}\n                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}

@@ -1,0 +1,499 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored [`serde::Value`] tree to JSON text and parses
+//! it back. Floats are printed with Rust's shortest round-trip
+//! formatting (`{:?}`), so `to_string` → `from_str` reproduces every
+//! finite `f64` bit-exactly.
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Result alias matching real serde_json's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize_value(&value)
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a JSON string into a typed value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::deserialize_value(&v)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, elem) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, elem, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, elem)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, elem, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float form ("1.0", "0.35").
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // JSON has no Inf/NaN; match serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::msg(format!(
+                "unexpected character '{}' at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::msg("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::msg(format!("invalid number '{text}'")))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(items));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            items.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax, interpolating Rust
+/// expressions (anything implementing [`serde::Serialize`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {
+        $crate::Value::Array($crate::json_internal_array!([] $($elems)*))
+    };
+    ({ $($entries:tt)* }) => {
+        $crate::Value::Object($crate::json_internal_object!([] $($entries)*))
+    };
+    ($other:expr) => {
+        $crate::value_of(&$other)
+    };
+}
+
+/// Converts a serializable reference to a [`Value`] (support fn for
+/// [`json!`]; handles maps via their `Serialize` impl).
+pub fn value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Internal: accumulates array elements for [`json!`]. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_array {
+    // Done.
+    ([ $($done:expr,)* ]) => { vec![ $($done,)* ] };
+    // Nested structures first (they contain commas the expr matcher
+    // must not split on).
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] $(,)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!([ $($inner)* ]), ])
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } $(,)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::json!({ $($inner)* }), ])
+    };
+    ([ $($done:expr,)* ] null , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($done,)* $crate::Value::Null, ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] null $(,)?) => {
+        $crate::json_internal_array!([ $($done,)* $crate::Value::Null, ])
+    };
+    // Plain expression element.
+    ([ $($done:expr,)* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($done,)* $crate::value_of(&$next), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $next:expr) => {
+        $crate::json_internal_array!([ $($done,)* $crate::value_of(&$next), ])
+    };
+}
+
+/// Internal: accumulates object entries for [`json!`]. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal_object {
+    // Done.
+    ([ $($done:expr,)* ]) => { vec![ $($done,)* ] };
+    // Nested structures as values.
+    ([ $($done:expr,)* ] $key:tt : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $key:tt : [ $($inner:tt)* ] $(,)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ])
+    };
+    ([ $($done:expr,)* ] $key:tt : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!({ $($inner)* })), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $key:tt : { $($inner:tt)* } $(,)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::json!({ $($inner)* })), ])
+    };
+    ([ $($done:expr,)* ] $key:tt : null , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::Value::Null), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $key:tt : null $(,)?) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::Value::Null), ])
+    };
+    // Plain expression values.
+    ([ $($done:expr,)* ] $key:tt : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::value_of(&$value)), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $key:tt : $value:expr) => {
+        $crate::json_internal_object!(
+            [ $($done,)* ($key.to_string(), $crate::value_of(&$value)), ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [0.35_f64, 1.0, -0.0, 1e-9, 123456.789, f64::MIN_POSITIVE] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f.to_bits(), back.to_bits(), "{f} -> {s}");
+        }
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, "x", null],
+            "nested": {"k": true},
+        });
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("k")),
+            Some(&Value::Bool(true))
+        );
+        let arr = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr[3], Value::Null);
+    }
+
+    #[test]
+    fn object_text_round_trip() {
+        let v = json!({"name": "unet", "layers": [{"c": 16}, {"c": 32}], "scale": 0.35});
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\ttab\\slash";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+}
