@@ -8,7 +8,12 @@
 
 use ts_dataflow::ExecCtx;
 
-use crate::{run_network, GroupConfigs, Network, NetworkWeights, RunReport, Session, SparseTensor};
+use crate::run::run_network_in_session;
+use crate::schedule::{ScheduleArtifact, ScheduleError};
+use crate::{
+    run_network, CompileError, GroupConfigs, Network, NetworkWeights, RunReport, Session,
+    SparseTensor,
+};
 
 /// A ready-to-deploy inference engine: network + weights + tuned
 /// schedule + execution context.
@@ -64,11 +69,104 @@ impl Engine {
         )
     }
 
+    /// Fallible [`Engine::infer`]: validates the frame (channel width,
+    /// coordinate dedup) and compiles it with [`Session::try_new`], so a
+    /// malformed frame surfaces as a [`CompileError`] instead of killing
+    /// the calling thread. This is the path `ts-serve` workers use —
+    /// one bad frame must not take a worker down.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::ChannelMismatch`], [`CompileError::DuplicateCoords`],
+    /// or any error from [`Session::try_new`].
+    pub fn try_infer(
+        &self,
+        input: &SparseTensor,
+    ) -> Result<(SparseTensor, RunReport), CompileError> {
+        let session = self.compile(input)?;
+        Ok(run_network_in_session(
+            &session,
+            &self.weights,
+            input,
+            &self.configs,
+            &self.ctx,
+        ))
+    }
+
+    /// Validates `input` against the network and compiles a reusable
+    /// [`Session`] for its coordinates.
+    ///
+    /// Repeated latency queries on the same coordinates should go
+    /// through one compiled session ([`Engine::simulate_in`]) so the
+    /// kernel maps are built once and dataflow preparations hit the
+    /// session's prepare cache (observable via
+    /// [`Session::prepare_cache_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::try_infer`].
+    pub fn compile(&self, input: &SparseTensor) -> Result<Session, CompileError> {
+        if input.channels() != self.network.in_channels() {
+            return Err(CompileError::ChannelMismatch {
+                expected: self.network.in_channels(),
+                got: input.channels(),
+            });
+        }
+        let unique = ts_kernelmap::unique_coords(input.coords()).len();
+        if unique != input.num_points() {
+            return Err(CompileError::DuplicateCoords {
+                points: input.num_points(),
+                unique,
+            });
+        }
+        Session::try_new(&self.network, input.coords())
+    }
+
     /// Prices one scene on the simulated GPU without computing features
     /// (fast path for latency studies).
+    ///
+    /// Builds a fresh [`Session`] per call; for repeated queries on the
+    /// same coordinates, compile once with [`Engine::compile`] and call
+    /// [`Engine::simulate_in`].
     pub fn simulate(&self, input: &SparseTensor) -> RunReport {
         let session = Session::new(&self.network, input.coords());
+        self.simulate_in(&session)
+    }
+
+    /// [`Engine::simulate`] against a caller-held session: kernel maps
+    /// and dataflow preparations are reused across calls, so repeated
+    /// queries are served from the prepare cache.
+    pub fn simulate_in(&self, session: &Session) -> RunReport {
         session.simulate_inference(&self.configs, &self.ctx)
+    }
+
+    /// Exports the tuned schedule as a versioned artifact keyed by
+    /// (network name, device name, precision) — the tune-once artifact
+    /// a server boots from instead of re-tuning.
+    pub fn save_schedule(&self) -> ScheduleArtifact {
+        ScheduleArtifact::new(
+            self.network.name(),
+            &self.ctx.device().name,
+            self.ctx.precision,
+            self.configs.clone(),
+        )
+    }
+
+    /// Assembles an engine from a persisted schedule, refusing (with a
+    /// typed error, never a panic) an artifact tuned for a different
+    /// network, device, precision or format version.
+    ///
+    /// # Errors
+    ///
+    /// The [`ScheduleError`] naming the mismatching key component.
+    pub fn load_schedule(
+        network: Network,
+        weights: NetworkWeights,
+        artifact: &ScheduleArtifact,
+        ctx: ExecCtx,
+    ) -> Result<Engine, ScheduleError> {
+        artifact.validate(network.name(), &ctx.device().name, ctx.precision)?;
+        Ok(Engine::new(network, weights, artifact.configs.clone(), ctx))
     }
 
     /// Replaces the execution context (e.g. to re-target a device while
@@ -132,6 +230,100 @@ mod tests {
         let (_, full) = e.infer(&s);
         let sim = e.simulate(&s);
         assert_eq!(full.total_us().to_bits(), sim.total_us().to_bits());
+    }
+
+    #[test]
+    fn try_infer_matches_infer_on_valid_frames() {
+        let e = engine();
+        let s = scene(5);
+        let (out, rep) = e.infer(&s);
+        let (out2, rep2) = e.try_infer(&s).expect("valid frame infers");
+        assert_eq!(out.feats(), out2.feats());
+        assert_eq!(rep.total_us().to_bits(), rep2.total_us().to_bits());
+    }
+
+    #[test]
+    fn try_infer_rejects_channel_mismatch() {
+        let e = engine();
+        let bad = SparseTensor::new(
+            vec![Coord::new(0, 0, 0, 0)],
+            uniform_matrix(&mut rng_from_seed(0), 1, 7, -1.0, 1.0),
+        );
+        match e.try_infer(&bad) {
+            Err(crate::CompileError::ChannelMismatch { expected, got }) => {
+                assert_eq!(expected, 4);
+                assert_eq!(got, 7);
+            }
+            other => panic!("expected channel mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_infer_rejects_duplicate_coords() {
+        let e = engine();
+        let cs = vec![Coord::new(0, 1, 1, 1), Coord::new(0, 1, 1, 1)];
+        let bad = SparseTensor::new(cs, uniform_matrix(&mut rng_from_seed(0), 2, 4, -1.0, 1.0));
+        match e.try_infer(&bad) {
+            Err(crate::CompileError::DuplicateCoords { points, unique }) => {
+                assert_eq!(points, 2);
+                assert_eq!(unique, 1);
+            }
+            other => panic!("expected duplicate coords, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_in_reuses_the_prepare_cache() {
+        let e = engine();
+        let s = scene(11);
+        let session = e.compile(&s).expect("frame compiles");
+        let r1 = e.simulate_in(&session);
+        let (h1, m1) = session.prepare_cache_stats();
+        assert!(m1 > 0, "first query populates the cache");
+        let r2 = e.simulate_in(&session);
+        let (h2, m2) = session.prepare_cache_stats();
+        assert_eq!(m2, m1, "repeat query on the same coords prepares nothing");
+        assert!(h2 > h1, "repeat query hits the cache");
+        assert_eq!(r1.total_us().to_bits(), r2.total_us().to_bits());
+        // And the session-reuse path agrees with the fresh-session path.
+        assert_eq!(e.simulate(&s).total_us().to_bits(), r1.total_us().to_bits());
+    }
+
+    #[test]
+    fn schedule_save_load_round_trip_is_exact() {
+        let e = engine();
+        let artifact = e.save_schedule();
+        let json = artifact.to_json().expect("artifact serializes");
+        let restored = crate::ScheduleArtifact::from_json(&json).expect("artifact loads");
+        let net = e.network().clone();
+        let loaded = Engine::load_schedule(
+            net.clone(),
+            net.init_weights(1),
+            &restored,
+            ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+        )
+        .expect("matching artifact loads");
+        // The loaded schedule simulates bit-identically to the tuned one.
+        let s = scene(3);
+        assert_eq!(
+            e.simulate(&s).total_us().to_bits(),
+            loaded.simulate(&s).total_us().to_bits()
+        );
+    }
+
+    #[test]
+    fn schedule_load_rejects_wrong_device() {
+        let e = engine();
+        let artifact = e.save_schedule();
+        let net = e.network().clone();
+        let err = Engine::load_schedule(
+            net.clone(),
+            net.init_weights(1),
+            &artifact,
+            ExecCtx::functional(Device::jetson_orin(), Precision::Fp16),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::ScheduleError::DeviceMismatch { .. }));
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod engine;
 mod network;
 mod report;
 mod run;
+mod schedule;
 mod session;
 mod sparse_tensor;
 mod train;
@@ -49,8 +50,9 @@ mod trainer;
 
 pub use engine::Engine;
 pub use network::{ConvSpec, Network, NetworkBuilder, NetworkWeights, Node, Op};
-pub use report::{LatencyStats, LayerTiming, RunReport};
-pub use run::run_network;
+pub use report::{percentile_sorted, LatencyStats, LayerTiming, RunReport};
+pub use run::{run_network, run_network_in_session};
+pub use schedule::{ScheduleArtifact, ScheduleError, SCHEDULE_VERSION};
 pub use session::{CompileError, GroupConfigs, GroupInfo, GroupKey, Session, TrainConfigs};
 pub use sparse_tensor::SparseTensor;
 pub use train::{train_step, TrainOutput};

@@ -89,7 +89,8 @@ impl RunReport {
     }
 }
 
-/// Aggregate statistics over several runs (e.g. one per sample scene).
+/// Aggregate statistics over several runs (e.g. one per sample scene,
+/// or one per served frame — the SLO unit of `ts-serve`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyStats {
     /// Number of runs aggregated.
@@ -102,6 +103,30 @@ pub struct LatencyStats {
     pub max_us: f64,
     /// Population standard deviation.
     pub std_us: f64,
+    /// Median (50th percentile), linearly interpolated.
+    pub p50_us: f64,
+    /// 90th percentile, linearly interpolated.
+    pub p90_us: f64,
+    /// 99th percentile, linearly interpolated.
+    pub p99_us: f64,
+}
+
+/// Interpolated percentile of an **ascending-sorted** sample set.
+///
+/// Uses the linear-interpolation definition (NIST R-7, the numpy
+/// default): rank `q * (n - 1)` interpolated between its floor and
+/// ceiling neighbours. `q` is clamped to `[0, 1]`. Returns `None` for
+/// an empty sample set.
+pub fn percentile_sorted(sorted_us: &[f64], q: f64) -> Option<f64> {
+    if sorted_us.is_empty() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted_us.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted_us[lo] + (sorted_us[hi] - sorted_us[lo]) * frac)
 }
 
 impl LatencyStats {
@@ -109,20 +134,34 @@ impl LatencyStats {
     ///
     /// # Panics
     ///
-    /// Panics if `reports` is empty.
+    /// Panics if `reports` is empty; use
+    /// [`LatencyStats::from_latencies_us`] for a fallible variant.
     pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a RunReport>) -> LatencyStats {
         let totals: Vec<f64> = reports.into_iter().map(RunReport::total_us).collect();
-        assert!(!totals.is_empty(), "need at least one report");
-        let n = totals.len() as f64;
-        let mean = totals.iter().sum::<f64>() / n;
-        let var = totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n;
-        LatencyStats {
-            runs: totals.len(),
-            mean_us: mean,
-            min_us: totals.iter().cloned().fold(f64::INFINITY, f64::min),
-            max_us: totals.iter().cloned().fold(0.0, f64::max),
-            std_us: var.sqrt(),
+        Self::from_latencies_us(&totals).expect("need at least one report")
+    }
+
+    /// Aggregates raw latency samples (microseconds); `None` when the
+    /// sample set is empty.
+    pub fn from_latencies_us(latencies_us: &[f64]) -> Option<LatencyStats> {
+        if latencies_us.is_empty() {
+            return None;
         }
+        let mut sorted = latencies_us.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are comparable"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n;
+        Some(LatencyStats {
+            runs: sorted.len(),
+            mean_us: mean,
+            min_us: sorted[0],
+            max_us: sorted[sorted.len() - 1],
+            std_us: var.sqrt(),
+            p50_us: percentile_sorted(&sorted, 0.50).expect("non-empty"),
+            p90_us: percentile_sorted(&sorted, 0.90).expect("non-empty"),
+            p99_us: percentile_sorted(&sorted, 0.99).expect("non-empty"),
+        })
     }
 
     /// Mean latency in milliseconds.
@@ -199,5 +238,51 @@ mod tests {
         assert_eq!(stats.max_us, 75.0);
         assert_eq!(stats.std_us, 25.0);
         assert_eq!(stats.mean_ms(), 0.05);
+        assert_eq!(stats.p50_us, 50.0);
+    }
+
+    #[test]
+    fn empty_sample_set_is_none_not_panic() {
+        assert!(LatencyStats::from_latencies_us(&[]).is_none());
+        assert!(percentile_sorted(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse() {
+        let s = LatencyStats::from_latencies_us(&[42.0]).expect("one sample");
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.mean_us, 42.0);
+        assert_eq!(s.min_us, 42.0);
+        assert_eq!(s.max_us, 42.0);
+        assert_eq!(s.std_us, 0.0);
+        assert_eq!(s.p50_us, 42.0);
+        assert_eq!(s.p90_us, 42.0);
+        assert_eq!(s.p99_us, 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolation_at_exact_boundaries() {
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        // q = 0 and q = 1 hit the extremes exactly.
+        assert_eq!(percentile_sorted(&sorted, 0.0), Some(10.0));
+        assert_eq!(percentile_sorted(&sorted, 1.0), Some(50.0));
+        // Ranks landing exactly on a sample return it without
+        // interpolation: rank = 0.5 * 4 = 2.0 -> sorted[2].
+        assert_eq!(percentile_sorted(&sorted, 0.5), Some(30.0));
+        assert_eq!(percentile_sorted(&sorted, 0.25), Some(20.0));
+        // A rank between samples interpolates linearly:
+        // q = 0.9 -> rank 3.6 -> 40 + 0.6 * 10 = 46.
+        assert!((percentile_sorted(&sorted, 0.9).unwrap() - 46.0).abs() < 1e-12);
+        // Out-of-range quantiles clamp.
+        assert_eq!(percentile_sorted(&sorted, -0.5), Some(10.0));
+        assert_eq!(percentile_sorted(&sorted, 1.5), Some(50.0));
+    }
+
+    #[test]
+    fn stats_are_order_invariant() {
+        let a = LatencyStats::from_latencies_us(&[3.0, 1.0, 2.0]).unwrap();
+        let b = LatencyStats::from_latencies_us(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50_us, 2.0);
     }
 }

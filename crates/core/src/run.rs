@@ -42,6 +42,23 @@ pub fn run_network(
     );
 
     let session = Session::new(network, input.coords());
+    run_network_in_session(&session, weights, input, cfgs, ctx)
+}
+
+/// [`run_network`] against an already-compiled [`Session`].
+///
+/// The caller guarantees `session` was compiled for `input.coords()`
+/// (and that the input passed the validation `run_network` performs);
+/// this is the hot path for servers that validate once and reuse the
+/// compiled maps.
+pub fn run_network_in_session(
+    session: &Session,
+    weights: &NetworkWeights,
+    input: &SparseTensor,
+    cfgs: &GroupConfigs,
+    ctx: &ExecCtx,
+) -> (SparseTensor, RunReport) {
+    let network = session.network();
     let report = session.simulate_inference(cfgs, ctx);
 
     // Functional feature walk.

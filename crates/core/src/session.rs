@@ -19,7 +19,8 @@ use ts_kernelmap::{
 use crate::report::{LayerTiming, RunReport};
 use crate::{ConvSpec, Network, Op};
 
-/// Error compiling a network against an input coordinate set.
+/// Error compiling a network against an input coordinate set (or, via
+/// [`crate::Engine::try_infer`], validating an input frame against it).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
     /// A transposed convolution upsamples to a stride level no encoder
@@ -31,6 +32,21 @@ pub enum CompileError {
         /// The missing (finer) stride level.
         missing_stride: i32,
     },
+    /// The input feature width disagrees with the network's input.
+    ChannelMismatch {
+        /// Channels the network expects.
+        expected: usize,
+        /// Channels the input carries.
+        got: usize,
+    },
+    /// The input coordinate set contains duplicate coordinates, which
+    /// would silently alias feature rows.
+    DuplicateCoords {
+        /// Total points in the input.
+        points: usize,
+        /// Distinct coordinates among them.
+        unique: usize,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -39,6 +55,14 @@ impl std::fmt::Display for CompileError {
             CompileError::TransposedWithoutEncoder { layer, missing_stride } => write!(
                 f,
                 "transposed conv '{layer}' has no cached coordinates at stride {missing_stride}                  (no matching encoder downsample)"
+            ),
+            CompileError::ChannelMismatch { expected, got } => write!(
+                f,
+                "input has {got} feature channels but the network expects {expected}"
+            ),
+            CompileError::DuplicateCoords { points, unique } => write!(
+                f,
+                "input coordinates are not deduplicated: {points} points, {unique} unique"
             ),
         }
     }
@@ -1039,6 +1063,7 @@ mod tests {
                 assert_eq!(layer, "up_to_2");
                 assert_eq!(*missing_stride, 2);
             }
+            other => panic!("unexpected compile error {other:?}"),
         }
         assert!(err.to_string().contains("up_to_2"));
 

@@ -1,0 +1,228 @@
+//! Frame coalescing: merging queued frames into one multi-batch tensor
+//! and splitting the batched output back per frame.
+//!
+//! Correctness rests on a property of the coordinate key:
+//! [`ts_kernelmap::Coord::key`] packs the batch index into its own bit
+//! field, so kernel maps never connect points across batch indices. A
+//! point's convolution inputs — and the fixed kernel-offset order they
+//! are accumulated in — are therefore identical whether its frame runs
+//! alone or merged with others, making batched outputs bit-identical to
+//! serial per-frame inference.
+
+use ts_core::SparseTensor;
+use ts_kernelmap::Coord;
+use ts_tensor::Matrix;
+
+/// Why a frame cannot enter a batch (checked before merging, so one
+/// malformed frame never poisons its batchmates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame has no points.
+    Empty,
+    /// The frame spans several batch indices; the server batches whole
+    /// frames, so each submission must be a single scene.
+    MultiBatch {
+        /// Distinct batch indices found.
+        batches: usize,
+    },
+    /// Feature width disagrees with the engine's network.
+    ChannelMismatch {
+        /// Channels the network expects.
+        expected: usize,
+        /// Channels the frame carries.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Empty => write!(f, "frame has no points"),
+            FrameError::MultiBatch { batches } => {
+                write!(
+                    f,
+                    "frame spans {batches} batch indices; submit single scenes"
+                )
+            }
+            FrameError::ChannelMismatch { expected, got } => {
+                write!(f, "frame has {got} channels, network expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Validates that `frame` can join a batch for a network expecting
+/// `expected_channels` input channels.
+pub fn validate_frame(frame: &SparseTensor, expected_channels: usize) -> Result<(), FrameError> {
+    if frame.num_points() == 0 {
+        return Err(FrameError::Empty);
+    }
+    let batches = frame.batch_size();
+    if batches != 1 {
+        return Err(FrameError::MultiBatch { batches });
+    }
+    if frame.channels() != expected_channels {
+        return Err(FrameError::ChannelMismatch {
+            expected: expected_channels,
+            got: frame.channels(),
+        });
+    }
+    Ok(())
+}
+
+/// Merges validated single-scene frames into one multi-batch tensor:
+/// frame `i` is assigned batch index `i`, and the original batch index
+/// of each slot is returned so [`split_output`] can restore it.
+///
+/// # Panics
+///
+/// Panics if `frames` is empty, a frame fails [`validate_frame`]'s
+/// shape invariants, or the frames disagree on channel width — the
+/// server validates before merging.
+pub fn merge_frames(frames: &[&SparseTensor]) -> (SparseTensor, Vec<i32>) {
+    assert!(!frames.is_empty(), "cannot merge zero frames");
+    let channels = frames[0].channels();
+    let total: usize = frames.iter().map(|f| f.num_points()).sum();
+    let mut coords = Vec::with_capacity(total);
+    let mut feats = Matrix::zeros(total, channels);
+    let mut slots = Vec::with_capacity(frames.len());
+    let mut row = 0;
+    for (slot, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.channels(), channels, "frames disagree on channels");
+        assert!(frame.num_points() > 0, "empty frame in batch");
+        slots.push(frame.coords()[0].batch);
+        for (i, c) in frame.coords().iter().enumerate() {
+            coords.push(Coord::new(slot as i32, c.x, c.y, c.z));
+            feats.row_mut(row).copy_from_slice(frame.feats().row(i));
+            row += 1;
+        }
+    }
+    (SparseTensor::new(coords, feats), slots)
+}
+
+/// Splits a batched output back into one tensor per input frame,
+/// restoring each slot's original batch index.
+///
+/// Rows within each split are sorted by coordinate key — a canonical
+/// order, since output row order is an artifact of map construction
+/// over the merged coordinate set. Compare against serial outputs with
+/// [`sort_by_coord`].
+pub fn split_output(batched: &SparseTensor, slots: &[i32]) -> Vec<SparseTensor> {
+    let mut per_slot: Vec<Vec<(Coord, usize)>> = vec![Vec::new(); slots.len()];
+    for (r, c) in batched.coords().iter().enumerate() {
+        let slot = c.batch as usize;
+        assert!(slot < slots.len(), "output batch index out of range");
+        per_slot[slot].push((Coord::new(slots[slot], c.x, c.y, c.z), r));
+    }
+    per_slot
+        .into_iter()
+        .map(|mut rows| {
+            rows.sort_by_key(|(c, _)| c.key());
+            let channels = batched.channels();
+            let mut feats = Matrix::zeros(rows.len(), channels);
+            let mut coords = Vec::with_capacity(rows.len());
+            for (i, (c, src)) in rows.iter().enumerate() {
+                coords.push(*c);
+                feats.row_mut(i).copy_from_slice(batched.feats().row(*src));
+            }
+            SparseTensor::with_stride(coords, feats, batched.stride())
+        })
+        .collect()
+}
+
+/// Reorders a tensor's rows by ascending coordinate key (the canonical
+/// order [`split_output`] emits), for comparing serial and batched
+/// outputs of the same coordinate set.
+pub fn sort_by_coord(t: &SparseTensor) -> SparseTensor {
+    let mut order: Vec<usize> = (0..t.num_points()).collect();
+    order.sort_by_key(|&i| t.coords()[i].key());
+    let mut coords = Vec::with_capacity(order.len());
+    let mut feats = Matrix::zeros(order.len(), t.channels());
+    for (dst, &src) in order.iter().enumerate() {
+        coords.push(t.coords()[src]);
+        feats.row_mut(dst).copy_from_slice(t.feats().row(src));
+    }
+    SparseTensor::with_stride(coords, feats, t.stride())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(batch: i32, n: i32, seed: f32) -> SparseTensor {
+        let coords: Vec<Coord> = (0..n).map(|i| Coord::new(batch, i, i % 3, 0)).collect();
+        let mut feats = Matrix::zeros(n as usize, 2);
+        for r in 0..n as usize {
+            feats.row_mut(r).copy_from_slice(&[seed + r as f32, -seed]);
+        }
+        SparseTensor::new(coords, feats)
+    }
+
+    #[test]
+    fn validate_catches_each_defect() {
+        assert_eq!(
+            validate_frame(&SparseTensor::new(vec![], Matrix::zeros(0, 2)), 2),
+            Err(FrameError::Empty)
+        );
+        let multi = SparseTensor::new(
+            vec![Coord::new(0, 0, 0, 0), Coord::new(1, 0, 0, 0)],
+            Matrix::zeros(2, 2),
+        );
+        assert_eq!(
+            validate_frame(&multi, 2),
+            Err(FrameError::MultiBatch { batches: 2 })
+        );
+        assert_eq!(
+            validate_frame(&frame(0, 3, 0.0), 4),
+            Err(FrameError::ChannelMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
+        assert_eq!(validate_frame(&frame(0, 3, 0.0), 2), Ok(()));
+    }
+
+    #[test]
+    fn merge_then_split_round_trips() {
+        let a = frame(7, 4, 1.0);
+        let b = frame(2, 3, 10.0);
+        let (merged, slots) = merge_frames(&[&a, &b]);
+        assert_eq!(merged.num_points(), 7);
+        assert_eq!(merged.batch_size(), 2);
+        assert_eq!(slots, vec![7, 2]);
+        // Distinct batch indices even though both frames used overlapping
+        // spatial coordinates.
+        assert_eq!(
+            ts_kernelmap::unique_coords(merged.coords()).len(),
+            merged.num_points()
+        );
+        let parts = split_output(&merged, &slots);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], sort_by_coord(&a));
+        assert_eq!(parts[1], sort_by_coord(&b));
+    }
+
+    #[test]
+    fn split_restores_original_batch_indices() {
+        let a = frame(5, 2, 0.5);
+        let (merged, slots) = merge_frames(&[&a]);
+        assert!(merged.coords().iter().all(|c| c.batch == 0));
+        let parts = split_output(&merged, &slots);
+        assert!(parts[0].coords().iter().all(|c| c.batch == 5));
+    }
+
+    #[test]
+    fn sort_by_coord_is_idempotent_and_value_preserving() {
+        let a = frame(0, 5, 3.0);
+        let s = sort_by_coord(&a);
+        assert_eq!(s, sort_by_coord(&s));
+        assert_eq!(s.num_points(), a.num_points());
+        // Every (coord, row) pair survives.
+        for (i, c) in a.coords().iter().enumerate() {
+            let j = s.coords().iter().position(|x| x == c).expect("coord kept");
+            assert_eq!(s.feats().row(j), a.feats().row(i));
+        }
+    }
+}

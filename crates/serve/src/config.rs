@@ -1,0 +1,124 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+/// Tunables of a [`crate::Server`].
+///
+/// The defaults suit interactive tests; a deployment would size
+/// `workers` to the engine pool it can afford and `queue_capacity` to
+/// the latency it is willing to queue up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of worker threads, each owning one [`ts_core::Engine`].
+    pub workers: usize,
+    /// Maximum frames coalesced into one batched inference call.
+    pub max_batch: usize,
+    /// How long the batcher holds an incomplete batch open waiting for
+    /// more frames before dispatching it anyway.
+    pub max_wait: Duration,
+    /// Admission bound: submissions are rejected with
+    /// [`crate::Rejected::QueueFull`] while this many requests are
+    /// in flight (queued or executing).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit one;
+    /// `None` means such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the maximum batch size.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the batching window.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Sets the admission bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Clamps degenerate values to their working minimum (at least one
+    /// worker, batches of at least one frame, room for at least one
+    /// request).
+    pub(crate) fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.max_batch >= 1);
+        assert!(c.queue_capacity >= c.max_batch);
+        assert!(c.default_deadline.is_none());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ServeConfig::default()
+            .with_workers(4)
+            .with_max_batch(8)
+            .with_max_wait(Duration::from_millis(5))
+            .with_queue_capacity(128)
+            .with_default_deadline(Duration::from_millis(50));
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.max_batch, 8);
+        assert_eq!(c.max_wait, Duration::from_millis(5));
+        assert_eq!(c.queue_capacity, 128);
+        assert_eq!(c.default_deadline, Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn normalized_clamps_zeros() {
+        let c = ServeConfig {
+            workers: 0,
+            max_batch: 0,
+            max_wait: Duration::ZERO,
+            queue_capacity: 0,
+            default_deadline: None,
+        }
+        .normalized();
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.max_batch, 1);
+        assert_eq!(c.queue_capacity, 1);
+    }
+}

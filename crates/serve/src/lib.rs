@@ -1,0 +1,46 @@
+//! Multi-stream inference serving for TorchSparse++.
+//!
+//! The paper's framing is that the Sparse Autotuner's cost is amortised
+//! because "the tuned schedule could be reused for millions of scenes
+//! in real-world ADAS applications" (Section 4.2). This crate is the
+//! deployment side of that claim: a [`Server`] that boots a pool of
+//! tuned [`ts_core::Engine`]s once and serves continuous frame streams
+//! against them.
+//!
+//! * **Dynamic batching** — queued frames from any stream are
+//!   coalesced into one multi-batch sparse tensor (each frame gets a
+//!   distinct batch index) up to [`ServeConfig::max_batch`] frames or
+//!   [`ServeConfig::max_wait`]. Because the coordinate hash key packs
+//!   the batch index into its own bit field, kernel maps never connect
+//!   points across frames, so batched outputs are **bit-identical** to
+//!   serial per-frame inference while amortising mapping and kernel
+//!   launch work.
+//! * **Admission control and deadlines** — submissions beyond
+//!   [`ServeConfig::queue_capacity`] in-flight requests are load-shed
+//!   with [`Rejected::QueueFull`]; each request may carry a deadline,
+//!   the batcher dequeues earliest-deadline-first, expired requests
+//!   are shed unexecuted, and shutdown drains everything already
+//!   admitted.
+//! * **Schedule persistence** — servers boot from
+//!   [`ts_core::ScheduleArtifact`] (see
+//!   [`ts_core::Engine::save_schedule`] /
+//!   [`ts_core::Engine::load_schedule`]) instead of re-tuning, with
+//!   typed errors when an artifact was tuned for a different network,
+//!   device, precision or format version.
+//! * **SLO accounting** — per-stream p50/p90/p99 wall latency, batch
+//!   size and queue-depth histograms, throughput, and deadline-miss
+//!   counters, exported as JSON via [`ServeReport`].
+//!
+//! See `examples/serve_lidar_stream.rs` for an end-to-end deployment
+//! loop and `benches/serve_throughput.rs` for the batching speedup
+//! measurement.
+
+pub mod batch;
+mod config;
+mod metrics;
+mod server;
+
+pub use batch::{merge_frames, sort_by_coord, split_output, validate_frame, FrameError};
+pub use config::ServeConfig;
+pub use metrics::{HistogramBucket, ServeReport, StreamStats};
+pub use server::{Rejected, Response, ResponseHandle, Server};

@@ -1,0 +1,288 @@
+//! SLO accounting: per-stream latency distributions, batch-size and
+//! queue-depth histograms, throughput, and deadline/rejection counters.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use ts_core::LatencyStats;
+
+/// One bucket of a discrete histogram (`value` occurred `count` times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Observed value (batch size, queue depth, ...).
+    pub value: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Latency distribution of one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Stream identifier (caller-chosen).
+    pub stream: u64,
+    /// End-to-end (submit -> response) wall latency distribution, in
+    /// microseconds.
+    pub latency: LatencyStats,
+}
+
+/// Snapshot of a server's SLO counters, exported as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests answered with an output tensor.
+    pub completed: u64,
+    /// Requests refused at submission because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests refused because their frame was malformed.
+    pub rejected_bad_frame: u64,
+    /// Requests shed unexecuted because their deadline had already
+    /// passed when the server got to them.
+    pub shed_deadline: u64,
+    /// Requests that completed, but after their deadline.
+    pub deadline_misses: u64,
+    /// Wall-clock seconds from server start to this snapshot.
+    pub wall_s: f64,
+    /// Completed frames per wall-clock second.
+    pub throughput_fps: f64,
+    /// Sum of simulated GPU time across all executed batches, in
+    /// microseconds (each batch counted once, not per frame).
+    pub sim_us_total: f64,
+    /// Distribution of executed batch sizes.
+    pub batch_sizes: Vec<HistogramBucket>,
+    /// Distribution of in-flight queue depth, sampled at each accepted
+    /// submission.
+    pub queue_depths: Vec<HistogramBucket>,
+    /// Per-stream latency distributions, sorted by stream id.
+    pub streams: Vec<StreamStats>,
+    /// Latency distribution over all completed requests; `None` if
+    /// nothing completed.
+    pub overall: Option<LatencyStats>,
+}
+
+impl ServeReport {
+    /// Fraction of finished requests (completed or shed) that violated
+    /// their deadline.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let finished = self.completed + self.shed_deadline;
+        if finished == 0 {
+            return 0.0;
+        }
+        (self.deadline_misses + self.shed_deadline) as f64 / finished as f64
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    completed: u64,
+    rejected_queue_full: u64,
+    rejected_bad_frame: u64,
+    shed_deadline: u64,
+    deadline_misses: u64,
+    sim_us_total: f64,
+    per_stream: HashMap<u64, Vec<f64>>,
+    batch_sizes: BTreeMap<u64, u64>,
+    queue_depths: BTreeMap<u64, u64>,
+}
+
+/// Thread-safe metrics sink shared by the submission path, the batcher
+/// and the workers.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    started: Instant,
+    inner: Mutex<Counters>,
+    depth: AtomicUsize,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            inner: Mutex::new(Counters::default()),
+            depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current number of in-flight requests (queued or executing).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Admits one request if the in-flight count is below `capacity`.
+    /// On admission the depth histogram records the post-admission
+    /// depth. Returns whether the request was admitted.
+    pub(crate) fn try_admit(&self, capacity: usize) -> bool {
+        let mut cur = self.depth.load(Ordering::SeqCst);
+        loop {
+            if cur >= capacity {
+                let mut c = self.inner.lock().expect("metrics lock");
+                c.rejected_queue_full += 1;
+                return false;
+            }
+            match self
+                .depth
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let depth = (cur + 1) as u64;
+        let mut c = self.inner.lock().expect("metrics lock");
+        *c.queue_depths.entry(depth).or_insert(0) += 1;
+        true
+    }
+
+    fn leave(&self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A request left the queue without being counted anywhere else
+    /// (admitted but the server shut down before it could be enqueued).
+    pub(crate) fn on_abandoned(&self) {
+        self.leave();
+    }
+
+    pub(crate) fn on_bad_frame(&self) {
+        self.leave();
+        let mut c = self.inner.lock().expect("metrics lock");
+        c.rejected_bad_frame += 1;
+    }
+
+    pub(crate) fn on_shed_deadline(&self) {
+        self.leave();
+        let mut c = self.inner.lock().expect("metrics lock");
+        c.shed_deadline += 1;
+    }
+
+    pub(crate) fn on_batch_executed(&self, size: usize, sim_us: f64) {
+        let mut c = self.inner.lock().expect("metrics lock");
+        *c.batch_sizes.entry(size as u64).or_insert(0) += 1;
+        c.sim_us_total += sim_us;
+    }
+
+    pub(crate) fn on_completed(&self, stream: u64, latency_us: f64, missed_deadline: bool) {
+        self.leave();
+        let mut c = self.inner.lock().expect("metrics lock");
+        c.completed += 1;
+        if missed_deadline {
+            c.deadline_misses += 1;
+        }
+        c.per_stream.entry(stream).or_default().push(latency_us);
+    }
+
+    pub(crate) fn report(&self) -> ServeReport {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let c = self.inner.lock().expect("metrics lock");
+        let mut streams: Vec<StreamStats> = c
+            .per_stream
+            .iter()
+            .filter_map(|(&stream, lat)| {
+                LatencyStats::from_latencies_us(lat).map(|latency| StreamStats { stream, latency })
+            })
+            .collect();
+        streams.sort_by_key(|s| s.stream);
+        let all: Vec<f64> = c.per_stream.values().flatten().copied().collect();
+        let to_buckets = |m: &BTreeMap<u64, u64>| {
+            m.iter()
+                .map(|(&value, &count)| HistogramBucket { value, count })
+                .collect()
+        };
+        ServeReport {
+            completed: c.completed,
+            rejected_queue_full: c.rejected_queue_full,
+            rejected_bad_frame: c.rejected_bad_frame,
+            shed_deadline: c.shed_deadline,
+            deadline_misses: c.deadline_misses,
+            wall_s,
+            throughput_fps: if wall_s > 0.0 {
+                c.completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            sim_us_total: c.sim_us_total,
+            batch_sizes: to_buckets(&c.batch_sizes),
+            queue_depths: to_buckets(&c.queue_depths),
+            streams,
+            overall: LatencyStats::from_latencies_us(&all),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_bounds_in_flight_count() {
+        let m = Metrics::new();
+        assert!(m.try_admit(2));
+        assert!(m.try_admit(2));
+        assert!(!m.try_admit(2), "third request exceeds capacity");
+        m.on_completed(0, 100.0, false);
+        assert!(m.try_admit(2), "completion frees a slot");
+        let r = m.report();
+        assert_eq!(r.rejected_queue_full, 1);
+        assert_eq!(r.completed, 1);
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn report_aggregates_streams_and_histograms() {
+        let m = Metrics::new();
+        for _ in 0..4 {
+            assert!(m.try_admit(16));
+        }
+        m.on_batch_executed(3, 1500.0);
+        m.on_completed(1, 100.0, false);
+        m.on_completed(1, 300.0, true);
+        m.on_completed(2, 200.0, false);
+        m.on_shed_deadline();
+        let r = m.report();
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.deadline_misses, 1);
+        assert_eq!(r.shed_deadline, 1);
+        assert_eq!(r.sim_us_total, 1500.0);
+        assert_eq!(r.batch_sizes, vec![HistogramBucket { value: 3, count: 1 }]);
+        assert_eq!(r.streams.len(), 2);
+        assert_eq!(r.streams[0].stream, 1);
+        assert_eq!(r.streams[0].latency.runs, 2);
+        assert_eq!(r.streams[1].latency.mean_us, 200.0);
+        assert_eq!(r.overall.expect("has completions").runs, 3);
+        // 1 late completion + 1 shed out of 4 finished.
+        assert!((r.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        // Queue depth was sampled at 1, 2, 3, 4.
+        assert_eq!(r.queue_depths.len(), 4);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let m = Metrics::new();
+        assert!(m.try_admit(4));
+        m.on_completed(7, 250.0, false);
+        let r = m.report();
+        let json = r.to_json().expect("serializes");
+        let back = ServeReport::from_json(&json).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_report_has_no_stats() {
+        let r = Metrics::new().report();
+        assert_eq!(r.completed, 0);
+        assert!(r.overall.is_none());
+        assert!(r.streams.is_empty());
+        assert_eq!(r.deadline_miss_rate(), 0.0);
+    }
+}

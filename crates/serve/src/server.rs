@@ -1,0 +1,674 @@
+//! The serving loop: a batcher thread coalescing queued frames and a
+//! pool of worker threads, each owning one tuned [`Engine`].
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use ts_core::{CompileError, Engine, SparseTensor};
+
+use crate::batch::{merge_frames, split_output, validate_frame, FrameError};
+use crate::metrics::{Metrics, ServeReport};
+use crate::ServeConfig;
+
+/// A served inference result.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Output features for the submitted frame, rows in canonical
+    /// (coordinate-key) order, with the frame's original batch index
+    /// restored.
+    pub output: SparseTensor,
+    /// Stream the request belonged to.
+    pub stream: u64,
+    /// Number of frames in the batch this frame executed in.
+    pub batch_size: usize,
+    /// Wall time from submission to execution start.
+    pub queue_wait: Duration,
+    /// Wall time from submission to response.
+    pub latency: Duration,
+    /// Simulated GPU time of the whole batch, in microseconds.
+    pub sim_us: f64,
+    /// Whether the response was produced after the request's deadline
+    /// (late responses are still delivered, but counted as SLO misses).
+    pub missed_deadline: bool,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// Load shed at submission: the in-flight queue was full.
+    QueueFull {
+        /// The configured admission bound.
+        capacity: usize,
+    },
+    /// The deadline passed before execution started; the frame was
+    /// dropped unexecuted.
+    DeadlineExpired {
+        /// How far past the deadline the server was when it shed the
+        /// request.
+        missed_by: Duration,
+    },
+    /// The frame failed shape validation (empty, multi-batch, or wrong
+    /// channel width).
+    BadFrame(FrameError),
+    /// The frame validated but failed to compile (e.g. duplicate
+    /// coordinates).
+    CompileFailed(CompileError),
+    /// The server is (or finished) shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} requests in flight)")
+            }
+            Rejected::DeadlineExpired { missed_by } => {
+                write!(f, "deadline expired {missed_by:?} before execution")
+            }
+            Rejected::BadFrame(e) => write!(f, "bad frame: {e}"),
+            Rejected::CompileFailed(e) => write!(f, "frame failed to compile: {e}"),
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Waits for the response to one submitted frame.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<Result<Response, Rejected>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request is served, rejected, or the server
+    /// dies (reported as [`Rejected::ShuttingDown`]).
+    pub fn wait(self) -> Result<Response, Rejected> {
+        self.rx.recv().unwrap_or(Err(Rejected::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, Rejected>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    stream: u64,
+    frame: SparseTensor,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: Sender<Result<Response, Rejected>>,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now > d)
+    }
+
+    fn reject(self, why: Rejected) {
+        let _ = self.reply.send(Err(why));
+    }
+}
+
+/// A multi-stream inference server.
+///
+/// Owns a batcher thread and `workers` worker threads, each holding a
+/// clone of the tuned [`Engine`]. Frames submitted from any thread are
+/// coalesced into multi-batch tensors (up to
+/// [`ServeConfig::max_batch`] frames or [`ServeConfig::max_wait`])
+/// and executed as one inference call; outputs are split back per
+/// frame, bit-identical to serial per-frame inference (see
+/// [`crate::batch`]).
+///
+/// # Examples
+///
+/// ```
+/// use ts_core::{Engine, GroupConfigs, NetworkBuilder, SparseTensor};
+/// use ts_dataflow::{DataflowConfig, ExecCtx};
+/// use ts_gpusim::Device;
+/// use ts_kernelmap::Coord;
+/// use ts_serve::{ServeConfig, Server};
+/// use ts_tensor::{Matrix, Precision};
+///
+/// let mut b = NetworkBuilder::new("tiny", 2);
+/// let _ = b.conv("c", NetworkBuilder::INPUT, 4, 3, 1);
+/// let net = b.build();
+/// let weights = net.init_weights(0);
+/// let engine = Engine::new(
+///     net,
+///     weights,
+///     GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+///     ExecCtx::functional(Device::rtx3090(), Precision::Fp32),
+/// );
+///
+/// let server = Server::new(engine, ServeConfig::default());
+/// let frame = SparseTensor::new(vec![Coord::new(0, 1, 2, 3)], Matrix::filled(1, 2, 0.5));
+/// let handle = server.submit(0, frame).expect("admitted");
+/// let response = handle.wait().expect("served");
+/// assert_eq!(response.output.channels(), 4);
+/// let report = server.shutdown();
+/// assert_eq!(report.completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    ingress: Option<Sender<Job>>,
+    metrics: Arc<Metrics>,
+    capacity: usize,
+    default_deadline: Option<Duration>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server around a tuned engine.
+    pub fn new(engine: Engine, cfg: ServeConfig) -> Self {
+        let cfg = cfg.normalized();
+        let metrics = Arc::new(Metrics::new());
+        let (ingress_tx, ingress_rx) = unbounded::<Job>();
+        let (work_tx, work_rx) = bounded::<Vec<Job>>(cfg.workers);
+
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = work_rx.clone();
+                let engine = engine.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("ts-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &metrics))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        drop(work_rx);
+
+        let batcher = {
+            let metrics = Arc::clone(&metrics);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("ts-serve-batcher".into())
+                .spawn(move || batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics))
+                .expect("spawn batcher thread")
+        };
+
+        Self {
+            ingress: Some(ingress_tx),
+            metrics,
+            capacity: cfg.queue_capacity,
+            default_deadline: cfg.default_deadline,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Submits a frame on `stream` with the configured default
+    /// deadline. Returns immediately with a handle, or a typed
+    /// rejection if the request was not admitted.
+    pub fn submit(&self, stream: u64, frame: SparseTensor) -> Result<ResponseHandle, Rejected> {
+        self.submit_with_deadline(stream, frame, self.default_deadline)
+    }
+
+    /// [`Server::submit`] with an explicit deadline (measured from
+    /// now); `None` never expires.
+    pub fn submit_with_deadline(
+        &self,
+        stream: u64,
+        frame: SparseTensor,
+        deadline: Option<Duration>,
+    ) -> Result<ResponseHandle, Rejected> {
+        let ingress = self.ingress.as_ref().ok_or(Rejected::ShuttingDown)?;
+        if !self.metrics.try_admit(self.capacity) {
+            return Err(Rejected::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let submitted = Instant::now();
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            stream,
+            frame,
+            submitted,
+            deadline: deadline.map(|d| submitted + d),
+            reply: tx,
+        };
+        if ingress.send(job).is_err() {
+            self.metrics.on_abandoned();
+            return Err(Rejected::ShuttingDown);
+        }
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Number of requests currently in flight (queued or executing).
+    pub fn queue_depth(&self) -> usize {
+        self.metrics.depth()
+    }
+
+    /// Live snapshot of the SLO counters.
+    pub fn report(&self) -> ServeReport {
+        self.metrics.report()
+    }
+
+    /// Graceful drain: stops admitting, serves everything already
+    /// queued, joins all threads, and returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.join_threads();
+        self.metrics.report()
+    }
+
+    fn join_threads(&mut self) {
+        self.ingress.take(); // closing ingress starts the drain
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// Rejects every expired job in `pending`, keeping the rest.
+fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
+    let now = Instant::now();
+    let mut kept = Vec::with_capacity(pending.len());
+    for job in pending.drain(..) {
+        if job.expired(now) {
+            metrics.on_shed_deadline();
+            let missed_by = now.saturating_duration_since(job.deadline.expect("expired has one"));
+            job.reject(Rejected::DeadlineExpired { missed_by });
+        } else {
+            kept.push(job);
+        }
+    }
+    *pending = kept;
+}
+
+/// Forms one batch from `pending` (earliest deadline first; deadline-
+/// free jobs last, FIFO among equals) and hands it to the workers.
+fn dispatch(pending: &mut Vec<Job>, work: &Sender<Vec<Job>>, max_batch: usize) {
+    if pending.is_empty() {
+        return;
+    }
+    pending.sort_by_key(|j| (j.deadline.is_none(), j.deadline, j.submitted));
+    let take = pending.len().min(max_batch);
+    let batch: Vec<Job> = pending.drain(..take).collect();
+    if let Err(e) = work.send(batch) {
+        for job in e.into_inner() {
+            job.reject(Rejected::ShuttingDown);
+        }
+    }
+}
+
+fn batcher_loop(rx: &Receiver<Job>, work: &Sender<Vec<Job>>, cfg: &ServeConfig, metrics: &Metrics) {
+    let mut pending: Vec<Job> = Vec::new();
+    loop {
+        let timeout = match pending.iter().map(|j| j.submitted).min() {
+            None => Duration::from_millis(50),
+            Some(oldest) => (oldest + cfg.max_wait).saturating_duration_since(Instant::now()),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(job) => {
+                pending.push(job);
+                shed_expired(&mut pending, metrics);
+                if pending.len() >= cfg.max_batch {
+                    dispatch(&mut pending, work, cfg.max_batch);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                shed_expired(&mut pending, metrics);
+                dispatch(&mut pending, work, cfg.max_batch);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Graceful drain: everything admitted before shutdown still runs
+    // (unless its deadline passes first).
+    shed_expired(&mut pending, metrics);
+    while !pending.is_empty() {
+        dispatch(&mut pending, work, cfg.max_batch);
+    }
+}
+
+fn worker_loop(engine: &Engine, rx: &Receiver<Vec<Job>>, metrics: &Metrics) {
+    while let Ok(batch) = rx.recv() {
+        process_batch(engine, batch, metrics);
+    }
+}
+
+fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
+    // Deadlines may have passed while the batch sat in the work queue.
+    shed_expired(&mut batch, metrics);
+
+    // One malformed frame must not poison its batchmates: validate
+    // shapes up front and reject offenders individually.
+    let expected = engine.network().in_channels();
+    let mut valid = Vec::with_capacity(batch.len());
+    for job in batch {
+        match validate_frame(&job.frame, expected) {
+            Ok(()) => valid.push(job),
+            Err(e) => {
+                metrics.on_bad_frame();
+                job.reject(Rejected::BadFrame(e));
+            }
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    let exec_start = Instant::now();
+    let frames: Vec<&SparseTensor> = valid.iter().map(|j| &j.frame).collect();
+    let (merged, slots) = merge_frames(&frames);
+    match engine.try_infer(&merged) {
+        Ok((out, report)) => {
+            let size = valid.len();
+            let sim_us = report.total_us();
+            metrics.on_batch_executed(size, sim_us);
+            let parts = split_output(&out, &slots);
+            for (job, part) in valid.into_iter().zip(parts) {
+                complete(job, part, size, exec_start, sim_us, metrics);
+            }
+        }
+        // A frame that passed shape validation can still fail to
+        // compile (duplicate coordinates). Isolate the offender by
+        // re-running the batch one frame at a time.
+        Err(_) if valid.len() > 1 => {
+            for job in valid {
+                process_batch(engine, vec![job], metrics);
+            }
+        }
+        Err(e) => {
+            metrics.on_bad_frame();
+            valid
+                .into_iter()
+                .next()
+                .expect("single job")
+                .reject(Rejected::CompileFailed(e));
+        }
+    }
+}
+
+fn complete(
+    job: Job,
+    output: SparseTensor,
+    batch_size: usize,
+    exec_start: Instant,
+    sim_us: f64,
+    metrics: &Metrics,
+) {
+    let now = Instant::now();
+    let latency = now.saturating_duration_since(job.submitted);
+    let missed = job.expired(now);
+    metrics.on_completed(job.stream, latency.as_secs_f64() * 1e6, missed);
+    let _ = job.reply.send(Ok(Response {
+        output,
+        stream: job.stream,
+        batch_size,
+        queue_wait: exec_start.saturating_duration_since(job.submitted),
+        latency,
+        sim_us,
+        missed_deadline: missed,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::sort_by_coord;
+    use ts_core::{GroupConfigs, NetworkBuilder};
+    use ts_dataflow::{DataflowConfig, ExecCtx};
+    use ts_gpusim::Device;
+    use ts_kernelmap::Coord;
+    use ts_tensor::{rng_from_seed, uniform_matrix, Matrix, Precision};
+
+    fn engine() -> Engine {
+        let mut b = NetworkBuilder::new("serve-test", 4);
+        let c = b.conv_block("stem", NetworkBuilder::INPUT, 8, 3, 1);
+        let _ = b.conv("head", c, 2, 1, 1);
+        let net = b.build();
+        let weights = net.init_weights(1);
+        Engine::new(
+            net,
+            weights,
+            GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+            ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+        )
+    }
+
+    fn frame(batch: i32, seed: u64) -> SparseTensor {
+        let coords: Vec<Coord> = (0..30)
+            .map(|i| Coord::new(batch, i % 6 + (seed % 5) as i32, i / 6, i % 2))
+            .collect();
+        let coords = ts_kernelmap::unique_coords(&coords);
+        let n = coords.len();
+        SparseTensor::new(
+            coords,
+            uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0),
+        )
+    }
+
+    fn fast_cfg() -> ServeConfig {
+        ServeConfig::default()
+            .with_max_wait(Duration::from_millis(1))
+            .with_queue_capacity(256)
+    }
+
+    #[test]
+    fn serves_one_frame_bit_identical_to_serial() {
+        let e = engine();
+        let f = frame(3, 7);
+        let (serial, _) = e.infer(&f);
+        let server = Server::new(e, fast_cfg());
+        let resp = server
+            .submit(0, f)
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(resp.output, sort_by_coord(&serial));
+        assert!(!resp.missed_deadline);
+        assert!(resp.sim_us > 0.0);
+        let report = server.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.streams.len(), 1);
+    }
+
+    #[test]
+    fn batched_responses_match_serial_inference() {
+        let e = engine();
+        let frames: Vec<SparseTensor> = (0..8).map(|i| frame(i, 100 + i as u64)).collect();
+        let server = Server::new(e.clone(), fast_cfg().with_max_batch(4).with_workers(2));
+        let handles: Vec<_> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| server.submit(i as u64, f.clone()).expect("admitted"))
+            .collect();
+        for (f, h) in frames.iter().zip(handles) {
+            let resp = h.wait().expect("served");
+            let (serial, _) = e.infer(f);
+            assert_eq!(resp.output, sort_by_coord(&serial));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 8);
+        assert!(!report.batch_sizes.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_typed_rejection() {
+        // A long batching window keeps the first request in flight
+        // while the second arrives.
+        let server = Server::new(
+            engine(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(250))
+                .with_max_batch(4)
+                .with_queue_capacity(1),
+        );
+        let h = server.submit(0, frame(0, 1)).expect("first admitted");
+        match server.submit(0, frame(0, 2)) {
+            Err(Rejected::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected queue-full rejection, got {other:?}"),
+        }
+        assert!(h.wait().is_ok(), "admitted request still served");
+        let report = server.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_unexecuted() {
+        let server = Server::new(engine(), fast_cfg());
+        let h = server
+            .submit_with_deadline(0, frame(0, 1), Some(Duration::ZERO))
+            .expect("admitted");
+        match h.wait() {
+            Err(Rejected::DeadlineExpired { .. }) => {}
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.shed_deadline, 1);
+        assert!(report.deadline_miss_rate() > 0.99);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_individually() {
+        let server = Server::new(engine(), fast_cfg());
+        let wrong_channels = SparseTensor::new(
+            vec![Coord::new(0, 0, 0, 0)],
+            uniform_matrix(&mut rng_from_seed(0), 1, 7, -1.0, 1.0),
+        );
+        let empty = SparseTensor::new(vec![], Matrix::zeros(0, 4));
+        let multi = SparseTensor::new(
+            vec![Coord::new(0, 0, 0, 0), Coord::new(1, 0, 0, 0)],
+            Matrix::zeros(2, 4),
+        );
+        let r1 = server.submit(0, wrong_channels).expect("admitted").wait();
+        let r2 = server.submit(0, empty).expect("admitted").wait();
+        let r3 = server.submit(0, multi).expect("admitted").wait();
+        assert!(matches!(
+            r1,
+            Err(Rejected::BadFrame(FrameError::ChannelMismatch {
+                expected: 4,
+                got: 7
+            }))
+        ));
+        assert!(matches!(r2, Err(Rejected::BadFrame(FrameError::Empty))));
+        assert!(matches!(
+            r3,
+            Err(Rejected::BadFrame(FrameError::MultiBatch { batches: 2 }))
+        ));
+        let report = server.shutdown();
+        assert_eq!(report.rejected_bad_frame, 3);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn duplicate_coords_fail_without_poisoning_batchmates() {
+        let e = engine();
+        let good_a = frame(0, 21);
+        let good_b = frame(1, 22);
+        let dup = SparseTensor::new(
+            vec![Coord::new(0, 2, 2, 0), Coord::new(0, 2, 2, 0)],
+            uniform_matrix(&mut rng_from_seed(3), 2, 4, -1.0, 1.0),
+        );
+        // A window wide enough that all three land in one batch.
+        let server = Server::new(
+            e.clone(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(100))
+                .with_max_batch(4)
+                .with_workers(1),
+        );
+        let ha = server.submit(0, good_a.clone()).expect("admitted");
+        let hd = server.submit(1, dup).expect("admitted");
+        let hb = server.submit(2, good_b.clone()).expect("admitted");
+        let ra = ha.wait().expect("good frame survives bad batchmate");
+        assert_eq!(ra.output, sort_by_coord(&e.infer(&good_a).0));
+        assert!(matches!(
+            hd.wait(),
+            Err(Rejected::CompileFailed(
+                CompileError::DuplicateCoords { .. }
+            ))
+        ));
+        let rb = hb.wait().expect("good frame survives bad batchmate");
+        assert_eq!(rb.output, sort_by_coord(&e.infer(&good_b).0));
+        let report = server.shutdown();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.rejected_bad_frame, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_all_admitted_requests() {
+        let server = Server::new(
+            engine(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(200))
+                .with_max_batch(4)
+                .with_workers(2),
+        );
+        let handles: Vec<_> = (0..10)
+            .map(|i| server.submit(i % 3, frame(0, i)).expect("admitted"))
+            .collect();
+        // Shut down immediately: nothing has had time to execute, but
+        // the drain must still serve every admitted request.
+        let report = server.shutdown();
+        assert_eq!(report.completed, 10);
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn late_completion_counts_as_deadline_miss_but_is_delivered() {
+        // Generous deadline that execution will overrun only rarely;
+        // instead force a miss deterministically by holding the frame
+        // in a long batching window that outlives the deadline...
+        // except expiry before execution is a shed. To observe a
+        // *delivered* miss we need the deadline to pass mid-execution,
+        // which is timing-dependent; accept either outcome but require
+        // the SLO accounting to be consistent.
+        let server = Server::new(
+            engine(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(30))
+                .with_workers(1),
+        );
+        let h = server
+            .submit_with_deadline(0, frame(0, 5), Some(Duration::from_millis(25)))
+            .expect("admitted");
+        let outcome = h.wait();
+        let report = server.shutdown();
+        match outcome {
+            Ok(resp) => {
+                assert_eq!(report.completed, 1);
+                assert_eq!(resp.missed_deadline, report.deadline_misses == 1);
+            }
+            Err(Rejected::DeadlineExpired { .. }) => {
+                assert_eq!(report.shed_deadline, 1);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_snapshot_is_available_while_running() {
+        let server = Server::new(engine(), fast_cfg());
+        let h = server.submit(9, frame(0, 2)).expect("admitted");
+        h.wait().expect("served");
+        let live = server.report();
+        assert_eq!(live.completed, 1);
+        assert_eq!(live.streams[0].stream, 9);
+        assert!(live
+            .to_json()
+            .expect("serializes")
+            .contains("\"completed\""));
+        server.shutdown();
+    }
+}

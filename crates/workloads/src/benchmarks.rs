@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use ts_core::{Network, SparseTensor};
 
-use crate::{models, LidarConfig, LidarScene};
+use crate::{models, LidarConfig, LidarScene, LidarStream};
 
 /// Task family of a workload (Figure 11 and the split-count analysis
 /// treat segmentation and detection differently).
@@ -166,6 +166,12 @@ impl Workload {
     pub fn batch_scaled(self, seed: u64, scale: f32, batch: u32) -> SparseTensor {
         let cfg = self.sensor().scaled(scale);
         LidarScene::generate_batch(&cfg, seed, self.frames(), batch)
+    }
+
+    /// Opens a continuous frame stream over this workload's sensor at
+    /// the given angular scale (the serving / deployment input shape).
+    pub fn stream_scaled(self, seed: u64, scale: f32) -> LidarStream {
+        LidarStream::new(self.sensor().scaled(scale), seed)
     }
 }
 

@@ -118,40 +118,7 @@ impl LidarScene {
             cast_sweep(cfg, &obstacles, ego, &mut rng, &mut raw);
         }
 
-        // Quantize + deduplicate, keeping the first return per voxel.
-        let inv = 1.0 / cfg.voxel_size_m;
-        let mut table = ts_kernelmap::CoordHashMap::with_capacity(raw.len());
-        let mut coords = Vec::new();
-        let mut feats_rows: Vec<[f32; 4]> = Vec::new();
-        for &(p, intensity) in &raw {
-            let c = Coord::new(
-                batch,
-                (p[0] * inv).floor() as i32,
-                (p[1] * inv).floor() as i32,
-                (p[2] * inv).floor() as i32,
-            );
-            if table.insert(c.key(), coords.len() as i32).is_none() {
-                let lx = p[0] * inv - (p[0] * inv).floor() - 0.5;
-                let ly = p[1] * inv - (p[1] * inv).floor() - 0.5;
-                let lz = p[2] * inv - (p[2] * inv).floor() - 0.5;
-                coords.push(c);
-                feats_rows.push([lx, ly, lz, intensity]);
-            }
-        }
-
-        let mut feats = Matrix::zeros(coords.len(), 4);
-        for (r, row) in feats_rows.iter().enumerate() {
-            feats.row_mut(r).copy_from_slice(row);
-        }
-        let stats = SceneStats {
-            raw_points: raw.len(),
-            voxels: coords.len(),
-        };
-        LidarScene {
-            coords,
-            feats,
-            stats,
-        }
+        quantize_returns(cfg, &raw, batch)
     }
 
     /// Generates a batch of scenes (distinct seeds, distinct batch
@@ -177,6 +144,144 @@ impl LidarScene {
     /// Converts into a [`SparseTensor`].
     pub fn into_tensor(self) -> SparseTensor {
         SparseTensor::new(self.coords, self.feats)
+    }
+}
+
+/// Quantizes raw returns into a deduplicated voxel scene (first return
+/// per voxel wins).
+fn quantize_returns(cfg: &LidarConfig, raw: &[([f32; 3], f32)], batch: i32) -> LidarScene {
+    let inv = 1.0 / cfg.voxel_size_m;
+    let mut table = ts_kernelmap::CoordHashMap::with_capacity(raw.len());
+    let mut coords = Vec::new();
+    let mut feats_rows: Vec<[f32; 4]> = Vec::new();
+    for &(p, intensity) in raw {
+        let c = Coord::new(
+            batch,
+            (p[0] * inv).floor() as i32,
+            (p[1] * inv).floor() as i32,
+            (p[2] * inv).floor() as i32,
+        );
+        if table.insert(c.key(), coords.len() as i32).is_none() {
+            let lx = p[0] * inv - (p[0] * inv).floor() - 0.5;
+            let ly = p[1] * inv - (p[1] * inv).floor() - 0.5;
+            let lz = p[2] * inv - (p[2] * inv).floor() - 0.5;
+            coords.push(c);
+            feats_rows.push([lx, ly, lz, intensity]);
+        }
+    }
+
+    let mut feats = Matrix::zeros(coords.len(), 4);
+    for (r, row) in feats_rows.iter().enumerate() {
+        feats.row_mut(r).copy_from_slice(row);
+    }
+    let stats = SceneStats {
+        raw_points: raw.len(),
+        voxels: coords.len(),
+    };
+    LidarScene {
+        coords,
+        feats,
+        stats,
+    }
+}
+
+/// A continuous rotating-LiDAR frame sequence with temporal coherence:
+/// one procedural scene is generated per stream, and the ego vehicle
+/// drives through it (constant speed, gentle yaw), so consecutive
+/// frames observe mostly the same static surfaces from slightly
+/// different poses — the deployment pattern `ts-serve` batches ("the
+/// tuned schedule could be reused for millions of scenes", paper
+/// Section 4.2).
+///
+/// Deterministic: the same `(config, seed)` replays the same drive.
+///
+/// # Examples
+///
+/// ```
+/// use ts_workloads::{LidarConfig, LidarStream};
+///
+/// let cfg = LidarConfig {
+///     beams: 8,
+///     azimuth_steps: 90,
+///     elevation_min_deg: -25.0,
+///     elevation_max_deg: 3.0,
+///     max_range_m: 40.0,
+///     voxel_size_m: 0.2,
+///     obstacles: 6,
+///     dropout: 0.05,
+/// };
+/// let mut stream = LidarStream::new(cfg, 7);
+/// let a = stream.next_frame();
+/// let b = stream.next_frame();
+/// assert!(!a.coords.is_empty() && !b.coords.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LidarStream {
+    cfg: LidarConfig,
+    obstacles: Vec<BoxObstacle>,
+    rng: ChaCha8Rng,
+    frame: u64,
+    /// Ego position (meters).
+    pos: [f32; 2],
+    /// Ego heading (radians).
+    heading: f32,
+    /// Forward motion per frame (meters).
+    step_m: f32,
+    /// Heading change per frame (radians).
+    yaw_rate: f32,
+}
+
+impl LidarStream {
+    /// Opens a stream over a fresh procedural scene. Default motion:
+    /// 0.5 m forward per frame (≈ 18 km/h at 10 Hz) with a gentle
+    /// 0.01 rad/frame yaw drift.
+    pub fn new(cfg: LidarConfig, seed: u64) -> LidarStream {
+        let mut rng = rng_from_seed(seed);
+        let obstacles = spawn_obstacles(&cfg, &mut rng);
+        LidarStream {
+            cfg,
+            obstacles,
+            rng,
+            frame: 0,
+            pos: [0.0, 0.0],
+            heading: 0.0,
+            step_m: 0.5,
+            yaw_rate: 0.01,
+        }
+    }
+
+    /// Overrides the ego motion model.
+    pub fn with_motion(mut self, step_m: f32, yaw_rate: f32) -> Self {
+        self.step_m = step_m;
+        self.yaw_rate = yaw_rate;
+        self
+    }
+
+    /// Number of frames already emitted.
+    pub fn frames_emitted(&self) -> u64 {
+        self.frame
+    }
+
+    /// Casts the next sweep from the current ego pose and advances the
+    /// pose. Every frame is tagged batch 0 (the serving layer assigns
+    /// batch slots).
+    pub fn next_frame(&mut self) -> LidarScene {
+        let ego = [self.pos[0], self.pos[1], 1.8];
+        let mut raw: Vec<([f32; 3], f32)> = Vec::new();
+        cast_sweep(&self.cfg, &self.obstacles, ego, &mut self.rng, &mut raw);
+        self.frame += 1;
+        self.heading += self.yaw_rate;
+        self.pos[0] += self.step_m * self.heading.cos();
+        self.pos[1] += self.step_m * self.heading.sin();
+        quantize_returns(&self.cfg, &raw, 0)
+    }
+}
+
+impl Iterator for LidarStream {
+    type Item = LidarScene;
+
+    fn next(&mut self) -> Option<LidarScene> {
+        Some(self.next_frame())
     }
 }
 
@@ -355,6 +460,62 @@ mod tests {
             assert!(c.x.abs() <= max_vox && c.y.abs() <= max_vox);
             assert!(c.z >= -1);
         }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let frames_a: Vec<_> = LidarStream::new(test_cfg(), 21).take(3).collect();
+        let frames_b: Vec<_> = LidarStream::new(test_cfg(), 21).take(3).collect();
+        for (a, b) in frames_a.iter().zip(&frames_b) {
+            assert_eq!(a.coords, b.coords);
+            assert_eq!(a.feats, b.feats);
+        }
+    }
+
+    #[test]
+    fn stream_frames_are_temporally_coherent_but_not_identical() {
+        // Coherence is only observable when the angular sample spacing
+        // at range is finer than the voxel size, as on real sensors.
+        let cfg = LidarConfig {
+            beams: 24,
+            azimuth_steps: 720,
+            elevation_min_deg: -25.0,
+            elevation_max_deg: 3.0,
+            max_range_m: 40.0,
+            voxel_size_m: 0.3,
+            obstacles: 12,
+            dropout: 0.02,
+        };
+        let mut s = LidarStream::new(cfg, 4);
+        let a = s.next_frame();
+        let b = s.next_frame();
+        assert_ne!(a.coords, b.coords, "the ego moved; frames must differ");
+        // Consecutive sweeps of the same static scene from poses 0.5 m
+        // apart revisit a large share of the same voxels.
+        let keys: std::collections::HashSet<u64> = a.coords.iter().map(|c| c.key()).collect();
+        let shared = b.coords.iter().filter(|c| keys.contains(&c.key())).count();
+        let overlap = shared as f64 / b.coords.len() as f64;
+        assert!(
+            overlap > 0.25,
+            "consecutive frames share voxels (overlap = {overlap:.2})"
+        );
+        // A frame from a *different* scene shares almost nothing.
+        let other = LidarStream::new(test_cfg(), 5).next_frame();
+        let foreign = other
+            .coords
+            .iter()
+            .filter(|c| keys.contains(&c.key()))
+            .count();
+        assert!(foreign as f64 / (other.coords.len() as f64) < overlap);
+    }
+
+    #[test]
+    fn stream_pose_advances_each_frame() {
+        let mut s = LidarStream::new(test_cfg(), 8).with_motion(2.0, 0.0);
+        let _ = s.next_frame();
+        let _ = s.next_frame();
+        assert_eq!(s.frames_emitted(), 2);
+        assert!((s.pos[0] - 4.0).abs() < 1e-6, "ego drove 2 m per frame");
     }
 
     #[test]

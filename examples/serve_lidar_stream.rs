@@ -1,0 +1,145 @@
+//! Deployment loop: tune a schedule once, persist it, boot a serving
+//! pool from the artifact, and stream temporally-coherent LiDAR frames
+//! from several concurrent "vehicles" against latency deadlines.
+//!
+//! ```sh
+//! cargo run --release --example serve_lidar_stream
+//! ```
+
+use std::time::Duration;
+
+use torchsparse::autotune::{tune_inference, TunerOptions};
+use torchsparse::core::{Engine, ScheduleArtifact, Session};
+use torchsparse::dataflow::ExecCtx;
+use torchsparse::gpusim::Device;
+use torchsparse::serve::{ServeConfig, Server};
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::Workload;
+
+fn main() {
+    let workload = Workload::NuScenesMinkUNet1f;
+    let scale = 0.08;
+    let device = Device::rtx3090();
+
+    // --- Tune once -----------------------------------------------------
+    let net = workload.network();
+    let tuning_scene = workload.scene_scaled(1, scale);
+    let session = Session::new(&net, tuning_scene.coords());
+    let sim_ctx = ExecCtx::simulate(device.clone(), Precision::Fp16);
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &sim_ctx,
+        &TunerOptions::default(),
+    );
+    println!(
+        "tuned {} on {}: {:.2} ms -> {:.2} ms ({:.2}x)",
+        workload.name(),
+        device.name,
+        result.default_latency_us / 1e3,
+        result.tuned_latency_us / 1e3,
+        result.speedup()
+    );
+
+    // --- Persist the schedule, as a fleet rollout would ----------------
+    let ctx = ExecCtx::functional(device.clone(), Precision::Fp16);
+    let weights = net.init_weights(7);
+    let tuned = Engine::new(
+        net.clone(),
+        weights.clone(),
+        result
+            .group_configs()
+            .expect("tuner yields configs")
+            .clone(),
+        ctx.clone(),
+    );
+    let json = tuned
+        .save_schedule()
+        .with_tuned_latency(result.tuned_latency_us)
+        .to_json()
+        .expect("schedule serializes");
+    println!("schedule artifact: {} bytes of JSON", json.len());
+    let artifact = ScheduleArtifact::from_json(&json).expect("schedule loads");
+    let engine = Engine::load_schedule(net, weights, &artifact, ctx).expect("artifact matches");
+
+    // --- Serve concurrent sensor streams -------------------------------
+    // The functional path computes real features on the CPU, so wall
+    // latencies here are seconds, not the simulated GPU microseconds;
+    // streams therefore run without a default deadline and the SLO
+    // machinery is demonstrated explicitly below.
+    let streams = 3u64;
+    let frames_per_stream = 4u64;
+    let server = Server::new(
+        engine,
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(4))
+            .with_queue_capacity(32),
+    );
+
+    let mut handles = Vec::new();
+    for s in 0..streams {
+        let mut stream = workload.stream_scaled(40 + s, scale);
+        for _ in 0..frames_per_stream {
+            let frame = stream.next_frame().into_tensor();
+            match server.submit(s, frame) {
+                Ok(h) => handles.push((s, h)),
+                Err(rej) => println!("stream {s}: rejected ({rej})"),
+            }
+        }
+    }
+
+    // One request with an already-hopeless deadline: the server sheds
+    // it unexecuted instead of wasting a worker on a stale frame.
+    let stale = workload.stream_scaled(99, scale).next_frame().into_tensor();
+    match server
+        .submit_with_deadline(99, stale, Some(Duration::from_millis(1)))
+        .expect("admitted")
+        .wait()
+    {
+        Err(rej) => println!("stale frame: {rej}"),
+        Ok(_) => println!("stale frame: served anyway"),
+    }
+
+    for (s, h) in handles {
+        match h.wait() {
+            Ok(resp) => println!(
+                "stream {s}: {:>6} voxels out, batch of {}, {:>7.2} ms wall ({:>6.2} ms queued), {:>7.2} ms simulated{}",
+                resp.output.num_points(),
+                resp.batch_size,
+                resp.latency.as_secs_f64() * 1e3,
+                resp.queue_wait.as_secs_f64() * 1e3,
+                resp.sim_us / 1e3,
+                if resp.missed_deadline { "  [SLO MISS]" } else { "" },
+            ),
+            Err(rej) => println!("stream {s}: dropped ({rej})"),
+        }
+    }
+
+    // --- SLO report -----------------------------------------------------
+    let report = server.shutdown();
+    println!(
+        "\nserved {} frames at {:.1} frames/s wall; {} queue-full, {} shed, {} late (miss rate {:.1}%)",
+        report.completed,
+        report.throughput_fps,
+        report.rejected_queue_full,
+        report.shed_deadline,
+        report.deadline_misses,
+        report.deadline_miss_rate() * 100.0
+    );
+    for s in &report.streams {
+        println!(
+            "stream {}: p50 {:>7.2} ms   p90 {:>7.2} ms   p99 {:>7.2} ms   ({} frames)",
+            s.stream,
+            s.latency.p50_us / 1e3,
+            s.latency.p90_us / 1e3,
+            s.latency.p99_us / 1e3,
+            s.latency.runs
+        );
+    }
+    print!("batch sizes:");
+    for b in &report.batch_sizes {
+        print!("  {}x{}", b.count, b.value);
+    }
+    println!();
+}

@@ -1,0 +1,205 @@
+//! Integration: the serving subsystem end to end — batched inference is
+//! bit-identical to serial, schedules persist across server restarts,
+//! and SLO accounting is consistent.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use torchsparse::autotune::{tune_inference, TunerOptions};
+use torchsparse::core::{Engine, GroupConfigs, NetworkBuilder, Session, SparseTensor};
+use torchsparse::dataflow::{DataflowConfig, ExecCtx};
+use torchsparse::gpusim::Device;
+use torchsparse::kernelmap::{unique_coords, Coord};
+use torchsparse::serve::{sort_by_coord, ServeConfig, Server};
+use torchsparse::tensor::{rng_from_seed, uniform_matrix, Precision};
+use torchsparse::workloads::Workload;
+
+/// A small U-Net: downsample, transposed upsample and a skip concat,
+/// so batching is exercised across stride levels and group kinds.
+fn unet_engine() -> Engine {
+    let mut b = NetworkBuilder::new("serve-unet", 4);
+    let c1 = b.conv_block("enc", NetworkBuilder::INPUT, 8, 3, 1);
+    let d = b.conv_block("down", c1, 12, 2, 2);
+    let u = b.conv_block_transposed("up", d, 8, 2, 2);
+    let cat = b.concat("skip", u, c1);
+    let _ = b.conv("head", cat, 4, 1, 1);
+    let net = b.build();
+    let weights = net.init_weights(3);
+    Engine::new(
+        net,
+        weights,
+        GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    )
+}
+
+fn frame_strategy() -> impl Strategy<Value = SparseTensor> {
+    (
+        prop::collection::vec(
+            (-10..10i32, -10..10i32, -3..3i32).prop_map(|(x, y, z)| (x, y, z)),
+            5..60,
+        ),
+        0..4i32,
+        1u64..1_000_000,
+    )
+        .prop_map(|(pts, batch, seed)| {
+            let coords: Vec<Coord> = pts
+                .into_iter()
+                .map(|(x, y, z)| Coord::new(batch, x, y, z))
+                .collect();
+            let coords = unique_coords(&coords);
+            let n = coords.len();
+            SparseTensor::new(
+                coords,
+                uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The acceptance property: whatever batches the server forms,
+    /// splitting them back yields outputs bit-identical to running each
+    /// frame alone through `Engine::infer`.
+    #[test]
+    fn batched_serving_is_bit_identical_to_serial(
+        frames in prop::collection::vec(frame_strategy(), 1..7),
+        max_batch in 1usize..5,
+        workers in 1usize..4,
+    ) {
+        let engine = unet_engine();
+        let server = Server::new(
+            engine.clone(),
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_max_batch(max_batch)
+                .with_max_wait(Duration::from_millis(3)),
+        );
+        let handles: Vec<_> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| server.submit(i as u64, f.clone()).expect("admitted"))
+            .collect();
+        for (f, h) in frames.iter().zip(handles) {
+            let served = h.wait().expect("served").output;
+            let (serial, _) = engine.infer(f);
+            let serial = sort_by_coord(&serial);
+            prop_assert_eq!(served.coords(), serial.coords());
+            // Bit-identical features, not approximate equality.
+            let a = served.feats().as_slice();
+            let b = serial.feats().as_slice();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.completed, frames.len() as u64);
+    }
+}
+
+/// Tune once, persist the schedule, boot a server from the persisted
+/// artifact: the restored engine serves the same outputs and simulates
+/// bit-identical latency.
+#[test]
+fn server_boots_from_persisted_schedule() {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let tuning_scene = w.scene_scaled(1, 0.05);
+    let session = Session::new(&net, tuning_scene.coords());
+    let sim_ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &sim_ctx,
+        &TunerOptions::default(),
+    );
+    let configs = result
+        .group_configs()
+        .expect("tuner yields configs")
+        .clone();
+
+    let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp16);
+    let weights = net.init_weights(5);
+    let tuned = Engine::new(net.clone(), weights.clone(), configs, ctx.clone());
+
+    // Persist and restore, as a server restart would.
+    let json = tuned
+        .save_schedule()
+        .with_tuned_latency(result.tuned_latency_us)
+        .to_json()
+        .expect("artifact serializes");
+    let artifact = torchsparse::core::ScheduleArtifact::from_json(&json).expect("artifact loads");
+    let restored =
+        Engine::load_schedule(net, weights, &artifact, ctx).expect("matching artifact loads");
+
+    let scene = w.scene_scaled(9, 0.04);
+    assert_eq!(
+        tuned.simulate(&scene).total_us().to_bits(),
+        restored.simulate(&scene).total_us().to_bits(),
+        "restored schedule must time bit-identically"
+    );
+
+    let server = Server::new(restored, ServeConfig::default());
+    let resp = server
+        .submit(0, scene.clone())
+        .expect("admitted")
+        .wait()
+        .expect("served");
+    let (serial, report) = tuned.infer(&scene);
+    assert_eq!(resp.output, sort_by_coord(&serial));
+    assert_eq!(resp.sim_us.to_bits(), report.total_us().to_bits());
+    server.shutdown();
+}
+
+/// SLO accounting: per-stream percentiles are ordered and the report
+/// survives its JSON round trip.
+#[test]
+fn slo_report_is_consistent_and_serializable() {
+    let engine = unet_engine();
+    let server = Server::new(
+        engine,
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_max_wait(Duration::from_millis(1)),
+    );
+    let mut handles = Vec::new();
+    for i in 0..12u64 {
+        let mut frame = None;
+        // Reuse the proptest generator deterministically.
+        let coords: Vec<Coord> = (0..20)
+            .map(|k| Coord::new(0, k % 5, k / 5 + (i % 3) as i32, k % 2))
+            .collect();
+        let coords = unique_coords(&coords);
+        let n = coords.len();
+        frame.replace(SparseTensor::new(
+            coords,
+            uniform_matrix(&mut rng_from_seed(i), n, 4, -1.0, 1.0),
+        ));
+        handles.push(
+            server
+                .submit(i % 3, frame.take().expect("built"))
+                .expect("admitted"),
+        );
+    }
+    for h in handles {
+        h.wait().expect("served");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.streams.len(), 3);
+    for s in &report.streams {
+        assert!(s.latency.p50_us <= s.latency.p90_us);
+        assert!(s.latency.p90_us <= s.latency.p99_us);
+        assert!(s.latency.min_us <= s.latency.p50_us);
+        assert!(s.latency.p99_us <= s.latency.max_us);
+    }
+    let overall = report.overall.expect("completions recorded");
+    assert_eq!(overall.runs, 12);
+    assert!(report.throughput_fps > 0.0);
+    let json = report.to_json().expect("serializes");
+    let back = torchsparse::serve::ServeReport::from_json(&json).expect("parses");
+    assert_eq!(back, report);
+}

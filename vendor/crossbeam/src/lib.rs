@@ -2,7 +2,10 @@
 //!
 //! Provides `crossbeam::thread::scope` with the crossbeam 0.8 calling
 //! convention (spawn closures receive the scope, `scope` returns
-//! `thread::Result`), implemented on top of `std::thread::scope`.
+//! `thread::Result`), implemented on top of `std::thread::scope`, and
+//! `crossbeam::channel` MPMC channels (see [`channel`]).
+
+pub mod channel;
 
 /// Scoped threads (`crossbeam::thread`).
 pub mod thread {
