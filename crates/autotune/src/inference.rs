@@ -143,10 +143,15 @@ where
     }
     let chunk = n.div_ceil(workers);
     let eval = &eval;
+    // Propagate the caller's tracer (if any) into the scoped workers so
+    // counters recorded during candidate evaluation land in one place.
+    let tracer = ts_trace::current();
     crossbeam::thread::scope(|scope| {
         for (ci, (cands, outs)) in space.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
             let base = ci * chunk;
+            let tracer = tracer.clone();
             scope.spawn(move |_| {
+                ts_trace::install_opt(tracer.as_ref());
                 for (j, (cand, slot)) in cands.iter().zip(outs.iter_mut()).enumerate() {
                     *slot = eval(base + j, cand);
                 }
@@ -160,8 +165,8 @@ where
 /// Sums `(hits, misses)` of every session's prepare cache.
 pub(crate) fn cache_stats(sessions: &[Session]) -> (u64, u64) {
     sessions.iter().fold((0, 0), |(h, m), s| {
-        let (sh, sm) = s.prepare_cache_stats();
-        (h + sh, m + sm)
+        let c = s.prepare_cache_counters();
+        (h + c.hits, m + c.misses)
     })
 }
 
@@ -255,6 +260,16 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         !opts.space.is_empty(),
         "tuner needs a non-empty design space"
     );
+    let mut span = ts_trace::span!(
+        ts_trace::Subsystem::Autotune,
+        "tune_inference",
+        sessions = sessions.len(),
+        space = opts.space.len(),
+        incremental = opts.mode == EvalMode::Incremental,
+    );
+    // Candidate pricing floods the simulated-kernel lanes; keep the
+    // trace to the tuner's own decision structure.
+    let _quiet = ts_trace::suppress_sim_kernels();
     let wall_start = Instant::now();
     let n_groups = sessions[0].groups().len();
     let threads = effective_threads(opts.threads);
@@ -290,6 +305,7 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
 
     let mut group_wall_us = Vec::with_capacity(n_groups);
     for g in 0..n_groups {
+        let mut gspan = ts_trace::span!(ts_trace::Subsystem::Autotune, "group", g = g);
         let group_start = Instant::now();
         let cand_us = if incremental {
             let (residuals, contrib) = (&residuals, &contrib);
@@ -335,6 +351,13 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
             }
         }
         group_wall_us.push(group_start.elapsed().as_secs_f64() * 1e6);
+        if gspan.active() {
+            gspan.arg("candidates", opts.space.len());
+            gspan.arg("best_us", best.1);
+            gspan.arg("choice", format!("{:?}", best.0));
+            ts_trace::counter_add("autotune.candidates.swept", opts.space.len() as i64);
+            ts_trace::counter_add("autotune.groups.tuned", 1);
+        }
     }
 
     let tuned_latency_us = mean_latency(sessions, &configs, ctx);
@@ -346,6 +369,17 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         .collect();
     let (hits1, misses1) = cache_stats(sessions);
 
+    if span.active() {
+        span.arg("evaluations", evaluations);
+        span.arg("default_us", default_latency_us);
+        span.arg("tuned_us", tuned_latency_us);
+        if let Some(t) = ts_trace::current() {
+            t.gauge_set(
+                "autotune.inference.speedup",
+                default_latency_us / tuned_latency_us.max(1e-9),
+            );
+        }
+    }
     TuneResult {
         configs: Some(configs),
         tuned_latency_us,

@@ -109,6 +109,14 @@ pub fn tune_training(
     scheme: BindingScheme,
 ) -> TrainTuneResult {
     assert!(!sessions.is_empty() && !opts.space.is_empty());
+    let mut span = ts_trace::span!(
+        ts_trace::Subsystem::Autotune,
+        "tune_training",
+        scheme = scheme.name(),
+        sessions = sessions.len(),
+        space = opts.space.len(),
+    );
+    let _quiet = ts_trace::suppress_sim_kernels();
     let wall_start = Instant::now();
     let n_groups = sessions[0].groups().len();
     let threads = effective_threads(opts.threads);
@@ -167,7 +175,18 @@ pub fn tune_training(
     for set in &family_sets {
         // One greedy group sweep per bound family set, holding the other
         // families at their current (already tuned or default) choices.
+        let families: String = set
+            .iter()
+            .map(|&f| ["fwd", "dgrad", "wgrad"][f])
+            .collect::<Vec<_>>()
+            .join("+");
+        let _fspan = ts_trace::span!(
+            ts_trace::Subsystem::Autotune,
+            "family_set",
+            families = families.as_str(),
+        );
         for g in 0..n_groups {
+            let mut gspan = ts_trace::span!(ts_trace::Subsystem::Autotune, "group", g = g);
             let group_start = Instant::now();
             let cand_us = if incremental {
                 // The group's per-family configs under `candidate`
@@ -226,11 +245,29 @@ pub fn tune_training(
                 }
             }
             group_wall_us.push(group_start.elapsed().as_secs_f64() * 1e6);
+            if gspan.active() {
+                gspan.arg("candidates", opts.space.len());
+                gspan.arg("best_us", best.1);
+                gspan.arg("choice", format!("{:?}", best.0));
+                ts_trace::counter_add("autotune.candidates.swept", opts.space.len() as i64);
+                ts_trace::counter_add("autotune.groups.tuned", 1);
+            }
         }
     }
 
     let tuned_latency_us = mean_latency(sessions, &configs, ctx);
     let (hits1, misses1) = cache_stats(sessions);
+    if span.active() {
+        span.arg("evaluations", evaluations);
+        span.arg("default_us", default_latency_us);
+        span.arg("tuned_us", tuned_latency_us);
+        if let Some(t) = ts_trace::current() {
+            t.gauge_set(
+                "autotune.training.speedup",
+                default_latency_us / tuned_latency_us.max(1e-9),
+            );
+        }
+    }
     TrainTuneResult {
         configs,
         tuned_latency_us,

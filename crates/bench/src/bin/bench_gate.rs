@@ -1,0 +1,100 @@
+//! Regression gate over the repeatable bench metrics.
+//!
+//! Compares the records a fresh bench run left in `target/repro/`
+//! against the baselines committed at the repo root
+//! (`BENCH_tuner.json`, `BENCH_serve.json`) and fails if any gated
+//! metric drifts more than ±20%. Only *simulated* metrics are gated —
+//! they are deterministic functions of the workload and cost model, so
+//! drift means a behavioural change, not a noisy machine. Wall-clock
+//! numbers are reported by the benches but never gated (the 1-CPU CI
+//! runner jitters far beyond any useful threshold).
+//!
+//! ```sh
+//! cargo bench -p ts-bench --bench tuner_throughput
+//! cargo bench -p ts-bench --bench serve_throughput
+//! cargo run -p ts-bench --bin bench_gate
+//! ```
+
+use serde_json::Value;
+
+const TOLERANCE: f64 = 0.20;
+
+struct Check {
+    baseline: &'static str,
+    fresh: &'static str,
+    metrics: &'static [&'static str],
+}
+
+const CHECKS: &[Check] = &[
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tuner.json"),
+        fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_tuner.json"),
+        metrics: &["tuned_latency_us", "default_latency_us", "evaluations"],
+    },
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"),
+        fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_serve.json"),
+        metrics: &[
+            "serial_sim_us_per_frame",
+            "serve_sim_us_per_frame",
+            "speedup_fps_sim",
+        ],
+    },
+];
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("bench_gate: bad JSON in {path}: {e}"))
+}
+
+fn metric(v: &Value, key: &str, path: &str) -> f64 {
+    v.get(key)
+        .and_then(|m| m.as_f64())
+        .unwrap_or_else(|| panic!("bench_gate: {path} has no numeric field `{key}`"))
+}
+
+fn main() {
+    let mut failures = 0;
+    println!(
+        "{:<26} {:>14} {:>14} {:>8}  verdict",
+        "metric", "baseline", "fresh", "drift"
+    );
+    for check in CHECKS {
+        let base = load(check.baseline);
+        let fresh = load(check.fresh);
+        for key in check.metrics {
+            let b = metric(&base, key, check.baseline);
+            let f = metric(&fresh, key, check.fresh);
+            let drift = if b.abs() > f64::EPSILON {
+                (f - b) / b
+            } else {
+                0.0
+            };
+            let ok = drift.abs() <= TOLERANCE;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<26} {:>14.3} {:>14.3} {:>+7.1}%  {}",
+                key,
+                b,
+                f,
+                100.0 * drift,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nbench_gate: {failures} metric(s) drifted beyond ±{:.0}% of the committed baseline",
+            100.0 * TOLERANCE
+        );
+        eprintln!("If the change is intentional, re-run the benches and commit the new BENCH_*.json baselines.");
+        std::process::exit(1);
+    }
+    println!(
+        "\nbench_gate: all metrics within ±{:.0}%",
+        100.0 * TOLERANCE
+    );
+}

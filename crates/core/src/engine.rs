@@ -60,13 +60,20 @@ impl Engine {
     /// Panics if the input channels disagree with the network or the
     /// coordinates are not deduplicated.
     pub fn infer(&self, input: &SparseTensor) -> (SparseTensor, RunReport) {
-        run_network(
+        let mut span = ts_trace::span(ts_trace::Subsystem::Core, "engine.infer");
+        let (out, report) = run_network(
             &self.network,
             &self.weights,
             input,
             &self.configs,
             &self.ctx,
-        )
+        );
+        if span.active() {
+            span.arg("points_in", input.num_points());
+            span.arg("points_out", out.num_points());
+            span.arg("sim_us", report.total_us());
+        }
+        (out, report)
     }
 
     /// Fallible [`Engine::infer`]: validates the frame (channel width,
@@ -83,14 +90,15 @@ impl Engine {
         &self,
         input: &SparseTensor,
     ) -> Result<(SparseTensor, RunReport), CompileError> {
+        let mut span = ts_trace::span(ts_trace::Subsystem::Core, "engine.try_infer");
         let session = self.compile(input)?;
-        Ok(run_network_in_session(
-            &session,
-            &self.weights,
-            input,
-            &self.configs,
-            &self.ctx,
-        ))
+        let (out, report) =
+            run_network_in_session(&session, &self.weights, input, &self.configs, &self.ctx);
+        if span.active() {
+            span.arg("points_in", input.num_points());
+            span.arg("sim_us", report.total_us());
+        }
+        Ok((out, report))
     }
 
     /// Validates `input` against the network and compiles a reusable
@@ -100,12 +108,16 @@ impl Engine {
     /// through one compiled session ([`Engine::simulate_in`]) so the
     /// kernel maps are built once and dataflow preparations hit the
     /// session's prepare cache (observable via
-    /// [`Session::prepare_cache_stats`]).
+    /// [`Session::prepare_cache_counters`]).
     ///
     /// # Errors
     ///
     /// Same contract as [`Engine::try_infer`].
     pub fn compile(&self, input: &SparseTensor) -> Result<Session, CompileError> {
+        let mut span = ts_trace::span(ts_trace::Subsystem::Core, "engine.compile");
+        if span.active() {
+            span.arg("points", input.num_points());
+        }
         if input.channels() != self.network.in_channels() {
             return Err(CompileError::ChannelMismatch {
                 expected: self.network.in_channels(),
@@ -278,12 +290,15 @@ mod tests {
         let s = scene(11);
         let session = e.compile(&s).expect("frame compiles");
         let r1 = e.simulate_in(&session);
-        let (h1, m1) = session.prepare_cache_stats();
-        assert!(m1 > 0, "first query populates the cache");
+        let c1 = session.prepare_cache_counters();
+        assert!(c1.misses > 0, "first query populates the cache");
         let r2 = e.simulate_in(&session);
-        let (h2, m2) = session.prepare_cache_stats();
-        assert_eq!(m2, m1, "repeat query on the same coords prepares nothing");
-        assert!(h2 > h1, "repeat query hits the cache");
+        let c2 = session.prepare_cache_counters();
+        assert_eq!(
+            c2.misses, c1.misses,
+            "repeat query on the same coords prepares nothing"
+        );
+        assert!(c2.hits > c1.hits, "repeat query hits the cache");
         assert_eq!(r1.total_us().to_bits(), r2.total_us().to_bits());
         // And the session-reuse path agrees with the fresh-session path.
         assert_eq!(e.simulate(&s).total_us().to_bits(), r1.total_us().to_bits());

@@ -53,7 +53,9 @@ pub use network::{ConvSpec, Network, NetworkBuilder, NetworkWeights, Node, Op};
 pub use report::{percentile_sorted, LatencyStats, LayerTiming, RunReport};
 pub use run::{run_network, run_network_in_session};
 pub use schedule::{ScheduleArtifact, ScheduleError, SCHEDULE_VERSION};
-pub use session::{CompileError, GroupConfigs, GroupInfo, GroupKey, Session, TrainConfigs};
+pub use session::{
+    CompileError, GroupConfigs, GroupInfo, GroupKey, PrepareCacheCounters, Session, TrainConfigs,
+};
 pub use sparse_tensor::SparseTensor;
 pub use train::{train_step, TrainOutput};
 pub use trainer::Trainer;

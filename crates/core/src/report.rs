@@ -18,7 +18,7 @@ pub struct LayerTiming {
 }
 
 /// The result of simulating (or functionally running) a network pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     trace: KernelTrace,
     timings: Vec<LayerTiming>,
@@ -73,6 +73,25 @@ impl RunReport {
             .filter(|t| t.group == Some(group))
             .map(|t| t.time_us)
             .sum()
+    }
+
+    /// Serialises the full report (trace and timings) to JSON, e.g. for
+    /// archiving per-frame latency evidence next to a `trace.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Restores a report saved with [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<RunReport, serde_json::Error> {
+        serde_json::from_str(json)
     }
 
     /// Renders a human-readable per-layer table.
@@ -167,6 +186,40 @@ impl LatencyStats {
     /// Mean latency in milliseconds.
     pub fn mean_ms(&self) -> f64 {
         self.mean_us / 1e3
+    }
+
+    /// Merges two summaries as if their underlying samples were pooled.
+    ///
+    /// `runs`, `mean_us`, `min_us`, `max_us` and `std_us` (pooled
+    /// variance) are exact. The percentiles are a run-weighted average
+    /// of the two inputs' percentiles — the raw samples are gone, so
+    /// this is an approximation; it is exact when both inputs have the
+    /// same distribution. Used by `ServeReport::merge` to aggregate
+    /// multi-server deployments.
+    pub fn merge(&self, other: &LatencyStats) -> LatencyStats {
+        if other.runs == 0 {
+            return *self;
+        }
+        if self.runs == 0 {
+            return *other;
+        }
+        let (n1, n2) = (self.runs as f64, other.runs as f64);
+        let n = n1 + n2;
+        let mean = (self.mean_us * n1 + other.mean_us * n2) / n;
+        let var = (n1 * (self.std_us.powi(2) + (self.mean_us - mean).powi(2))
+            + n2 * (other.std_us.powi(2) + (other.mean_us - mean).powi(2)))
+            / n;
+        let wavg = |a: f64, b: f64| (a * n1 + b * n2) / n;
+        LatencyStats {
+            runs: self.runs + other.runs,
+            mean_us: mean,
+            min_us: self.min_us.min(other.min_us),
+            max_us: self.max_us.max(other.max_us),
+            std_us: var.sqrt(),
+            p50_us: wavg(self.p50_us, other.p50_us),
+            p90_us: wavg(self.p90_us, other.p90_us),
+            p99_us: wavg(self.p99_us, other.p99_us),
+        }
     }
 }
 
@@ -276,6 +329,52 @@ mod tests {
         // Out-of-range quantiles clamp.
         assert_eq!(percentile_sorted(&sorted, -0.5), Some(10.0));
         assert_eq!(percentile_sorted(&sorted, 1.5), Some(50.0));
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let r = sample();
+        let json = r.to_json().expect("serializes");
+        let back = RunReport::from_json(&json).expect("deserializes");
+        assert_eq!(back, r);
+        assert_eq!(back.total_us(), r.total_us());
+        assert_eq!(back.timings().len(), 2);
+        assert_eq!(back.trace().entries().len(), 2);
+    }
+
+    #[test]
+    fn run_report_rejects_malformed_json() {
+        assert!(RunReport::from_json("{\"timings\": []}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn merged_stats_pool_exactly_for_count_mean_extremes_and_std() {
+        let all = LatencyStats::from_latencies_us(&[1.0, 2.0, 3.0, 10.0, 20.0, 30.0]).unwrap();
+        let a = LatencyStats::from_latencies_us(&[1.0, 2.0, 3.0]).unwrap();
+        let b = LatencyStats::from_latencies_us(&[10.0, 20.0, 30.0]).unwrap();
+        let merged = a.merge(&b);
+        assert_eq!(merged.runs, all.runs);
+        assert!((merged.mean_us - all.mean_us).abs() < 1e-12);
+        assert_eq!(merged.min_us, all.min_us);
+        assert_eq!(merged.max_us, all.max_us);
+        assert!(
+            (merged.std_us - all.std_us).abs() < 1e-9,
+            "pooled variance is exact"
+        );
+        // Merge order does not matter.
+        let rev = b.merge(&a);
+        assert_eq!(merged.runs, rev.runs);
+        assert!((merged.p90_us - rev.p90_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_percentiles_are_exact_on_identical_distributions() {
+        let a = LatencyStats::from_latencies_us(&[1.0, 2.0, 3.0]).unwrap();
+        let merged = a.merge(&a);
+        assert_eq!(merged.runs, 6);
+        assert_eq!(merged.p50_us, a.p50_us);
+        assert_eq!(merged.p99_us, a.p99_us);
     }
 
     #[test]

@@ -70,6 +70,44 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Prepare-cache hit/miss totals for a [`Session`], as returned by
+/// [`Session::prepare_cache_counters`].
+///
+/// Increments saturate at `u64::MAX` rather than wrapping, so the
+/// counters stay ordered ("more work happened") even on pathological
+/// long-running sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrepareCacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run dataflow preparation.
+    pub misses: u64,
+}
+
+/// Saturating increment so the counters never wrap to zero.
+fn saturating_inc(counter: &AtomicU64) {
+    let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(1))
+    });
+}
+
+impl PrepareCacheCounters {
+    /// Total lookups observed.
+    pub fn total(&self) -> u64 {
+        self.hits.saturating_add(self.misses)
+    }
+
+    /// Fraction of lookups served from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Identity of a layer *group*: layers with the same key share kernel
 /// maps (Figure 12 of the paper), so they are forced onto the same
 /// dataflow and their mapping cost is paid once.
@@ -370,13 +408,27 @@ impl Session {
         })
     }
 
-    /// Prepare-cache statistics as `(hits, misses)` since construction
-    /// (or since the values captured at [`Clone`] time).
+    /// Prepare-cache counters since construction (or since the values
+    /// captured at [`Clone`] time).
+    ///
+    /// The same totals are published to the `ts-trace` counter registry
+    /// as `core.prepare_cache.hit` / `core.prepare_cache.miss` whenever
+    /// a tracer is installed on the preparing thread.
+    pub fn prepare_cache_counters(&self) -> PrepareCacheCounters {
+        PrepareCacheCounters {
+            hits: self.prepare_hits.load(Ordering::Relaxed),
+            misses: self.prepare_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Prepare-cache statistics as `(hits, misses)` since construction.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `prepare_cache_counters()`, which returns a typed struct"
+    )]
     pub fn prepare_cache_stats(&self) -> (u64, u64) {
-        (
-            self.prepare_hits.load(Ordering::Relaxed),
-            self.prepare_misses.load(Ordering::Relaxed),
-        )
+        let c = self.prepare_cache_counters();
+        (c.hits, c.misses)
     }
 
     /// The compiled network.
@@ -440,10 +492,12 @@ impl Session {
     ) -> Arc<(Prepared, KernelTrace)> {
         let key = (group, transposed, *cfg);
         if let Some(hit) = self.prepare_cache.read().get(&key) {
-            self.prepare_hits.fetch_add(1, Ordering::Relaxed);
+            saturating_inc(&self.prepare_hits);
+            ts_trace::counter_add("core.prepare_cache.hit", 1);
             return Arc::clone(hit);
         }
-        self.prepare_misses.fetch_add(1, Ordering::Relaxed);
+        saturating_inc(&self.prepare_misses);
+        ts_trace::counter_add("core.prepare_cache.miss", 1);
         let g = &self.groups[group];
         let map = if transposed { &g.map_t } else { &g.map };
         let prepared = prepare(map, cfg, ctx);
@@ -481,6 +535,7 @@ impl Session {
 
     /// Simulates one inference pass with per-group dataflows.
     pub fn simulate_inference(&self, cfgs: &GroupConfigs, ctx: &ExecCtx) -> RunReport {
+        let mut span = ts_trace::span(ts_trace::Subsystem::Core, "simulate_inference");
         let mut trace = KernelTrace::new();
         let mut timings = Vec::new();
 
@@ -542,7 +597,64 @@ impl Session {
             }
         }
 
+        if span.active() {
+            // Virtual-lane output follows the sim-kernel filter: the
+            // tuner suppresses it (thousands of candidate simulations),
+            // deployment-path simulations keep it.
+            if ts_trace::current()
+                .map(|t| t.sim_kernels())
+                .unwrap_or(false)
+            {
+                self.emit_group_contributions(&timings);
+                trace.emit_trace_spans(&ctx.cost);
+            }
+            span.arg("groups", self.groups.len());
+            span.arg("layers", timings.len());
+            span.arg("sim_total_us", trace.total_us());
+        }
         RunReport::new(trace, timings)
+    }
+
+    /// Emits one simulated span per group on the `groups` lane: the
+    /// group's total contribution to the simulated latency (mapping +
+    /// every layer bound to it), plus a `residual` span for ungrouped
+    /// (elementwise) layers. Only called when a tracer is installed.
+    fn emit_group_contributions(&self, timings: &[LayerTiming]) {
+        let mut per_group = vec![(0.0f64, 0u64); self.groups.len()];
+        let mut residual = 0.0f64;
+        for t in timings {
+            match t.group {
+                Some(g) if g < per_group.len() => {
+                    per_group[g].0 += t.time_us;
+                    per_group[g].1 += 1;
+                }
+                _ => residual += t.time_us,
+            }
+        }
+        for (gid, &(us, layers)) in per_group.iter().enumerate() {
+            if layers == 0 {
+                continue;
+            }
+            ts_trace::sim_span(
+                ts_trace::Subsystem::Core,
+                "groups",
+                &format!("group[{gid}]"),
+                us,
+                vec![
+                    ("group".to_string(), ts_trace::ArgValue::U64(gid as u64)),
+                    ("timings".to_string(), ts_trace::ArgValue::U64(layers)),
+                ],
+            );
+        }
+        if residual > 0.0 {
+            ts_trace::sim_span(
+                ts_trace::Subsystem::Core,
+                "groups",
+                "residual(elementwise)",
+                residual,
+                vec![],
+            );
+        }
     }
 
     fn elementwise_cost(&self, e: &ElemPlan, ctx: &ExecCtx, trace: &mut KernelTrace) -> f64 {
@@ -565,10 +677,15 @@ impl Session {
     /// configurations are equal (the map-sharing argument behind the
     /// paper's dgrad-wgrad binding scheme).
     pub fn simulate_training(&self, cfgs: &TrainConfigs, ctx: &ExecCtx) -> RunReport {
+        let mut span = ts_trace::span(ts_trace::Subsystem::Core, "simulate_training");
         // Forward pass (includes base mapping + fwd prepares).
         let fwd_report = self.simulate_inference(&cfgs.fwd, ctx);
         let mut trace = fwd_report.trace().clone();
         let mut timings = fwd_report.timings().to_vec();
+        // The nested simulate_inference span already emitted the forward
+        // kernels and group contributions; only the entries appended
+        // below (backward prepares + backward layers) are new.
+        let fwd_entries = trace.entries().len();
 
         // Backward mapping preparation.
         for (gid, g) in self.groups.iter().enumerate() {
@@ -654,6 +771,18 @@ impl Session {
             }
         }
 
+        if span.active() {
+            if ts_trace::current()
+                .map(|t| t.sim_kernels())
+                .unwrap_or(false)
+            {
+                let bwd: KernelTrace = trace.entries()[fwd_entries..].iter().cloned().collect();
+                bwd.emit_trace_spans(&ctx.cost);
+            }
+            span.arg("fwd_us", fwd_report.total_us());
+            span.arg("bwd_us", trace.total_us() - fwd_report.total_us());
+            span.arg("sim_total_us", trace.total_us());
+        }
         RunReport::new(trace, timings)
     }
 
@@ -1086,15 +1215,33 @@ mod tests {
         let net = unet();
         let s = Session::new(&net, &grid_coords(10));
         let c = ctx();
-        assert_eq!(s.prepare_cache_stats(), (0, 0));
+        assert_eq!(s.prepare_cache_counters(), PrepareCacheCounters::default());
+        assert_eq!(s.prepare_cache_counters().hit_rate(), 0.0);
         let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
         s.simulate_inference(&cfg, &c);
-        let (h1, m1) = s.prepare_cache_stats();
-        assert!(m1 > 0, "first simulation must populate the cache");
+        let c1 = s.prepare_cache_counters();
+        assert!(c1.misses > 0, "first simulation must populate the cache");
         s.simulate_inference(&cfg, &c);
-        let (h2, m2) = s.prepare_cache_stats();
-        assert_eq!(m2, m1, "repeat simulation prepares nothing new");
-        assert!(h2 > h1);
+        let c2 = s.prepare_cache_counters();
+        assert_eq!(
+            c2.misses, c1.misses,
+            "repeat simulation prepares nothing new"
+        );
+        assert!(c2.hits > c1.hits);
+        assert!(c2.hit_rate() > 0.0 && c2.hit_rate() < 1.0);
+        assert_eq!(c2.total(), c2.hits + c2.misses);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_stats_shim_mirrors_the_typed_counters() {
+        let net = unet();
+        let s = Session::new(&net, &grid_coords(8));
+        let c = ctx();
+        let cfg = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        s.simulate_inference(&cfg, &c);
+        let counters = s.prepare_cache_counters();
+        assert_eq!(s.prepare_cache_stats(), (counters.hits, counters.misses));
     }
 
     /// The per-group decomposition recomposes to the monolithic

@@ -139,20 +139,26 @@ impl CostModel {
         exec + kernel.launches as f64 * self.device.launch_overhead_us
     }
 
+    /// The fraction of peak MAC throughput `kernel` achieves: its
+    /// override if set, the tiled-GEMM model when shape and tile are
+    /// known, the compute default otherwise. This is the "occupancy"
+    /// attached to simulated-kernel trace spans.
+    pub fn utilization(&self, kernel: &KernelDesc) -> f64 {
+        kernel
+            .util_override
+            .unwrap_or_else(|| match (kernel.gemm_shape, kernel.tile) {
+                (Some((m, n, k)), Some(tile)) => {
+                    gemm_utilization(m, n, k, tile, &self.device, kernel.precision)
+                }
+                _ => DEFAULT_COMPUTE_UTIL,
+            })
+    }
+
     /// Execution time excluding launch overhead.
     fn exec_time_us(&self, kernel: &KernelDesc) -> f64 {
         let mac_time = if kernel.macs > 0 {
             let peak = self.device.peak_macs_per_us(kernel.precision);
-            let util =
-                kernel
-                    .util_override
-                    .unwrap_or_else(|| match (kernel.gemm_shape, kernel.tile) {
-                        (Some((m, n, k)), Some(tile)) => {
-                            gemm_utilization(m, n, k, tile, &self.device, kernel.precision)
-                        }
-                        _ => DEFAULT_COMPUTE_UTIL,
-                    });
-            kernel.macs as f64 / (peak * util)
+            kernel.macs as f64 / (peak * self.utilization(kernel))
         } else {
             0.0
         };

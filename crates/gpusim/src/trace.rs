@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{KernelClass, KernelDesc};
+use crate::{CostModel, KernelClass, KernelDesc};
 
 /// One priced kernel launch inside a [`KernelTrace`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -128,6 +128,30 @@ impl KernelTrace {
         }
         out.push(']');
         out
+    }
+
+    /// Emits every entry as a `ts-trace` simulated-kernel span
+    /// (subsystem `gpusim`, per-thread `gpu#tid` lane) carrying kernel
+    /// class, MAC count and the occupancy `cost` attributes to it.
+    ///
+    /// Call this on a *final* merged trace (e.g. a completed
+    /// `RunReport`), not at record time: prepared sub-traces are cached
+    /// and re-merged across frames, so record-time emission would miss
+    /// cache hits and double-count sub-trace merges. No-op unless a
+    /// tracer is installed on the calling thread.
+    pub fn emit_trace_spans(&self, cost: &CostModel) {
+        if !ts_trace::active() {
+            return;
+        }
+        for e in &self.entries {
+            ts_trace::sim_kernel(
+                &e.desc.name,
+                e.desc.class.label(),
+                e.desc.macs,
+                cost.utilization(&e.desc),
+                e.time_us,
+            );
+        }
     }
 
     /// Renders a human-readable multi-line summary.

@@ -1,5 +1,6 @@
 //! Server configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Tunables of a [`crate::Server`].
@@ -23,6 +24,10 @@ pub struct ServeConfig {
     /// Deadline applied to requests submitted without an explicit one;
     /// `None` means such requests never expire.
     pub default_deadline: Option<Duration>,
+    /// Where [`crate::Server::shutdown`] writes the Chrome trace of the
+    /// serving run. Requires a tracer installed on the thread that
+    /// constructs the [`crate::Server`]; ignored otherwise.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -33,6 +38,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             queue_capacity: 64,
             default_deadline: None,
+            trace_path: None,
         }
     }
 }
@@ -68,6 +74,12 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the Chrome-trace output path written at shutdown.
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
     /// Clamps degenerate values to their working minimum (at least one
     /// worker, batches of at least one frame, room for at least one
     /// request).
@@ -99,7 +111,9 @@ mod tests {
             .with_max_batch(8)
             .with_max_wait(Duration::from_millis(5))
             .with_queue_capacity(128)
-            .with_default_deadline(Duration::from_millis(50));
+            .with_default_deadline(Duration::from_millis(50))
+            .with_trace_path("serve-trace.json");
+        assert_eq!(c.trace_path, Some(PathBuf::from("serve-trace.json")));
         assert_eq!(c.workers, 4);
         assert_eq!(c.max_batch, 8);
         assert_eq!(c.max_wait, Duration::from_millis(5));
@@ -115,6 +129,7 @@ mod tests {
             max_wait: Duration::ZERO,
             queue_capacity: 0,
             default_deadline: None,
+            trace_path: None,
         }
         .normalized();
         assert_eq!(c.workers, 1);

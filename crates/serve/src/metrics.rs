@@ -59,6 +59,10 @@ pub struct ServeReport {
     /// Latency distribution over all completed requests; `None` if
     /// nothing completed.
     pub overall: Option<LatencyStats>,
+    /// Path of the Chrome trace written at shutdown, when the server
+    /// was started with a tracer installed and
+    /// [`crate::ServeConfig::with_trace_path`].
+    pub trace_path: Option<String>,
 }
 
 impl ServeReport {
@@ -81,6 +85,73 @@ impl ServeReport {
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
     }
+
+    /// Aggregates this report with one from another server (or another
+    /// epoch of the same deployment).
+    ///
+    /// Counters and simulated time sum; histograms merge bucket-wise
+    /// (sorted by `value`); per-stream and overall latency
+    /// distributions pool via [`LatencyStats::merge`]. `wall_s` takes
+    /// the maximum (concurrent servers share the wall clock) and
+    /// throughput is recomputed from the merged totals. `trace_path`
+    /// keeps this report's path, falling back to the other's.
+    pub fn merge(&self, other: &ServeReport) -> ServeReport {
+        let wall_s = self.wall_s.max(other.wall_s);
+        let completed = self.completed + other.completed;
+        let merge_hist = |a: &[HistogramBucket], b: &[HistogramBucket]| {
+            let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+            for bucket in a.iter().chain(b) {
+                *m.entry(bucket.value).or_insert(0) += bucket.count;
+            }
+            sorted_buckets(&m)
+        };
+        let mut streams: BTreeMap<u64, LatencyStats> = BTreeMap::new();
+        for s in self.streams.iter().chain(&other.streams) {
+            streams
+                .entry(s.stream)
+                .and_modify(|l| *l = l.merge(&s.latency))
+                .or_insert(s.latency);
+        }
+        ServeReport {
+            completed,
+            rejected_queue_full: self.rejected_queue_full + other.rejected_queue_full,
+            rejected_bad_frame: self.rejected_bad_frame + other.rejected_bad_frame,
+            shed_deadline: self.shed_deadline + other.shed_deadline,
+            deadline_misses: self.deadline_misses + other.deadline_misses,
+            wall_s,
+            throughput_fps: if wall_s > 0.0 {
+                completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            sim_us_total: self.sim_us_total + other.sim_us_total,
+            batch_sizes: merge_hist(&self.batch_sizes, &other.batch_sizes),
+            queue_depths: merge_hist(&self.queue_depths, &other.queue_depths),
+            streams: streams
+                .into_iter()
+                .map(|(stream, latency)| StreamStats { stream, latency })
+                .collect(),
+            overall: match (&self.overall, &other.overall) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (Some(a), None) => Some(*a),
+                (None, Some(b)) => Some(*b),
+                (None, None) => None,
+            },
+            trace_path: self.trace_path.clone().or_else(|| other.trace_path.clone()),
+        }
+    }
+}
+
+/// Histogram buckets of `m`, explicitly sorted ascending by `value` —
+/// the serialization invariant `ServeReport` promises regardless of the
+/// backing map's iteration order.
+fn sorted_buckets(m: &BTreeMap<u64, u64>) -> Vec<HistogramBucket> {
+    let mut buckets: Vec<HistogramBucket> = m
+        .iter()
+        .map(|(&value, &count)| HistogramBucket { value, count })
+        .collect();
+    buckets.sort_by_key(|b| b.value);
+    buckets
 }
 
 #[derive(Debug, Default)]
@@ -194,11 +265,6 @@ impl Metrics {
             .collect();
         streams.sort_by_key(|s| s.stream);
         let all: Vec<f64> = c.per_stream.values().flatten().copied().collect();
-        let to_buckets = |m: &BTreeMap<u64, u64>| {
-            m.iter()
-                .map(|(&value, &count)| HistogramBucket { value, count })
-                .collect()
-        };
         ServeReport {
             completed: c.completed,
             rejected_queue_full: c.rejected_queue_full,
@@ -212,10 +278,11 @@ impl Metrics {
                 0.0
             },
             sim_us_total: c.sim_us_total,
-            batch_sizes: to_buckets(&c.batch_sizes),
-            queue_depths: to_buckets(&c.queue_depths),
+            batch_sizes: sorted_buckets(&c.batch_sizes),
+            queue_depths: sorted_buckets(&c.queue_depths),
             streams,
             overall: LatencyStats::from_latencies_us(&all),
+            trace_path: None,
         }
     }
 }
@@ -275,6 +342,75 @@ mod tests {
         let json = r.to_json().expect("serializes");
         let back = ServeReport::from_json(&json).expect("parses");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn histogram_buckets_serialize_sorted_by_value() {
+        let m = Metrics::new();
+        for size in [5usize, 2, 8, 2] {
+            m.on_batch_executed(size, 10.0);
+        }
+        let r = m.report();
+        let values: Vec<u64> = r.batch_sizes.iter().map(|b| b.value).collect();
+        assert_eq!(values, vec![2, 5, 8]);
+        assert_eq!(r.batch_sizes[0].count, 2);
+    }
+
+    #[test]
+    fn merged_reports_aggregate_two_servers() {
+        let a = {
+            let m = Metrics::new();
+            assert!(m.try_admit(8));
+            assert!(m.try_admit(8));
+            m.on_batch_executed(2, 500.0);
+            m.on_completed(1, 100.0, false);
+            m.on_completed(2, 200.0, true);
+            m.report()
+        };
+        let b = {
+            let m = Metrics::new();
+            assert!(m.try_admit(8));
+            m.on_batch_executed(1, 300.0);
+            m.on_batch_executed(2, 400.0);
+            m.on_completed(1, 300.0, false);
+            m.on_shed_deadline();
+            m.report()
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.completed, 3);
+        assert_eq!(merged.deadline_misses, 1);
+        assert_eq!(merged.shed_deadline, 1);
+        assert_eq!(merged.sim_us_total, 1200.0);
+        assert_eq!(merged.wall_s, a.wall_s.max(b.wall_s));
+        // Batch-size histogram merges bucket-wise, sorted by value.
+        assert_eq!(
+            merged.batch_sizes,
+            vec![
+                HistogramBucket { value: 1, count: 1 },
+                HistogramBucket { value: 2, count: 2 },
+            ]
+        );
+        // Stream 1 appears in both inputs: its distributions pool.
+        let s1 = merged.streams.iter().find(|s| s.stream == 1).expect("s1");
+        assert_eq!(s1.latency.runs, 2);
+        assert_eq!(s1.latency.mean_us, 200.0);
+        assert_eq!(merged.overall.expect("pooled").runs, 3);
+        // Merge is symmetric on the counters.
+        let rev = b.merge(&a);
+        assert_eq!(rev.completed, merged.completed);
+        assert_eq!(rev.batch_sizes, merged.batch_sizes);
+    }
+
+    #[test]
+    fn merging_with_an_empty_report_is_identity_on_counters() {
+        let m = Metrics::new();
+        assert!(m.try_admit(4));
+        m.on_completed(0, 50.0, false);
+        let r = m.report();
+        let merged = r.merge(&Metrics::new().report());
+        assert_eq!(merged.completed, r.completed);
+        assert_eq!(merged.streams, r.streams);
+        assert_eq!(merged.overall, r.overall);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The serving loop: a batcher thread coalescing queued frames and a
 //! pool of worker threads, each owning one tuned [`Engine`].
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -98,6 +100,11 @@ impl ResponseHandle {
 
 struct Job {
     stream: u64,
+    /// Request sequence number; names the `req-N` trace lane.
+    req: u64,
+    /// Pre-allocated id of the request's root trace span, when the
+    /// server was built with a tracer installed.
+    trace_root: Option<u64>,
     frame: SparseTensor,
     submitted: Instant,
     deadline: Option<Instant>,
@@ -161,12 +168,26 @@ pub struct Server {
     default_deadline: Option<Duration>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Tracer captured from the constructing thread; propagated into
+    /// the batcher and worker threads so per-request spans from all of
+    /// them land in one trace.
+    tracer: Option<ts_trace::Tracer>,
+    trace_path: Option<PathBuf>,
+    next_req: AtomicU64,
 }
 
 impl Server {
     /// Starts a server around a tuned engine.
+    ///
+    /// If a [`ts_trace::Tracer`] is installed on the calling thread, the
+    /// batcher and worker threads join it: every served request becomes
+    /// a span tree (`request` → `queue_wait` / `batch_assembly` /
+    /// `infer` / `split`) on its own `req-N` lane, and
+    /// [`Server::shutdown`] writes the Chrome trace to
+    /// [`ServeConfig::trace_path`] if one was configured.
     pub fn new(engine: Engine, cfg: ServeConfig) -> Self {
         let cfg = cfg.normalized();
+        let tracer = ts_trace::current();
         let metrics = Arc::new(Metrics::new());
         let (ingress_tx, ingress_rx) = unbounded::<Job>();
         let (work_tx, work_rx) = bounded::<Vec<Job>>(cfg.workers);
@@ -176,9 +197,13 @@ impl Server {
                 let rx = work_rx.clone();
                 let engine = engine.clone();
                 let metrics = Arc::clone(&metrics);
+                let tracer = tracer.clone();
                 std::thread::Builder::new()
                     .name(format!("ts-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&engine, &rx, &metrics))
+                    .spawn(move || {
+                        ts_trace::install_opt(tracer.as_ref());
+                        worker_loop(&engine, &rx, &metrics)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -187,9 +212,13 @@ impl Server {
         let batcher = {
             let metrics = Arc::clone(&metrics);
             let cfg = cfg.clone();
+            let tracer = tracer.clone();
             std::thread::Builder::new()
                 .name("ts-serve-batcher".into())
-                .spawn(move || batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics))
+                .spawn(move || {
+                    ts_trace::install_opt(tracer.as_ref());
+                    batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics)
+                })
                 .expect("spawn batcher thread")
         };
 
@@ -200,6 +229,9 @@ impl Server {
             default_deadline: cfg.default_deadline,
             batcher: Some(batcher),
             workers,
+            tracer,
+            trace_path: cfg.trace_path,
+            next_req: AtomicU64::new(0),
         }
     }
 
@@ -220,6 +252,9 @@ impl Server {
     ) -> Result<ResponseHandle, Rejected> {
         let ingress = self.ingress.as_ref().ok_or(Rejected::ShuttingDown)?;
         if !self.metrics.try_admit(self.capacity) {
+            if let Some(t) = &self.tracer {
+                t.counter_add("serve.requests.rejected_queue_full", 1);
+            }
             return Err(Rejected::QueueFull {
                 capacity: self.capacity,
             });
@@ -228,6 +263,8 @@ impl Server {
         let (tx, rx) = bounded(1);
         let job = Job {
             stream,
+            req: self.next_req.fetch_add(1, Ordering::Relaxed),
+            trace_root: self.tracer.as_ref().map(|t| t.alloc_span_id()),
             frame,
             submitted,
             deadline: deadline.map(|d| submitted + d),
@@ -252,9 +289,19 @@ impl Server {
 
     /// Graceful drain: stops admitting, serves everything already
     /// queued, joins all threads, and returns the final report.
+    ///
+    /// When the server was constructed with a tracer installed and
+    /// [`ServeConfig::trace_path`] set, the Chrome trace is written
+    /// there and the report's `trace_path` records where.
     pub fn shutdown(mut self) -> ServeReport {
         self.join_threads();
-        self.metrics.report()
+        let mut report = self.metrics.report();
+        if let (Some(tracer), Some(path)) = (&self.tracer, &self.trace_path) {
+            if tracer.write_chrome_trace(path).is_ok() {
+                report.trace_path = Some(path.display().to_string());
+            }
+        }
+        report
     }
 
     fn join_threads(&mut self) {
@@ -281,6 +328,7 @@ fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
     for job in pending.drain(..) {
         if job.expired(now) {
             metrics.on_shed_deadline();
+            ts_trace::counter_add("serve.requests.shed_deadline", 1);
             let missed_by = now.saturating_duration_since(job.deadline.expect("expired has one"));
             job.reject(Rejected::DeadlineExpired { missed_by });
         } else {
@@ -299,6 +347,13 @@ fn dispatch(pending: &mut Vec<Job>, work: &Sender<Vec<Job>>, max_batch: usize) {
     pending.sort_by_key(|j| (j.deadline.is_none(), j.deadline, j.submitted));
     let take = pending.len().min(max_batch);
     let batch: Vec<Job> = pending.drain(..take).collect();
+    let _span = ts_trace::span!(
+        ts_trace::Subsystem::Serve,
+        "dispatch",
+        batch = batch.len(),
+        backlog = pending.len(),
+    );
+    ts_trace::counter_add("serve.batches.dispatched", 1);
     if let Err(e) = work.send(batch) {
         for job in e.into_inner() {
             job.reject(Rejected::ShuttingDown);
@@ -355,6 +410,7 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
             Ok(()) => valid.push(job),
             Err(e) => {
                 metrics.on_bad_frame();
+                ts_trace::counter_add("serve.frames.rejected", 1);
                 job.reject(Rejected::BadFrame(e));
             }
         }
@@ -363,29 +419,44 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
         return;
     }
 
+    let mut span = ts_trace::span(ts_trace::Subsystem::Serve, "process_batch");
     let exec_start = Instant::now();
     let frames: Vec<&SparseTensor> = valid.iter().map(|j| &j.frame).collect();
     let (merged, slots) = merge_frames(&frames);
+    let merged_at = Instant::now();
     match engine.try_infer(&merged) {
         Ok((out, report)) => {
+            let inferred_at = Instant::now();
             let size = valid.len();
             let sim_us = report.total_us();
             metrics.on_batch_executed(size, sim_us);
+            ts_trace::counter_add("serve.batches.executed", 1);
+            if span.active() {
+                span.arg("batch", size);
+                span.arg("sim_us", sim_us);
+            }
+            let marks = BatchMarks {
+                exec_start,
+                merged: merged_at,
+                inferred: inferred_at,
+            };
             let parts = split_output(&out, &slots);
             for (job, part) in valid.into_iter().zip(parts) {
-                complete(job, part, size, exec_start, sim_us, metrics);
+                complete(job, part, size, &marks, sim_us, metrics);
             }
         }
         // A frame that passed shape validation can still fail to
         // compile (duplicate coordinates). Isolate the offender by
         // re-running the batch one frame at a time.
         Err(_) if valid.len() > 1 => {
+            drop(span);
             for job in valid {
                 process_batch(engine, vec![job], metrics);
             }
         }
         Err(e) => {
             metrics.on_bad_frame();
+            ts_trace::counter_add("serve.frames.rejected", 1);
             valid
                 .into_iter()
                 .next()
@@ -395,11 +466,19 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
     }
 }
 
+/// Wall-clock markers of one batch execution, shared by every request
+/// served in it.
+struct BatchMarks {
+    exec_start: Instant,
+    merged: Instant,
+    inferred: Instant,
+}
+
 fn complete(
     job: Job,
     output: SparseTensor,
     batch_size: usize,
-    exec_start: Instant,
+    marks: &BatchMarks,
     sim_us: f64,
     metrics: &Metrics,
 ) {
@@ -407,15 +486,90 @@ fn complete(
     let latency = now.saturating_duration_since(job.submitted);
     let missed = job.expired(now);
     metrics.on_completed(job.stream, latency.as_secs_f64() * 1e6, missed);
+    ts_trace::counter_add("serve.requests.completed", 1);
+    if missed {
+        ts_trace::counter_add("serve.deadline.missed", 1);
+    }
+    record_request_spans(&job, marks, batch_size, sim_us, missed, now);
     let _ = job.reply.send(Ok(Response {
         output,
         stream: job.stream,
         batch_size,
-        queue_wait: exec_start.saturating_duration_since(job.submitted),
+        queue_wait: marks.exec_start.saturating_duration_since(job.submitted),
         latency,
         sim_us,
         missed_deadline: missed,
     }));
+}
+
+/// Reconstructs the request's span tree on its `req-N` lane: one root
+/// `request` span (with the id allocated at submission, so children can
+/// be recorded before their parent) over the queue-wait →
+/// batch-assembly → infer → split stages. The submission, batching and
+/// execution happen on three different threads; explicit timestamps and
+/// the pre-allocated root id stitch them into one tree.
+fn record_request_spans(
+    job: &Job,
+    marks: &BatchMarks,
+    batch_size: usize,
+    sim_us: f64,
+    missed: bool,
+    now: Instant,
+) {
+    let (Some(tracer), Some(root)) = (ts_trace::current(), job.trace_root) else {
+        return;
+    };
+    let lane = format!("req-{}", job.req);
+    let sub = ts_trace::Subsystem::Serve;
+    tracer.record_span_at(
+        sub,
+        &lane,
+        "queue_wait",
+        job.submitted,
+        marks.exec_start,
+        Some(root),
+        vec![],
+    );
+    tracer.record_span_at(
+        sub,
+        &lane,
+        "batch_assembly",
+        marks.exec_start,
+        marks.merged,
+        Some(root),
+        vec![],
+    );
+    tracer.record_span_at(
+        sub,
+        &lane,
+        "infer",
+        marks.merged,
+        marks.inferred,
+        Some(root),
+        vec![("sim_us".to_string(), ts_trace::ArgValue::F64(sim_us))],
+    );
+    tracer.record_span_at(sub, &lane, "split", marks.inferred, now, Some(root), vec![]);
+    tracer.record_span_at_id(
+        root,
+        sub,
+        &lane,
+        "request",
+        job.submitted,
+        now,
+        None,
+        vec![
+            ("req".to_string(), ts_trace::ArgValue::U64(job.req)),
+            ("stream".to_string(), ts_trace::ArgValue::U64(job.stream)),
+            (
+                "batch".to_string(),
+                ts_trace::ArgValue::U64(batch_size as u64),
+            ),
+            (
+                "missed_deadline".to_string(),
+                ts_trace::ArgValue::Bool(missed),
+            ),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -655,6 +809,55 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    /// The request tree spans three threads: submission happens on the
+    /// caller's, batching on the batcher's, execution on a worker's.
+    /// The pre-allocated root id must stitch them back into one tree,
+    /// and the worker threads must inherit the tracer installed on the
+    /// thread that built the server.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn request_span_trees_survive_the_thread_hops() {
+        let tracer = ts_trace::Tracer::new();
+        tracer.install();
+        let dir = std::env::temp_dir().join(format!("ts-serve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("serve-trace.json");
+        let server = Server::new(engine(), fast_cfg().with_trace_path(&path));
+        let handles: Vec<_> = (0..4)
+            .map(|i| server.submit(i, frame(0, 40 + i)).expect("admitted"))
+            .collect();
+        for h in handles {
+            h.wait().expect("served");
+        }
+        let report = server.shutdown();
+        ts_trace::uninstall();
+
+        assert_eq!(report.trace_path, Some(path.display().to_string()));
+        let json = std::fs::read_to_string(&path).expect("trace written");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("req-0"));
+
+        let spans = tracer.spans();
+        let roots: Vec<_> = spans.iter().filter(|s| s.name == "request").collect();
+        assert_eq!(roots.len(), 4, "one root span per served request");
+        for root in &roots {
+            assert!(root.parent.is_none());
+            let children: Vec<&str> = spans
+                .iter()
+                .filter(|s| s.parent == Some(root.id))
+                .map(|s| s.name.as_str())
+                .collect();
+            for stage in ["queue_wait", "batch_assembly", "infer", "split"] {
+                assert!(children.contains(&stage), "missing {stage} under request");
+            }
+        }
+        // Worker threads inherited the tracer installed here.
+        assert!(spans.iter().any(|s| s.name == "process_batch"));
+        assert!(tracer.counter("serve.requests.completed") >= 4);
+        assert!(tracer.counter("serve.batches.dispatched") >= 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! `ts-trace`: the observability spine of the TorchSparse++ reproduction.
+//!
+//! TorchSparse++ is a profiling-driven design: the Sparse Autotuner works
+//! *because* end-to-end latency can be attributed to per-group kernel
+//! choices, and the paper's evaluation (Figs. 14–23) is built on
+//! per-kernel-class breakdowns. This crate gives every subsystem one
+//! shared vocabulary for that attribution:
+//!
+//! * **Spans** — RAII guards ([`span`] / [`span!`]) timed on the
+//!   monotonic clock, parented through a thread-local span stack, carrying
+//!   typed arguments. Guards close on drop, so panics and early returns
+//!   cannot leak an open span.
+//! * **Counters / gauges** — a typed registry with saturating adds, named
+//!   by the `subsystem.noun.verb` convention (e.g.
+//!   `core.prepare_cache.hit`).
+//! * **Simulated timelines** — the GPU model prices kernels in simulated
+//!   microseconds, not wall time; [`sim_kernel`] lays those out on
+//!   per-thread virtual lanes with a monotone cursor so they render as a
+//!   GPU timeline next to the wall-clock spans.
+//! * **Exporters** — a human-readable aggregated tree
+//!   ([`Tracer::summary`]) and Chrome trace-event JSON
+//!   ([`Tracer::chrome_trace_json`]) loadable in Perfetto /
+//!   `chrome://tracing` (`pid` = subsystem, `tid` = worker or virtual
+//!   lane).
+//!
+//! # Activation model
+//!
+//! There is no process-global collector. A [`Tracer`] is installed into
+//! the *current thread* with [`install`]; threads you spawn inherit
+//! nothing — pass a clone and call [`install`] (or [`install_opt`])
+//! inside the thread, which is exactly what `ts-serve` workers and the
+//! autotuner's sweep threads do. With no tracer installed every
+//! instrumentation site is one thread-local flag check.
+//!
+//! Compiling with `default-features = false` (feature `enabled` off)
+//! replaces the entire API with inline no-ops.
+
+use std::fmt;
+
+/// The instrumented subsystems. Each maps to one Chrome-trace `pid` so a
+/// trace opens as five labelled process tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subsystem {
+    /// Sparse Kernel Generator: codegen and hoisting/padding decisions.
+    Kernelgen,
+    /// Simulated GPU: each priced kernel, on a virtual timeline.
+    Gpusim,
+    /// Engine / Session: compilation, simulation, prepare cache.
+    Core,
+    /// Sparse Autotuner: greedy per-group rounds.
+    Autotune,
+    /// Dynamic-batching server: per-request span trees.
+    Serve,
+    /// Anything else (examples, tests, applications).
+    App,
+}
+
+impl Subsystem {
+    /// Every subsystem, in `pid` order.
+    pub const ALL: [Subsystem; 6] = [
+        Subsystem::Kernelgen,
+        Subsystem::Gpusim,
+        Subsystem::Core,
+        Subsystem::Autotune,
+        Subsystem::Serve,
+        Subsystem::App,
+    ];
+
+    /// Chrome-trace process id (stable across runs).
+    pub fn pid(self) -> u64 {
+        match self {
+            Subsystem::Kernelgen => 1,
+            Subsystem::Gpusim => 2,
+            Subsystem::Core => 3,
+            Subsystem::Autotune => 4,
+            Subsystem::Serve => 5,
+            Subsystem::App => 6,
+        }
+    }
+
+    /// Lower-case label; also the leading component of counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subsystem::Kernelgen => "kernelgen",
+            Subsystem::Gpusim => "gpusim",
+            Subsystem::Core => "core",
+            Subsystem::Autotune => "autotune",
+            Subsystem::Serve => "serve",
+            Subsystem::App => "app",
+        }
+    }
+
+    /// Maps a `subsystem.noun.verb` counter name back to its subsystem
+    /// (used to place counter tracks under the right process).
+    pub fn from_counter_name(name: &str) -> Subsystem {
+        let prefix = name.split('.').next().unwrap_or("");
+        Subsystem::ALL
+            .into_iter()
+            .find(|s| s.label() == prefix)
+            .unwrap_or(Subsystem::App)
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed span-argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point (non-finite values export as `0`).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form string (kernel names, config summaries).
+    Str(String),
+}
+
+impl ArgValue {
+    /// JSON rendering of the value alone.
+    pub fn to_json(&self) -> String {
+        match self {
+            ArgValue::I64(v) => v.to_string(),
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) if v.is_finite() => format!("{v}"),
+            ArgValue::F64(_) => "0".to_string(),
+            ArgValue::Bool(v) => v.to_string(),
+            ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        }
+    }
+}
+
+impl fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgValue::I64(v) => write!(f, "{v}"),
+            ArgValue::U64(v) => write!(f, "{v}"),
+            ArgValue::F64(v) => write!(f, "{v:.3}"),
+            ArgValue::Bool(v) => write!(f, "{v}"),
+            ArgValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! arg_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for ArgValue {
+            fn from(v: $t) -> Self {
+                ArgValue::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+arg_from!(
+    i64 => I64 as i64,
+    i32 => I64 as i64,
+    u64 => U64 as u64,
+    u32 => U64 as u64,
+    usize => U64 as u64,
+    f64 => F64 as f64,
+    f32 => F64 as f64,
+);
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Opens a span: `span!(Subsystem::Core, "simulate", groups = 13)`.
+///
+/// Arguments are `key = value` pairs (any [`ArgValue`] conversion) or
+/// bare identifiers (`span!(sub, "gemm", cta_m, split)` records local
+/// variables under their own names). Arguments are only evaluated when a
+/// tracer is installed. The span closes when the returned guard drops.
+#[macro_export]
+macro_rules! span {
+    ($sub:expr, $name:expr $(,)?) => {
+        $crate::span($sub, $name)
+    };
+    ($sub:expr, $name:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        let mut guard = $crate::span($sub, $name);
+        if guard.active() {
+            $(guard.arg(stringify!($k), $v);)+
+        }
+        guard
+    }};
+    ($sub:expr, $name:expr, $($k:ident),+ $(,)?) => {{
+        let mut guard = $crate::span($sub, $name);
+        if guard.active() {
+            $(guard.arg(stringify!($k), $k);)+
+        }
+        guard
+    }};
+}
+
+#[cfg(feature = "enabled")]
+mod export;
+#[cfg(feature = "enabled")]
+mod real;
+#[cfg(feature = "enabled")]
+pub use real::{
+    active, counter_add, current, gauge_set, install, install_opt, record_span_at, sim_kernel,
+    sim_span, span, suppress_sim_kernels, uninstall, Lane, SimKernelSuppression, SpanGuard,
+    SpanRecord, Tracer,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{
+    active, counter_add, current, gauge_set, install, install_opt, record_span_at, sim_kernel,
+    sim_span, span, suppress_sim_kernels, uninstall, Lane, SimKernelSuppression, SpanGuard,
+    SpanRecord, Tracer,
+};

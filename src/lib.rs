@@ -25,4 +25,5 @@ pub use ts_kernelgen as kernelgen;
 pub use ts_kernelmap as kernelmap;
 pub use ts_serve as serve;
 pub use ts_tensor as tensor;
+pub use ts_trace as trace;
 pub use ts_workloads as workloads;
