@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ts_dataflow::{ConfigError, DataflowConfig};
 use ts_tensor::Precision;
 
 use crate::GroupConfigs;
@@ -79,6 +80,87 @@ impl std::fmt::Display for ScheduleError {
 }
 
 impl std::error::Error for ScheduleError {}
+
+/// One degradation applied while loading a schedule leniently: instead
+/// of failing, a slot of the schedule was dropped to the known-safe
+/// fallback ([`DataflowConfig::safe_fallback`], the sorted
+/// implicit-GEMM dataflow of TorchSparse MLSys '22), and this record
+/// says why.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Downgrade {
+    /// The whole artifact was unusable (unparsable JSON, or tuned for a
+    /// different network/device/precision/format version); every group
+    /// runs the safe fallback.
+    Artifact {
+        /// The validation error that rejected the artifact.
+        error: ScheduleError,
+    },
+    /// One tuned config was rejected at schedule-compile time; only
+    /// that slot runs the safe fallback.
+    Group {
+        /// The group index, or `None` for the table's default slot
+        /// (applied to every group without an explicit override).
+        group: Option<usize>,
+        /// The rejected config, as the artifact recorded it.
+        from: DataflowConfig,
+        /// Why the config was rejected.
+        error: ConfigError,
+    },
+}
+
+impl std::fmt::Display for Downgrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Downgrade::Artifact { error } => {
+                write!(
+                    f,
+                    "schedule artifact rejected, all groups degraded: {error}"
+                )
+            }
+            Downgrade::Group {
+                group: Some(g),
+                from,
+                error,
+            } => write!(f, "group {g} config {from} degraded: {error}"),
+            Downgrade::Group {
+                group: None,
+                from,
+                error,
+            } => write!(f, "default config {from} degraded: {error}"),
+        }
+    }
+}
+
+/// Validates every config in `configs` and replaces the rejected ones
+/// with [`DataflowConfig::safe_fallback`], returning the sanitized
+/// table plus one [`Downgrade::Group`] record per replacement. A table
+/// that validates cleanly comes back unchanged with no records.
+pub fn sanitize_configs(configs: &GroupConfigs) -> (GroupConfigs, Vec<Downgrade>) {
+    let mut out = configs.clone();
+    let mut downgrades = Vec::new();
+    if let Err(error) = configs.default.validate() {
+        out.default = DataflowConfig::safe_fallback();
+        downgrades.push(Downgrade::Group {
+            group: None,
+            from: configs.default,
+            error,
+        });
+    }
+    let mut groups: Vec<usize> = configs.per_group.keys().copied().collect();
+    groups.sort_unstable();
+    for g in groups {
+        let cfg = configs.per_group[&g];
+        if let Err(error) = cfg.validate() {
+            out.per_group.insert(g, DataflowConfig::safe_fallback());
+            downgrades.push(Downgrade::Group {
+                group: Some(g),
+                from: cfg,
+                error,
+            });
+        }
+    }
+    (out, downgrades)
+}
 
 /// A persisted tuned schedule: the per-group dataflow table plus the
 /// identity it was tuned for.
@@ -231,6 +313,52 @@ mod tests {
             ScheduleArtifact::from_json("{not json"),
             Err(ScheduleError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn sanitize_passes_a_clean_table_through_unchanged() {
+        let c = configs();
+        let (out, downgrades) = sanitize_configs(&c);
+        assert_eq!(out, c);
+        assert!(downgrades.is_empty());
+    }
+
+    #[test]
+    fn sanitize_degrades_only_the_rejected_slots() {
+        let mut c = configs();
+        c.set(
+            1,
+            DataflowConfig::implicit_gemm(ts_dataflow::MAX_SPLITS + 7),
+        );
+        let (out, downgrades) = sanitize_configs(&c);
+        assert_eq!(out.for_group(1), DataflowConfig::safe_fallback());
+        // Untouched slots keep their tuned configs.
+        assert_eq!(out.for_group(0), c.for_group(0));
+        assert_eq!(out.for_group(2), c.for_group(2));
+        assert_eq!(out.default, c.default);
+        assert_eq!(downgrades.len(), 1);
+        match &downgrades[0] {
+            Downgrade::Group {
+                group: Some(1),
+                from,
+                error: ConfigError::SplitsOutOfRange { .. },
+            } => assert_eq!(*from, c.for_group(1)),
+            other => panic!("expected group-1 downgrade, got {other}"),
+        }
+    }
+
+    #[test]
+    fn sanitize_degrades_a_rejected_default_slot() {
+        let mut c = configs();
+        c.default = DataflowConfig::implicit_gemm(9999);
+        let (out, downgrades) = sanitize_configs(&c);
+        assert_eq!(out.default, DataflowConfig::safe_fallback());
+        assert_eq!(downgrades.len(), 1);
+        assert!(matches!(
+            downgrades[0],
+            Downgrade::Group { group: None, .. }
+        ));
+        assert!(downgrades[0].to_string().contains("default config"));
     }
 
     #[test]

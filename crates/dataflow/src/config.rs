@@ -47,6 +47,39 @@ impl fmt::Display for DataflowKind {
     }
 }
 
+/// Largest split encoding any schedule may carry. The tuner's design
+/// space tops out far below this (Figure 9 sweeps single-digit splits);
+/// a persisted schedule asking for more is corrupt or hostile, and
+/// [`DataflowConfig::validate`] rejects it.
+pub const MAX_SPLITS: u32 = 16;
+
+/// Why a [`DataflowConfig`] was rejected at schedule-compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// Implicit-GEMM split encoding outside `0..=`[`MAX_SPLITS`].
+    SplitsOutOfRange {
+        /// The split count the config asked for.
+        splits: u32,
+        /// The largest split count any schedule may carry.
+        max: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::SplitsOutOfRange { splits, max } => {
+                write!(
+                    f,
+                    "implicit-gemm split count {splits} exceeds the maximum {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// A complete dataflow configuration: the kind plus the tile policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DataflowConfig {
@@ -85,6 +118,35 @@ impl DataflowConfig {
     pub fn with_tile_policy(mut self, policy: TilePolicy) -> Self {
         self.tile_policy = policy;
         self
+    }
+
+    /// The known-safe fallback dataflow: sorted implicit GEMM with one
+    /// split — the TorchSparse (MLSys '22) / SpConv v2 default that
+    /// every group can execute on every device. Degraded-mode paths
+    /// (e.g. [`ConfigError`] at schedule load) drop to this config.
+    pub fn safe_fallback() -> Self {
+        Self::implicit_gemm(1)
+    }
+
+    /// Checks the config against the envelope a schedule is allowed to
+    /// request. Tuner-produced configs always pass; this is the
+    /// compile-time gate for configs read back from persisted (and
+    /// possibly corrupted) schedule artifacts.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::SplitsOutOfRange`] when an implicit-GEMM split
+    /// encoding exceeds [`MAX_SPLITS`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let DataflowKind::ImplicitGemm { splits } = self.kind {
+            if splits > MAX_SPLITS {
+                return Err(ConfigError::SplitsOutOfRange {
+                    splits,
+                    max: MAX_SPLITS,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The full TorchSparse++ design space (Figure 9): both fused
@@ -164,5 +226,34 @@ mod tests {
         for c in DataflowConfig::spconv_v2_space() {
             assert!(full.iter().any(|f| f.kind == c.kind));
         }
+    }
+
+    #[test]
+    fn every_design_space_config_validates() {
+        for c in DataflowConfig::full_space(MAX_SPLITS) {
+            assert!(c.validate().is_ok(), "{c} should validate");
+        }
+        assert!(DataflowConfig::safe_fallback().validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_splits_are_rejected_with_a_typed_error() {
+        let bad = DataflowConfig::implicit_gemm(MAX_SPLITS + 1);
+        match bad.validate() {
+            Err(ConfigError::SplitsOutOfRange { splits, max }) => {
+                assert_eq!(splits, MAX_SPLITS + 1);
+                assert_eq!(max, MAX_SPLITS);
+                assert!(bad.validate().unwrap_err().to_string().contains("split"));
+            }
+            Ok(()) => panic!("oversized splits must not validate"),
+        }
+    }
+
+    #[test]
+    fn safe_fallback_is_sorted_implicit_gemm() {
+        assert_eq!(
+            DataflowConfig::safe_fallback().kind,
+            DataflowKind::ImplicitGemm { splits: 1 }
+        );
     }
 }

@@ -54,7 +54,7 @@ mod reference;
 mod weights;
 mod wgrad;
 
-pub use config::{DataflowConfig, DataflowKind};
+pub use config::{ConfigError, DataflowConfig, DataflowKind, MAX_SPLITS};
 pub use ctx::{ConvOutput, ExecCtx, GenFlags, ReorderMode};
 pub use prepare::{prepare, Prepared};
 pub use reference::{reference_dgrad, reference_forward, reference_wgrad};

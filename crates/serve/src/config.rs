@@ -3,6 +3,8 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use crate::faults::FaultPlan;
+
 /// Tunables of a [`crate::Server`].
 ///
 /// The defaults suit interactive tests; a deployment would size
@@ -28,6 +30,26 @@ pub struct ServeConfig {
     /// serving run. Requires a tracer installed on the thread that
     /// constructs the [`crate::Server`]; ignored otherwise.
     pub trace_path: Option<PathBuf>,
+    /// How long a worker may sit on one batch before the supervisor
+    /// declares it stuck, detaches it, and restarts the slot with a
+    /// fresh engine clone (the in-flight batch is re-enqueued or shed).
+    /// `None` (the default) disables stall detection: a good threshold
+    /// is a deployment judgment — several times the workload's p99 —
+    /// and a guessed default would misfire on slow hosts, re-executing
+    /// batches that were merely heavy. Panic supervision is always on.
+    pub stall_timeout: Option<Duration>,
+    /// How often the supervisor thread scans the worker pool for dead
+    /// or stuck workers.
+    pub supervisor_poll: Duration,
+    /// How many times a request recovered from a crashed or stuck
+    /// worker is re-enqueued before it is shed with
+    /// [`crate::Rejected::WorkerCrashed`].
+    pub max_requeues: u32,
+    /// Deterministic fault schedule for chaos testing. Only consulted
+    /// when the crate is built with the `chaos` feature; in production
+    /// builds the injection sites compile to no-ops and this field is
+    /// inert.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -39,6 +61,10 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             default_deadline: None,
             trace_path: None,
+            stall_timeout: None,
+            supervisor_poll: Duration::from_millis(5),
+            max_requeues: 1,
+            fault_plan: None,
         }
     }
 }
@@ -80,13 +106,42 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the stall timeout after which a stuck worker is replaced;
+    /// `None` disables stall detection.
+    pub fn with_stall_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.stall_timeout = timeout;
+        self
+    }
+
+    /// Sets the supervisor's scan interval.
+    pub fn with_supervisor_poll(mut self, poll: Duration) -> Self {
+        self.supervisor_poll = poll;
+        self
+    }
+
+    /// Sets how many crash recoveries a request survives before it is
+    /// shed with [`crate::Rejected::WorkerCrashed`].
+    pub fn with_max_requeues(mut self, max_requeues: u32) -> Self {
+        self.max_requeues = max_requeues;
+        self
+    }
+
+    /// Installs a deterministic fault schedule for chaos testing. Only
+    /// available (and only effective) with the `chaos` feature.
+    #[cfg(feature = "chaos")]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Clamps degenerate values to their working minimum (at least one
     /// worker, batches of at least one frame, room for at least one
-    /// request).
+    /// request, a non-zero supervisor scan interval).
     pub(crate) fn normalized(mut self) -> Self {
         self.workers = self.workers.max(1);
         self.max_batch = self.max_batch.max(1);
         self.queue_capacity = self.queue_capacity.max(1);
+        self.supervisor_poll = self.supervisor_poll.max(Duration::from_millis(1));
         self
     }
 }
@@ -130,10 +185,33 @@ mod tests {
             queue_capacity: 0,
             default_deadline: None,
             trace_path: None,
+            stall_timeout: None,
+            supervisor_poll: Duration::ZERO,
+            max_requeues: 0,
+            fault_plan: None,
         }
         .normalized();
         assert_eq!(c.workers, 1);
         assert_eq!(c.max_batch, 1);
         assert_eq!(c.queue_capacity, 1);
+        assert!(c.supervisor_poll >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn resilience_defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(
+            c.stall_timeout.is_none(),
+            "stall detection is opt-in: a guessed timeout misfires on slow hosts"
+        );
+        assert!(c.supervisor_poll > Duration::ZERO);
+        assert!(c.fault_plan.is_none(), "no faults unless asked for");
+        let c = c
+            .with_stall_timeout(Some(Duration::from_millis(80)))
+            .with_supervisor_poll(Duration::from_millis(2))
+            .with_max_requeues(3);
+        assert_eq!(c.stall_timeout, Some(Duration::from_millis(80)));
+        assert_eq!(c.supervisor_poll, Duration::from_millis(2));
+        assert_eq!(c.max_requeues, 3);
     }
 }

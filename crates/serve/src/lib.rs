@@ -30,17 +30,41 @@
 //! * **SLO accounting** — per-stream p50/p90/p99 wall latency, batch
 //!   size and queue-depth histograms, throughput, and deadline-miss
 //!   counters, exported as JSON via [`ServeReport`].
+//! * **Robustness** — workers run under a supervisor that restarts
+//!   panicked or stuck workers from fresh engine clones and re-enqueues
+//!   or sheds their in-flight requests with typed outcomes
+//!   ([`Rejected::WorkerCrashed`]); every submitted request resolves,
+//!   crash or not. Client-side, [`Client`] adds deterministic
+//!   retry/backoff and a count-based [`CircuitBreaker`]. Engines that
+//!   fail schedule validation boot degraded on the safe fallback
+//!   dataflow instead of refusing to serve (see
+//!   [`ts_core::Engine::load_schedule_lenient`]); responses carry a
+//!   [`Response::degraded`] flag and the report counts the downgrades.
+//! * **Deterministic chaos testing** — with the `chaos` feature, a
+//!   seeded [`FaultPlan`] injects worker panics, stalls and artifact
+//!   corruption as a pure function of the batch sequence number, so a
+//!   failing chaos run replays bit-identically from its seed. Without
+//!   the feature the injection sites compile to no-ops.
 //!
 //! See `examples/serve_lidar_stream.rs` for an end-to-end deployment
-//! loop and `benches/serve_throughput.rs` for the batching speedup
-//! measurement.
+//! loop, `examples/serve_resilience.rs` for degraded boot + retry, and
+//! `benches/serve_throughput.rs` for the batching speedup measurement.
+//! `OPERATIONS.md` at the repository root is the operator's runbook for
+//! the failure modes and counters defined here.
+
+#![warn(missing_docs)]
 
 pub mod batch;
 mod config;
+mod faults;
 mod metrics;
+mod retry;
 mod server;
+mod supervisor;
 
 pub use batch::{merge_frames, sort_by_coord, split_output, validate_frame, FrameError};
 pub use config::ServeConfig;
+pub use faults::{Fault, FaultPlan};
 pub use metrics::{HistogramBucket, ServeReport, StreamStats};
+pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, Client, ClientError, RetryPolicy};
 pub use server::{Rejected, Response, ResponseHandle, Server};

@@ -40,8 +40,24 @@ pub struct ServeReport {
     /// Requests shed unexecuted because their deadline had already
     /// passed when the server got to them.
     pub shed_deadline: u64,
+    /// Requests shed with [`crate::Rejected::WorkerCrashed`] after
+    /// exhausting their re-enqueue budget.
+    pub shed_crashed: u64,
     /// Requests that completed, but after their deadline.
     pub deadline_misses: u64,
+    /// Worker threads that died by panic and were reaped.
+    pub worker_panics: u64,
+    /// Workers declared stuck (busy on one batch past the stall
+    /// timeout) and retired.
+    pub worker_stalls: u64,
+    /// Replacement workers spawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Requests recovered from a dead or stuck worker and re-enqueued.
+    pub requeued: u64,
+    /// Schedule slots downgraded to the safe fallback dataflow when the
+    /// engine booted leniently from a rejected artifact (see
+    /// [`ts_core::Engine::load_schedule_lenient`]).
+    pub schedule_downgrades: u64,
     /// Wall-clock seconds from server start to this snapshot.
     pub wall_s: f64,
     /// Completed frames per wall-clock second.
@@ -66,6 +82,15 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Whether the deployment saw any fault — a worker panic or stall,
+    /// a crashed-out request, or a schedule downgrade at boot.
+    pub fn saw_faults(&self) -> bool {
+        self.worker_panics > 0
+            || self.worker_stalls > 0
+            || self.shed_crashed > 0
+            || self.schedule_downgrades > 0
+    }
+
     /// Fraction of finished requests (completed or shed) that violated
     /// their deadline.
     pub fn deadline_miss_rate(&self) -> f64 {
@@ -117,7 +142,13 @@ impl ServeReport {
             rejected_queue_full: self.rejected_queue_full + other.rejected_queue_full,
             rejected_bad_frame: self.rejected_bad_frame + other.rejected_bad_frame,
             shed_deadline: self.shed_deadline + other.shed_deadline,
+            shed_crashed: self.shed_crashed + other.shed_crashed,
             deadline_misses: self.deadline_misses + other.deadline_misses,
+            worker_panics: self.worker_panics + other.worker_panics,
+            worker_stalls: self.worker_stalls + other.worker_stalls,
+            worker_restarts: self.worker_restarts + other.worker_restarts,
+            requeued: self.requeued + other.requeued,
+            schedule_downgrades: self.schedule_downgrades + other.schedule_downgrades,
             wall_s,
             throughput_fps: if wall_s > 0.0 {
                 completed as f64 / wall_s
@@ -160,7 +191,13 @@ struct Counters {
     rejected_queue_full: u64,
     rejected_bad_frame: u64,
     shed_deadline: u64,
+    shed_crashed: u64,
     deadline_misses: u64,
+    worker_panics: u64,
+    worker_stalls: u64,
+    worker_restarts: u64,
+    requeued: u64,
+    schedule_downgrades: u64,
     sim_us_total: f64,
     per_stream: HashMap<u64, Vec<f64>>,
     batch_sizes: BTreeMap<u64, u64>,
@@ -237,6 +274,34 @@ impl Metrics {
         c.shed_deadline += 1;
     }
 
+    pub(crate) fn on_shed_crashed(&self) {
+        self.leave();
+        let mut c = self.inner.lock().expect("metrics lock");
+        c.shed_crashed += 1;
+    }
+
+    pub(crate) fn on_worker_panic(&self) {
+        self.inner.lock().expect("metrics lock").worker_panics += 1;
+    }
+
+    pub(crate) fn on_worker_stall(&self) {
+        self.inner.lock().expect("metrics lock").worker_stalls += 1;
+    }
+
+    pub(crate) fn on_worker_restart(&self) {
+        self.inner.lock().expect("metrics lock").worker_restarts += 1;
+    }
+
+    pub(crate) fn on_requeued(&self, n: u64) {
+        self.inner.lock().expect("metrics lock").requeued += n;
+    }
+
+    /// Records, once at boot, how many schedule slots the engine
+    /// degraded to the safe fallback.
+    pub(crate) fn record_downgrades(&self, n: u64) {
+        self.inner.lock().expect("metrics lock").schedule_downgrades = n;
+    }
+
     pub(crate) fn on_batch_executed(&self, size: usize, sim_us: f64) {
         let mut c = self.inner.lock().expect("metrics lock");
         *c.batch_sizes.entry(size as u64).or_insert(0) += 1;
@@ -270,7 +335,13 @@ impl Metrics {
             rejected_queue_full: c.rejected_queue_full,
             rejected_bad_frame: c.rejected_bad_frame,
             shed_deadline: c.shed_deadline,
+            shed_crashed: c.shed_crashed,
             deadline_misses: c.deadline_misses,
+            worker_panics: c.worker_panics,
+            worker_stalls: c.worker_stalls,
+            worker_restarts: c.worker_restarts,
+            requeued: c.requeued,
+            schedule_downgrades: c.schedule_downgrades,
             wall_s,
             throughput_fps: if wall_s > 0.0 {
                 c.completed as f64 / wall_s
@@ -411,6 +482,40 @@ mod tests {
         assert_eq!(merged.completed, r.completed);
         assert_eq!(merged.streams, r.streams);
         assert_eq!(merged.overall, r.overall);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_merge() {
+        let m = Metrics::new();
+        for _ in 0..3 {
+            assert!(m.try_admit(8));
+        }
+        m.on_worker_panic();
+        m.on_worker_restart();
+        m.on_requeued(2);
+        m.on_worker_stall();
+        m.on_worker_restart();
+        m.on_shed_crashed();
+        m.record_downgrades(4);
+        let r = m.report();
+        assert_eq!(r.worker_panics, 1);
+        assert_eq!(r.worker_stalls, 1);
+        assert_eq!(r.worker_restarts, 2);
+        assert_eq!(r.requeued, 2);
+        assert_eq!(r.shed_crashed, 1);
+        assert_eq!(r.schedule_downgrades, 4);
+        assert!(r.saw_faults());
+        // shed_crashed releases its queue slot like every other exit.
+        assert_eq!(m.depth(), 2);
+        let merged = r.merge(&r);
+        assert_eq!(merged.worker_panics, 2);
+        assert_eq!(merged.worker_restarts, 4);
+        assert_eq!(merged.requeued, 4);
+        assert_eq!(merged.shed_crashed, 2);
+        assert_eq!(merged.schedule_downgrades, 8);
+        let json = r.to_json().expect("serializes");
+        assert!(json.contains("\"worker_restarts\""));
+        assert_eq!(ServeReport::from_json(&json).expect("parses"), r);
     }
 
     #[test]

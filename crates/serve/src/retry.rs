@@ -1,0 +1,464 @@
+//! Client-side resilience: deterministic retry with exponential
+//! backoff and jitter, plus a count-based circuit breaker.
+//!
+//! Both pieces are deliberately clock-free so their behaviour is
+//! testable and replayable:
+//!
+//! * [`RetryPolicy::backoff_for`] is a pure function of
+//!   `(policy, token, attempt)` — the jitter comes from a seeded hash,
+//!   not a global RNG, so a retry schedule can be asserted exactly.
+//! * [`CircuitBreaker`] counts outcomes instead of timing them: it
+//!   opens after too many failures inside a sliding window of recent
+//!   calls, holds open for a fixed number of *probe attempts* (not
+//!   seconds), then half-opens to trial traffic.
+//!
+//! [`Client`] combines the two around a [`Server`]: retryable
+//! rejections ([`Rejected::retryable`]) are resubmitted with backoff;
+//! terminal rejections are returned immediately; and once the breaker
+//! opens, calls fail fast with [`ClientError::CircuitOpen`] instead of
+//! piling onto an unhealthy server.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_serve::RetryPolicy;
+//!
+//! let policy = RetryPolicy::default();
+//! // The schedule for one request token is deterministic...
+//! assert_eq!(policy.backoff_for(7, 0), policy.backoff_for(7, 0));
+//! // ...and grows (up to jitter) with the attempt number.
+//! assert!(policy.backoff_for(7, 3) > policy.backoff_for(7, 0));
+//! ```
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::server::{Rejected, Response, Server};
+use ts_core::SparseTensor;
+
+/// Deterministic exponential backoff with seeded jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries per call, including the first (so `1` disables
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per further attempt.
+    pub factor: f64,
+    /// Upper clamp on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `0.0..=1.0`: each backoff is scaled by a
+    /// deterministic factor drawn from `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(2),
+            factor: 2.0,
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 single round (same construction as the fault planner's).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `attempt` (0-based) of
+    /// the call identified by `token` — a pure function, no clock, no
+    /// shared RNG.
+    pub fn backoff_for(&self, token: u64, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.factor.max(1.0).powi(attempt as i32);
+        let exp = exp.min(self.max_backoff.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let draw = mix(self.seed ^ mix(token) ^ u64::from(attempt)) as f64 / u64::MAX as f64;
+        let scale = 1.0 - jitter * draw;
+        Duration::from_secs_f64(exp * scale)
+    }
+}
+
+/// Breaker life-cycle (see [`CircuitBreaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all calls pass, outcomes are recorded.
+    Closed,
+    /// Tripped: calls fail fast for a fixed number of probe attempts.
+    Open,
+    /// Probing: single trial calls decide between closing and
+    /// re-opening.
+    HalfOpen,
+}
+
+/// Tunables of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Size of the sliding window of recent call outcomes.
+    pub window: usize,
+    /// Failures inside the window that trip the breaker open.
+    pub failure_threshold: usize,
+    /// How many calls fail fast while open before the breaker
+    /// half-opens (a count, not a wall-clock cooldown, so tests and
+    /// replays are deterministic).
+    pub cooldown_calls: usize,
+    /// Consecutive half-open successes required to close again.
+    pub trial_successes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            failure_threshold: 8,
+            cooldown_calls: 8,
+            trial_successes: 2,
+        }
+    }
+}
+
+/// A count-based circuit breaker over request outcomes.
+///
+/// Closed → (too many failures in the window) → Open → (after
+/// `cooldown_calls` fast-failed calls) → HalfOpen → (consecutive
+/// successes) → Closed, or (any failure) → Open again.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Recent outcomes, `true` = failure.
+    recent: VecDeque<bool>,
+    cooldown_left: usize,
+    trial_streak: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            recent: VecDeque::new(),
+            cooldown_left: 0,
+            trial_streak: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate for the next call: `false` means fail fast. While open,
+    /// each denied call counts toward the cooldown; once it elapses the
+    /// breaker half-opens and lets a trial through.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.cooldown_left = self.cooldown_left.saturating_sub(1);
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    self.trial_streak = 0;
+                }
+                false
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.record(false),
+            BreakerState::HalfOpen => {
+                self.trial_streak += 1;
+                if self.trial_streak >= self.cfg.trial_successes {
+                    self.state = BreakerState::Closed;
+                    self.recent.clear();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call.
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.record(true);
+                let failures = self.recent.iter().filter(|&&f| f).count();
+                if failures >= self.cfg.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn record(&mut self, failure: bool) {
+        self.recent.push_back(failure);
+        while self.recent.len() > self.cfg.window.max(1) {
+            self.recent.pop_front();
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.cooldown_left = self.cfg.cooldown_calls.max(1);
+        self.recent.clear();
+        self.trial_streak = 0;
+    }
+}
+
+/// Why a [`Client`] call gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The final (or only) rejection from the server; either it was not
+    /// [`Rejected::retryable`] or the attempt budget ran out.
+    Rejected(Rejected),
+    /// The circuit breaker is open; the call was not submitted.
+    CircuitOpen,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rejected(r) => write!(f, "request rejected: {r}"),
+            ClientError::CircuitOpen => write!(f, "circuit breaker open"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A resilient front-end to a [`Server`]: retries transient rejections
+/// with deterministic backoff and fails fast while the breaker is open.
+///
+/// The client is single-threaded by design (one per submitting thread);
+/// the server itself is the shared, thread-safe component.
+#[derive(Debug)]
+pub struct Client<'a> {
+    server: &'a Server,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    next_token: u64,
+}
+
+impl<'a> Client<'a> {
+    /// Wraps a server with the given retry policy and breaker tunables.
+    pub fn new(server: &'a Server, policy: RetryPolicy, breaker: BreakerConfig) -> Self {
+        Self {
+            server,
+            policy,
+            breaker: CircuitBreaker::new(breaker),
+            next_token: 0,
+        }
+    }
+
+    /// Current breaker state (for dashboards and tests).
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Submits `frame` on `stream`, retrying transient rejections.
+    /// Sleeps the computed backoff between attempts.
+    pub fn call(&mut self, stream: u64, frame: SparseTensor) -> Result<Response, ClientError> {
+        self.call_with(stream, frame, std::thread::sleep)
+    }
+
+    /// [`Client::call`] with the sleep function injected, so tests can
+    /// capture the backoff schedule instead of actually waiting.
+    pub fn call_with(
+        &mut self,
+        stream: u64,
+        frame: SparseTensor,
+        mut sleep: impl FnMut(Duration),
+    ) -> Result<Response, ClientError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let attempts = self.policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if !self.breaker.allow() {
+                return Err(ClientError::CircuitOpen);
+            }
+            let outcome = self
+                .server
+                .submit(stream, frame.clone())
+                .and_then(|handle| handle.wait());
+            match outcome {
+                Ok(resp) => {
+                    self.breaker.on_success();
+                    return Ok(resp);
+                }
+                Err(why) => {
+                    // Rejections caused by the request itself (bad
+                    // frame, failed compile, missed deadline) say
+                    // nothing about server health and don't count
+                    // against the breaker.
+                    if server_fault(&why) {
+                        self.breaker.on_failure();
+                    }
+                    if !why.retryable() || attempt + 1 == attempts {
+                        return Err(ClientError::Rejected(why));
+                    }
+                    sleep(self.policy.backoff_for(token, attempt));
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+}
+
+/// Whether a rejection indicates server-side distress (counted by the
+/// breaker) rather than a problem with the request itself.
+fn server_fault(why: &Rejected) -> bool {
+    matches!(
+        why,
+        Rejected::QueueFull { .. } | Rejected::WorkerCrashed { .. } | Rejected::ShuttingDown
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_clamped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(4),
+            factor: 2.0,
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.5,
+            seed: 9,
+        };
+        for attempt in 0..8 {
+            let a = p.backoff_for(3, attempt);
+            assert_eq!(a, p.backoff_for(3, attempt), "pure in (token, attempt)");
+            assert!(a <= Duration::from_millis(20), "clamped at max_backoff");
+            let floor = Duration::from_millis(2); // base * (1 - jitter)
+            assert!(a >= floor, "jitter only shrinks, never below half here");
+        }
+        // Different tokens draw different jitter somewhere.
+        assert!((0..64).any(|t| p.backoff_for(t, 1) != p.backoff_for(t + 64, 1)));
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_exponential() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            base: Duration::from_millis(1),
+            factor: 2.0,
+            max_backoff: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_for(0, 0), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(0, 1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(0, 3), Duration::from_millis(8));
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            failure_threshold: 3,
+            cooldown_calls: 2,
+            trial_successes: 2,
+        })
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_failures_in_window() {
+        let mut b = breaker();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn sparse_failures_slide_out_of_the_window() {
+        let mut b = breaker();
+        for _ in 0..8 {
+            b.on_failure();
+            b.on_success();
+            b.on_success();
+            b.on_success();
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "1-in-4 failure rate is fine"
+        );
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_trials() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown is counted in denied calls, not seconds.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "one trial isn't enough");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed trial re-trips");
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn request_caused_rejections_are_not_server_faults() {
+        use crate::batch::FrameError;
+        assert!(server_fault(&Rejected::QueueFull { capacity: 1 }));
+        assert!(server_fault(&Rejected::WorkerCrashed { attempts: 2 }));
+        assert!(server_fault(&Rejected::ShuttingDown));
+        assert!(!server_fault(&Rejected::BadFrame(FrameError::Empty)));
+        assert!(!server_fault(&Rejected::DeadlineExpired {
+            missed_by: Duration::ZERO
+        }));
+    }
+
+    #[test]
+    fn retryability_matches_the_transient_set() {
+        use crate::batch::FrameError;
+        assert!(Rejected::QueueFull { capacity: 1 }.retryable());
+        assert!(Rejected::WorkerCrashed { attempts: 1 }.retryable());
+        assert!(!Rejected::ShuttingDown.retryable());
+        assert!(!Rejected::BadFrame(FrameError::Empty).retryable());
+        assert!(!Rejected::DeadlineExpired {
+            missed_by: Duration::ZERO
+        }
+        .retryable());
+    }
+}

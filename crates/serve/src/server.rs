@@ -1,8 +1,8 @@
 //! The serving loop: a batcher thread coalescing queued frames and a
-//! pool of worker threads, each owning one tuned [`Engine`].
+//! supervised pool of worker threads, each owning one tuned [`Engine`].
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -12,6 +12,7 @@ use ts_core::{CompileError, Engine, SparseTensor};
 
 use crate::batch::{merge_frames, split_output, validate_frame, FrameError};
 use crate::metrics::{Metrics, ServeReport};
+use crate::supervisor::{spawn_supervisor, SupervisorCtx};
 use crate::ServeConfig;
 
 /// A served inference result.
@@ -34,6 +35,12 @@ pub struct Response {
     /// Whether the response was produced after the request's deadline
     /// (late responses are still delivered, but counted as SLO misses).
     pub missed_deadline: bool,
+    /// Whether the serving engine is running in degraded mode — some or
+    /// all of its tuned schedule was rejected at load and replaced by
+    /// the safe fallback dataflow (see
+    /// [`ts_core::Engine::load_schedule_lenient`]). The output is still
+    /// correct; only the tuned performance is lost.
+    pub degraded: bool,
 }
 
 /// Why a request was not served.
@@ -57,8 +64,31 @@ pub enum Rejected {
     /// The frame validated but failed to compile (e.g. duplicate
     /// coordinates).
     CompileFailed(CompileError),
+    /// The worker executing the request died (or was declared stuck)
+    /// and the request exhausted its re-enqueue budget
+    /// ([`crate::ServeConfig::max_requeues`]).
+    WorkerCrashed {
+        /// How many times the request was handed to a worker before
+        /// the server gave up on it.
+        attempts: u32,
+    },
     /// The server is (or finished) shutting down.
     ShuttingDown,
+}
+
+impl Rejected {
+    /// Whether resubmitting the same request can succeed. Transient
+    /// server-side conditions ([`Rejected::QueueFull`],
+    /// [`Rejected::WorkerCrashed`]) are retryable; rejections caused by
+    /// the request itself (bad frame, failed compile, expired deadline)
+    /// and server shutdown are not. [`crate::Client`] consults this to
+    /// decide between backing off and giving up.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            Rejected::QueueFull { .. } | Rejected::WorkerCrashed { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for Rejected {
@@ -72,6 +102,12 @@ impl std::fmt::Display for Rejected {
             }
             Rejected::BadFrame(e) => write!(f, "bad frame: {e}"),
             Rejected::CompileFailed(e) => write!(f, "frame failed to compile: {e}"),
+            Rejected::WorkerCrashed { attempts } => {
+                write!(
+                    f,
+                    "worker crashed executing the request ({attempts} attempts)"
+                )
+            }
             Rejected::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
@@ -98,7 +134,12 @@ impl ResponseHandle {
     }
 }
 
-struct Job {
+/// One queued request. Cloneable because crash recovery re-enqueues a
+/// clone of the in-flight batch while the original (owned by a possibly
+/// still-running worker) may race it; the shared `done` latch
+/// guarantees exactly one of the twins answers the caller.
+#[derive(Debug, Clone)]
+pub(crate) struct Job {
     stream: u64,
     /// Request sequence number; names the `req-N` trace lane.
     req: u64,
@@ -108,6 +149,13 @@ struct Job {
     frame: SparseTensor,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// How many workers this request has been handed to (0 on first
+    /// dispatch; incremented by each crash recovery).
+    pub(crate) attempts: u32,
+    /// Exactly-once completion latch, shared between the original job
+    /// and any recovery clones. The first finisher — reply AND metrics
+    /// — wins; everyone else silently drops the job.
+    pub(crate) done: Arc<AtomicBool>,
     reply: Sender<Result<Response, Rejected>>,
 }
 
@@ -116,9 +164,34 @@ impl Job {
         self.deadline.is_some_and(|d| now > d)
     }
 
-    fn reject(self, why: Rejected) {
+    /// Claims the exclusive right to answer this request. Exactly one
+    /// caller (across all clones) ever sees `true`; that caller must
+    /// record the outcome in metrics and send the reply.
+    pub(crate) fn claim(&self) -> bool {
+        !self.done.swap(true, Ordering::SeqCst)
+    }
+
+    /// Sends a rejection. Callers must have [`Job::claim`]ed first.
+    pub(crate) fn send_err(self, why: Rejected) {
         let _ = self.reply.send(Err(why));
     }
+
+    fn reject(self, why: Rejected) {
+        if self.claim() {
+            self.send_err(why);
+        }
+    }
+}
+
+/// A unit of work handed to the worker pool. The sequence number is
+/// assigned at dispatch from a server-wide counter; fault injection
+/// decisions are pure functions of it, and recovery re-enqueues get a
+/// fresh number, so a replayed batch is never re-injected with the
+/// same fault by construction of an explicit fault list.
+#[derive(Debug, Clone)]
+pub(crate) struct Batch {
+    pub(crate) seq: u64,
+    pub(crate) jobs: Vec<Job>,
 }
 
 /// A multi-stream inference server.
@@ -167,7 +240,10 @@ pub struct Server {
     capacity: usize,
     default_deadline: Option<Duration>,
     batcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    /// Tells the supervisor the drain has started; it closes the work
+    /// channel once the backlog is executed and reaps the worker pool.
+    stop: Arc<AtomicBool>,
     /// Tracer captured from the constructing thread; propagated into
     /// the batcher and worker threads so per-request spans from all of
     /// them land in one trace.
@@ -179,6 +255,18 @@ pub struct Server {
 impl Server {
     /// Starts a server around a tuned engine.
     ///
+    /// Worker threads are owned by a supervisor thread that restarts
+    /// any worker that dies or exceeds [`ServeConfig::stall_timeout`]
+    /// on one batch, re-enqueueing (up to [`ServeConfig::max_requeues`]
+    /// times per request) or shedding its in-flight work with typed
+    /// outcomes — a worker crash never wedges the server or loses a
+    /// caller's [`ResponseHandle`].
+    ///
+    /// If the engine booted in degraded mode
+    /// ([`ts_core::Engine::load_schedule_lenient`]), the downgrade
+    /// count is recorded in [`ServeReport::schedule_downgrades`] and
+    /// every response is flagged [`Response::degraded`].
+    ///
     /// If a [`ts_trace::Tracer`] is installed on the calling thread, the
     /// batcher and worker threads join it: every served request becomes
     /// a span tree (`request` → `queue_wait` / `batch_assembly` /
@@ -189,25 +277,27 @@ impl Server {
         let cfg = cfg.normalized();
         let tracer = ts_trace::current();
         let metrics = Arc::new(Metrics::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let next_batch = Arc::new(AtomicU64::new(0));
         let (ingress_tx, ingress_rx) = unbounded::<Job>();
-        let (work_tx, work_rx) = bounded::<Vec<Job>>(cfg.workers);
+        let (work_tx, work_rx) = bounded::<Batch>(cfg.workers);
 
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let rx = work_rx.clone();
-                let engine = engine.clone();
-                let metrics = Arc::clone(&metrics);
-                let tracer = tracer.clone();
-                std::thread::Builder::new()
-                    .name(format!("ts-serve-worker-{i}"))
-                    .spawn(move || {
-                        ts_trace::install_opt(tracer.as_ref());
-                        worker_loop(&engine, &rx, &metrics)
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        drop(work_rx);
+        let downgrades = engine.downgrades().len() as u64;
+        if downgrades > 0 {
+            metrics.record_downgrades(downgrades);
+            ts_trace::counter_add("serve.schedule.downgraded", downgrades as i64);
+        }
+
+        let supervisor = spawn_supervisor(SupervisorCtx {
+            engine,
+            work_tx: work_tx.clone(),
+            work_rx,
+            metrics: Arc::clone(&metrics),
+            tracer: tracer.clone(),
+            stop: Arc::clone(&stop),
+            next_batch: Arc::clone(&next_batch),
+            cfg: cfg.clone(),
+        });
 
         let batcher = {
             let metrics = Arc::clone(&metrics);
@@ -217,7 +307,7 @@ impl Server {
                 .name("ts-serve-batcher".into())
                 .spawn(move || {
                     ts_trace::install_opt(tracer.as_ref());
-                    batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics)
+                    batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics, &next_batch)
                 })
                 .expect("spawn batcher thread")
         };
@@ -228,7 +318,8 @@ impl Server {
             capacity: cfg.queue_capacity,
             default_deadline: cfg.default_deadline,
             batcher: Some(batcher),
-            workers,
+            supervisor: Some(supervisor),
+            stop,
             tracer,
             trace_path: cfg.trace_path,
             next_req: AtomicU64::new(0),
@@ -268,6 +359,8 @@ impl Server {
             frame,
             submitted,
             deadline: deadline.map(|d| submitted + d),
+            attempts: 0,
+            done: Arc::new(AtomicBool::new(false)),
             reply: tx,
         };
         if ingress.send(job).is_err() {
@@ -307,10 +400,13 @@ impl Server {
     fn join_threads(&mut self) {
         self.ingress.take(); // closing ingress starts the drain
         if let Some(b) = self.batcher.take() {
-            let _ = b.join();
+            let _ = b.join(); // batcher flushes its backlog, then exits
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Only now may the supervisor close the work channel: every
+        // admitted request is already in it (or answered).
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join(); // supervisor reaps the worker pool
         }
     }
 }
@@ -321,16 +417,21 @@ impl Drop for Server {
     }
 }
 
-/// Rejects every expired job in `pending`, keeping the rest.
-fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
+/// Rejects every expired job in `pending`, keeping the rest. Jobs whose
+/// completion latch was already claimed (a recovery twin answered) are
+/// silently dropped.
+pub(crate) fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
     let now = Instant::now();
     let mut kept = Vec::with_capacity(pending.len());
     for job in pending.drain(..) {
         if job.expired(now) {
-            metrics.on_shed_deadline();
-            ts_trace::counter_add("serve.requests.shed_deadline", 1);
-            let missed_by = now.saturating_duration_since(job.deadline.expect("expired has one"));
-            job.reject(Rejected::DeadlineExpired { missed_by });
+            if job.claim() {
+                metrics.on_shed_deadline();
+                ts_trace::counter_add("serve.requests.shed_deadline", 1);
+                let missed_by =
+                    now.saturating_duration_since(job.deadline.expect("expired has one"));
+                job.send_err(Rejected::DeadlineExpired { missed_by });
+            }
         } else {
             kept.push(job);
         }
@@ -340,28 +441,43 @@ fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
 
 /// Forms one batch from `pending` (earliest deadline first; deadline-
 /// free jobs last, FIFO among equals) and hands it to the workers.
-fn dispatch(pending: &mut Vec<Job>, work: &Sender<Vec<Job>>, max_batch: usize) {
+fn dispatch(
+    pending: &mut Vec<Job>,
+    work: &Sender<Batch>,
+    max_batch: usize,
+    next_batch: &AtomicU64,
+) {
     if pending.is_empty() {
         return;
     }
     pending.sort_by_key(|j| (j.deadline.is_none(), j.deadline, j.submitted));
     let take = pending.len().min(max_batch);
-    let batch: Vec<Job> = pending.drain(..take).collect();
+    let jobs: Vec<Job> = pending.drain(..take).collect();
     let _span = ts_trace::span!(
         ts_trace::Subsystem::Serve,
         "dispatch",
-        batch = batch.len(),
+        batch = jobs.len(),
         backlog = pending.len(),
     );
     ts_trace::counter_add("serve.batches.dispatched", 1);
+    let batch = Batch {
+        seq: next_batch.fetch_add(1, Ordering::SeqCst),
+        jobs,
+    };
     if let Err(e) = work.send(batch) {
-        for job in e.into_inner() {
+        for job in e.into_inner().jobs {
             job.reject(Rejected::ShuttingDown);
         }
     }
 }
 
-fn batcher_loop(rx: &Receiver<Job>, work: &Sender<Vec<Job>>, cfg: &ServeConfig, metrics: &Metrics) {
+fn batcher_loop(
+    rx: &Receiver<Job>,
+    work: &Sender<Batch>,
+    cfg: &ServeConfig,
+    metrics: &Metrics,
+    next_batch: &AtomicU64,
+) {
     let mut pending: Vec<Job> = Vec::new();
     loop {
         let timeout = match pending.iter().map(|j| j.submitted).min() {
@@ -373,12 +489,12 @@ fn batcher_loop(rx: &Receiver<Job>, work: &Sender<Vec<Job>>, cfg: &ServeConfig, 
                 pending.push(job);
                 shed_expired(&mut pending, metrics);
                 if pending.len() >= cfg.max_batch {
-                    dispatch(&mut pending, work, cfg.max_batch);
+                    dispatch(&mut pending, work, cfg.max_batch, next_batch);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
                 shed_expired(&mut pending, metrics);
-                dispatch(&mut pending, work, cfg.max_batch);
+                dispatch(&mut pending, work, cfg.max_batch, next_batch);
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -387,17 +503,11 @@ fn batcher_loop(rx: &Receiver<Job>, work: &Sender<Vec<Job>>, cfg: &ServeConfig, 
     // (unless its deadline passes first).
     shed_expired(&mut pending, metrics);
     while !pending.is_empty() {
-        dispatch(&mut pending, work, cfg.max_batch);
+        dispatch(&mut pending, work, cfg.max_batch, next_batch);
     }
 }
 
-fn worker_loop(engine: &Engine, rx: &Receiver<Vec<Job>>, metrics: &Metrics) {
-    while let Ok(batch) = rx.recv() {
-        process_batch(engine, batch, metrics);
-    }
-}
-
-fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
+pub(crate) fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
     // Deadlines may have passed while the batch sat in the work queue.
     shed_expired(&mut batch, metrics);
 
@@ -409,9 +519,11 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
         match validate_frame(&job.frame, expected) {
             Ok(()) => valid.push(job),
             Err(e) => {
-                metrics.on_bad_frame();
-                ts_trace::counter_add("serve.frames.rejected", 1);
-                job.reject(Rejected::BadFrame(e));
+                if job.claim() {
+                    metrics.on_bad_frame();
+                    ts_trace::counter_add("serve.frames.rejected", 1);
+                    job.send_err(Rejected::BadFrame(e));
+                }
             }
         }
     }
@@ -441,8 +553,9 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
                 inferred: inferred_at,
             };
             let parts = split_output(&out, &slots);
+            let degraded = engine.is_degraded();
             for (job, part) in valid.into_iter().zip(parts) {
-                complete(job, part, size, &marks, sim_us, metrics);
+                complete(job, part, size, &marks, sim_us, degraded, metrics);
             }
         }
         // A frame that passed shape validation can still fail to
@@ -455,13 +568,12 @@ fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
             }
         }
         Err(e) => {
-            metrics.on_bad_frame();
-            ts_trace::counter_add("serve.frames.rejected", 1);
-            valid
-                .into_iter()
-                .next()
-                .expect("single job")
-                .reject(Rejected::CompileFailed(e));
+            let job = valid.into_iter().next().expect("single job");
+            if job.claim() {
+                metrics.on_bad_frame();
+                ts_trace::counter_add("serve.frames.rejected", 1);
+                job.send_err(Rejected::CompileFailed(e));
+            }
         }
     }
 }
@@ -474,14 +586,22 @@ struct BatchMarks {
     inferred: Instant,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn complete(
     job: Job,
     output: SparseTensor,
     batch_size: usize,
     marks: &BatchMarks,
     sim_us: f64,
+    degraded: bool,
     metrics: &Metrics,
 ) {
+    // A recovery twin of this job may have finished first (e.g. this
+    // worker was declared stuck and its batch re-enqueued); the latch
+    // keeps replies and metrics exactly-once.
+    if !job.claim() {
+        return;
+    }
     let now = Instant::now();
     let latency = now.saturating_duration_since(job.submitted);
     let missed = job.expired(now);
@@ -499,6 +619,7 @@ fn complete(
         latency,
         sim_us,
         missed_deadline: missed,
+        degraded,
     }));
 }
 

@@ -6,7 +6,7 @@
 //! per-kernel-class breakdowns. This crate gives every subsystem one
 //! shared vocabulary for that attribution:
 //!
-//! * **Spans** — RAII guards ([`span`] / [`span!`]) timed on the
+//! * **Spans** — RAII guards ([`span()`] / [`span!`]) timed on the
 //!   monotonic clock, parented through a thread-local span stack, carrying
 //!   typed arguments. Guards close on drop, so panics and early returns
 //!   cannot leak an open span.
@@ -34,6 +34,28 @@
 //!
 //! Compiling with `default-features = false` (feature `enabled` off)
 //! replaces the entire API with inline no-ops.
+//!
+//! # Counter vocabulary
+//!
+//! Counters are named `subsystem.noun.verb` so they sort into stable
+//! per-subsystem groups in summaries and Chrome-trace tracks. The
+//! names currently emitted by the workspace:
+//!
+//! | Counter | Meaning |
+//! |---|---|
+//! | `core.prepare_cache.hit` / `.miss` | Per-layer prepared-kernel-map reuse in the engine |
+//! | `core.schedule.artifact_rejected` | Lenient schedule load rejected the whole artifact (fallback dataflow everywhere) |
+//! | `core.schedule.group_downgraded` | Lenient schedule load replaced one group's config with the safe fallback |
+//! | `serve.requests.submitted` / `.completed` / `.rejected` | Request lifecycle at the server boundary |
+//! | `serve.requests.requeued` | In-flight requests re-enqueued after their worker died |
+//! | `serve.requests.shed_crashed` | Requests shed with `WorkerCrashed` after the requeue budget ran out |
+//! | `serve.batches.formed` | Dynamic batches dispatched to the worker pool |
+//! | `serve.workers.panicked` / `.stalled` / `.restarted` | Supervisor observations of the worker pool |
+//! | `serve.chaos.injected_panic` / `.injected_stall` | Faults injected by an armed `FaultPlan` (ts-serve, feature `chaos` only) |
+//! | `serve.schedule.downgraded` | Schedule downgrades carried by the engine a server booted from |
+//!
+//! Gauges follow the same convention (e.g. `serve.queue.depth`).
+#![warn(missing_docs)]
 
 use std::fmt;
 

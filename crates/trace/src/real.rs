@@ -614,7 +614,7 @@ struct GuardInner {
     args: Vec<(String, ArgValue)>,
 }
 
-/// RAII span handle from [`span`] / [`span!`]. Closes (records the end
+/// RAII span handle from [`span()`](fn@crate::span) / [`span!`]. Closes (records the end
 /// event) when dropped — panic and early-return safe by construction.
 pub struct SpanGuard(Option<GuardInner>);
 

@@ -1,0 +1,166 @@
+//! Acceptance: the seeded chaos scenario from the robustness design —
+//! corrupt a persisted schedule, boot the server leniently from it,
+//! kill a worker mid-run — and require that the run completes with zero
+//! escaped panics, every request resolved to a typed outcome, and the
+//! report accounting for both the restarts and the downgrades.
+
+use std::time::Duration;
+
+use torchsparse::core::{Engine, GroupConfigs, NetworkBuilder, ScheduleArtifact, SparseTensor};
+use torchsparse::dataflow::{DataflowConfig, ExecCtx};
+use torchsparse::gpusim::Device;
+use torchsparse::kernelmap::{unique_coords, Coord};
+use torchsparse::serve::{
+    BreakerConfig, Client, FaultPlan, Rejected, RetryPolicy, ServeConfig, Server,
+};
+use torchsparse::tensor::{rng_from_seed, uniform_matrix, Precision};
+
+const SEED: u64 = 0x000C_4A05;
+
+fn network() -> torchsparse::core::Network {
+    let mut b = NetworkBuilder::new("chaos-accept", 4);
+    let c = b.conv_block("stem", NetworkBuilder::INPUT, 8, 3, 1);
+    let _ = b.conv("head", c, 2, 1, 1);
+    b.build()
+}
+
+fn frame(seed: u64) -> SparseTensor {
+    let coords: Vec<Coord> = (0..28)
+        .map(|i| Coord::new(0, i % 7 + (seed % 3) as i32, i / 7, i % 2))
+        .collect();
+    let coords = unique_coords(&coords);
+    let n = coords.len();
+    SparseTensor::new(
+        coords,
+        uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0),
+    )
+}
+
+/// The full scenario, driven end to end by one seed.
+#[test]
+fn seeded_chaos_run_degrades_and_recovers_without_panics() {
+    let plan = FaultPlan::from_seed(SEED).with_panic_on([1]);
+    let net = network();
+    let weights = net.init_weights(2);
+    let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp16);
+
+    // A tuned engine persists its schedule; the artifact is then
+    // corrupted deterministically (seeded truncation).
+    let tuned = Engine::new(
+        net.clone(),
+        weights.clone(),
+        GroupConfigs::uniform(DataflowConfig::gather_scatter(true)),
+        ctx.clone(),
+    );
+    let json = tuned.save_schedule().to_json().expect("serializes");
+    let corrupted = plan.corrupt_truncate(&json);
+    assert!(
+        ScheduleArtifact::from_json(&corrupted).is_err(),
+        "truncation must break strict parsing"
+    );
+
+    // Lenient boot: the engine comes up degraded on the safe fallback
+    // instead of refusing to serve.
+    let engine = Engine::load_schedule_lenient(net, weights, &corrupted, ctx);
+    assert!(engine.is_degraded());
+    let downgrades = engine.downgrades().len();
+    assert!(downgrades >= 1);
+
+    // Serve a stream of frames while the fault plan kills the worker
+    // handling batch 1.
+    let server = Server::new(
+        engine,
+        ServeConfig::default()
+            .with_workers(2)
+            .with_max_requeues(2)
+            .with_max_wait(Duration::from_millis(1))
+            .with_supervisor_poll(Duration::from_millis(2))
+            .with_fault_plan(plan),
+    );
+    let handles: Vec<_> = (0..8)
+        .map(|i| server.submit(i % 3, frame(100 + i)).expect("admitted"))
+        .collect();
+    let mut completed = 0u64;
+    for h in handles {
+        // Every handle resolves: served output or a typed rejection —
+        // a hang here would time the test out, an escaped panic would
+        // abort it.
+        match h.wait() {
+            Ok(resp) => {
+                assert!(resp.degraded, "responses from a degraded engine say so");
+                completed += 1;
+            }
+            Err(
+                Rejected::WorkerCrashed { .. }
+                | Rejected::QueueFull { .. }
+                | Rejected::DeadlineExpired { .. },
+            ) => {}
+            Err(other) => panic!("outcome must be typed and expected, got {other:?}"),
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.completed, completed);
+    assert!(completed >= 1, "the pool outlives the crash and serves");
+    assert_eq!(report.worker_panics, 1, "exactly the injected kill");
+    assert!(report.worker_restarts >= 1, "the slot was restarted");
+    assert_eq!(report.schedule_downgrades, downgrades as u64);
+    assert!(report.saw_faults());
+    // The report round-trips with the fault counters intact.
+    let back = torchsparse::serve::ServeReport::from_json(&report.to_json().expect("json"))
+        .expect("parses");
+    assert_eq!(back.worker_restarts, report.worker_restarts);
+}
+
+/// Replay: the same seed drives the same fault decisions, so two runs
+/// of the scenario agree on what was injected.
+#[test]
+fn chaos_decisions_replay_from_the_seed() {
+    let a = FaultPlan::from_seed(SEED).with_panic_rate(0.2);
+    let b = FaultPlan::from_seed(SEED).with_panic_rate(0.2);
+    for seq in 0..256 {
+        assert_eq!(a.decide(seq), b.decide(seq));
+    }
+    let json = r#"{ "version": 1, "network": "n" }"#;
+    assert_eq!(a.corrupt_truncate(json), b.corrupt_truncate(json));
+}
+
+/// The retry client rides out a crashed-out request: the first attempt
+/// is shed with `WorkerCrashed` (requeue budget zero, panic on batch
+/// 0), the breaker stays closed, and the deterministic backoff retry
+/// succeeds against the restarted worker.
+#[test]
+fn retry_client_recovers_from_a_crashed_worker() {
+    let net = network();
+    let weights = net.init_weights(4);
+    let engine = Engine::new(
+        net,
+        weights,
+        GroupConfigs::uniform(DataflowConfig::safe_fallback()),
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    );
+    let server = Server::new(
+        engine,
+        ServeConfig::default()
+            .with_workers(1)
+            .with_max_requeues(0)
+            .with_max_wait(Duration::from_millis(1))
+            .with_supervisor_poll(Duration::from_millis(2))
+            .with_fault_plan(FaultPlan::from_seed(SEED).with_panic_on([0])),
+    );
+    let mut client = Client::new(&server, RetryPolicy::default(), BreakerConfig::default());
+    let mut backoffs = Vec::new();
+    let resp = client
+        .call_with(0, frame(7), |d| backoffs.push(d))
+        .expect("retry succeeds after the crash");
+    assert_eq!(resp.output.channels(), 2);
+    assert_eq!(backoffs.len(), 1, "exactly one retry was needed");
+    assert_eq!(
+        backoffs[0],
+        RetryPolicy::default().backoff_for(0, 0),
+        "the backoff schedule is reproducible from the policy"
+    );
+    let report = server.shutdown();
+    assert_eq!(report.shed_crashed, 1);
+    assert_eq!(report.completed, 1);
+    assert!(report.worker_restarts >= 1);
+}

@@ -1,10 +1,13 @@
 //! Integration: tuned schedules survive serialization and drive the
-//! deployment engine across devices.
+//! deployment engine across devices — and every way a persisted
+//! artifact can be wrong surfaces as a typed error (strict load) or a
+//! recorded downgrade (lenient load), never a panic.
 
 use torchsparse::autotune::{tune_inference, TuneResult, TunerOptions};
-use torchsparse::core::{Engine, Session};
+use torchsparse::core::{Downgrade, Engine, ScheduleArtifact, ScheduleError, Session};
 use torchsparse::dataflow::ExecCtx;
 use torchsparse::gpusim::Device;
+use torchsparse::serve::FaultPlan;
 use torchsparse::tensor::Precision;
 use torchsparse::workloads::Workload;
 
@@ -86,4 +89,127 @@ fn schedules_transfer_across_devices_with_degradation() {
         native <= foreign + 1e-6,
         "native {native} > foreign {foreign}"
     );
+}
+
+/// A tuned artifact for the error-path tests below.
+fn saved_artifact() -> (torchsparse::core::Network, String) {
+    let w = Workload::NuScenesMinkUNet1f;
+    let net = w.network();
+    let scene = w.scene_scaled(3, 0.04);
+    let session = Session::new(&net, scene.coords());
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let result = tune_inference(
+        std::slice::from_ref(&session),
+        &ctx,
+        &TunerOptions::default(),
+    );
+    let weights = net.init_weights(5);
+    let engine = Engine::new(
+        net.clone(),
+        weights,
+        result.group_configs().expect("configs").clone(),
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    );
+    let json = engine.save_schedule().to_json().expect("serializes");
+    (net, json)
+}
+
+/// Corrupted JSON (seeded truncation): strict parsing yields the typed
+/// `Parse` error and a lenient boot degrades rather than panicking.
+#[test]
+fn corrupted_artifact_json_is_a_typed_error_then_a_downgrade() {
+    let (net, json) = saved_artifact();
+    let corrupted = FaultPlan::from_seed(21).corrupt_truncate(&json);
+    match ScheduleArtifact::from_json(&corrupted) {
+        Err(ScheduleError::Parse(_)) => {}
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp16);
+    let weights = net.init_weights(5);
+    let engine = Engine::load_schedule_lenient(net, weights, &corrupted, ctx);
+    assert!(engine.is_degraded());
+    assert!(matches!(
+        engine.downgrades()[0],
+        Downgrade::Artifact {
+            error: ScheduleError::Parse(_)
+        }
+    ));
+    // Degraded does not mean broken: the safe fallback still serves.
+    let scene = Workload::NuScenesMinkUNet1f.scene_scaled(8, 0.03);
+    let (out, _) = engine.infer(&scene);
+    assert_eq!(out.num_points(), scene.num_points());
+}
+
+/// A format-version bump (still-parseable JSON) is rejected with the
+/// version pair, strict and lenient alike.
+#[test]
+fn version_mismatch_is_a_typed_error_then_a_downgrade() {
+    let (net, json) = saved_artifact();
+    let bumped = FaultPlan::from_seed(4).corrupt_version(&json);
+    match ScheduleArtifact::from_json(&bumped) {
+        Err(ScheduleError::VersionMismatch { found, expected }) => {
+            assert_eq!(expected, torchsparse::core::SCHEDULE_VERSION);
+            assert_ne!(found, expected);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    let ctx = ExecCtx::functional(Device::rtx3090(), Precision::Fp16);
+    let weights = net.init_weights(5);
+    let engine = Engine::load_schedule_lenient(net, weights, &bumped, ctx);
+    assert!(matches!(
+        engine.downgrades()[0],
+        Downgrade::Artifact {
+            error: ScheduleError::VersionMismatch { .. }
+        }
+    ));
+}
+
+/// Identity mismatches — wrong network, device or precision — each
+/// surface as their own typed error from the strict loader.
+#[test]
+fn identity_mismatches_are_typed_errors() {
+    let (net, json) = saved_artifact();
+    let artifact = ScheduleArtifact::from_json(&json).expect("intact artifact parses");
+    let weights = net.init_weights(5);
+
+    let other_net = Workload::WaymoCenterPoint1f.network();
+    match Engine::load_schedule(
+        other_net.clone(),
+        other_net.init_weights(1),
+        &artifact,
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    ) {
+        Err(ScheduleError::NetworkMismatch { .. }) => {}
+        other => panic!("expected NetworkMismatch, got {other:?}"),
+    }
+
+    match Engine::load_schedule(
+        net.clone(),
+        weights.clone(),
+        &artifact,
+        ExecCtx::functional(Device::jetson_orin(), Precision::Fp16),
+    ) {
+        Err(ScheduleError::DeviceMismatch { .. }) => {}
+        other => panic!("expected DeviceMismatch, got {other:?}"),
+    }
+
+    match Engine::load_schedule(
+        net.clone(),
+        weights.clone(),
+        &artifact,
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp32),
+    ) {
+        Err(ScheduleError::PrecisionMismatch { .. }) => {}
+        other => panic!("expected PrecisionMismatch, got {other:?}"),
+    }
+
+    // The same artifact loads cleanly against the matching identity.
+    let engine = Engine::load_schedule(
+        net,
+        weights,
+        &artifact,
+        ExecCtx::functional(Device::rtx3090(), Precision::Fp16),
+    )
+    .expect("matching identity loads");
+    assert!(!engine.is_degraded());
 }

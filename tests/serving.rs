@@ -7,7 +7,9 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use torchsparse::autotune::{tune_inference, TunerOptions};
-use torchsparse::core::{Engine, GroupConfigs, NetworkBuilder, Session, SparseTensor};
+use torchsparse::core::{
+    Engine, GroupConfigs, LatencyStats, NetworkBuilder, Session, SparseTensor,
+};
 use torchsparse::dataflow::{DataflowConfig, ExecCtx};
 use torchsparse::gpusim::Device;
 use torchsparse::kernelmap::{unique_coords, Coord};
@@ -202,4 +204,91 @@ fn slo_report_is_consistent_and_serializable() {
     let json = report.to_json().expect("serializes");
     let back = torchsparse::serve::ServeReport::from_json(&json).expect("parses");
     assert_eq!(back, report);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pins the documented merge contract: `runs`, `min`, `max` are
+    /// exact, and the pooled mean/variance match statistics computed
+    /// over the concatenated samples to floating-point accuracy —
+    /// merging summaries loses no moment information. (Percentiles are
+    /// explicitly a run-weighted approximation and are not pinned.)
+    #[test]
+    fn latency_merge_equals_stats_over_concatenated_samples(
+        a in prop::collection::vec(1.0f64..10_000.0, 1..48),
+        b in prop::collection::vec(1.0f64..10_000.0, 1..48),
+    ) {
+        let sa = LatencyStats::from_latencies_us(&a).expect("non-empty");
+        let sb = LatencyStats::from_latencies_us(&b).expect("non-empty");
+        let merged = sa.merge(&sb);
+        let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let pooled = LatencyStats::from_latencies_us(&concat).expect("non-empty");
+
+        prop_assert_eq!(merged.runs, pooled.runs);
+        prop_assert_eq!(merged.min_us, pooled.min_us, "min is exact");
+        prop_assert_eq!(merged.max_us, pooled.max_us, "max is exact");
+        let mean_tol = 1e-9 * (1.0 + pooled.mean_us.abs());
+        prop_assert!(
+            (merged.mean_us - pooled.mean_us).abs() <= mean_tol,
+            "pooled mean {} vs concatenated {}", merged.mean_us, pooled.mean_us
+        );
+        // Compare variances: the grouped decomposition is algebraically
+        // exact, so any difference is rounding, bounded by a few ulps
+        // of the squared data range.
+        let var_tol = 1e-9 * (1.0 + pooled.max_us * pooled.max_us);
+        prop_assert!(
+            (merged.std_us.powi(2) - pooled.std_us.powi(2)).abs() <= var_tol,
+            "pooled variance {} vs concatenated {}",
+            merged.std_us.powi(2), pooled.std_us.powi(2)
+        );
+        // Merge must be symmetric in its inputs.
+        let rev = sb.merge(&sa);
+        prop_assert_eq!(merged.runs, rev.runs);
+        prop_assert!((merged.mean_us - rev.mean_us).abs() <= mean_tol);
+    }
+}
+
+/// `ServeReport::merge` on two real serving runs: counters sum and the
+/// overall latency pool carries exactly the union of the samples.
+#[test]
+fn reports_from_two_servers_merge_consistently() {
+    let run = |streams: u64, frames: u64, seed: u64| {
+        let server = Server::new(
+            unet_engine(),
+            ServeConfig::default()
+                .with_workers(2)
+                .with_max_wait(Duration::from_millis(1)),
+        );
+        let handles: Vec<_> = (0..frames)
+            .map(|i| {
+                let coords: Vec<Coord> = (0..18)
+                    .map(|k| Coord::new(0, k % 5, k / 5 + (i % 2) as i32, k % 2))
+                    .collect();
+                let coords = unique_coords(&coords);
+                let n = coords.len();
+                let f = SparseTensor::new(
+                    coords,
+                    uniform_matrix(&mut rng_from_seed(seed + i), n, 4, -1.0, 1.0),
+                );
+                server.submit(i % streams, f).expect("admitted")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("served");
+        }
+        server.shutdown()
+    };
+    let a = run(2, 5, 100);
+    let b = run(3, 7, 200);
+    let merged = a.merge(&b);
+    assert_eq!(merged.completed, 12);
+    assert_eq!(merged.overall.expect("pooled").runs, 12);
+    // Stream 0 exists in both runs; its pooled run count is the sum.
+    let s0 = merged.streams.iter().find(|s| s.stream == 0).expect("s0");
+    let a0 = a.streams.iter().find(|s| s.stream == 0).expect("a0");
+    let b0 = b.streams.iter().find(|s| s.stream == 0).expect("b0");
+    assert_eq!(s0.latency.runs, a0.latency.runs + b0.latency.runs);
+    assert!(merged.throughput_fps > 0.0);
+    assert!(!merged.saw_faults(), "clean runs report no faults");
 }

@@ -253,7 +253,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Length bounds for [`vec`]: an exact size or a half-open range.
+    /// Length bounds for [`vec()`]: an exact size or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors a reduced `serde` whose `Serialize`/`Deserialize` traits map
-//! types to a JSON-like [`Value`] tree. This proc macro derives those
+//! types to a JSON-like `Value` tree. This proc macro derives those
 //! traits for the shapes the workspace actually uses: named-field
 //! structs, unit structs, tuple structs, and enums with unit, tuple and
 //! struct variants (externally tagged, like real serde). The only field
