@@ -135,7 +135,23 @@ impl Engine {
                 unique,
             });
         }
-        Session::try_new(&self.network, input.coords())
+        let session = Session::try_new(&self.network, input.coords())?;
+        // Structural invariants of freshly built kernel maps. Cheap
+        // relative to map construction but quadratic-ish on the dense
+        // views, so debug builds only — release trusts the builders.
+        #[cfg(debug_assertions)]
+        for group in session.groups() {
+            for (label, map) in [("map", &group.map), ("map_t", &group.map_t)] {
+                let violations = ts_kernelmap::check_map(map);
+                debug_assert!(
+                    violations.is_empty(),
+                    "group {:?} {label} violates kernel-map invariants: {:?}",
+                    group.key,
+                    violations
+                );
+            }
+        }
+        Ok(session)
     }
 
     /// Prices one scene on the simulated GPU without computing features

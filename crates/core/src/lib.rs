@@ -53,7 +53,7 @@ pub use network::{ConvSpec, Network, NetworkBuilder, NetworkWeights, Node, Op};
 pub use report::{percentile_sorted, LatencyStats, LayerTiming, RunReport};
 pub use run::{run_network, run_network_in_session};
 pub use schedule::{
-    sanitize_configs, Downgrade, ScheduleArtifact, ScheduleError, SCHEDULE_VERSION,
+    check_configs, sanitize_configs, Downgrade, ScheduleArtifact, ScheduleError, SCHEDULE_VERSION,
 };
 pub use session::{
     CompileError, GroupConfigs, GroupInfo, GroupKey, PrepareCacheCounters, Session, TrainConfigs,

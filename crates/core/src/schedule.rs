@@ -131,6 +131,27 @@ impl std::fmt::Display for Downgrade {
     }
 }
 
+/// Validates every slot of `configs` without modifying anything,
+/// returning one `(group, config, error)` triple per rejected slot
+/// (`None` = the default slot). This is the checking pass behind
+/// [`sanitize_configs`]; `ts-verify` also runs it standalone to report
+/// illegal schedules as typed violations.
+pub fn check_configs(configs: &GroupConfigs) -> Vec<(Option<usize>, DataflowConfig, ConfigError)> {
+    let mut rejected = Vec::new();
+    if let Err(error) = configs.default.validate() {
+        rejected.push((None, configs.default, error));
+    }
+    let mut groups: Vec<usize> = configs.per_group.keys().copied().collect();
+    groups.sort_unstable();
+    for g in groups {
+        let cfg = configs.per_group[&g];
+        if let Err(error) = cfg.validate() {
+            rejected.push((Some(g), cfg, error));
+        }
+    }
+    rejected
+}
+
 /// Validates every config in `configs` and replaces the rejected ones
 /// with [`DataflowConfig::safe_fallback`], returning the sanitized
 /// table plus one [`Downgrade::Group`] record per replacement. A table
@@ -138,26 +159,14 @@ impl std::fmt::Display for Downgrade {
 pub fn sanitize_configs(configs: &GroupConfigs) -> (GroupConfigs, Vec<Downgrade>) {
     let mut out = configs.clone();
     let mut downgrades = Vec::new();
-    if let Err(error) = configs.default.validate() {
-        out.default = DataflowConfig::safe_fallback();
-        downgrades.push(Downgrade::Group {
-            group: None,
-            from: configs.default,
-            error,
-        });
-    }
-    let mut groups: Vec<usize> = configs.per_group.keys().copied().collect();
-    groups.sort_unstable();
-    for g in groups {
-        let cfg = configs.per_group[&g];
-        if let Err(error) = cfg.validate() {
-            out.per_group.insert(g, DataflowConfig::safe_fallback());
-            downgrades.push(Downgrade::Group {
-                group: Some(g),
-                from: cfg,
-                error,
-            });
+    for (group, from, error) in check_configs(configs) {
+        match group {
+            None => out.default = DataflowConfig::safe_fallback(),
+            Some(g) => {
+                out.per_group.insert(g, DataflowConfig::safe_fallback());
+            }
         }
+        downgrades.push(Downgrade::Group { group, from, error });
     }
     (out, downgrades)
 }
@@ -345,6 +354,23 @@ mod tests {
             } => assert_eq!(*from, c.for_group(1)),
             other => panic!("expected group-1 downgrade, got {other}"),
         }
+    }
+
+    #[test]
+    fn check_reports_without_mutating() {
+        let mut c = configs();
+        c.set(
+            1,
+            DataflowConfig::implicit_gemm(ts_dataflow::MAX_SPLITS + 7),
+        );
+        let before = c.clone();
+        let rejected = check_configs(&c);
+        assert_eq!(c, before, "checking must not sanitize");
+        assert_eq!(rejected.len(), 1);
+        let (group, from, error) = &rejected[0];
+        assert_eq!(*group, Some(1));
+        assert_eq!(*from, c.for_group(1));
+        assert!(matches!(error, ConfigError::SplitsOutOfRange { .. }));
     }
 
     #[test]

@@ -100,10 +100,37 @@ pub fn forward_prepared(
 ) -> ConvOutput {
     assert_eq!(x.rows(), map.n_in(), "input rows must match map inputs");
     assert_eq!(x.cols(), w.c_in(), "input channels must match weights");
-    match cfg.kind {
+    #[allow(unused_mut)]
+    let mut out = match cfg.kind {
         DataflowKind::GatherScatter { fused } => gather_scatter::run(x, w, map, fused, cfg, ctx),
         DataflowKind::FetchOnDemand { fused } => fetch_on_demand::run(x, w, map, fused, cfg, ctx),
         DataflowKind::ImplicitGemm { .. } => implicit_gemm::run(x, w, map, prepared, cfg, ctx),
+    };
+    #[cfg(feature = "mutate")]
+    mutate::apply(&mut out, cfg);
+    out
+}
+
+/// Deliberate fault injection for mutation testing of the conformance
+/// harness (`mutate` feature only). With `TS_MUTATE=sign-flip` in the
+/// environment, the fused gather-scatter dataflow's first output element
+/// has its sign flipped — a defect any differential check must catch.
+#[cfg(feature = "mutate")]
+mod mutate {
+    use crate::{ConvOutput, DataflowConfig, DataflowKind};
+
+    pub(crate) fn apply(out: &mut ConvOutput, cfg: &DataflowConfig) {
+        if !matches!(cfg.kind, DataflowKind::GatherScatter { fused: true }) {
+            return;
+        }
+        if std::env::var("TS_MUTATE").as_deref() != Ok("sign-flip") {
+            return;
+        }
+        if let Some(y) = out.features.as_mut() {
+            if let Some(v) = y.as_mut_slice().iter_mut().find(|v| **v != 0.0) {
+                *v = -*v;
+            }
+        }
     }
 }
 

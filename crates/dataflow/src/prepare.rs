@@ -49,6 +49,17 @@ pub fn prepare(map: &KernelMap, cfg: &DataflowConfig, ctx: &ExecCtx) -> Prepared
         }
         DataflowKind::ImplicitGemm { splits } => {
             let plan = SplitPlan::from_split_count(map, splits);
+            // The padding target below and the plan itself must satisfy
+            // the split-plan invariants (ranges partition the offset
+            // axis, minimal cta_m padding); checked in debug builds.
+            #[cfg(debug_assertions)]
+            {
+                let violations = ts_kernelmap::check_plan(map, &plan, 128);
+                debug_assert!(
+                    violations.is_empty(),
+                    "split plan (splits = {splits}) violates invariants: {violations:?}"
+                );
+            }
 
             if splits >= 1 {
                 // Bitmask construction: one pass over the neighbor matrix.

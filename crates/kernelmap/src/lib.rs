@@ -37,6 +37,7 @@
 //! ```
 
 mod build;
+mod check;
 mod coord;
 mod hashmap;
 mod map;
@@ -47,6 +48,7 @@ pub use build::{
     build_strided_map, build_strided_map_with_stats, build_submanifold_map,
     build_submanifold_map_with_stats, downsample_coords, unique_coords, MapStats,
 };
+pub use check::{check_map, check_plan, MapViolation};
 pub use coord::Coord;
 pub use hashmap::CoordHashMap;
 pub use map::KernelMap;

@@ -162,6 +162,60 @@ fn stalled_worker_is_replaced_and_batch_recovered() {
     assert!(report.requeued >= 1);
 }
 
+/// The requeue boundary, failing side: a batch that crashes on its
+/// first dispatch AND on every one of its `max_requeues` replays is
+/// shed with `WorkerCrashed { attempts: max_requeues + 1 }`, delivered
+/// exactly once (the completion latch), and counted once in the report.
+#[test]
+fn batch_failing_exactly_max_requeues_times_is_shed_once() {
+    // One worker, one request, max_batch 1: batch seqs are 0, 1, 2 for
+    // the initial dispatch and the two replays (requeues re-enqueue
+    // under a fresh seq), so pinning panics on [0, 1, 2] kills every
+    // attempt the budget allows.
+    let server = Server::new(
+        engine(),
+        cfg()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_max_requeues(2)
+            .with_fault_plan(FaultPlan::from_seed(11).with_panic_on([0, 1, 2])),
+    );
+    let handle = server.submit(0, frame(110)).expect("admitted");
+    match handle.wait() {
+        Err(Rejected::WorkerCrashed { attempts }) => {
+            assert_eq!(attempts, 3, "initial dispatch + 2 requeues");
+        }
+        other => panic!("expected WorkerCrashed after exhausting requeues, got {other:?}"),
+    }
+    let report = server.shutdown();
+    assert_eq!(report.shed_crashed, 1, "shed exactly once");
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.requeued, 2, "both budgeted replays happened");
+    assert_eq!(report.worker_panics, 3);
+}
+
+/// The requeue boundary, passing side: with the same budget but one
+/// fewer crash (`max_requeues` - 1 failures after the initial crash),
+/// the final replay executes and the request completes.
+#[test]
+fn batch_failing_one_under_the_requeue_budget_completes() {
+    let server = Server::new(
+        engine(),
+        cfg()
+            .with_workers(1)
+            .with_max_batch(1)
+            .with_max_requeues(2)
+            .with_fault_plan(FaultPlan::from_seed(12).with_panic_on([0, 1])),
+    );
+    let handle = server.submit(0, frame(111)).expect("admitted");
+    handle.wait().expect("third dispatch succeeds");
+    let report = server.shutdown();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.shed_crashed, 0);
+    assert_eq!(report.requeued, 2);
+    assert_eq!(report.worker_panics, 2);
+}
+
 /// Seeded burst overload: admission control sheds the overflow with
 /// typed rejections while everything admitted is served, and the same
 /// seed produces the same burst schedule.

@@ -32,5 +32,5 @@ pub use matrix::{
     gemm, gemm_accumulate, gemm_nt, gemm_tn, gemm_tn_naive, Matrix, MatrixShapeError, GEMM_TN_BLOCK,
 };
 pub use ops::{add_bias, batch_norm, relu, relu_backward, BatchNormParams};
-pub use precision::Precision;
+pub use precision::{ErrorBudget, Precision};
 pub use rng::{rng_from_seed, uniform_matrix, xavier_matrix};

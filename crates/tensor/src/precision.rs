@@ -71,6 +71,83 @@ impl fmt::Display for Precision {
     }
 }
 
+/// ULP-aware error budget for comparing two computations of the same
+/// reduction at a given storage precision.
+///
+/// Differential tests quantize inputs (and outputs) to the precision's
+/// representable grid and compute in `f32`, like tensor cores
+/// accumulating in FP32. The budget then has two terms:
+///
+/// * a *storage* term — two values that agree to well under one ULP of
+///   the storage precision may still land on adjacent grid points when
+///   rounded, so the budget always admits a couple of ULPs at the
+///   stored magnitude;
+/// * an *accumulation* term — reassociating a `depth`-term `f32`
+///   reduction (different dataflows sum in different orders) perturbs
+///   the result by at most a small multiple of `depth` `f32` ULPs.
+///
+/// The per-precision unit roundoff comes from the same mantissa widths
+/// [`Precision::quantize`] implements, so the budget is derived, not
+/// hand-tuned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBudget {
+    /// Storage precision being modelled.
+    pub precision: Precision,
+    /// Length of the longest reduction feeding one output element.
+    pub depth: usize,
+}
+
+impl ErrorBudget {
+    /// Safety factor on the accumulation term: reassociation error is
+    /// bounded by `depth * u_f32` relative per summand, and uniform
+    /// random data realises only a fraction of the bound; 8 leaves
+    /// generous headroom without masking real defects (a sign flip is
+    /// ~2x relative error, four orders of magnitude above the budget).
+    const ACCUM_SAFETY: f32 = 8.0;
+
+    /// Budget for a reduction of `depth` terms stored at `precision`.
+    pub fn new(precision: Precision, depth: usize) -> Self {
+        Self {
+            precision,
+            depth: depth.max(1),
+        }
+    }
+
+    /// Unit roundoff of one stored element: the worst-case relative
+    /// error [`Precision::quantize`] introduces for a normal value.
+    /// FP16 rounds to nearest (half an ULP of a 10-bit mantissa), TF32
+    /// truncates (a full ULP of a 10-bit mantissa), FP32 is exact in
+    /// storage so only the `f32` compute roundoff remains.
+    pub fn unit_roundoff(precision: Precision) -> f32 {
+        match precision {
+            Precision::Fp16 => 4.8828125e-4, // 2^-11
+            Precision::Tf32 => 9.765625e-4,  // 2^-10
+            Precision::Fp32 => 5.9604645e-8, // 2^-24
+        }
+    }
+
+    /// Relative tolerance usable with `Matrix::approx_eq`-style
+    /// comparisons (`|a - b| <= tol * max(|a|, |b|, 1)`).
+    pub fn rel_tol(&self) -> f32 {
+        let storage = 2.0 * Self::unit_roundoff(self.precision);
+        let accum = Self::ACCUM_SAFETY * Self::unit_roundoff(Precision::Fp32) * self.depth as f32;
+        storage + accum
+    }
+
+    /// Whether `a` and `b` agree within this budget.
+    pub fn allows(&self, a: f32, b: f32) -> bool {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() <= self.rel_tol() * scale
+    }
+
+    /// The budget-normalised error of `(a, b)`: values above 1.0 are
+    /// out of budget. Useful for reporting *how far* out a mismatch is.
+    pub fn normalized_error(&self, a: f32, b: f32) -> f32 {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        (a - b).abs() / (self.rel_tol() * scale)
+    }
+}
+
 /// Round-trips an `f32` through IEEE binary16 with round-to-nearest-even.
 fn f16_round_trip(v: f32) -> f32 {
     let bits = v.to_bits();
@@ -177,5 +254,41 @@ mod tests {
         assert_eq!(Precision::Fp16.to_string(), "FP16");
         assert_eq!(Precision::Tf32.to_string(), "TF32");
         assert_eq!(Precision::Fp32.to_string(), "FP32");
+    }
+
+    #[test]
+    fn budget_orders_by_precision() {
+        let fp16 = ErrorBudget::new(Precision::Fp16, 32).rel_tol();
+        let tf32 = ErrorBudget::new(Precision::Tf32, 32).rel_tol();
+        let fp32 = ErrorBudget::new(Precision::Fp32, 32).rel_tol();
+        assert!(fp32 < fp16, "FP32 budget must be the tightest");
+        assert!(fp16 < tf32, "TF32 truncation is coarser than FP16 rounding");
+    }
+
+    #[test]
+    fn budget_grows_with_depth() {
+        let shallow = ErrorBudget::new(Precision::Fp32, 4).rel_tol();
+        let deep = ErrorBudget::new(Precision::Fp32, 4096).rel_tol();
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn budget_admits_one_quantization_ulp() {
+        let b = ErrorBudget::new(Precision::Fp16, 1);
+        for v in [0.3f32, 1.7, -42.5, 913.0] {
+            assert!(b.allows(v, Precision::Fp16.quantize(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn budget_rejects_a_sign_flip() {
+        let b = ErrorBudget::new(Precision::Tf32, 1024);
+        assert!(!b.allows(0.5, -0.5));
+        assert!(b.normalized_error(0.5, -0.5) > 100.0);
+    }
+
+    #[test]
+    fn zero_depth_is_clamped() {
+        assert_eq!(ErrorBudget::new(Precision::Fp32, 0).depth, 1);
     }
 }

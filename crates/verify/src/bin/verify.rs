@@ -1,0 +1,231 @@
+//! The conformance gate: corpus replay, fuzzing, and mutation smoke.
+//!
+//! ```text
+//! verify --corpus [DIR]                      # replay checked-in repros (CI gate)
+//! verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]
+//! verify --mutation-smoke [--repro-dir DIR]  # requires --features mutate
+//! ```
+//!
+//! Exit status: 0 = clean, 1 = conformance failure (counterexample
+//! written when a repro dir applies), 2 = usage or environment error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ts_verify::{fuzz, replay_corpus, write_repro};
+
+/// Default corpus/repro directory: `tests/repros/` at the workspace
+/// root, resolved relative to this crate so the binary works from any
+/// working directory.
+fn default_repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("repros")
+}
+
+struct Args {
+    corpus: Option<PathBuf>,
+    fuzz: bool,
+    mutation_smoke: bool,
+    seed: u64,
+    iters: usize,
+    repro_dir: PathBuf,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: verify --corpus [DIR]\n       verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]\n       verify --mutation-smoke [--repro-dir DIR]"
+    );
+    ExitCode::from(2)
+}
+
+/// Seeds parse as decimal or `0x`-prefixed hex (the binary reports
+/// seeds in hex, so pasting one back must round-trip).
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        corpus: None,
+        fuzz: false,
+        mutation_smoke: false,
+        seed: 0x5EED,
+        iters: 16,
+        repro_dir: default_repro_dir(),
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    let mut saw_mode = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--corpus" => {
+                saw_mode = true;
+                let dir = match it.peek() {
+                    Some(v) if !v.starts_with("--") => PathBuf::from(it.next().unwrap()),
+                    _ => default_repro_dir(),
+                };
+                args.corpus = Some(dir);
+            }
+            "--fuzz" => {
+                saw_mode = true;
+                args.fuzz = true;
+            }
+            "--mutation-smoke" => {
+                saw_mode = true;
+                args.mutation_smoke = true;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = parse_seed(&v).ok_or(format!("bad seed: {v}"))?;
+            }
+            "--iters" => {
+                let v = it.next().ok_or("--iters needs a value")?;
+                args.iters = v.parse().map_err(|_| format!("bad iters: {v}"))?;
+            }
+            "--repro-dir" => {
+                let v = it.next().ok_or("--repro-dir needs a value")?;
+                args.repro_dir = PathBuf::from(v);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !saw_mode {
+        return Err("pick a mode: --corpus, --fuzz or --mutation-smoke".to_owned());
+    }
+    Ok(args)
+}
+
+fn run_corpus(dir: &Path) -> bool {
+    let results = match replay_corpus(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corpus error: {e}");
+            return false;
+        }
+    };
+    let mut failed = 0usize;
+    for r in &results {
+        if r.passed() {
+            println!("PASS {}", r.path.display());
+        } else {
+            failed += 1;
+            println!("FAIL {}", r.path.display());
+            for v in &r.violations {
+                println!("  violation: {v}");
+            }
+            for m in &r.mismatches {
+                println!("  mismatch: {m}");
+            }
+        }
+    }
+    println!("corpus: {} file(s), {} failed", results.len(), failed);
+    failed == 0
+}
+
+fn run_fuzz(seed: u64, iters: usize, repro_dir: &Path) -> bool {
+    let report = fuzz(seed, iters);
+    match report.counterexample {
+        None => {
+            println!(
+                "fuzz: {} scenario(s) from seed {seed:#x}, all conformant",
+                report.iterations
+            );
+            true
+        }
+        Some(ce) => {
+            eprintln!(
+                "fuzz: counterexample after {} scenario(s): {} point(s), {}x{} channels, kernel {}",
+                report.iterations,
+                ce.scenario.coords.len(),
+                ce.scenario.c_in,
+                ce.scenario.c_out,
+                ce.scenario.kernel_size
+            );
+            for m in &ce.mismatches {
+                eprintln!("  {m}");
+            }
+            match write_repro(repro_dir, &ce) {
+                Ok(path) => eprintln!("repro written to {}", path.display()),
+                Err(e) => eprintln!("could not write repro: {e}"),
+            }
+            false
+        }
+    }
+}
+
+/// Flips a sign inside one dataflow (the `mutate` feature's hook in
+/// `ts-dataflow`) and asserts the harness catches it with a shrunken
+/// repro of at most 8 points. Proves the conformance gate detects real
+/// defects rather than vacuously passing.
+#[cfg(feature = "mutate")]
+fn run_mutation_smoke(repro_dir: &Path) -> ExitCode {
+    std::env::set_var("TS_MUTATE", "sign-flip");
+    let report = fuzz(0x5EED_F11B, 8);
+    std::env::remove_var("TS_MUTATE");
+    let Some(ce) = report.counterexample else {
+        eprintln!("mutation smoke FAILED: sign-flipped dataflow was not caught");
+        return ExitCode::FAILURE;
+    };
+    let points = ce.scenario.coords.len();
+    if points > 8 {
+        eprintln!("mutation smoke FAILED: repro has {points} points, expected <= 8");
+        return ExitCode::FAILURE;
+    }
+    let smoke_dir = repro_dir.join("mutation-smoke");
+    match write_repro(&smoke_dir, &ce) {
+        Ok(path) => println!(
+            "mutation smoke passed: sign flip caught, shrunk to {points} point(s), repro at {}",
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("mutation smoke FAILED: could not persist repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(not(feature = "mutate"))]
+fn run_mutation_smoke(_repro_dir: &Path) -> ExitCode {
+    eprintln!("mutation smoke needs `--features mutate` (cargo run -p ts-verify --features mutate --bin verify -- --mutation-smoke)");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    if args.mutation_smoke {
+        return run_mutation_smoke(&args.repro_dir);
+    }
+    // Corpus and fuzz compose: `--corpus --fuzz` replays the corpus
+    // then hunts for new counterexamples (the CI verify job's shape).
+    let mut failed = false;
+    let mut ran = false;
+    if let Some(dir) = &args.corpus {
+        ran = true;
+        failed |= !run_corpus(dir);
+    }
+    if args.fuzz && !failed {
+        ran = true;
+        failed |= !run_fuzz(args.seed, args.iters, &args.repro_dir);
+    }
+    if !ran {
+        return usage();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,322 @@
+//! Seeded scenario fuzzing with minimal-repro shrinking.
+//!
+//! The fuzzer draws random scenarios (point cloud, channels, kernel
+//! size) from a seed, runs the differential engine over each, and — on
+//! the first failure — shrinks the scenario to a local minimum: every
+//! single-step reduction (fewer points, fewer channels, smaller kernel,
+//! fewer configs) still reproduces the mismatch. The result serializes
+//! as a JSON [`Counterexample`] suitable for checking in under
+//! `tests/repros/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ts_tensor::rng_from_seed;
+
+use crate::{run_scenario, Mismatch, ReproCoord, Scenario};
+
+/// Hard cap on differential evaluations one shrink pass may spend.
+/// Each evaluation runs the full dataflow × pass × precision matrix, so
+/// shrinking is the expensive part of a fuzz failure; 300 evaluations
+/// minimize any scenario this fuzzer can generate.
+const SHRINK_BUDGET: usize = 300;
+
+/// A shrunken failing scenario plus the mismatches it reproduces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// The minimal failing scenario.
+    pub scenario: Scenario,
+    /// Mismatches observed when the counterexample was produced. Empty
+    /// for corpus seeds that never failed (conformance scenarios).
+    pub mismatches: Vec<Mismatch>,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Scenarios generated and executed.
+    pub iterations: usize,
+    /// First failure found, already shrunken; `None` = all conformant.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Deterministically generates the `i`-th scenario of a fuzz run.
+///
+/// Scenarios are intentionally small (≤ 48 points, ≤ 8 channels): the
+/// differential matrix multiplies out to hundreds of executions per
+/// scenario, and conformance defects in index plumbing do not need
+/// large clouds to surface.
+pub fn generate_scenario(seed: u64) -> Scenario {
+    let mut rng = rng_from_seed(seed ^ 0xD1FF_7C0D);
+    let n: usize = rng.gen_range(1..=48);
+    let batches: i32 = rng.gen_range(1..=2);
+    let kernel_size: u32 = rng.gen_range(2..=3);
+    let c_in: usize = rng.gen_range(1..=8);
+    let c_out: usize = rng.gen_range(1..=8);
+    let coords = (0..n)
+        .map(|_| ReproCoord {
+            b: rng.gen_range(0..batches),
+            x: rng.gen_range(-6..=6),
+            y: rng.gen_range(-6..=6),
+            z: rng.gen_range(-2..=2),
+        })
+        .collect();
+    Scenario {
+        seed,
+        coords,
+        c_in,
+        c_out,
+        kernel_size,
+        configs: Vec::new(),
+    }
+}
+
+/// Runs `iters` seeded scenarios starting at `seed`; stops at (and
+/// shrinks) the first failure.
+pub fn fuzz(seed: u64, iters: usize) -> FuzzReport {
+    for i in 0..iters {
+        let scenario = generate_scenario(seed.wrapping_add(i as u64));
+        let mismatches = run_scenario(&scenario);
+        if !mismatches.is_empty() {
+            let (scenario, mismatches) = shrink(&scenario, mismatches);
+            return FuzzReport {
+                iterations: i + 1,
+                counterexample: Some(Counterexample {
+                    scenario,
+                    mismatches,
+                }),
+            };
+        }
+    }
+    FuzzReport {
+        iterations: iters,
+        counterexample: None,
+    }
+}
+
+/// Shrinks a failing scenario to a local minimum: the returned scenario
+/// still fails, and no single shrink step (pinning configs, halving or
+/// dropping points, collapsing channels, shrinking the kernel) keeps it
+/// failing. Also returns the minimal scenario's mismatches.
+pub fn shrink(scenario: &Scenario, mismatches: Vec<Mismatch>) -> (Scenario, Vec<Mismatch>) {
+    let mut best = scenario.clone();
+    let mut best_mismatches = mismatches;
+    let mut evals = 0usize;
+
+    // Try a candidate: adopt it iff it still fails. Returns whether it
+    // was adopted.
+    let attempt = |cand: Scenario,
+                   best: &mut Scenario,
+                   best_mismatches: &mut Vec<Mismatch>,
+                   evals: &mut usize|
+     -> bool {
+        if *evals >= SHRINK_BUDGET {
+            return false;
+        }
+        *evals += 1;
+        let m = run_scenario(&cand);
+        if m.is_empty() {
+            return false;
+        }
+        *best = cand;
+        *best_mismatches = m;
+        true
+    };
+
+    // Pin to the single failing config first: every later evaluation
+    // then runs one dataflow instead of the full space.
+    if best.configs.is_empty() {
+        let mut cand = best.clone();
+        cand.configs = vec![best_mismatches[0].config];
+        attempt(cand, &mut best, &mut best_mismatches, &mut evals);
+    }
+
+    let mut progress = true;
+    while progress && evals < SHRINK_BUDGET {
+        progress = false;
+
+        // Halving passes remove big chunks cheaply.
+        while best.coords.len() > 1 && evals < SHRINK_BUDGET {
+            let half = best.coords.len() / 2;
+            let front = Scenario {
+                coords: best.coords[..half].to_vec(),
+                ..best.clone()
+            };
+            let back = Scenario {
+                coords: best.coords[half..].to_vec(),
+                ..best.clone()
+            };
+            if attempt(front, &mut best, &mut best_mismatches, &mut evals)
+                || attempt(back, &mut best, &mut best_mismatches, &mut evals)
+            {
+                progress = true;
+            } else {
+                break;
+            }
+        }
+
+        // Greedy single-point drops mop up what bisection missed.
+        let mut i = 0;
+        while i < best.coords.len() && best.coords.len() > 1 && evals < SHRINK_BUDGET {
+            let mut cand = best.clone();
+            cand.coords.remove(i);
+            if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true; // same index now holds the next point
+            } else {
+                i += 1;
+            }
+        }
+
+        // Collapse channels toward 1.
+        for f in [
+            |s: &mut Scenario| s.c_in = 1,
+            |s: &mut Scenario| s.c_in /= 2,
+            |s: &mut Scenario| s.c_out = 1,
+            |s: &mut Scenario| s.c_out /= 2,
+        ] {
+            let mut cand = best.clone();
+            f(&mut cand);
+            cand.c_in = cand.c_in.max(1);
+            cand.c_out = cand.c_out.max(1);
+            if cand != best && attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true;
+            }
+        }
+
+        // Shrink the kernel (drops whole offset planes).
+        if best.kernel_size > 1 {
+            let mut cand = best.clone();
+            cand.kernel_size -= 1;
+            if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true;
+            }
+        }
+    }
+    (best, best_mismatches)
+}
+
+/// Writes a counterexample as pretty JSON under `dir`, named by its
+/// seed. Returns the written path.
+pub fn write_repro(dir: &Path, ce: &Counterexample) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-seed-{}.json", ce.scenario.seed));
+    let json = serde_json::to_string_pretty(ce)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// One corpus file's replay outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusResult {
+    /// The replayed file.
+    pub path: PathBuf,
+    /// Differential mismatches on replay (empty = conformant now).
+    pub mismatches: Vec<Mismatch>,
+    /// Structural violations of the scenario's kernel maps.
+    pub violations: Vec<crate::Violation>,
+}
+
+impl CorpusResult {
+    /// Whether the replay was clean.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.violations.is_empty()
+    }
+}
+
+/// Replays every `*.json` counterexample under `dir` through the
+/// invariant checker and differential engine. Checked-in repros record
+/// *fixed* bugs, so a healthy corpus replays clean.
+///
+/// # Errors
+///
+/// I/O errors reading the directory, or parse errors on any corpus file
+/// (a corrupt corpus is a failure, not a skip).
+pub fn replay_corpus(dir: &Path) -> io::Result<Vec<CorpusResult>> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    let mut results = Vec::new();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let ce: Counterexample = serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        let violations = crate::check_scenario_maps(&ce.scenario);
+        let mismatches = run_scenario(&ce.scenario);
+        results.push(CorpusResult {
+            path,
+            mismatches,
+            violations,
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_scenario(123), generate_scenario(123));
+        assert_ne!(generate_scenario(123), generate_scenario(124));
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        for seed in 0..20 {
+            let s = generate_scenario(seed);
+            assert!(!s.coords.is_empty());
+            assert!((1..=8).contains(&s.c_in));
+            assert!((1..=8).contains(&s.c_out));
+            assert!((2..=3).contains(&s.kernel_size));
+        }
+    }
+
+    #[test]
+    fn clean_dataflows_survive_a_short_fuzz_burst() {
+        let report = fuzz(0xBEEF, 4);
+        assert_eq!(report.iterations, 4);
+        assert!(
+            report.counterexample.is_none(),
+            "unexpected counterexample: {:#?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn counterexample_json_round_trip() {
+        let ce = Counterexample {
+            scenario: generate_scenario(5),
+            mismatches: Vec::new(),
+        };
+        let json = serde_json::to_string_pretty(&ce).expect("serializes");
+        let back: Counterexample = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(ce, back);
+    }
+
+    #[test]
+    fn repro_write_and_replay() {
+        let dir = std::env::temp_dir().join(format!("ts-verify-test-{}", std::process::id()));
+        let ce = Counterexample {
+            scenario: generate_scenario(7),
+            mismatches: Vec::new(),
+        };
+        let path = write_repro(&dir, &ce).expect("writes");
+        assert!(path.exists());
+        let results = replay_corpus(&dir).expect("replays");
+        assert_eq!(results.len(), 1);
+        assert!(results[0].passed(), "{:#?}", results[0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! The invariant checker: adapters that run each subsystem's structural
+//! checks and normalise the results into [`Violation`] reports.
+
+use std::collections::HashMap;
+
+use ts_core::{GroupConfigs, Network, Op, ScheduleArtifact, Session, SparseTensor};
+use ts_kernelmap::{Coord, KernelMap, SplitPlan};
+use ts_tensor::Precision;
+
+use crate::Violation;
+
+/// Tensor-core tile granularity conv channels should divide into; the
+/// kernel generator pads GEMM operands to 16-row fragments otherwise.
+pub const TILE_GRANULARITY: usize = 16;
+
+/// Checks a kernel map's structural invariants (pair indices in range,
+/// no duplicate `(k, p, q)`, dense views consistent with pair lists).
+pub fn check_kernel_map(context: &str, map: &KernelMap) -> Vec<Violation> {
+    ts_kernelmap::check_map(map)
+        .into_iter()
+        .map(|violation| Violation::Map {
+            context: context.to_owned(),
+            violation,
+        })
+        .collect()
+}
+
+/// Checks a split plan against its map (offset-axis partition, row
+/// orders are permutations, padded row counts are minimal multiples of
+/// `cta_m`).
+pub fn check_split_plan(
+    context: &str,
+    map: &KernelMap,
+    plan: &SplitPlan,
+    cta_m: usize,
+) -> Vec<Violation> {
+    ts_kernelmap::check_plan(map, plan, cta_m)
+        .into_iter()
+        .map(|violation| Violation::Map {
+            context: context.to_owned(),
+            violation,
+        })
+        .collect()
+}
+
+/// Checks that every point of a coordinate list is unique per batch key.
+pub fn check_coords(coords: &[Coord]) -> Vec<Violation> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for c in coords {
+        *counts.entry(c.key()).or_insert(0) += 1;
+    }
+    let mut dups: Vec<Violation> = counts
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .map(|(key, count)| {
+            let c = Coord::from_key(key);
+            Violation::DuplicateCoord {
+                batch: c.batch,
+                position: (c.x, c.y, c.z),
+                count,
+            }
+        })
+        .collect();
+    // HashMap iteration order is unstable; reports should not be.
+    dups.sort_by_key(|v| match v {
+        Violation::DuplicateCoord {
+            batch, position, ..
+        } => (*batch, *position),
+        _ => unreachable!(),
+    });
+    dups
+}
+
+/// Checks a sparse tensor: unique coords per batch key.
+pub fn check_sparse_tensor(t: &SparseTensor) -> Vec<Violation> {
+    check_coords(t.coords())
+}
+
+/// Checks every slot of a per-group config table for legality.
+pub fn check_group_configs(configs: &GroupConfigs) -> Vec<Violation> {
+    ts_core::check_configs(configs)
+        .into_iter()
+        .map(|(group, config, error)| Violation::Config {
+            group,
+            config,
+            error,
+        })
+        .collect()
+}
+
+/// Checks a persisted schedule artifact against a deployment target:
+/// identity key (version / network / device / precision) plus every
+/// config slot.
+pub fn check_schedule(
+    artifact: &ScheduleArtifact,
+    network: &str,
+    device: &str,
+    precision: Precision,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Err(e) = artifact.validate(network, device, precision) {
+        out.push(Violation::Schedule {
+            error: e.to_string(),
+        });
+    }
+    out.extend(check_group_configs(&artifact.configs));
+    out
+}
+
+/// Checks channel divisibility of every conv layer in a network against
+/// the tensor-core tile granularity. These are [`crate::Severity::Warning`]s:
+/// misaligned channels execute correctly but pay GEMM padding.
+pub fn check_network(network: &Network) -> Vec<Violation> {
+    network
+        .nodes()
+        .iter()
+        .filter_map(|node| match &node.op {
+            Op::Conv(spec)
+                if spec.c_in % TILE_GRANULARITY != 0 || spec.c_out % TILE_GRANULARITY != 0 =>
+            {
+                Some(Violation::ChannelsNotTileAligned {
+                    layer: node.name.clone(),
+                    c_in: spec.c_in,
+                    c_out: spec.c_out,
+                    granularity: TILE_GRANULARITY,
+                })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Checks every group of a compiled session: forward and transposed
+/// kernel maps. This is the same pass `Engine::compile` runs under
+/// `debug_assertions`, available here for release-mode auditing.
+pub fn check_session(session: &Session) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for group in session.groups() {
+        out.extend(check_kernel_map(
+            &format!("group {:?} map", group.key),
+            &group.map,
+        ));
+        out.extend(check_kernel_map(
+            &format!("group {:?} map_t", group.key),
+            &group.map_t,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::ScheduleArtifact;
+    use ts_dataflow::{DataflowConfig, MAX_SPLITS};
+    use ts_kernelmap::{build_submanifold_map, KernelOffsets};
+
+    #[test]
+    fn duplicate_coords_are_found_per_batch() {
+        let coords = vec![
+            Coord::new(0, 1, 2, 3),
+            Coord::new(0, 1, 2, 3),
+            Coord::new(1, 1, 2, 3), // same voxel, other batch: fine
+        ];
+        let v = check_coords(&coords);
+        assert_eq!(v.len(), 1);
+        assert_eq!(
+            v[0],
+            Violation::DuplicateCoord {
+                batch: 0,
+                position: (1, 2, 3),
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn clean_map_produces_no_reports() {
+        let coords: Vec<Coord> = (0..12).map(|i| Coord::new(0, i, 0, 0)).collect();
+        let map = build_submanifold_map(&coords, &KernelOffsets::cube(3));
+        assert!(check_kernel_map("test", &map).is_empty());
+        let plan = SplitPlan::from_split_count(&map, 2);
+        assert!(check_split_plan("test", &map, &plan, 128).is_empty());
+    }
+
+    #[test]
+    fn illegal_schedule_slot_is_reported() {
+        let mut configs = GroupConfigs::uniform(DataflowConfig::implicit_gemm(1));
+        configs.set(1, DataflowConfig::implicit_gemm(MAX_SPLITS + 1));
+        let artifact = ScheduleArtifact::new("net", "dev", Precision::Fp16, configs);
+        let v = check_schedule(&artifact, "net", "dev", Precision::Fp16);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Config { group: Some(1), .. }));
+        // Identity mismatch adds a schedule-level report.
+        let v = check_schedule(&artifact, "other-net", "dev", Precision::Fp16);
+        assert_eq!(v.len(), 2);
+        assert!(matches!(v[0], Violation::Schedule { .. }));
+    }
+
+    #[test]
+    fn misaligned_channels_warn_only() {
+        let mut b = ts_core::NetworkBuilder::new("align-test", 3);
+        let _ = b.conv("stem", ts_core::NetworkBuilder::INPUT, 17, 3, 1);
+        let v = check_network(&b.build());
+        assert!(!v.is_empty());
+        for violation in &v {
+            assert_eq!(violation.severity(), crate::Severity::Warning);
+        }
+        let mut b = ts_core::NetworkBuilder::new("aligned", 16);
+        let _ = b.conv("stem", ts_core::NetworkBuilder::INPUT, 32, 3, 1);
+        assert!(check_network(&b.build()).is_empty());
+    }
+}

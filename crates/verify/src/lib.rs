@@ -1,0 +1,61 @@
+//! Differential conformance harness for the TorchSparse++ reproduction.
+//!
+//! The paper's correctness promise is that every dataflow the autotuner
+//! may pick computes the *same* convolution as Equation 1 — forward,
+//! dgrad and wgrad, at every precision. This crate makes that promise
+//! checkable as a subsystem instead of scattered per-crate assertions:
+//!
+//! * **Invariant checker** ([`check_kernel_map`], [`check_coords`],
+//!   [`check_schedule`], ...) — reusable validation passes producing
+//!   typed [`Violation`] reports. The same underlying checks run from
+//!   `Engine::compile` debug assertions and `load_schedule_lenient`
+//!   sanitization, so the pass is load-bearing in the engine, not just
+//!   in tests.
+//! * **Differential engine** ([`run_scenario`]) — every dataflow ×
+//!   {fwd, dgrad, wgrad} × {FP16, TF32, FP32} against
+//!   `ts_dataflow::reference`, with per-precision ULP-aware
+//!   [`ts_tensor::ErrorBudget`]s instead of one hard-coded epsilon.
+//! * **Seeded fuzzer with shrinking** ([`fuzz`]) — random scenarios;
+//!   on failure the scenario is minimized (drop points, collapse
+//!   channels, shrink the kernel, pin the config) and serialized as a
+//!   JSON [`Counterexample`] for `tests/repros/`.
+//!
+//! The `verify` binary drives all three: `--corpus` replays checked-in
+//! repros (CI gate), `--fuzz --seed S --iters N` hunts for new ones,
+//! and `--mutation-smoke` (with the `mutate` feature) proves the
+//! harness catches a deliberately broken dataflow.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_verify::{run_scenario, ReproCoord, Scenario};
+//!
+//! let scenario = Scenario {
+//!     seed: 7,
+//!     coords: (0..10).map(|i| ReproCoord { b: 0, x: i, y: 0, z: 0 }).collect(),
+//!     c_in: 4,
+//!     c_out: 4,
+//!     kernel_size: 3,
+//!     configs: Vec::new(), // full design space
+//! };
+//! assert!(run_scenario(&scenario).is_empty(), "all dataflows conform");
+//! ```
+
+mod differential;
+mod fuzz;
+mod invariants;
+mod violation;
+
+pub use differential::{
+    all_configs, check_scenario_maps, max_fan_in, run_scenario, Mismatch, Pass, ReproCoord,
+    Scenario,
+};
+pub use fuzz::{
+    fuzz, generate_scenario, replay_corpus, shrink, write_repro, CorpusResult, Counterexample,
+    FuzzReport,
+};
+pub use invariants::{
+    check_coords, check_group_configs, check_kernel_map, check_network, check_schedule,
+    check_session, check_sparse_tensor, check_split_plan, TILE_GRANULARITY,
+};
+pub use violation::{Severity, Violation};

@@ -1,0 +1,157 @@
+//! The unified violation report type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ts_dataflow::{ConfigError, DataflowConfig};
+use ts_kernelmap::MapViolation;
+
+/// How bad a violation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// The structure is wrong; executing on it is unsound.
+    Error,
+    /// The structure is legal but leaves performance on the table
+    /// (e.g. channels misaligned to tensor-core tiles).
+    Warning,
+}
+
+/// One violated invariant, from any layer the checker covers.
+///
+/// This is the lingua franca of `ts-verify`: kernel-map defects, coord
+/// duplicates, illegal schedule slots and channel-alignment warnings
+/// all normalise into this type so callers can collect, filter by
+/// [`Severity`] and serialise them uniformly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A kernel-map or split-plan invariant failed.
+    Map {
+        /// What was being checked ("group 1 map_t", "fuzz scenario", ...).
+        context: String,
+        /// The underlying structural defect.
+        violation: MapViolation,
+    },
+    /// Two points of one sparse tensor share a (batch, x, y, z) key.
+    DuplicateCoord {
+        /// Batch index of the colliding key.
+        batch: i32,
+        /// Voxel position of the colliding key.
+        position: (i32, i32, i32),
+        /// How many points share it (>= 2).
+        count: usize,
+    },
+    /// A dataflow config slot of a schedule table failed validation.
+    Config {
+        /// Group index, `None` for the default slot.
+        group: Option<usize>,
+        /// The rejected config.
+        config: DataflowConfig,
+        /// Why it was rejected.
+        error: ConfigError,
+    },
+    /// A schedule artifact failed identity validation (version, network,
+    /// device or precision mismatch).
+    Schedule {
+        /// The validation error, rendered.
+        error: String,
+    },
+    /// A conv layer's channels are not a multiple of the tensor-core
+    /// tile granularity, so GEMMs pad internally (a warning, not an
+    /// error — the paper pads such layers transparently).
+    ChannelsNotTileAligned {
+        /// Layer name.
+        layer: String,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Tile granularity the channels should divide into.
+        granularity: usize,
+    },
+}
+
+impl Violation {
+    /// Severity classification: everything is an [`Severity::Error`]
+    /// except channel-alignment advisories.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Violation::ChannelsNotTileAligned { .. } => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Map { context, violation } => write!(f, "[{context}] {violation}"),
+            Violation::DuplicateCoord {
+                batch,
+                position,
+                count,
+            } => write!(
+                f,
+                "batch {batch}: {count} points share voxel {position:?}"
+            ),
+            Violation::Config {
+                group: Some(g),
+                config,
+                error,
+            } => write!(f, "group {g} config {config}: {error}"),
+            Violation::Config {
+                group: None,
+                config,
+                error,
+            } => write!(f, "default config {config}: {error}"),
+            Violation::Schedule { error } => write!(f, "schedule artifact: {error}"),
+            Violation::ChannelsNotTileAligned {
+                layer,
+                c_in,
+                c_out,
+                granularity,
+            } => write!(
+                f,
+                "layer '{layer}': channels {c_in}x{c_out} not multiples of {granularity} (GEMMs will pad)"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_split() {
+        let warn = Violation::ChannelsNotTileAligned {
+            layer: "stem".into(),
+            c_in: 3,
+            c_out: 17,
+            granularity: 16,
+        };
+        assert_eq!(warn.severity(), Severity::Warning);
+        let err = Violation::DuplicateCoord {
+            batch: 0,
+            position: (1, 2, 3),
+            count: 2,
+        };
+        assert_eq!(err.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn violations_serialize_round_trip() {
+        let v = Violation::Config {
+            group: Some(3),
+            config: DataflowConfig::implicit_gemm(99),
+            error: ConfigError::SplitsOutOfRange {
+                splits: 99,
+                max: 16,
+            },
+        };
+        let json = serde_json::to_string(&v).expect("serializes");
+        let back: Violation = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(v, back);
+        assert!(v.to_string().contains("group 3"));
+    }
+}
