@@ -2,16 +2,18 @@
 //!
 //! Compares the records a fresh bench run left in `target/repro/`
 //! against the baselines committed at the repo root
-//! (`BENCH_tuner.json`, `BENCH_serve.json`) and fails if any gated
-//! metric drifts more than ±20%. Only *simulated* metrics are gated —
-//! they are deterministic functions of the workload and cost model, so
-//! drift means a behavioural change, not a noisy machine. Wall-clock
-//! numbers are reported by the benches but never gated (the 1-CPU CI
+//! (`BENCH_tuner.json`, `BENCH_serve.json`, `BENCH_stream.json`) and
+//! fails if any gated metric drifts more than ±20%. Only *simulated*
+//! metrics are gated — they are deterministic functions of the workload
+//! and cost model, so drift means a behavioural change, not a noisy
+//! machine. Wall-clock numbers (e.g. the stream bench's map-patch
+//! timings) are reported by the benches but never gated (the 1-CPU CI
 //! runner jitters far beyond any useful threshold).
 //!
 //! ```sh
 //! cargo bench -p ts-bench --bench tuner_throughput
 //! cargo bench -p ts-bench --bench serve_throughput
+//! cargo bench -p ts-bench --bench stream_reuse
 //! cargo run -p ts-bench --bin bench_gate
 //! ```
 
@@ -38,6 +40,18 @@ const CHECKS: &[Check] = &[
             "serial_sim_us_per_frame",
             "serve_sim_us_per_frame",
             "speedup_fps_sim",
+        ],
+    },
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json"),
+        fresh: concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/target/repro/BENCH_stream.json"
+        ),
+        metrics: &[
+            "sim_us_rebuild_low_churn",
+            "sim_us_incremental_low_churn",
+            "sim_speedup_low_churn",
         ],
     },
 ];

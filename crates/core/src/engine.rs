@@ -56,6 +56,15 @@ impl Engine {
         &self.configs
     }
 
+    /// The execution context the engine prices and computes with.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
+    }
+
+    pub(crate) fn weights(&self) -> &NetworkWeights {
+        &self.weights
+    }
+
     /// Runs one scene functionally, returning output features and the
     /// simulated latency report.
     ///

@@ -45,6 +45,7 @@ mod run;
 mod schedule;
 mod session;
 mod sparse_tensor;
+mod stream;
 mod train;
 mod trainer;
 
@@ -56,8 +57,13 @@ pub use schedule::{
     check_configs, sanitize_configs, Downgrade, ScheduleArtifact, ScheduleError, SCHEDULE_VERSION,
 };
 pub use session::{
-    CompileError, GroupConfigs, GroupInfo, GroupKey, PrepareCacheCounters, Session, TrainConfigs,
+    CompileError, GroupConfigs, GroupInfo, GroupKey, PrepareCacheCounters, Session,
+    SubmanifoldReuse, TrainConfigs,
 };
 pub use sparse_tensor::SparseTensor;
+pub use stream::StreamState;
+// Streaming callers configure and inspect updates with the kernel-map
+// vocabulary; re-exported so they need not depend on ts-kernelmap.
 pub use train::{train_step, TrainOutput};
 pub use trainer::Trainer;
+pub use ts_kernelmap::{DeltaConfig, MapUpdate, UpdateOutcome};

@@ -121,6 +121,26 @@ pub struct GroupKey {
     pub kernel_size: u32,
 }
 
+/// A prebuilt stride-1 submanifold map injected into session
+/// compilation (the temporal-reuse path): streaming callers maintain the
+/// map incrementally across frames and compile each frame's session
+/// around it instead of rebuilding from scratch.
+///
+/// `stats` carries the hash work actually performed to produce the map
+/// for *this* frame (a delta-sized patch, or a full rebuild), so the
+/// simulated mapping cost prices the incremental path honestly.
+#[derive(Debug, Clone)]
+pub struct SubmanifoldReuse {
+    /// Kernel size the map was built for; only the `(1, 1, kernel_size)`
+    /// group is eligible.
+    pub kernel_size: u32,
+    /// The maintained map. Must cover exactly the session's (deduplicated)
+    /// input coordinates, in order.
+    pub map: Arc<KernelMap>,
+    /// Hash build/query work spent bringing the map to this frame.
+    pub stats: MapStats,
+}
+
 /// One layer group: its shared map (built once) and instrumentation.
 #[derive(Debug, Clone)]
 pub struct GroupInfo {
@@ -302,6 +322,24 @@ impl Session {
     /// transposed convolution targets a stride level that was never
     /// produced by an encoder layer.
     pub fn try_new(network: &Network, input_coords: &[Coord]) -> Result<Self, CompileError> {
+        Self::try_new_with_reuse(network, input_coords, None)
+    }
+
+    /// [`Session::try_new`] with an optional prebuilt stride-1
+    /// submanifold map ([`SubmanifoldReuse`]): the matching group adopts
+    /// the supplied map and charges the supplied (delta-sized) build
+    /// stats instead of rebuilding. All other groups build normally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reused map does not cover exactly the deduplicated
+    /// input coordinates (`map.n_out() != coords.len()`) — a mismatched
+    /// map would silently corrupt every downstream layer.
+    pub fn try_new_with_reuse(
+        network: &Network,
+        input_coords: &[Coord],
+        reuse: Option<&SubmanifoldReuse>,
+    ) -> Result<Self, CompileError> {
         let input = ts_kernelmap::unique_coords(input_coords);
         let mut coords_at: HashMap<usize, Arc<Vec<Coord>>> = HashMap::new();
         let mut stride_cache: HashMap<i32, Arc<Vec<Coord>>> = HashMap::new();
@@ -323,11 +361,20 @@ impl Session {
                     let gid = match group_index.get(&key) {
                         Some(&g) => g,
                         None => {
-                            let g = build_group(key, &spec, transposed, &in_coords, &stride_cache)
-                                .ok_or_else(|| CompileError::TransposedWithoutEncoder {
+                            let g = build_group(
+                                key,
+                                &spec,
+                                transposed,
+                                &in_coords,
+                                &stride_cache,
+                                reuse,
+                            )
+                            .ok_or_else(|| {
+                                CompileError::TransposedWithoutEncoder {
                                     layer: node.name.clone(),
                                     missing_stride: key.lo_stride,
-                                })?;
+                                }
+                            })?;
                             groups.push(g);
                             group_index.insert(key, groups.len() - 1);
                             groups.len() - 1
@@ -990,10 +1037,29 @@ fn build_group(
     transposed: bool,
     in_coords: &Arc<Vec<Coord>>,
     stride_cache: &HashMap<i32, Arc<Vec<Coord>>>,
+    reuse: Option<&SubmanifoldReuse>,
 ) -> Option<GroupInfo> {
     let offsets = KernelOffsets::cube(spec.kernel_size);
     if key.lo_stride == key.hi_stride {
-        // Submanifold.
+        // Submanifold. The stride-1 group (always built from the input
+        // coordinates) may adopt a caller-maintained incremental map.
+        if let Some(r) = reuse {
+            if key.lo_stride == 1 && key.kernel_size == r.kernel_size {
+                assert_eq!(
+                    r.map.n_out(),
+                    in_coords.len(),
+                    "reused submanifold map must cover the input coordinates"
+                );
+                let map_t = Arc::new(r.map.transposed());
+                return Some(GroupInfo {
+                    key,
+                    map: Arc::clone(&r.map),
+                    map_t,
+                    build_stats: r.stats,
+                    layer_count: 0,
+                });
+            }
+        }
         let (map, stats) = build_submanifold_map_with_stats(in_coords, &offsets);
         let map = Arc::new(map);
         let map_t = Arc::new(map.transposed());

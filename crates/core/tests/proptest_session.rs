@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use ts_core::{GroupConfigs, NetworkBuilder, Session, TrainConfigs};
+use ts_core::{DeltaConfig, Engine, GroupConfigs, NetworkBuilder, Session, TrainConfigs};
 use ts_dataflow::{DataflowConfig, ExecCtx};
 use ts_gpusim::Device;
 use ts_kernelmap::{unique_coords, Coord};
@@ -148,5 +148,74 @@ proptest! {
             );
             prop_assert!(out.feats().approx_eq(ref_out.feats(), 1e-3), "{cfg} diverged");
         }
+    }
+
+    /// Temporal map reuse is invisible to the numerics under every
+    /// dataflow: a stream of low-churn frames produces per-coordinate
+    /// features *bit-identical* to per-frame recompilation, and the
+    /// churn pattern makes at least one frame take the patch path.
+    #[test]
+    fn streaming_inference_matches_batch_across_dataflows(
+        coords in coords_strategy(),
+        ci in 0usize..6,
+        decoder in any::<bool>(),
+    ) {
+        prop_assume!(coords.len() >= 32);
+        let net = random_network(2, decoder, false);
+        let weights = net.init_weights(5);
+        let engine = Engine::new(
+            net,
+            weights,
+            GroupConfigs::uniform(configs()[ci]),
+            ExecCtx::functional(Device::rtx3090(), Precision::Fp32),
+        );
+        let delta = DeltaConfig { churn_threshold: 0.6 };
+        let drop = (coords.len() / 16).max(1);
+        let mut state = None;
+        for t in 0..3usize {
+            // Rotate a small window out of the base set and park an
+            // equally small displaced copy far away: bounded churn with
+            // both entries and exits every frame.
+            let lo = (t * drop) % coords.len();
+            let mut frame_coords: Vec<Coord> = coords
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < lo || *i >= lo + drop)
+                .map(|(_, c)| *c)
+                .collect();
+            frame_coords.extend(
+                coords
+                    .iter()
+                    .skip(lo)
+                    .take(drop)
+                    .map(|c| Coord::new(c.batch, c.x + 200 + t as i32, c.y, c.z)),
+            );
+            let feats = ts_tensor::uniform_matrix(
+                &mut ts_tensor::rng_from_seed(90 + t as u64),
+                frame_coords.len(),
+                4,
+                -1.0,
+                1.0,
+            );
+            let input = ts_core::SparseTensor::new(frame_coords, feats);
+
+            let (base, _) = engine.try_infer(&input).unwrap();
+            let (out, _, _) = engine.infer_stream(&mut state, &input, &delta).unwrap();
+
+            let rows = |t: &ts_core::SparseTensor| -> std::collections::HashMap<u64, Vec<f32>> {
+                t.coords()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (c.key(), t.feats().row(i).to_vec()))
+                    .collect()
+            };
+            let (got, want) = (rows(&out), rows(&base));
+            prop_assert_eq!(got.len(), want.len());
+            for (k, row) in &want {
+                prop_assert_eq!(got.get(k), Some(row), "frame {}: coord {} diverged", t, k);
+            }
+        }
+        let st = state.unwrap();
+        prop_assert!(st.patched() >= 1, "no frame took the patch path");
     }
 }

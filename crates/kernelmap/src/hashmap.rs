@@ -3,14 +3,20 @@
 //! GPU sparse-conv libraries build a hash table from coordinate keys to
 //! row indices, then issue massively parallel neighbor queries against
 //! it. This is the CPU analog: linear probing over a power-of-two table
-//! with Fibonacci hashing, no tombstones (the table is insert-only, which
-//! matches how kernel maps are built).
+//! with Fibonacci hashing. Deletion uses backward-shift compaction
+//! rather than tombstones, so probe chains never accumulate dead slots —
+//! a table that churns for thousands of streaming frames keeps the same
+//! probe statistics as a freshly built one.
 
 use crate::Coord;
 
 const EMPTY: u64 = u64::MAX;
 
-/// Insert-only hash map from packed coordinate keys to `i32` indices.
+/// Hash map from packed coordinate keys to `i32` indices.
+///
+/// Grows automatically (rehash at load factor 0.5) and supports removal,
+/// so the incremental kernel-map engine can mutate the coordinate set
+/// in place across frames.
 ///
 /// # Examples
 ///
@@ -18,9 +24,10 @@ const EMPTY: u64 = u64::MAX;
 /// use ts_kernelmap::{Coord, CoordHashMap};
 ///
 /// let coords = vec![Coord::new(0, 1, 2, 3), Coord::new(0, 4, 5, 6)];
-/// let map = CoordHashMap::build(&coords);
+/// let mut map = CoordHashMap::build(&coords);
 /// assert_eq!(map.get(coords[1].key()), Some(1));
-/// assert_eq!(map.get(Coord::new(0, 9, 9, 9).key()), None);
+/// assert_eq!(map.remove(coords[0].key()), Some(0));
+/// assert_eq!(map.get(coords[0].key()), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct CoordHashMap {
@@ -63,14 +70,15 @@ impl CoordHashMap {
     }
 
     /// Inserts `key -> val`; returns the existing value if the key was
-    /// already present (and leaves it unchanged).
+    /// already present (and leaves it unchanged). Rehashes first if the
+    /// insertion would push the load factor past 0.5.
     ///
     /// # Panics
     ///
-    /// Panics if `key == u64::MAX` (reserved sentinel) or the table is full.
+    /// Panics if `key == u64::MAX` (reserved sentinel).
     pub fn insert(&mut self, key: u64, val: i32) -> Option<i32> {
         assert_ne!(key, EMPTY, "key u64::MAX is reserved");
-        assert!(self.len < self.keys.len(), "hash table is full");
+        self.reserve(1);
         let mut slot = self.slot_of(key);
         loop {
             if self.keys[slot] == EMPTY {
@@ -116,6 +124,88 @@ impl CoordHashMap {
         }
     }
 
+    /// Overwrites `key -> val` (inserting if absent); returns the
+    /// previous value. Unlike [`Self::insert`], an existing key's value
+    /// is replaced — used when an index move re-points a key at a new
+    /// row.
+    pub fn set(&mut self, key: u64, val: i32) -> Option<i32> {
+        assert_ne!(key, EMPTY, "key u64::MAX is reserved");
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == EMPTY {
+                return self.insert(key, val);
+            }
+            if self.keys[slot] == key {
+                let old = self.vals[slot];
+                self.vals[slot] = val;
+                return Some(old);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    ///
+    /// Deletion is backward-shift: every entry in the probe cluster after
+    /// the removed slot is moved back if doing so keeps it reachable from
+    /// its ideal slot, so lookups never traverse tombstones and probe
+    /// counts stay at freshly-built levels regardless of churn.
+    pub fn remove(&mut self, key: u64) -> Option<i32> {
+        let mut slot = self.slot_of(key);
+        loop {
+            if self.keys[slot] == EMPTY {
+                return None;
+            }
+            if self.keys[slot] == key {
+                break;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        let val = self.vals[slot];
+        let mut hole = slot;
+        let mut next = (slot + 1) & self.mask;
+        while self.keys[next] != EMPTY {
+            let ideal = self.slot_of(self.keys[next]);
+            // The entry at `next` may fill the hole iff its ideal slot is
+            // not cyclically inside (hole, next] — otherwise the move
+            // would place it before its probe chain starts.
+            let movable = if hole <= next {
+                ideal <= hole || ideal > next
+            } else {
+                ideal <= hole && ideal > next
+            };
+            if movable {
+                self.keys[hole] = self.keys[next];
+                self.vals[hole] = self.vals[next];
+                hole = next;
+            }
+            next = (next + 1) & self.mask;
+        }
+        self.keys[hole] = EMPTY;
+        self.vals[hole] = -1;
+        self.len -= 1;
+        Some(val)
+    }
+
+    /// Ensures capacity for `additional` more keys without exceeding
+    /// load factor 0.5, rehashing into a larger table if needed.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = (self.len + additional).max(1) * 2;
+        if needed <= self.keys.len() {
+            return;
+        }
+        let slots = needed.next_power_of_two();
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![-1; slots]);
+        self.mask = slots - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+
     /// Number of distinct keys stored.
     pub fn len(&self) -> usize {
         self.len
@@ -134,6 +224,13 @@ impl CoordHashMap {
     /// Probe count accumulated by [`Self::get_counting`].
     pub fn probe_count(&self) -> u64 {
         self.probes
+    }
+
+    /// Current load factor (`len / slots`), the companion stat to
+    /// [`Self::probe_count`]: after a burst of removes and inserts this
+    /// reports how full the table actually is post-update.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.keys.len() as f64
     }
 }
 
@@ -197,5 +294,112 @@ mod tests {
         let m = CoordHashMap::with_capacity(100);
         assert!(m.capacity() >= 200);
         assert!(m.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn remove_then_get_misses() {
+        let mut m = CoordHashMap::with_capacity(8);
+        for k in 0..8u64 {
+            m.insert(k, k as i32);
+        }
+        assert_eq!(m.remove(3), Some(3));
+        assert_eq!(m.remove(3), None);
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.len(), 7);
+        for k in (0..8u64).filter(|&k| k != 3) {
+            assert_eq!(m.get(k), Some(k as i32), "key {k} lost by backshift");
+        }
+    }
+
+    #[test]
+    fn backshift_preserves_colliding_cluster() {
+        // Sequential keys form long probe clusters; removing from the
+        // middle must keep every later cluster member reachable.
+        let mut m = CoordHashMap::with_capacity(64);
+        for k in 0..64u64 {
+            m.insert(k, k as i32);
+        }
+        for k in (0..64u64).step_by(3) {
+            assert_eq!(m.remove(k), Some(k as i32));
+        }
+        for k in 0..64u64 {
+            let expect = if k % 3 == 0 { None } else { Some(k as i32) };
+            assert_eq!(m.get(k), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn remove_absent_is_none() {
+        let mut m = CoordHashMap::with_capacity(4);
+        m.insert(1, 1);
+        assert_eq!(m.remove(999), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insert_grows_past_initial_capacity() {
+        let mut m = CoordHashMap::with_capacity(2);
+        let initial = m.capacity();
+        for k in 0..100u64 {
+            m.insert(k, k as i32);
+        }
+        assert!(m.capacity() > initial);
+        assert!(m.load_factor() <= 0.5);
+        for k in 0..100u64 {
+            assert_eq!(m.get(k), Some(k as i32));
+        }
+    }
+
+    #[test]
+    fn set_overwrites_existing_value() {
+        let mut m = CoordHashMap::with_capacity(4);
+        m.insert(10, 1);
+        assert_eq!(m.set(10, 7), Some(1));
+        assert_eq!(m.get(10), Some(7));
+        assert_eq!(m.set(20, 2), None);
+        assert_eq!(m.get(20), Some(2));
+    }
+
+    #[test]
+    fn load_factor_tracks_updates() {
+        let mut m = CoordHashMap::with_capacity(8);
+        assert_eq!(m.load_factor(), 0.0);
+        for k in 0..8u64 {
+            m.insert(k, k as i32);
+        }
+        let full = m.load_factor();
+        assert!(full > 0.0 && full <= 0.5);
+        m.remove(0);
+        assert!(m.load_factor() < full);
+    }
+
+    #[test]
+    fn churn_keeps_probe_costs_flat() {
+        // Alternate removes and inserts for many rounds; a tombstone
+        // scheme would degrade probes, backshift must not.
+        let mut m = CoordHashMap::with_capacity(128);
+        for k in 0..128u64 {
+            m.insert(k, k as i32);
+        }
+        for round in 0..50u64 {
+            for j in 0..32u64 {
+                m.remove(round * 32 + j);
+                m.insert(10_000 + round * 32 + j, j as i32);
+            }
+        }
+        let before = m.probe_count();
+        let mut hits = 0;
+        for k in 0..12_000u64 {
+            if m.get_counting(k).is_some() {
+                hits += 1;
+            }
+        }
+        let probes = m.probe_count() - before;
+        assert!(hits > 0);
+        // Mean probes per lookup stays near the load-factor-0.5 ideal.
+        assert!(
+            (probes as f64) < 4.0 * 12_000.0,
+            "probe chains degraded: {probes} probes for 12000 lookups"
+        );
     }
 }

@@ -21,7 +21,10 @@
 //!   the two convolution kinds in MinkUNet/CenterPoint;
 //! * [`SplitPlan`] — bitmask argsorting and arbitrary *mask splits*
 //!   (Figure 10), plus exact redundant-computation accounting under warp
-//!   lockstep (Figures 5, 6, 11).
+//!   lockstep (Figures 5, 6, 11);
+//! * [`IncrementalMap`] — temporal delta-patching of submanifold maps
+//!   across streaming frames, with churn-thresholded fallback to a full
+//!   rebuild.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 mod build;
 mod check;
 mod coord;
+mod delta;
 mod hashmap;
 mod map;
 mod offsets;
@@ -50,6 +54,7 @@ pub use build::{
 };
 pub use check::{check_map, check_plan, MapViolation};
 pub use coord::Coord;
+pub use delta::{DeltaConfig, IncrementalMap, MapUpdate, UpdateOutcome};
 pub use hashmap::CoordHashMap;
 pub use map::KernelMap;
 pub use offsets::KernelOffsets;

@@ -230,6 +230,31 @@ impl KernelMap {
         pairs + dense
     }
 
+    /// Mutable access to the pair lists, neighbor matrix and bitmasks,
+    /// for the incremental delta engine (`crate::delta`) only. Callers
+    /// must leave the three views consistent (checked by
+    /// [`crate::check_map`] in debug builds after every patch) and may
+    /// not introduce multi-edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map has no dense representation — relational maps
+    /// cannot be patched.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (&mut Vec<Vec<(u32, u32)>>, &mut Vec<i32>, &mut Vec<u32>) {
+        assert!(self.dense_repr, "cannot patch a relational map in place");
+        (&mut self.pairs, &mut self.neighbors, &mut self.bitmasks)
+    }
+
+    /// Sets the point count after an in-place patch (submanifold maps
+    /// have `n_in == n_out`).
+    pub(crate) fn set_point_count(&mut self, n: usize) {
+        self.n_in = n;
+        self.n_out = n;
+    }
+
     /// The transposed map: every pair `(p, q)` becomes `(q, p)` under the
     /// same offset index.
     ///

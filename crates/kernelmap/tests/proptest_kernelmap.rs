@@ -4,8 +4,9 @@
 use proptest::prelude::*;
 
 use ts_kernelmap::{
-    argsort_by_bitmask, build_strided_map, build_submanifold_map, mac_counts, pad_to_multiple,
-    unique_coords, Coord, CoordHashMap, KernelMap, KernelOffsets, SplitPlan,
+    argsort_by_bitmask, build_strided_map, build_submanifold_map, check_map, check_plan,
+    mac_counts, pad_to_multiple, unique_coords, Coord, CoordHashMap, DeltaConfig, IncrementalMap,
+    KernelMap, KernelOffsets, MapUpdate, SplitPlan,
 };
 
 fn coord_strategy() -> impl Strategy<Value = Coord> {
@@ -177,5 +178,128 @@ proptest! {
         prop_assert!(map.has_multi_edges());
         // Transpose keeps the sparse-only representation.
         prop_assert!(!map.transposed().has_dense_repr());
+    }
+}
+
+/// Full-state equivalence of an [`IncrementalMap`] against the
+/// from-scratch reference: pairs, neighbor table and bitmasks (all via
+/// [`KernelMap`]'s structural equality), plus map and split-plan
+/// invariants.
+fn assert_state_matches_fresh(inc: &IncrementalMap) -> Result<(), TestCaseError> {
+    let fresh = build_submanifold_map(inc.coords(), inc.offsets());
+    prop_assert_eq!(inc.map(), &fresh);
+    prop_assert!(
+        check_map(inc.map()).is_empty(),
+        "{:?}",
+        check_map(inc.map())
+    );
+    let plan_errs = check_plan(inc.map(), inc.plan(), 16);
+    prop_assert!(plan_errs.is_empty(), "{plan_errs:?}");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: a random frame stream driven through
+    /// `update` at a random churn threshold stays bit-identical to a
+    /// from-scratch build after every frame, whichever path (patch or
+    /// rebuild) each frame took.
+    #[test]
+    fn incremental_stream_equals_full_rebuild(
+        base in coords_strategy(120),
+        steps in prop::collection::vec(
+            (
+                prop::collection::vec(0usize..4096, 0..20),
+                prop::collection::vec(coord_strategy(), 0..20),
+            ),
+            1..5,
+        ),
+        threshold in 0.0f32..1.2,
+        split in 1u32..4,
+    ) {
+        let mut frame = unique_coords(&base);
+        let cfg = DeltaConfig { churn_threshold: threshold };
+        let mut inc = IncrementalMap::new(&frame, KernelOffsets::cube(3), split);
+        for (drops, adds) in &steps {
+            for &idx in drops {
+                if !frame.is_empty() {
+                    frame.remove(idx % frame.len());
+                }
+            }
+            frame.extend(adds.iter().copied());
+            frame = unique_coords(&frame);
+
+            let out = inc.update(&frame, &cfg);
+
+            // The decision follows the threshold exactly.
+            if out.churn > threshold {
+                prop_assert_eq!(out.kind, MapUpdate::Rebuilt);
+            } else {
+                prop_assert_eq!(out.kind, MapUpdate::Patched);
+            }
+            // The state's coordinate set is the frame's set.
+            prop_assert_eq!(inc.coords().len(), frame.len());
+            let got: std::collections::HashSet<u64> =
+                inc.coords().iter().map(|c| c.key()).collect();
+            let want: std::collections::HashSet<u64> =
+                frame.iter().map(|c| c.key()).collect();
+            prop_assert_eq!(got, want);
+            assert_state_matches_fresh(&inc)?;
+        }
+    }
+
+    /// Degenerate frames: identical re-send (0% churn), empty frame,
+    /// then a fully disjoint set (100% churn) — at arbitrary thresholds.
+    #[test]
+    fn degenerate_churn_extremes_match_rebuild(
+        coords in coords_strategy(100),
+        far in coords_strategy(100),
+        threshold in 0.0f32..1.2,
+    ) {
+        let cfg = DeltaConfig { churn_threshold: threshold };
+        let coords = unique_coords(&coords);
+        let mut inc = IncrementalMap::new(&coords, KernelOffsets::cube(3), 2);
+
+        // 0% churn: identical frame is always a (no-op) patch.
+        let out = inc.update(&coords, &cfg);
+        prop_assert_eq!(out.kind, MapUpdate::Patched);
+        prop_assert_eq!((out.entered, out.exited), (0, 0));
+        assert_state_matches_fresh(&inc)?;
+
+        // Empty frame: everything exits.
+        inc.update(&[], &cfg);
+        prop_assert_eq!(inc.map().n_out(), 0);
+        assert_state_matches_fresh(&inc)?;
+
+        // 100% churn: a disjoint far-away set.
+        let far: Vec<Coord> = unique_coords(&far)
+            .into_iter()
+            .map(|c| Coord::new(c.batch, c.x + 500, c.y, c.z))
+            .collect();
+        let out = inc.update(&far, &cfg);
+        prop_assert!(out.churn >= 1.0);
+        prop_assert_eq!(inc.map().n_out(), far.len());
+        assert_state_matches_fresh(&inc)?;
+    }
+
+    /// Duplicate coordinates inside a frame collapse to first-occurrence
+    /// order, exactly like `unique_coords` on the rebuild path.
+    #[test]
+    fn duplicate_frame_entries_collapse(
+        coords in coords_strategy(80),
+        extra in prop::collection::vec(coord_strategy(), 0..10),
+        threshold in 0.0f32..1.2,
+    ) {
+        let cfg = DeltaConfig { churn_threshold: threshold };
+        let base = unique_coords(&coords);
+        let mut inc = IncrementalMap::new(&base, KernelOffsets::cube(3), 1);
+        // Every entry duplicated, plus a few fresh ones (also doubled).
+        let mut noisy = base.clone();
+        noisy.extend(extra.iter().copied());
+        noisy.extend(noisy.clone());
+        inc.update(&noisy, &cfg);
+        prop_assert_eq!(inc.coords().len(), unique_coords(&noisy).len());
+        assert_state_matches_fresh(&inc)?;
     }
 }

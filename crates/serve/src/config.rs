@@ -50,6 +50,23 @@ pub struct ServeConfig {
     /// builds the injection sites compile to no-ops and this field is
     /// inert.
     pub fault_plan: Option<FaultPlan>,
+    /// Temporal kernel-map reuse: workers service each frame through
+    /// [`ts_core::Engine::infer_stream`], patching the previous frame's
+    /// stride-1 submanifold map per stream instead of rebuilding it.
+    /// Frames are then executed one per inference call (per-stream maps
+    /// cannot be shared across a merged multi-stream batch), trading
+    /// cross-stream batching for mapping reuse — the right trade for
+    /// few, temporally coherent streams. Off by default. Ignored (with
+    /// a `serve.map_cache.disabled_degraded` counter) when the engine
+    /// booted degraded.
+    pub map_reuse: bool,
+    /// Bound on cached per-stream map states; least recently used
+    /// streams are evicted beyond it.
+    pub map_cache_capacity: usize,
+    /// Voxel churn fraction above which a frame rebuilds its stream's
+    /// map from scratch instead of patching (see
+    /// [`ts_core::DeltaConfig`]).
+    pub map_churn_threshold: f32,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +82,9 @@ impl Default for ServeConfig {
             supervisor_poll: Duration::from_millis(5),
             max_requeues: 1,
             fault_plan: None,
+            map_reuse: false,
+            map_cache_capacity: 64,
+            map_churn_threshold: 0.35,
         }
     }
 }
@@ -134,6 +154,26 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables temporal kernel-map reuse across each
+    /// stream's consecutive frames.
+    pub fn with_map_reuse(mut self, on: bool) -> Self {
+        self.map_reuse = on;
+        self
+    }
+
+    /// Sets the bound on cached per-stream map states.
+    pub fn with_map_cache_capacity(mut self, capacity: usize) -> Self {
+        self.map_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the churn fraction above which a stream's map is rebuilt
+    /// from scratch instead of patched.
+    pub fn with_map_churn_threshold(mut self, threshold: f32) -> Self {
+        self.map_churn_threshold = threshold;
+        self
+    }
+
     /// Clamps degenerate values to their working minimum (at least one
     /// worker, batches of at least one frame, room for at least one
     /// request, a non-zero supervisor scan interval).
@@ -142,6 +182,8 @@ impl ServeConfig {
         self.max_batch = self.max_batch.max(1);
         self.queue_capacity = self.queue_capacity.max(1);
         self.supervisor_poll = self.supervisor_poll.max(Duration::from_millis(1));
+        self.map_cache_capacity = self.map_cache_capacity.max(1);
+        self.map_churn_threshold = self.map_churn_threshold.max(0.0);
         self
     }
 }
@@ -189,12 +231,31 @@ mod tests {
             supervisor_poll: Duration::ZERO,
             max_requeues: 0,
             fault_plan: None,
+            map_reuse: false,
+            map_cache_capacity: 0,
+            map_churn_threshold: -1.0,
         }
         .normalized();
         assert_eq!(c.workers, 1);
         assert_eq!(c.max_batch, 1);
         assert_eq!(c.queue_capacity, 1);
         assert!(c.supervisor_poll >= Duration::from_millis(1));
+        assert_eq!(c.map_cache_capacity, 1);
+        assert_eq!(c.map_churn_threshold, 0.0);
+    }
+
+    #[test]
+    fn map_reuse_defaults_off_and_builds() {
+        let c = ServeConfig::default();
+        assert!(!c.map_reuse, "temporal reuse is opt-in");
+        assert!(c.map_cache_capacity >= 1);
+        let c = c
+            .with_map_reuse(true)
+            .with_map_cache_capacity(8)
+            .with_map_churn_threshold(0.5);
+        assert!(c.map_reuse);
+        assert_eq!(c.map_cache_capacity, 8);
+        assert_eq!(c.map_churn_threshold, 0.5);
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //!   dataflow instead of refusing to serve (see
 //!   [`ts_core::Engine::load_schedule_lenient`]); responses carry a
 //!   [`Response::degraded`] flag and the report counts the downgrades.
+//! * **Temporal map reuse** — with [`ServeConfig::with_map_reuse`],
+//!   workers service each frame through
+//!   [`ts_core::Engine::infer_stream`], keeping a bounded per-stream
+//!   cache of incrementally maintained kernel maps
+//!   ([`ts_core::StreamState`]): consecutive frames of a coherent
+//!   stream patch the previous frame's map instead of rebuilding it.
+//!   The cache is LRU-evicted, invalidated wholesale on worker
+//!   respawn, and never enabled on a degraded engine; reuse activity is
+//!   reported via the `map_*` counters of [`ServeReport`] and the
+//!   `serve.map_cache.*` trace counters.
 //! * **Deterministic chaos testing** — with the `chaos` feature, a
 //!   seeded [`FaultPlan`] injects worker panics, stalls and artifact
 //!   corruption as a pure function of the batch sequence number, so a
@@ -57,6 +67,7 @@
 pub mod batch;
 mod config;
 mod faults;
+mod mapcache;
 mod metrics;
 mod retry;
 mod server;

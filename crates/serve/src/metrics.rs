@@ -58,6 +58,23 @@ pub struct ServeReport {
     /// engine booted leniently from a rejected artifact (see
     /// [`ts_core::Engine::load_schedule_lenient`]).
     pub schedule_downgrades: u64,
+    /// Frames that found their stream's kernel map cached (temporal
+    /// reuse; see [`crate::ServeConfig::with_map_reuse`]).
+    pub map_cache_hits: u64,
+    /// Frames that found no cached map for their stream and built one
+    /// from scratch.
+    pub map_cache_misses: u64,
+    /// Cache hits resolved by patching the previous frame's map in
+    /// place (churn under the threshold).
+    pub map_patched: u64,
+    /// Cache hits that rebuilt the map anyway because churn exceeded
+    /// [`crate::ServeConfig::map_churn_threshold`].
+    pub map_rebuilt: u64,
+    /// Stream states evicted from the bounded map cache (LRU).
+    pub map_evicted: u64,
+    /// Stream states dropped wholesale when the cache was invalidated
+    /// (worker respawn).
+    pub map_invalidated: u64,
     /// Wall-clock seconds from server start to this snapshot.
     pub wall_s: f64,
     /// Completed frames per wall-clock second.
@@ -89,6 +106,17 @@ impl ServeReport {
             || self.worker_stalls > 0
             || self.shed_crashed > 0
             || self.schedule_downgrades > 0
+    }
+
+    /// Fraction of map-cache lookups whose stream state was found and
+    /// patched in place — the temporal-reuse payoff metric. Zero when
+    /// reuse is off or nothing was looked up.
+    pub fn map_reuse_rate(&self) -> f64 {
+        let lookups = self.map_cache_hits + self.map_cache_misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.map_patched as f64 / lookups as f64
     }
 
     /// Fraction of finished requests (completed or shed) that violated
@@ -149,6 +177,12 @@ impl ServeReport {
             worker_restarts: self.worker_restarts + other.worker_restarts,
             requeued: self.requeued + other.requeued,
             schedule_downgrades: self.schedule_downgrades + other.schedule_downgrades,
+            map_cache_hits: self.map_cache_hits + other.map_cache_hits,
+            map_cache_misses: self.map_cache_misses + other.map_cache_misses,
+            map_patched: self.map_patched + other.map_patched,
+            map_rebuilt: self.map_rebuilt + other.map_rebuilt,
+            map_evicted: self.map_evicted + other.map_evicted,
+            map_invalidated: self.map_invalidated + other.map_invalidated,
             wall_s,
             throughput_fps: if wall_s > 0.0 {
                 completed as f64 / wall_s
@@ -198,6 +232,12 @@ struct Counters {
     worker_restarts: u64,
     requeued: u64,
     schedule_downgrades: u64,
+    map_cache_hits: u64,
+    map_cache_misses: u64,
+    map_patched: u64,
+    map_rebuilt: u64,
+    map_evicted: u64,
+    map_invalidated: u64,
     sim_us_total: f64,
     per_stream: HashMap<u64, Vec<f64>>,
     batch_sizes: BTreeMap<u64, u64>,
@@ -302,6 +342,35 @@ impl Metrics {
         self.inner.lock().expect("metrics lock").schedule_downgrades = n;
     }
 
+    /// A frame looked up its stream in the map cache.
+    pub(crate) fn on_map_lookup(&self, hit: bool) {
+        let mut c = self.inner.lock().expect("metrics lock");
+        if hit {
+            c.map_cache_hits += 1;
+        } else {
+            c.map_cache_misses += 1;
+        }
+    }
+
+    /// A cached stream state was updated for a new frame, either by
+    /// patching in place or by falling back to a full rebuild.
+    pub(crate) fn on_map_update(&self, patched: bool) {
+        let mut c = self.inner.lock().expect("metrics lock");
+        if patched {
+            c.map_patched += 1;
+        } else {
+            c.map_rebuilt += 1;
+        }
+    }
+
+    pub(crate) fn on_map_evicted(&self) {
+        self.inner.lock().expect("metrics lock").map_evicted += 1;
+    }
+
+    pub(crate) fn on_map_invalidated(&self, n: u64) {
+        self.inner.lock().expect("metrics lock").map_invalidated += n;
+    }
+
     pub(crate) fn on_batch_executed(&self, size: usize, sim_us: f64) {
         let mut c = self.inner.lock().expect("metrics lock");
         *c.batch_sizes.entry(size as u64).or_insert(0) += 1;
@@ -342,6 +411,12 @@ impl Metrics {
             worker_restarts: c.worker_restarts,
             requeued: c.requeued,
             schedule_downgrades: c.schedule_downgrades,
+            map_cache_hits: c.map_cache_hits,
+            map_cache_misses: c.map_cache_misses,
+            map_patched: c.map_patched,
+            map_rebuilt: c.map_rebuilt,
+            map_evicted: c.map_evicted,
+            map_invalidated: c.map_invalidated,
             wall_s,
             throughput_fps: if wall_s > 0.0 {
                 c.completed as f64 / wall_s
@@ -519,11 +594,41 @@ mod tests {
     }
 
     #[test]
+    fn map_counters_accumulate_merge_and_rate() {
+        let m = Metrics::new();
+        m.on_map_lookup(false); // first frame of a stream: miss
+        m.on_map_lookup(true);
+        m.on_map_lookup(true);
+        m.on_map_lookup(true);
+        m.on_map_update(true);
+        m.on_map_update(true);
+        m.on_map_update(false); // high-churn frame fell back to rebuild
+        m.on_map_evicted();
+        m.on_map_invalidated(3);
+        let r = m.report();
+        assert_eq!(r.map_cache_hits, 3);
+        assert_eq!(r.map_cache_misses, 1);
+        assert_eq!(r.map_patched, 2);
+        assert_eq!(r.map_rebuilt, 1);
+        assert_eq!(r.map_evicted, 1);
+        assert_eq!(r.map_invalidated, 3);
+        assert!((r.map_reuse_rate() - 0.5).abs() < 1e-12);
+        let merged = r.merge(&r);
+        assert_eq!(merged.map_cache_hits, 6);
+        assert_eq!(merged.map_patched, 4);
+        assert_eq!(merged.map_invalidated, 6);
+        let json = r.to_json().expect("serializes");
+        assert!(json.contains("\"map_cache_hits\""));
+        assert_eq!(ServeReport::from_json(&json).expect("parses"), r);
+    }
+
+    #[test]
     fn empty_report_has_no_stats() {
         let r = Metrics::new().report();
         assert_eq!(r.completed, 0);
         assert!(r.overall.is_none());
         assert!(r.streams.is_empty());
         assert_eq!(r.deadline_miss_rate(), 0.0);
+        assert_eq!(r.map_reuse_rate(), 0.0);
     }
 }

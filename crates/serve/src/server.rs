@@ -8,9 +8,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use ts_core::{CompileError, Engine, SparseTensor};
+use ts_core::{CompileError, DeltaConfig, Engine, MapUpdate, SparseTensor};
 
-use crate::batch::{merge_frames, split_output, validate_frame, FrameError};
+use crate::batch::{merge_frames, sort_by_coord, split_output, validate_frame, FrameError};
+use crate::mapcache::MapCache;
 use crate::metrics::{Metrics, ServeReport};
 use crate::supervisor::{spawn_supervisor, SupervisorCtx};
 use crate::ServeConfig;
@@ -288,6 +289,20 @@ impl Server {
             ts_trace::counter_add("serve.schedule.downgraded", downgrades as i64);
         }
 
+        // Temporal map reuse never enables on a degraded engine: its
+        // schedule already fell back, keep the failure domain simple.
+        let reuse = cfg.map_reuse && !engine.is_degraded();
+        if cfg.map_reuse && !reuse {
+            ts_trace::counter_add("serve.map_cache.disabled_degraded", 1);
+        }
+        let map_cache = Arc::new(MapCache::new(
+            reuse,
+            cfg.map_cache_capacity,
+            DeltaConfig {
+                churn_threshold: cfg.map_churn_threshold,
+            },
+        ));
+
         let supervisor = spawn_supervisor(SupervisorCtx {
             engine,
             work_tx: work_tx.clone(),
@@ -296,6 +311,7 @@ impl Server {
             tracer: tracer.clone(),
             stop: Arc::clone(&stop),
             next_batch: Arc::clone(&next_batch),
+            map_cache,
             cfg: cfg.clone(),
         });
 
@@ -507,7 +523,12 @@ fn batcher_loop(
     }
 }
 
-pub(crate) fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metrics) {
+pub(crate) fn process_batch(
+    engine: &Engine,
+    mut batch: Vec<Job>,
+    metrics: &Metrics,
+    cache: &MapCache,
+) {
     // Deadlines may have passed while the batch sat in the work queue.
     shed_expired(&mut batch, metrics);
 
@@ -528,6 +549,17 @@ pub(crate) fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metr
         }
     }
     if valid.is_empty() {
+        return;
+    }
+
+    // Temporal map reuse serves frames one inference call each: every
+    // stream's kernel map is private to that stream, so frames from
+    // different streams cannot share a merged tensor (merging remaps
+    // batch indices and unions the coordinate sets).
+    if cache.enabled() {
+        for job in valid {
+            process_streamed(engine, job, metrics, cache);
+        }
         return;
     }
 
@@ -564,11 +596,92 @@ pub(crate) fn process_batch(engine: &Engine, mut batch: Vec<Job>, metrics: &Metr
         Err(_) if valid.len() > 1 => {
             drop(span);
             for job in valid {
-                process_batch(engine, vec![job], metrics);
+                process_batch(engine, vec![job], metrics, cache);
             }
         }
         Err(e) => {
             let job = valid.into_iter().next().expect("single job");
+            if job.claim() {
+                metrics.on_bad_frame();
+                ts_trace::counter_add("serve.frames.rejected", 1);
+                job.send_err(Rejected::CompileFailed(e));
+            }
+        }
+    }
+}
+
+/// Serves one frame through [`Engine::infer_stream`], threading its
+/// stream's cached map state through the frame. The state is *taken*
+/// from the cache for the duration of the call (so concurrent workers
+/// never patch the same state; a racing frame of the same stream just
+/// misses and rebuilds) and put back on both success and failure —
+/// [`Engine::infer_stream`] validates before mutating, so a rejected
+/// frame leaves the state intact.
+fn process_streamed(engine: &Engine, job: Job, metrics: &Metrics, cache: &MapCache) {
+    let mut span = ts_trace::span(ts_trace::Subsystem::Serve, "process_stream");
+    let exec_start = Instant::now();
+    let mut state = cache.take(job.stream);
+    let hit = state.is_some();
+    metrics.on_map_lookup(hit);
+    ts_trace::counter_add(
+        if hit {
+            "serve.map_cache.hit"
+        } else {
+            "serve.map_cache.miss"
+        },
+        1,
+    );
+    let taken_at = Instant::now();
+    match engine.infer_stream(&mut state, &job.frame, cache.delta()) {
+        Ok((out, report, outcome)) => {
+            let inferred_at = Instant::now();
+            let sim_us = report.total_us();
+            let patched = matches!(outcome.kind, MapUpdate::Patched);
+            if hit {
+                metrics.on_map_update(patched);
+                ts_trace::counter_add(
+                    if patched {
+                        "serve.map_cache.patched"
+                    } else {
+                        "serve.map_cache.rebuilt"
+                    },
+                    1,
+                );
+            }
+            ts_trace::counter_add("serve.map_cache.entered", outcome.entered as i64);
+            ts_trace::counter_add("serve.map_cache.exited", outcome.exited as i64);
+            metrics.on_batch_executed(1, sim_us);
+            ts_trace::counter_add("serve.batches.executed", 1);
+            if span.active() {
+                span.arg("stream", job.stream);
+                span.arg("hit", hit);
+                span.arg("patched", patched);
+                span.arg("churn", outcome.churn as f64);
+                span.arg("sim_us", sim_us);
+            }
+            if let Some(st) = state {
+                cache.put(job.stream, st, metrics);
+            }
+            let marks = BatchMarks {
+                exec_start,
+                merged: taken_at,
+                inferred: inferred_at,
+            };
+            let degraded = engine.is_degraded();
+            complete(
+                job,
+                sort_by_coord(&out),
+                1,
+                &marks,
+                sim_us,
+                degraded,
+                metrics,
+            );
+        }
+        Err(e) => {
+            if let Some(st) = state {
+                cache.put(job.stream, st, metrics);
+            }
             if job.claim() {
                 metrics.on_bad_frame();
                 ts_trace::counter_add("serve.frames.rejected", 1);
@@ -979,6 +1092,173 @@ mod tests {
         assert!(tracer.counter("serve.requests.completed") >= 4);
         assert!(tracer.counter("serve.batches.dispatched") >= 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The map-reuse counters must be visible in the Chrome trace
+    /// export, with per-frame patch decisions on `process_stream` spans.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn map_reuse_counters_appear_in_chrome_trace() {
+        let tracer = ts_trace::Tracer::new();
+        tracer.install();
+        let dir = std::env::temp_dir().join(format!("ts-serve-mrtrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("stream-trace.json");
+        let server = Server::new(
+            engine(),
+            fast_cfg()
+                .with_workers(1)
+                .with_map_reuse(true)
+                .with_trace_path(&path),
+        );
+        for k in 0..4 {
+            server
+                .submit(7, drift_frame(k, 70 + k as u64))
+                .expect("admitted")
+                .wait()
+                .expect("served");
+        }
+        let report = server.shutdown();
+        ts_trace::uninstall();
+
+        assert!(report.map_reuse_rate() > 0.5, "low-churn stream reuses");
+        let json = std::fs::read_to_string(&path).expect("trace written");
+        for counter in [
+            "serve.map_cache.hit",
+            "serve.map_cache.miss",
+            "serve.map_cache.patched",
+            "serve.map_cache.entered",
+            "serve.map_cache.exited",
+        ] {
+            assert!(json.contains(counter), "trace export missing {counter}");
+        }
+        assert!(json.contains("process_stream"));
+        assert_eq!(tracer.counter("serve.map_cache.hit"), 3);
+        assert_eq!(tracer.counter("serve.map_cache.patched"), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Frame `k` of a drifting stream: a 6×5×2 window of points whose x
+    /// range slides by one voxel per frame — ~33% churn, under the
+    /// default patch threshold.
+    fn drift_frame(k: i32, seed: u64) -> SparseTensor {
+        let coords: Vec<Coord> = (k..k + 6)
+            .flat_map(|x| (0..5).map(move |y| Coord::new(0, x, y, (x + y) % 2)))
+            .collect();
+        let n = coords.len();
+        SparseTensor::new(
+            coords,
+            uniform_matrix(&mut rng_from_seed(seed), n, 4, -1.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn map_reuse_serves_bit_identical_outputs_and_counts_patches() {
+        let e = engine();
+        let server = Server::new(e.clone(), fast_cfg().with_workers(1).with_map_reuse(true));
+        // Submit sequentially (wait before the next frame) so each
+        // frame finds its predecessor's state in the cache.
+        for k in 0..6 {
+            let f = drift_frame(k, 300 + k as u64);
+            let resp = server
+                .submit(42, f.clone())
+                .expect("admitted")
+                .wait()
+                .expect("served");
+            let (serial, _) = e.infer(&f);
+            assert_eq!(
+                resp.output,
+                sort_by_coord(&serial),
+                "streamed frame {k} must be bit-identical to stateless inference"
+            );
+            assert_eq!(resp.batch_size, 1, "reuse path serves one frame per call");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.map_cache_misses, 1, "only the seeding frame misses");
+        assert_eq!(report.map_cache_hits, 5);
+        assert_eq!(
+            report.map_patched, 5,
+            "drift stays under the churn threshold"
+        );
+        assert_eq!(report.map_rebuilt, 0);
+        assert!(report.map_reuse_rate() > 0.8);
+    }
+
+    #[test]
+    fn map_reuse_off_records_no_map_activity() {
+        let server = Server::new(engine(), fast_cfg());
+        for k in 0..3 {
+            server
+                .submit(0, drift_frame(k, 50 + k as u64))
+                .expect("admitted")
+                .wait()
+                .expect("served");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.map_cache_hits + report.map_cache_misses, 0);
+        assert_eq!(report.map_reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn map_cache_evicts_lru_stream_when_over_capacity() {
+        let server = Server::new(
+            engine(),
+            fast_cfg()
+                .with_workers(1)
+                .with_map_reuse(true)
+                .with_map_cache_capacity(1),
+        );
+        let serve = |stream: u64, k: i32| {
+            server
+                .submit(stream, drift_frame(k, stream * 100 + k as u64))
+                .expect("admitted")
+                .wait()
+                .expect("served")
+        };
+        serve(1, 0); // seeds stream 1
+        serve(2, 0); // seeds stream 2, evicting stream 1
+        serve(1, 1); // stream 1 must reseed: its state was evicted
+        let report = server.shutdown();
+        assert_eq!(report.map_cache_misses, 3, "every frame missed");
+        assert_eq!(report.map_cache_hits, 0);
+        assert!(report.map_evicted >= 2);
+    }
+
+    #[test]
+    fn map_reuse_rejects_bad_frames_without_losing_the_stream_state() {
+        let e = engine();
+        let server = Server::new(e.clone(), fast_cfg().with_workers(1).with_map_reuse(true));
+        server
+            .submit(7, drift_frame(0, 1))
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        // Duplicate coordinates pass shape validation but fail in
+        // infer_stream; the stream's cached state must survive.
+        let dup = SparseTensor::new(
+            vec![Coord::new(0, 2, 2, 0), Coord::new(0, 2, 2, 0)],
+            uniform_matrix(&mut rng_from_seed(3), 2, 4, -1.0, 1.0),
+        );
+        assert!(matches!(
+            server.submit(7, dup).expect("admitted").wait(),
+            Err(Rejected::CompileFailed(_))
+        ));
+        let f = drift_frame(1, 2);
+        let resp = server
+            .submit(7, f.clone())
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert_eq!(resp.output, sort_by_coord(&e.infer(&f).0));
+        let report = server.shutdown();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.rejected_bad_frame, 1);
+        // Good frame 0 missed; the bad frame and good frame 1 both hit.
+        assert_eq!(report.map_cache_misses, 1);
+        assert_eq!(report.map_cache_hits, 2);
+        assert_eq!(report.map_patched, 1, "frame 1 patched the surviving state");
     }
 
     #[test]

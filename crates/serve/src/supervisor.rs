@@ -36,6 +36,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use ts_core::Engine;
 
 use crate::faults::{self, FaultPlan};
+use crate::mapcache::MapCache;
 use crate::metrics::Metrics;
 use crate::server::{process_batch, shed_expired, Batch, Rejected};
 use crate::ServeConfig;
@@ -49,6 +50,7 @@ pub(crate) struct SupervisorCtx {
     pub tracer: Option<ts_trace::Tracer>,
     pub stop: Arc<AtomicBool>,
     pub next_batch: Arc<AtomicU64>,
+    pub map_cache: Arc<MapCache>,
     pub cfg: ServeConfig,
 }
 
@@ -137,6 +139,7 @@ fn spawn_slot(
     rx: &Receiver<Batch>,
     metrics: &Arc<Metrics>,
     tracer: &Option<ts_trace::Tracer>,
+    map_cache: &Arc<MapCache>,
     cfg: &ServeConfig,
 ) -> Slot {
     let shared = Arc::new(WorkerShared::new(Instant::now()));
@@ -146,13 +149,22 @@ fn spawn_slot(
         let rx = rx.clone();
         let metrics = Arc::clone(metrics);
         let tracer = tracer.clone();
+        let map_cache = Arc::clone(map_cache);
         let plan = cfg.fault_plan.clone();
         let poll = cfg.supervisor_poll;
         std::thread::Builder::new()
             .name(format!("ts-serve-worker-{id}"))
             .spawn(move || {
                 ts_trace::install_opt(tracer.as_ref());
-                worker_loop(&engine, &rx, &metrics, &shared, plan.as_ref(), poll)
+                worker_loop(
+                    &engine,
+                    &rx,
+                    &metrics,
+                    &shared,
+                    &map_cache,
+                    plan.as_ref(),
+                    poll,
+                )
             })
             .expect("spawn worker thread")
     };
@@ -164,6 +176,7 @@ fn worker_loop(
     rx: &Receiver<Batch>,
     metrics: &Metrics,
     shared: &WorkerShared,
+    map_cache: &MapCache,
     plan: Option<&FaultPlan>,
     poll: Duration,
 ) {
@@ -177,7 +190,7 @@ fn worker_loop(
                 // *before* any injection site or engine call can die.
                 shared.begin(&batch);
                 faults::inject(plan, batch.seq);
-                process_batch(engine, batch.jobs, metrics);
+                process_batch(engine, batch.jobs, metrics, map_cache);
                 shared.finish();
             }
             Err(RecvTimeoutError::Timeout) => continue,
@@ -195,13 +208,14 @@ fn run(ctx: SupervisorCtx) {
         tracer,
         stop,
         next_batch,
+        map_cache,
         cfg,
     } = ctx;
     // Dropped (set to None) during shutdown once the backlog is done;
     // the disconnect is what tells workers to exit.
     let mut work_tx = Some(work_tx);
     let mut slots: Vec<Slot> = (0..cfg.workers)
-        .map(|id| spawn_slot(id, &engine, &work_rx, &metrics, &tracer, &cfg))
+        .map(|id| spawn_slot(id, &engine, &work_rx, &metrics, &tracer, &map_cache, &cfg))
         .collect();
     let mut next_id = cfg.workers;
     // Retired-but-possibly-still-running workers. Never joined: one may
@@ -222,11 +236,16 @@ fn run(ctx: SupervisorCtx) {
                 metrics.on_worker_panic();
                 ts_trace::counter_add("serve.workers.panicked", 1);
                 let inflight = slot.shared.steal();
+                // The dead worker may have panicked mid-update with a
+                // stream state checked out; every surviving cached
+                // state is still sound, but the checked-out one is
+                // lost and cannot be told apart, so drop them all.
+                map_cache.invalidate_all(&metrics);
                 if work_tx.is_some() {
                     // Respawn before re-enqueueing: the send below can
                     // block on a full channel and needs a consumer.
                     slots.push(spawn_slot(
-                        next_id, &engine, &work_rx, &metrics, &tracer, &cfg,
+                        next_id, &engine, &work_rx, &metrics, &tracer, &map_cache, &cfg,
                     ));
                     next_id += 1;
                     metrics.on_worker_restart();
@@ -250,10 +269,15 @@ fn run(ctx: SupervisorCtx) {
                 metrics.on_worker_stall();
                 ts_trace::counter_add("serve.workers.stalled", 1);
                 let inflight = slot.shared.steal();
+                // A stuck worker is retired, not killed: it may wake
+                // later and put back stream states from before the
+                // recovery. Reset the cache to a known-clean slate;
+                // affected streams just reseed on their next frame.
+                map_cache.invalidate_all(&metrics);
                 zombies.push(slot.handle);
                 if work_tx.is_some() {
                     slots.push(spawn_slot(
-                        next_id, &engine, &work_rx, &metrics, &tracer, &cfg,
+                        next_id, &engine, &work_rx, &metrics, &tracer, &map_cache, &cfg,
                     ));
                     next_id += 1;
                     metrics.on_worker_restart();

@@ -3,8 +3,14 @@
 //! ```text
 //! verify --corpus [DIR]                      # replay checked-in repros (CI gate)
 //! verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]
+//! verify --stream [--seed S] [--iters N] [--repro-dir DIR]
 //! verify --mutation-smoke [--repro-dir DIR]  # requires --features mutate
 //! ```
+//!
+//! `--stream` fuzzes frame-delta sequences through the incremental
+//! kernel-map engine (structural equivalence to from-scratch rebuilds);
+//! it composes with `--corpus` and `--fuzz` the same way they compose
+//! with each other.
 //!
 //! Exit status: 0 = clean, 1 = conformance failure (counterexample
 //! written when a repro dir applies), 2 = usage or environment error.
@@ -12,7 +18,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ts_verify::{fuzz, replay_corpus, write_repro};
+use ts_verify::{fuzz, fuzz_stream, replay_corpus, write_repro, write_stream_repro};
 
 /// Default corpus/repro directory: `tests/repros/` at the workspace
 /// root, resolved relative to this crate so the binary works from any
@@ -28,6 +34,7 @@ fn default_repro_dir() -> PathBuf {
 struct Args {
     corpus: Option<PathBuf>,
     fuzz: bool,
+    stream: bool,
     mutation_smoke: bool,
     seed: u64,
     iters: usize,
@@ -36,7 +43,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: verify --corpus [DIR]\n       verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]\n       verify --mutation-smoke [--repro-dir DIR]"
+        "usage: verify --corpus [DIR]\n       verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]\n       verify --stream [--seed S] [--iters N] [--repro-dir DIR]\n       verify --mutation-smoke [--repro-dir DIR]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         corpus: None,
         fuzz: false,
+        stream: false,
         mutation_smoke: false,
         seed: 0x5EED,
         iters: 16,
@@ -76,6 +84,10 @@ fn parse_args() -> Result<Args, String> {
                 saw_mode = true;
                 args.fuzz = true;
             }
+            "--stream" => {
+                saw_mode = true;
+                args.stream = true;
+            }
             "--mutation-smoke" => {
                 saw_mode = true;
                 args.mutation_smoke = true;
@@ -96,7 +108,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if !saw_mode {
-        return Err("pick a mode: --corpus, --fuzz or --mutation-smoke".to_owned());
+        return Err("pick a mode: --corpus, --fuzz, --stream or --mutation-smoke".to_owned());
     }
     Ok(args)
 }
@@ -121,6 +133,9 @@ fn run_corpus(dir: &Path) -> bool {
             }
             for m in &r.mismatches {
                 println!("  mismatch: {m}");
+            }
+            for m in &r.stream_mismatches {
+                println!("  stream mismatch: {m}");
             }
         }
     }
@@ -151,6 +166,37 @@ fn run_fuzz(seed: u64, iters: usize, repro_dir: &Path) -> bool {
                 eprintln!("  {m}");
             }
             match write_repro(repro_dir, &ce) {
+                Ok(path) => eprintln!("repro written to {}", path.display()),
+                Err(e) => eprintln!("could not write repro: {e}"),
+            }
+            false
+        }
+    }
+}
+
+fn run_stream(seed: u64, iters: usize, repro_dir: &Path) -> bool {
+    let report = fuzz_stream(seed, iters);
+    match report.counterexample {
+        None => {
+            println!(
+                "stream: {} frame-delta sequence(s) from seed {seed:#x}, all equivalent to rebuilds",
+                report.iterations
+            );
+            true
+        }
+        Some(ce) => {
+            eprintln!(
+                "stream: counterexample after {} sequence(s): {} base point(s), {} frame(s), threshold {}, kernel {}",
+                report.iterations,
+                ce.scenario.base.len(),
+                ce.scenario.frames.len(),
+                ce.scenario.churn_threshold,
+                ce.scenario.kernel_size
+            );
+            for m in &ce.mismatches {
+                eprintln!("  {m}");
+            }
+            match write_stream_repro(repro_dir, &ce) {
                 Ok(path) => eprintln!("repro written to {}", path.display()),
                 Err(e) => eprintln!("could not write repro: {e}"),
             }
@@ -219,6 +265,10 @@ fn main() -> ExitCode {
     if args.fuzz && !failed {
         ran = true;
         failed |= !run_fuzz(args.seed, args.iters, &args.repro_dir);
+    }
+    if args.stream && !failed {
+        ran = true;
+        failed |= !run_stream(args.seed, args.iters, &args.repro_dir);
     }
     if !ran {
         return usage();

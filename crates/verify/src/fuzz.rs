@@ -219,17 +219,23 @@ pub struct CorpusResult {
     pub mismatches: Vec<Mismatch>,
     /// Structural violations of the scenario's kernel maps.
     pub violations: Vec<crate::Violation>,
+    /// Incremental-vs-rebuild divergences, for stream-scenario files.
+    pub stream_mismatches: Vec<crate::StreamMismatch>,
 }
 
 impl CorpusResult {
     /// Whether the replay was clean.
     pub fn passed(&self) -> bool {
-        self.mismatches.is_empty() && self.violations.is_empty()
+        self.mismatches.is_empty()
+            && self.violations.is_empty()
+            && self.stream_mismatches.is_empty()
     }
 }
 
 /// Replays every `*.json` counterexample under `dir` through the
-/// invariant checker and differential engine. Checked-in repros record
+/// invariant checker and differential engine. Stream-scenario files
+/// (recognized by a `scenario.frames` field) replay through the
+/// incremental kernel-map engine instead. Checked-in repros record
 /// *fixed* bugs, so a healthy corpus replays clean.
 ///
 /// # Errors
@@ -245,19 +251,41 @@ pub fn replay_corpus(dir: &Path) -> io::Result<Vec<CorpusResult>> {
     let mut results = Vec::new();
     for path in files {
         let text = fs::read_to_string(&path)?;
-        let ce: Counterexample = serde_json::from_str(&text).map_err(|e| {
+        let bad = |e: String| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("{}: {e}", path.display()),
             )
-        })?;
-        let violations = crate::check_scenario_maps(&ce.scenario);
-        let mismatches = run_scenario(&ce.scenario);
-        results.push(CorpusResult {
-            path,
-            mismatches,
-            violations,
-        });
+        };
+        let value: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+        // Dispatch on shape: temporal stream scenarios carry a frame
+        // sequence; differential scenarios carry channel counts.
+        if value
+            .get("scenario")
+            .and_then(|s| s.get("frames"))
+            .is_some()
+        {
+            let ce: crate::StreamCounterexample =
+                serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+            let stream_mismatches = crate::run_stream_scenario(&ce.scenario);
+            results.push(CorpusResult {
+                path,
+                mismatches: Vec::new(),
+                violations: Vec::new(),
+                stream_mismatches,
+            });
+        } else {
+            let ce: Counterexample = serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+            let violations = crate::check_scenario_maps(&ce.scenario);
+            let mismatches = run_scenario(&ce.scenario);
+            results.push(CorpusResult {
+                path,
+                mismatches,
+                violations,
+                stream_mismatches: Vec::new(),
+            });
+        }
     }
     Ok(results)
 }
@@ -303,6 +331,27 @@ mod tests {
         let json = serde_json::to_string_pretty(&ce).expect("serializes");
         let back: Counterexample = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(ce, back);
+    }
+
+    #[test]
+    fn corpus_dispatches_stream_and_differential_files() {
+        let dir = std::env::temp_dir().join(format!("ts-verify-mixed-{}", std::process::id()));
+        let diff = Counterexample {
+            scenario: generate_scenario(11),
+            mismatches: Vec::new(),
+        };
+        let stream = crate::StreamCounterexample {
+            scenario: crate::generate_stream_scenario(11),
+            mismatches: Vec::new(),
+        };
+        write_repro(&dir, &diff).expect("writes differential");
+        crate::write_stream_repro(&dir, &stream).expect("writes stream");
+        let results = replay_corpus(&dir).expect("replays");
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.passed(), "{r:#?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

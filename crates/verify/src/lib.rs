@@ -19,11 +19,18 @@
 //!   on failure the scenario is minimized (drop points, collapse
 //!   channels, shrink the kernel, pin the config) and serialized as a
 //!   JSON [`Counterexample`] for `tests/repros/`.
+//! * **Temporal stream mode** ([`fuzz_stream`], [`run_stream_scenario`])
+//!   — frame-delta sequences replayed through the incremental
+//!   kernel-map engine ([`ts_kernelmap::IncrementalMap`]) and compared
+//!   structurally against from-scratch rebuilds after every frame;
+//!   failures shrink to a minimal frame sequence first.
 //!
-//! The `verify` binary drives all three: `--corpus` replays checked-in
-//! repros (CI gate), `--fuzz --seed S --iters N` hunts for new ones,
-//! and `--mutation-smoke` (with the `mutate` feature) proves the
-//! harness catches a deliberately broken dataflow.
+//! The `verify` binary drives all of them: `--corpus` replays
+//! checked-in repros (CI gate, both scenario kinds), `--fuzz --seed S
+//! --iters N` hunts for new differential counterexamples, `--stream`
+//! does the same for frame-delta sequences, and `--mutation-smoke`
+//! (with the `mutate` feature) proves the harness catches a
+//! deliberately broken dataflow.
 //!
 //! # Examples
 //!
@@ -44,6 +51,7 @@
 mod differential;
 mod fuzz;
 mod invariants;
+mod stream;
 mod violation;
 
 pub use differential::{
@@ -54,6 +62,11 @@ pub use fuzz::{
     fuzz, generate_scenario, replay_corpus, shrink, write_repro, CorpusResult, Counterexample,
     FuzzReport,
 };
+pub use stream::{
+    fuzz_stream, generate_stream_scenario, run_stream_scenario, shrink_stream, write_stream_repro,
+    FrameOps, StreamCounterexample, StreamFuzzReport, StreamMismatch, StreamScenario,
+};
+
 pub use invariants::{
     check_coords, check_group_configs, check_kernel_map, check_network, check_schedule,
     check_session, check_sparse_tensor, check_split_plan, TILE_GRANULARITY,

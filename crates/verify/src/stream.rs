@@ -1,0 +1,453 @@
+//! Temporal stream scenarios: frame-delta sequences differentially
+//! checking [`IncrementalMap`] against from-scratch rebuilds.
+//!
+//! A [`StreamScenario`] is a base cloud plus a sequence of
+//! [`FrameOps`] deltas (drop indices, add coordinates). The runner
+//! replays the sequence through an incremental map at the scenario's
+//! churn threshold and, after *every* frame, compares the patched
+//! state structurally against `build_submanifold_map` over the same
+//! coordinates — pair lists, neighbor table, bitmasks, the split-plan
+//! partition, and the coordinate set itself. Any divergence is a
+//! [`StreamMismatch`]; the fuzzer shrinks failing scenarios to a
+//! minimal frame sequence (fewest frames, then fewest points and ops)
+//! before serializing them for `tests/repros/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ts_kernelmap::{
+    build_submanifold_map, check_map, check_plan, unique_coords, Coord, DeltaConfig,
+    IncrementalMap, KernelOffsets,
+};
+use ts_tensor::rng_from_seed;
+
+use crate::ReproCoord;
+
+/// Evaluation budget for one stream shrink (each evaluation replays the
+/// whole frame sequence; structural checks only, so this is cheap
+/// relative to the differential matrix).
+const SHRINK_BUDGET: usize = 400;
+
+/// One frame's delta, applied to the running coordinate set: `drop`
+/// removes by index (modulo the current length, so shrinking the cloud
+/// never invalidates a scenario), then `add` appends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameOps {
+    /// Indices into the current frame to remove (taken modulo its
+    /// length at application time).
+    pub drop: Vec<usize>,
+    /// Coordinates to append (deduplicated against the frame).
+    pub add: Vec<ReproCoord>,
+}
+
+/// A self-contained temporal differential case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamScenario {
+    /// Seed this scenario was generated from (naming/metadata).
+    pub seed: u64,
+    /// The first frame's coordinates (deduplicated before use).
+    pub base: Vec<ReproCoord>,
+    /// Per-frame deltas, applied in order.
+    pub frames: Vec<FrameOps>,
+    /// Patch-vs-rebuild cutoff handed to [`DeltaConfig`].
+    pub churn_threshold: f32,
+    /// Cubic kernel size (must be odd — incremental maps reject even).
+    pub kernel_size: u32,
+    /// Split count of the maintained plan.
+    pub split_count: u32,
+}
+
+/// One divergence between the incremental state and the from-scratch
+/// reference at a specific frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamMismatch {
+    /// Frame index (0 = the seeded initial state).
+    pub frame: usize,
+    /// What diverged, human-readable.
+    pub detail: String,
+}
+
+impl std::fmt::Display for StreamMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame {}: {}", self.frame, self.detail)
+    }
+}
+
+/// A shrunken failing stream scenario plus its mismatches. Serializes
+/// alongside [`crate::Counterexample`] files in the same corpus
+/// directory (`replay_corpus` tells them apart by the `frames` field).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCounterexample {
+    /// The minimal failing scenario.
+    pub scenario: StreamScenario,
+    /// Mismatches observed when it was produced. Empty for checked-in
+    /// conformance scenarios.
+    pub mismatches: Vec<StreamMismatch>,
+}
+
+/// Outcome of a stream fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFuzzReport {
+    /// Scenarios generated and executed.
+    pub iterations: usize,
+    /// First failure, already shrunken; `None` = all conformant.
+    pub counterexample: Option<StreamCounterexample>,
+}
+
+fn apply_ops(frame: &mut Vec<Coord>, ops: &FrameOps) {
+    for &idx in &ops.drop {
+        if !frame.is_empty() {
+            let i = idx % frame.len();
+            frame.remove(i);
+        }
+    }
+    frame.extend(ops.add.iter().map(|&c| Coord::from(c)));
+    *frame = unique_coords(frame);
+}
+
+fn check_state(inc: &IncrementalMap, frame: &[Coord], t: usize, out: &mut Vec<StreamMismatch>) {
+    let mut push = |detail: String| {
+        out.push(StreamMismatch { frame: t, detail });
+    };
+    if inc.coords().len() != frame.len() {
+        push(format!(
+            "state holds {} coords, frame has {}",
+            inc.coords().len(),
+            frame.len()
+        ));
+        return;
+    }
+    let got: std::collections::HashSet<u64> = inc.coords().iter().map(|c| c.key()).collect();
+    if frame.iter().any(|c| !got.contains(&c.key())) {
+        push("state coordinate set diverged from the frame".to_owned());
+        return;
+    }
+    let fresh = build_submanifold_map(inc.coords(), inc.offsets());
+    if inc.map() != &fresh {
+        push("incremental map differs from from-scratch rebuild".to_owned());
+    }
+    for v in check_map(inc.map()) {
+        push(format!("map invariant: {v}"));
+    }
+    for v in check_plan(inc.map(), inc.plan(), 16) {
+        push(format!("split-plan invariant: {v}"));
+    }
+}
+
+/// Replays a stream scenario, returning every structural divergence
+/// between the incremental state and the reference (empty =
+/// conformant).
+pub fn run_stream_scenario(s: &StreamScenario) -> Vec<StreamMismatch> {
+    let mut mismatches = Vec::new();
+    let kernel = s.kernel_size.max(1) | 1; // odd, as IncrementalMap requires
+    let mut frame = unique_coords(
+        &s.base
+            .iter()
+            .map(|&c| Coord::from(c))
+            .collect::<Vec<Coord>>(),
+    );
+    let mut inc = IncrementalMap::new(&frame, KernelOffsets::cube(kernel), s.split_count.max(1));
+    check_state(&inc, &frame, 0, &mut mismatches);
+    let cfg = DeltaConfig {
+        churn_threshold: s.churn_threshold,
+    };
+    for (t, ops) in s.frames.iter().enumerate() {
+        apply_ops(&mut frame, ops);
+        let outcome = inc.update(&frame, &cfg);
+        // The decision itself is part of the contract.
+        let expect_rebuild = outcome.churn > s.churn_threshold;
+        let rebuilt = outcome.kind == ts_kernelmap::MapUpdate::Rebuilt;
+        if expect_rebuild != rebuilt {
+            mismatches.push(StreamMismatch {
+                frame: t + 1,
+                detail: format!(
+                    "churn {} vs threshold {} but update was {:?}",
+                    outcome.churn, s.churn_threshold, outcome.kind
+                ),
+            });
+        }
+        check_state(&inc, &frame, t + 1, &mut mismatches);
+    }
+    mismatches
+}
+
+/// Deterministically generates the `i`-th stream scenario of a fuzz
+/// run: a small cloud plus 1–6 frame deltas at a randomly drawn churn
+/// threshold (including the degenerate 0.0 always-rebuild and >1.0
+/// always-patch corners).
+pub fn generate_stream_scenario(seed: u64) -> StreamScenario {
+    let mut rng = rng_from_seed(seed ^ 0x57_0EA4);
+    let n: usize = rng.gen_range(4..=40);
+    let batches: i32 = rng.gen_range(1..=2);
+    let coord = |rng: &mut rand_chacha::ChaCha8Rng| ReproCoord {
+        b: rng.gen_range(0..batches),
+        x: rng.gen_range(-6..=6),
+        y: rng.gen_range(-6..=6),
+        z: rng.gen_range(-2..=2),
+    };
+    let base = (0..n).map(|_| coord(&mut rng)).collect();
+    let frames = (0..rng.gen_range(1..=6usize))
+        .map(|_| FrameOps {
+            drop: (0..rng.gen_range(0..=6usize))
+                .map(|_| rng.gen_range(0..4096usize))
+                .collect(),
+            add: (0..rng.gen_range(0..=6usize))
+                .map(|_| coord(&mut rng))
+                .collect(),
+        })
+        .collect();
+    StreamScenario {
+        seed,
+        base,
+        frames,
+        churn_threshold: [0.0f32, 0.15, 0.35, 0.7, 1.2][rng.gen_range(0..5usize)],
+        kernel_size: [1, 3][rng.gen_range(0..2usize)],
+        split_count: rng.gen_range(1..=3),
+    }
+}
+
+/// Runs `iters` seeded stream scenarios starting at `seed`; stops at
+/// (and shrinks) the first failure.
+pub fn fuzz_stream(seed: u64, iters: usize) -> StreamFuzzReport {
+    for i in 0..iters {
+        let scenario = generate_stream_scenario(seed.wrapping_add(i as u64));
+        let mismatches = run_stream_scenario(&scenario);
+        if !mismatches.is_empty() {
+            let (scenario, mismatches) = shrink_stream(&scenario, mismatches);
+            return StreamFuzzReport {
+                iterations: i + 1,
+                counterexample: Some(StreamCounterexample {
+                    scenario,
+                    mismatches,
+                }),
+            };
+        }
+    }
+    StreamFuzzReport {
+        iterations: iters,
+        counterexample: None,
+    }
+}
+
+/// Shrinks a failing stream scenario to a local minimum. Frames first —
+/// the point of the mode is a *minimal frame sequence* — then base
+/// points, then the ops inside the surviving frames.
+pub fn shrink_stream(
+    scenario: &StreamScenario,
+    mismatches: Vec<StreamMismatch>,
+) -> (StreamScenario, Vec<StreamMismatch>) {
+    let mut best = scenario.clone();
+    let mut best_mismatches = mismatches;
+    let mut evals = 0usize;
+
+    let attempt = |cand: StreamScenario,
+                   best: &mut StreamScenario,
+                   best_mismatches: &mut Vec<StreamMismatch>,
+                   evals: &mut usize|
+     -> bool {
+        if *evals >= SHRINK_BUDGET {
+            return false;
+        }
+        *evals += 1;
+        let m = run_stream_scenario(&cand);
+        if m.is_empty() {
+            return false;
+        }
+        *best = cand;
+        *best_mismatches = m;
+        true
+    };
+
+    // Truncate to the first failing frame: everything after it is noise.
+    let first_bad = best_mismatches.iter().map(|m| m.frame).min().unwrap_or(0);
+    if first_bad < best.frames.len() {
+        let mut cand = best.clone();
+        cand.frames.truncate(first_bad.max(1));
+        attempt(cand, &mut best, &mut best_mismatches, &mut evals);
+    }
+
+    let mut progress = true;
+    while progress && evals < SHRINK_BUDGET {
+        progress = false;
+
+        // Drop whole frames.
+        let mut i = 0;
+        while i < best.frames.len() && best.frames.len() > 1 && evals < SHRINK_BUDGET {
+            let mut cand = best.clone();
+            cand.frames.remove(i);
+            if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Halve, then singly drop, base points.
+        while best.base.len() > 1 && evals < SHRINK_BUDGET {
+            let half = best.base.len() / 2;
+            let front = StreamScenario {
+                base: best.base[..half].to_vec(),
+                ..best.clone()
+            };
+            let back = StreamScenario {
+                base: best.base[half..].to_vec(),
+                ..best.clone()
+            };
+            if attempt(front, &mut best, &mut best_mismatches, &mut evals)
+                || attempt(back, &mut best, &mut best_mismatches, &mut evals)
+            {
+                progress = true;
+            } else {
+                break;
+            }
+        }
+        let mut i = 0;
+        while i < best.base.len() && best.base.len() > 1 && evals < SHRINK_BUDGET {
+            let mut cand = best.clone();
+            cand.base.remove(i);
+            if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Thin out each surviving frame's ops.
+        for f in 0..best.frames.len() {
+            let mut op = 0;
+            while op < best.frames[f].drop.len() && evals < SHRINK_BUDGET {
+                let mut cand = best.clone();
+                cand.frames[f].drop.remove(op);
+                if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                    progress = true;
+                } else {
+                    op += 1;
+                }
+            }
+            let mut op = 0;
+            while op < best.frames[f].add.len() && evals < SHRINK_BUDGET {
+                let mut cand = best.clone();
+                cand.frames[f].add.remove(op);
+                if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                    progress = true;
+                } else {
+                    op += 1;
+                }
+            }
+        }
+
+        // Simplify the plan.
+        if best.split_count > 1 && evals < SHRINK_BUDGET {
+            let mut cand = best.clone();
+            cand.split_count = 1;
+            if attempt(cand, &mut best, &mut best_mismatches, &mut evals) {
+                progress = true;
+            }
+        }
+    }
+    (best, best_mismatches)
+}
+
+/// Writes a stream counterexample as pretty JSON under `dir`, named by
+/// its seed. Returns the written path.
+pub fn write_stream_repro(dir: &Path, ce: &StreamCounterexample) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-stream-seed-{}.json", ce.scenario.seed));
+    let json = serde_json::to_string_pretty(ce)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drift_scenario() -> StreamScenario {
+        StreamScenario {
+            seed: 1,
+            base: (0..10)
+                .map(|x| ReproCoord {
+                    b: 0,
+                    x,
+                    y: 0,
+                    z: 0,
+                })
+                .collect(),
+            frames: (0..4)
+                .map(|_| FrameOps {
+                    drop: vec![0],
+                    add: vec![],
+                })
+                .collect(),
+            churn_threshold: 0.35,
+            kernel_size: 3,
+            split_count: 2,
+        }
+    }
+
+    #[test]
+    fn drifting_line_is_conformant() {
+        assert!(run_stream_scenario(&drift_scenario()).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        assert_eq!(generate_stream_scenario(9), generate_stream_scenario(9));
+        for seed in 0..20 {
+            let s = generate_stream_scenario(seed);
+            assert!(!s.base.is_empty());
+            assert!(!s.frames.is_empty());
+            assert!(s.kernel_size % 2 == 1);
+            assert!(s.split_count >= 1);
+        }
+    }
+
+    #[test]
+    fn clean_incremental_maps_survive_a_fuzz_burst() {
+        let report = fuzz_stream(0xFEED, 24);
+        assert_eq!(report.iterations, 24);
+        assert!(
+            report.counterexample.is_none(),
+            "unexpected counterexample: {:#?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn stream_counterexample_json_round_trip() {
+        let ce = StreamCounterexample {
+            scenario: generate_stream_scenario(3),
+            mismatches: vec![StreamMismatch {
+                frame: 2,
+                detail: "x".into(),
+            }],
+        };
+        let json = serde_json::to_string_pretty(&ce).expect("serializes");
+        let back: StreamCounterexample = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(ce, back);
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_planted_failure() {
+        // A scenario whose runner we can't easily break (the real code
+        // is correct), so plant a contract violation instead: a
+        // threshold the decision check must flag. churn_threshold is
+        // compared against update's decision made with the *same*
+        // threshold, so fabricate failure by corrupting mismatches from
+        // a run of a conformant scenario — shrink must then return the
+        // scenario unchanged (every candidate passes, nothing adopted).
+        let s = drift_scenario();
+        let fake = vec![StreamMismatch {
+            frame: 1,
+            detail: "planted".into(),
+        }];
+        let (shrunk, kept) = shrink_stream(&s, fake.clone());
+        assert_eq!(shrunk, s);
+        assert_eq!(kept, fake);
+    }
+}

@@ -28,5 +28,5 @@ pub mod masked_image;
 pub mod models;
 
 pub use benchmarks::{Workload, WorkloadKind, ALL_WORKLOADS};
-pub use lidar::{LidarConfig, LidarScene, LidarStream, SceneStats};
+pub use lidar::{FrameDelta, LidarConfig, LidarScene, LidarStream, SceneStats};
 pub use masked_image::{masked_image_batch, masked_image_encoder, MaskedImageConfig};

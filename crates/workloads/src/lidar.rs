@@ -185,6 +185,40 @@ fn quantize_returns(cfg: &LidarConfig, raw: &[([f32; 3], f32)], batch: i32) -> L
     }
 }
 
+/// Ground-truth voxel churn between consecutive stream frames: the
+/// coordinates that appeared and disappeared relative to the previous
+/// frame. Emitted by [`LidarStream::next_frame_with_delta`] so tests
+/// and benches can assert churn directly instead of recomputing set
+/// differences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameDelta {
+    /// Voxels present in this frame but not the previous one. For the
+    /// first frame of a stream this is the entire frame.
+    pub entered: Vec<Coord>,
+    /// Voxels present in the previous frame but not this one.
+    pub exited: Vec<Coord>,
+}
+
+impl FrameDelta {
+    /// Churn fraction relative to a frame of `frame_voxels` voxels:
+    /// `(entered + exited) / max(1, frame_voxels)` — the same ratio the
+    /// incremental map engine thresholds on.
+    pub fn churn(&self, frame_voxels: usize) -> f64 {
+        (self.entered.len() + self.exited.len()) as f64 / frame_voxels.max(1) as f64
+    }
+
+    /// Applies this delta to a voxel key set (remove exited, insert
+    /// entered), advancing a replayed coordinate set by one frame.
+    pub fn apply(&self, keys: &mut std::collections::HashSet<u64>) {
+        for c in &self.exited {
+            keys.remove(&c.key());
+        }
+        for c in &self.entered {
+            keys.insert(c.key());
+        }
+    }
+}
+
 /// A continuous rotating-LiDAR frame sequence with temporal coherence:
 /// one procedural scene is generated per stream, and the ego vehicle
 /// drives through it (constant speed, gentle yaw), so consecutive
@@ -229,6 +263,8 @@ pub struct LidarStream {
     step_m: f32,
     /// Heading change per frame (radians).
     yaw_rate: f32,
+    /// Previous frame's coordinates, for [`Self::next_frame_with_delta`].
+    prev_coords: Vec<Coord>,
 }
 
 impl LidarStream {
@@ -247,6 +283,7 @@ impl LidarStream {
             heading: 0.0,
             step_m: 0.5,
             yaw_rate: 0.01,
+            prev_coords: Vec::new(),
         }
     }
 
@@ -266,6 +303,13 @@ impl LidarStream {
     /// pose. Every frame is tagged batch 0 (the serving layer assigns
     /// batch slots).
     pub fn next_frame(&mut self) -> LidarScene {
+        self.next_frame_with_delta().0
+    }
+
+    /// [`Self::next_frame`] plus the ground-truth [`FrameDelta`] against
+    /// the previous frame. Replaying the deltas of frames `0..=N` onto an
+    /// empty key set reproduces frame `N`'s voxel set exactly.
+    pub fn next_frame_with_delta(&mut self) -> (LidarScene, FrameDelta) {
         let ego = [self.pos[0], self.pos[1], 1.8];
         let mut raw: Vec<([f32; 3], f32)> = Vec::new();
         cast_sweep(&self.cfg, &self.obstacles, ego, &mut self.rng, &mut raw);
@@ -273,7 +317,28 @@ impl LidarStream {
         self.heading += self.yaw_rate;
         self.pos[0] += self.step_m * self.heading.cos();
         self.pos[1] += self.step_m * self.heading.sin();
-        quantize_returns(&self.cfg, &raw, 0)
+        let scene = quantize_returns(&self.cfg, &raw, 0);
+
+        let prev_keys: std::collections::HashSet<u64> =
+            self.prev_coords.iter().map(|c| c.key()).collect();
+        let new_keys: std::collections::HashSet<u64> =
+            scene.coords.iter().map(|c| c.key()).collect();
+        let delta = FrameDelta {
+            entered: scene
+                .coords
+                .iter()
+                .filter(|c| !prev_keys.contains(&c.key()))
+                .copied()
+                .collect(),
+            exited: self
+                .prev_coords
+                .iter()
+                .filter(|c| !new_keys.contains(&c.key()))
+                .copied()
+                .collect(),
+        };
+        self.prev_coords = scene.coords.clone();
+        (scene, delta)
     }
 }
 
@@ -516,6 +581,64 @@ mod tests {
         let _ = s.next_frame();
         assert_eq!(s.frames_emitted(), 2);
         assert!((s.pos[0] - 4.0).abs() < 1e-6, "ego drove 2 m per frame");
+    }
+
+    #[test]
+    fn delta_replay_reproduces_every_frame() {
+        // Replaying deltas 0..N onto an empty set must reproduce frame
+        // N's voxel set exactly — FrameDelta is ground truth, not an
+        // approximation.
+        let mut s = LidarStream::new(test_cfg(), 31);
+        let mut replayed = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let (scene, delta) = s.next_frame_with_delta();
+            delta.apply(&mut replayed);
+            let truth: std::collections::HashSet<u64> =
+                scene.coords.iter().map(|c| c.key()).collect();
+            assert_eq!(replayed, truth);
+        }
+    }
+
+    #[test]
+    fn first_frame_delta_is_all_entered() {
+        let mut s = LidarStream::new(test_cfg(), 17);
+        let (scene, delta) = s.next_frame_with_delta();
+        assert_eq!(delta.entered.len(), scene.coords.len());
+        assert!(delta.exited.is_empty());
+        assert!((delta.churn(scene.coords.len()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slower_motion_means_lower_churn() {
+        // The bench's churn sweep rests on this monotonicity: ego speed
+        // controls the frame-to-frame voxel delta.
+        let churn_at = |step: f32| -> f64 {
+            let mut s = LidarStream::new(test_cfg(), 23).with_motion(step, 0.0);
+            let _ = s.next_frame_with_delta();
+            let mut total = 0.0;
+            for _ in 0..3 {
+                let (scene, delta) = s.next_frame_with_delta();
+                total += delta.churn(scene.coords.len());
+            }
+            total / 3.0
+        };
+        let slow = churn_at(0.1);
+        let fast = churn_at(4.0);
+        assert!(
+            slow < fast,
+            "slow motion churn {slow:.3} must be below fast {fast:.3}"
+        );
+    }
+
+    #[test]
+    fn delta_and_plain_frames_agree() {
+        let mut a = LidarStream::new(test_cfg(), 9);
+        let mut b = LidarStream::new(test_cfg(), 9);
+        for _ in 0..3 {
+            let plain = a.next_frame();
+            let (with_delta, _) = b.next_frame_with_delta();
+            assert_eq!(plain.coords, with_delta.coords);
+        }
     }
 
     #[test]
