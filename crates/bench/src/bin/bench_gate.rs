@@ -54,6 +54,17 @@ const CHECKS: &[Check] = &[
             "sim_speedup_low_churn",
         ],
     },
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json"),
+        fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_fleet.json"),
+        metrics: &[
+            "single_fps_sim",
+            "fleet8_fps_sim",
+            "scaling_fleet8",
+            "reuse_rate_fleet8",
+            "kill_p99_latency_us",
+        ],
+    },
 ];
 
 fn load(path: &str) -> Value {

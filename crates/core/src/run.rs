@@ -18,6 +18,11 @@ use crate::{GroupConfigs, Network, NetworkWeights, Op, RunReport, Session, Spars
 /// `cfgs`, so numerical behaviour (e.g. split summation order) matches
 /// the selected dataflow.
 ///
+/// With a simulate-only context (`ctx.functional == false`) the feature
+/// walk is skipped entirely and the returned tensor is empty — callers
+/// that simulate (autotuner sweeps, the fleet simulator) read only the
+/// report.
+///
 /// # Panics
 ///
 /// Panics if `input` channels disagree with the network, if input
@@ -60,6 +65,20 @@ pub fn run_network_in_session(
 ) -> (SparseTensor, RunReport) {
     let network = session.network();
     let report = session.simulate_inference(cfgs, ctx);
+
+    // Simulate-only contexts price the run without computing features:
+    // the report is the product and the returned tensor is empty. This
+    // is what makes wide networks affordable in pure-simulation drivers
+    // (the fleet simulator prices thousands of frames per run; walking
+    // real features through them would burn minutes of wall clock on
+    // outputs nobody reads).
+    if !ctx.functional {
+        let out_ch = network.out_channels(network.nodes().len() - 1);
+        return (
+            SparseTensor::new(Vec::new(), Matrix::zeros(0, out_ch)),
+            report,
+        );
+    }
 
     // Functional feature walk.
     let fctx = ExecCtx {

@@ -1,0 +1,217 @@
+//! Node specification: which device a fleet slot simulates, which
+//! schedule artifact it boots from, and how its server is configured.
+//!
+//! The paper's central observation is that the best dataflow is
+//! device-specific (its Sparse Autotuner re-tunes per device); a
+//! heterogeneous fleet therefore boots every node from its *own*
+//! [`ScheduleArtifact`] via [`Engine::load_schedule_lenient`] — an
+//! artifact tuned for an A100 is rejected (leniently, with typed
+//! downgrades) on an Orin rather than silently mispricing it.
+
+use serde::{Deserialize, Serialize};
+use ts_core::{Engine, GroupConfigs, Network, NetworkWeights, ScheduleArtifact};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_gpusim::Device;
+use ts_serve::ServeConfig;
+use ts_tensor::Precision;
+
+/// The hardware class a fleet node simulates. The three-tier lineup
+/// mirrors a real deployment: datacenter accelerators, prosumer GPUs,
+/// and the paper's ADAS edge platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceTier {
+    /// Datacenter: NVIDIA A100.
+    Premium,
+    /// Prosumer: NVIDIA RTX 3090 (the paper's main evaluation GPU).
+    Standard,
+    /// Edge: NVIDIA Jetson Orin.
+    Edge,
+}
+
+impl DeviceTier {
+    /// The simulated device model of this tier.
+    pub fn device(self) -> Device {
+        match self {
+            DeviceTier::Premium => Device::a100(),
+            DeviceTier::Standard => Device::rtx3090(),
+            DeviceTier::Edge => Device::jetson_orin(),
+        }
+    }
+
+    /// Short label for reports and trace lanes.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceTier::Premium => "premium",
+            DeviceTier::Standard => "standard",
+            DeviceTier::Edge => "edge",
+        }
+    }
+}
+
+/// Everything needed to boot (and re-boot, after a kill) one node.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Stable node index within the fleet.
+    pub id: usize,
+    /// Hardware class of the simulated device.
+    pub tier: DeviceTier,
+    /// Numeric precision the node serves at.
+    pub precision: Precision,
+    /// Serialized [`ScheduleArtifact`] the node boots its engine from.
+    /// Always loaded leniently: a mismatched or corrupt artifact boots
+    /// a degraded node, never a dead one.
+    pub artifact_json: String,
+    /// Per-node server configuration.
+    pub serve: ServeConfig,
+}
+
+impl NodeSpec {
+    /// A spec with an untuned (uniform implicit-GEMM) schedule artifact
+    /// keyed to this tier's device — the artifact a deployment would
+    /// ship before its first autotune pass. Callers with tuned
+    /// schedules set `artifact_json` from [`Engine::save_schedule`]
+    /// instead.
+    pub fn untuned(
+        id: usize,
+        tier: DeviceTier,
+        precision: Precision,
+        network: &Network,
+        serve: ServeConfig,
+    ) -> Self {
+        let artifact = ScheduleArtifact::new(
+            network.name(),
+            &tier.device().name,
+            precision,
+            GroupConfigs::uniform(DataflowConfig::implicit_gemm(1)),
+        );
+        Self {
+            id,
+            tier,
+            precision,
+            artifact_json: artifact.to_json().expect("uniform artifact serializes"),
+            serve,
+        }
+    }
+
+    /// Boots this node's engine: lenient schedule load against the
+    /// tier's device model, so the node always comes up (possibly
+    /// degraded, with typed [`ts_core::Downgrade`] records).
+    pub fn boot_engine(&self, network: &Network, weights: &NetworkWeights) -> Engine {
+        Engine::load_schedule_lenient(
+            network.clone(),
+            weights.clone(),
+            &self.artifact_json,
+            ExecCtx::functional(self.tier.device(), self.precision),
+        )
+    }
+
+    /// Same lenient boot, but in simulate-only mode (no feature math):
+    /// what [`crate::FleetSim`] runs, where only the priced
+    /// [`ts_core::RunReport`] matters and functional execution would
+    /// waste the bench's wall clock on outputs nobody reads.
+    pub fn boot_sim_engine(&self, network: &Network, weights: &NetworkWeights) -> Engine {
+        Engine::load_schedule_lenient(
+            network.clone(),
+            weights.clone(),
+            &self.artifact_json,
+            ExecCtx::simulate(self.tier.device(), self.precision),
+        )
+    }
+
+    /// Relative serving-capacity prior used to weight this node's share
+    /// of the consistent-hash ring ([`crate::Router::weighted`]). DRAM
+    /// bandwidth is the proxy: sparse-conv serving is dominated by
+    /// mapping and gather/scatter traffic that scales with memory
+    /// bandwidth on every workload width, whereas tensor-core peak only
+    /// matters on very wide layers (the paper's §6.3 compute-vs-
+    /// bandwidth asymmetry cuts the same way).
+    pub fn capacity_weight(&self) -> f64 {
+        self.tier.device().dram_gbps
+    }
+}
+
+/// The standard heterogeneous lineup for an `n`-node fleet: tiers
+/// cycle Premium, Standard, Edge, Premium, ... so an 8-node fleet gets
+/// 3 A100s, 3 RTX 3090s and 2 Orins. Every node gets an untuned
+/// artifact for its own device.
+pub fn heterogeneous_specs(
+    n: usize,
+    precision: Precision,
+    network: &Network,
+    serve: &ServeConfig,
+) -> Vec<NodeSpec> {
+    const CYCLE: [DeviceTier; 3] = [DeviceTier::Premium, DeviceTier::Standard, DeviceTier::Edge];
+    (0..n)
+        .map(|id| NodeSpec::untuned(id, CYCLE[id % 3], precision, network, serve.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::NetworkBuilder;
+
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new("node-test", 2);
+        let _ = b.conv("c", NetworkBuilder::INPUT, 4, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn untuned_spec_boots_clean() {
+        let network = net();
+        let weights = network.init_weights(0);
+        let spec = NodeSpec::untuned(
+            0,
+            DeviceTier::Standard,
+            Precision::Fp16,
+            &network,
+            ServeConfig::default(),
+        );
+        let engine = spec.boot_engine(&network, &weights);
+        assert!(!engine.is_degraded(), "matching artifact loads clean");
+        assert_eq!(engine.ctx().device().name, "RTX 3090");
+    }
+
+    #[test]
+    fn mismatched_artifact_boots_degraded_not_dead() {
+        let network = net();
+        let weights = network.init_weights(0);
+        // An artifact tuned for the Premium tier, booted on Edge.
+        let mut spec = NodeSpec::untuned(
+            1,
+            DeviceTier::Premium,
+            Precision::Fp16,
+            &network,
+            ServeConfig::default(),
+        );
+        spec.tier = DeviceTier::Edge;
+        let engine = spec.boot_engine(&network, &weights);
+        assert!(engine.is_degraded(), "wrong-device artifact downgrades");
+        assert_eq!(engine.ctx().device().name, "Jetson Orin");
+    }
+
+    #[test]
+    fn heterogeneous_lineup_cycles_tiers() {
+        let network = net();
+        let specs = heterogeneous_specs(8, Precision::Fp16, &network, &ServeConfig::default());
+        let tiers: Vec<DeviceTier> = specs.iter().map(|s| s.tier).collect();
+        assert_eq!(
+            tiers,
+            vec![
+                DeviceTier::Premium,
+                DeviceTier::Standard,
+                DeviceTier::Edge,
+                DeviceTier::Premium,
+                DeviceTier::Standard,
+                DeviceTier::Edge,
+                DeviceTier::Premium,
+                DeviceTier::Standard,
+            ]
+        );
+        assert_eq!(
+            specs.iter().filter(|s| s.tier == DeviceTier::Edge).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Fleet-level reporting: per-node [`ServeReport`]s plus the routing
+//! counters, merged with the exact pooled statistics of
+//! [`ServeReport::merge`] / [`ts_core::LatencyStats::merge`].
+
+use serde::{Deserialize, Serialize};
+use ts_serve::ServeReport;
+
+use crate::node::DeviceTier;
+
+/// One node's contribution to a [`FleetReport`]. A node killed and
+/// restarted contributes one `NodeReport` whose `report` merges every
+/// epoch it served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Node index within the fleet.
+    pub id: usize,
+    /// Hardware class the node simulated.
+    pub tier: DeviceTier,
+    /// Simulated device name (e.g. "A100").
+    pub device: String,
+    /// Schedule slots the node booted degraded (lenient artifact load).
+    pub schedule_downgrades: u64,
+    /// Times the node was killed by fleet chaos.
+    pub deaths: u64,
+    /// The node's serving report, pooled across its lifetimes.
+    pub report: ServeReport,
+}
+
+/// Aggregated view of a whole fleet run: the merged serving report plus
+/// the router's placement accounting. Serializes to JSON for benches
+/// and dashboards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-node reports, sorted by node id.
+    pub nodes: Vec<NodeReport>,
+    /// All node reports pooled via [`ServeReport::merge`] — exact
+    /// counters, exact pooled mean/variance, run-weighted percentiles.
+    pub merged: ServeReport,
+    /// Requests the router placed (all placements).
+    pub routed: u64,
+    /// Requests that went to their stream's live home.
+    pub affinity: u64,
+    /// Requests consistent-hashed to a new home (first frame or dead
+    /// home).
+    pub hashed: u64,
+    /// Requests diverted off an overloaded home for one frame.
+    pub spilled: u64,
+    /// Streams that acquired a new home after their node died.
+    pub re_homed: u64,
+    /// Streams whose home migrated off a persistently overloaded node.
+    #[serde(default)]
+    pub migrated: u64,
+    /// Whole-node kills executed.
+    pub node_deaths: u64,
+    /// Node restarts executed.
+    pub node_restarts: u64,
+    /// Requests refused because no node was alive.
+    pub rejected_no_capacity: u64,
+}
+
+impl FleetReport {
+    /// Pools the node reports (plus the given routing counters) into a
+    /// fleet report. `nodes` must already carry per-node lifetimes
+    /// merged.
+    pub fn from_nodes(nodes: Vec<NodeReport>, counters: RoutingCounters) -> Self {
+        let merged = nodes
+            .iter()
+            .map(|n| &n.report)
+            .fold(None::<ServeReport>, |acc, r| {
+                Some(match acc {
+                    None => r.clone(),
+                    Some(m) => m.merge(r),
+                })
+            })
+            .unwrap_or_else(empty_report);
+        Self {
+            nodes,
+            merged,
+            routed: counters.routed,
+            affinity: counters.affinity,
+            hashed: counters.hashed,
+            spilled: counters.spilled,
+            re_homed: counters.re_homed,
+            migrated: counters.migrated,
+            node_deaths: counters.node_deaths,
+            node_restarts: counters.node_restarts,
+            rejected_no_capacity: counters.rejected_no_capacity,
+        }
+    }
+
+    /// Fraction of routed requests that landed on their stream's home
+    /// (the map-cache locality the router exists to protect).
+    pub fn affinity_rate(&self) -> f64 {
+        if self.routed == 0 {
+            return 0.0;
+        }
+        self.affinity as f64 / self.routed as f64
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// The router-side tallies a [`Fleet`](crate::Fleet) or
+/// [`FleetSim`](crate::FleetSim) accumulates while placing requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingCounters {
+    /// Requests placed (all arms).
+    pub routed: u64,
+    /// Placed on the live home.
+    pub affinity: u64,
+    /// Consistent-hashed to a (new) home.
+    pub hashed: u64,
+    /// Diverted off an overloaded home.
+    pub spilled: u64,
+    /// Streams given a new home after a node death.
+    pub re_homed: u64,
+    /// Streams whose home moved to the spill target after persistent
+    /// overload ([`RouterConfig::migrate_after`](crate::RouterConfig)
+    /// consecutive spills).
+    #[serde(default)]
+    pub migrated: u64,
+    /// Whole-node kills.
+    pub node_deaths: u64,
+    /// Node restarts.
+    pub node_restarts: u64,
+    /// Requests refused with no alive node.
+    pub rejected_no_capacity: u64,
+}
+
+/// An all-zero serving report for a fleet (or node) that served
+/// nothing.
+pub(crate) fn empty_report() -> ServeReport {
+    ServeReport {
+        completed: 0,
+        rejected_queue_full: 0,
+        rejected_bad_frame: 0,
+        shed_deadline: 0,
+        shed_crashed: 0,
+        shed_halt: 0,
+        deadline_misses: 0,
+        worker_panics: 0,
+        worker_stalls: 0,
+        worker_restarts: 0,
+        requeued: 0,
+        schedule_downgrades: 0,
+        map_cache_hits: 0,
+        map_cache_misses: 0,
+        map_patched: 0,
+        map_rebuilt: 0,
+        map_evicted: 0,
+        map_invalidated: 0,
+        wall_s: 0.0,
+        throughput_fps: 0.0,
+        sim_us_total: 0.0,
+        batch_sizes: Vec::new(),
+        queue_depths: Vec::new(),
+        streams: Vec::new(),
+        overall: None,
+        trace_path: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fleet_report_is_finite_everywhere() {
+        let r = FleetReport::from_nodes(Vec::new(), RoutingCounters::default());
+        assert_eq!(r.merged.completed, 0);
+        assert_eq!(r.affinity_rate(), 0.0);
+        assert_eq!(r.merged.deadline_miss_rate(), 0.0);
+        let json = r.to_json().expect("serializes");
+        assert_eq!(FleetReport::from_json(&json).expect("parses"), r);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests of the fleet router (satellite 3): placement is
+//! deterministic across runs, re-homing converges (exactly one re-home
+//! per displaced stream, then stable), spillover with migration
+//! disabled never moves a stream's home while it is alive — the
+//! no-ping-pong guarantee that protects the map caches — and with
+//! migration enabled a home only ever moves after `migrate_after`
+//! consecutive spills.
+
+use proptest::prelude::*;
+
+use ts_fleet::{NodeLoad, Placement, Router, RouterConfig};
+
+/// Deterministic synthetic load for node `n` at step `t`: wobbles queue
+/// depths (some past the spill threshold) without any randomness beyond
+/// the proptest inputs.
+fn load_at(n: usize, t: usize, alive: &[bool]) -> NodeLoad {
+    NodeLoad {
+        alive: alive[n],
+        queue_depth: (n * 7 + t * 3) % 17,
+        est_service_us: 0.0,
+        miss_rate: ((n + t) % 5) as f64 / 10.0,
+    }
+}
+
+fn loads_at(t: usize, alive: &[bool]) -> Vec<NodeLoad> {
+    (0..alive.len()).map(|n| load_at(n, t, alive)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same seed, same trace, same load history => bit-identical
+    /// decision sequence. This is what makes `FleetSim` reproducible.
+    #[test]
+    fn routing_is_deterministic_across_runs(
+        seed in 0u64..1000,
+        nodes in 1usize..9,
+        streams in proptest::collection::vec(0u64..32, 1..60),
+    ) {
+        let cfg = RouterConfig { seed, ..RouterConfig::default() };
+        let mut a = Router::new(cfg, nodes);
+        let mut b = Router::new(cfg, nodes);
+        let alive = vec![true; nodes];
+        for (t, &s) in streams.iter().enumerate() {
+            let loads = loads_at(t, &alive);
+            prop_assert_eq!(a.route(s, &loads), b.route(s, &loads));
+        }
+    }
+
+    /// After a node death every displaced stream re-homes exactly once,
+    /// then sticks to its new home for the rest of the run (no
+    /// ping-pong), even while loads fluctuate and cause spills.
+    #[test]
+    fn rehome_converges_without_ping_pong(
+        seed in 0u64..1000,
+        nodes in 2usize..9,
+        victim_pick in 0usize..8,
+        streams in proptest::collection::vec(0u64..16, 8..40),
+    ) {
+        let victim = victim_pick % nodes;
+        // Migration off: this property pins down pure death-driven
+        // re-homing (load-driven moves are a separate property below).
+        let cfg = RouterConfig { seed, migrate_after: 0, ..RouterConfig::default() };
+        let mut r = Router::new(cfg, nodes);
+        let mut alive = vec![true; nodes];
+
+        // Warm up: give every stream a home under full health.
+        for (t, &s) in streams.iter().enumerate() {
+            let _ = r.route(s, &loads_at(t, &alive));
+        }
+        let displaced: Vec<u64> = streams
+            .iter()
+            .copied()
+            .filter(|&s| r.home_of(s) == Some(victim))
+            .collect();
+
+        alive[victim] = false;
+        prop_assert_eq!(r.on_node_down(victim), {
+            let mut d = displaced.clone();
+            d.sort_unstable();
+            d.dedup();
+            d.len()
+        });
+
+        let mut rehomes = std::collections::HashMap::new();
+        let mut new_home = std::collections::HashMap::new();
+        for (t, &s) in streams.iter().cycle().take(streams.len() * 3).enumerate() {
+            let d = r.route(s, &loads_at(t, &alive)).expect("survivors exist");
+            prop_assert_ne!(d.node, victim, "dead node must never be chosen");
+            if d.re_homed {
+                *rehomes.entry(s).or_insert(0u32) += 1;
+            }
+            // Home assignment is stable after the first post-kill route.
+            let home = r.home_of(s).expect("routed streams have homes");
+            if let Some(&h) = new_home.get(&s) {
+                prop_assert_eq!(home, h, "home must not ping-pong");
+            } else {
+                new_home.insert(s, home);
+            }
+        }
+        for s in displaced {
+            prop_assert_eq!(
+                rehomes.get(&s).copied().unwrap_or(0), 1,
+                "displaced stream {} re-homes exactly once", s
+            );
+        }
+        for (s, n) in rehomes {
+            prop_assert_eq!(n, 1, "stream {} re-homed {} times", s, n);
+        }
+    }
+
+    /// With migration disabled, spillover diverts frames but never
+    /// reassigns the home while the home is alive — and a spilled frame
+    /// always lands on an alive node.
+    #[test]
+    fn spill_never_moves_a_live_home(
+        seed in 0u64..1000,
+        nodes in 2usize..9,
+        streams in proptest::collection::vec(0u64..16, 4..40),
+        overload_mask in 0u32..256,
+    ) {
+        let cfg = RouterConfig { seed, migrate_after: 0, ..RouterConfig::default() };
+        let mut r = Router::new(cfg, nodes);
+        let alive = vec![true; nodes];
+        let mut first_home = std::collections::HashMap::new();
+        for (t, &s) in streams.iter().cycle().take(streams.len() * 2).enumerate() {
+            // Overload a mask-selected subset of nodes this step.
+            let loads: Vec<NodeLoad> = (0..nodes)
+                .map(|n| NodeLoad {
+                    alive: true,
+                    queue_depth: if overload_mask & (1 << (n % 8)) != 0 {
+                        cfg.spill_queue_depth + (t % 3)
+                    } else {
+                        t % 3
+                    },
+                    est_service_us: 0.0,
+                    miss_rate: 0.0,
+                })
+                .collect();
+            let d = r.route(s, &loads).expect("all alive");
+            prop_assert!(loads[d.node].alive);
+            let home = r.home_of(s).expect("homed");
+            let expect = *first_home.entry(s).or_insert(home);
+            prop_assert_eq!(home, expect, "live home moved for stream {}", s);
+            if d.placement == Placement::Spilled {
+                prop_assert_ne!(d.node, home, "spill goes off-home");
+            }
+        }
+        let _ = alive;
+    }
+
+    /// With migration enabled, a live home only ever moves after
+    /// exactly `migrate_after` *consecutive* spills of that stream, the
+    /// decision that moves it reports `migrated`, and any frame landing
+    /// on the home resets the streak.
+    #[test]
+    fn homes_move_only_after_full_spill_streaks(
+        seed in 0u64..1000,
+        nodes in 2usize..9,
+        migrate_after in 1u32..6,
+        streams in proptest::collection::vec(0u64..16, 4..40),
+        overload_mask in 0u32..256,
+    ) {
+        let cfg = RouterConfig { seed, migrate_after, ..RouterConfig::default() };
+        let mut r = Router::new(cfg, nodes);
+        let mut streaks = std::collections::HashMap::new();
+        for (t, &s) in streams.iter().cycle().take(streams.len() * 4).enumerate() {
+            let loads: Vec<NodeLoad> = (0..nodes)
+                .map(|n| NodeLoad {
+                    alive: true,
+                    queue_depth: if overload_mask & (1 << (n % 8)) != 0 {
+                        cfg.spill_queue_depth + (t % 3)
+                    } else {
+                        t % 3
+                    },
+                    est_service_us: 0.0,
+                    miss_rate: 0.0,
+                })
+                .collect();
+            let before = r.home_of(s);
+            let d = r.route(s, &loads).expect("all alive");
+            let streak = streaks.entry(s).or_insert(0u32);
+            if d.placement == Placement::Spilled {
+                *streak += 1;
+                prop_assert_eq!(
+                    d.migrated,
+                    *streak == migrate_after,
+                    "stream {} migrated at streak {} of {}", s, *streak, migrate_after
+                );
+                if d.migrated {
+                    prop_assert_eq!(r.home_of(s), Some(d.node), "migration re-homes");
+                    *streak = 0;
+                } else if let Some(b) = before {
+                    prop_assert_eq!(r.home_of(s), Some(b), "plain spill keeps the home");
+                }
+            } else {
+                *streak = 0;
+                prop_assert_eq!(r.home_of(s), Some(d.node), "on-home landing");
+            }
+        }
+    }
+}

@@ -76,6 +76,6 @@ mod supervisor;
 pub use batch::{merge_frames, sort_by_coord, split_output, validate_frame, FrameError};
 pub use config::ServeConfig;
 pub use faults::{Fault, FaultPlan};
-pub use metrics::{HistogramBucket, ServeReport, StreamStats};
+pub use metrics::{HistogramBucket, ServeReport, ServerLoad, StreamStats};
 pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, Client, ClientError, RetryPolicy};
 pub use server::{Rejected, Response, ResponseHandle, Server};

@@ -18,6 +18,49 @@ pub struct HistogramBucket {
     pub count: u64,
 }
 
+/// A point-in-time load snapshot of one server, cheap enough to poll on
+/// every routing decision ([`crate::Server::load`]). A fleet router uses
+/// it to detect overload (estimated queueing delay) and quality
+/// degradation (deadline-miss rate) without paying for a full
+/// [`ServeReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerLoad {
+    /// Requests currently in flight (queued or executing).
+    pub queue_depth: usize,
+    /// Requests answered with an output so far.
+    pub completed: u64,
+    /// Requests that completed after their deadline so far.
+    pub deadline_misses: u64,
+    /// Requests shed unexecuted past their deadline so far.
+    pub shed_deadline: u64,
+    /// Total simulated execution microseconds across completed
+    /// requests; `sim_us_total / completed` is the device's measured
+    /// mean service time, which a heterogeneous-fleet router needs to
+    /// turn queue depth into expected wait.
+    pub sim_us_total: f64,
+}
+
+impl ServerLoad {
+    /// Fraction of finished requests (completed or shed) that violated
+    /// their deadline; 0 before anything finishes.
+    pub fn miss_rate(&self) -> f64 {
+        let finished = self.completed + self.shed_deadline;
+        if finished == 0 {
+            return 0.0;
+        }
+        (self.deadline_misses + self.shed_deadline) as f64 / finished as f64
+    }
+
+    /// Measured mean simulated service time per completed request, in
+    /// microseconds; 0 before anything completes.
+    pub fn est_service_us(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.sim_us_total / self.completed as f64
+    }
+}
+
 /// Latency distribution of one stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StreamStats {
@@ -43,6 +86,11 @@ pub struct ServeReport {
     /// Requests shed with [`crate::Rejected::WorkerCrashed`] after
     /// exhausting their re-enqueue budget.
     pub shed_crashed: u64,
+    /// Requests shed unexecuted because the node was halted
+    /// ([`crate::Server::halt`] — a fleet-level node kill). Absent in
+    /// reports written before halt existed, hence the serde default.
+    #[serde(default)]
+    pub shed_halt: u64,
     /// Requests that completed, but after their deadline.
     pub deadline_misses: u64,
     /// Worker threads that died by panic and were reaped.
@@ -158,19 +206,29 @@ impl ServeReport {
             }
             sorted_buckets(&m)
         };
+        // A degenerate side (zero completed requests, e.g. a node killed
+        // before serving anything, or a hand-written report) must not
+        // skew the pooled distributions: `runs == 0` entries carry no
+        // observations, so they are dropped rather than merged — their
+        // zero-valued mean/percentile fields are placeholders, not data.
         let mut streams: BTreeMap<u64, LatencyStats> = BTreeMap::new();
         for s in self.streams.iter().chain(&other.streams) {
+            if s.latency.runs == 0 {
+                continue;
+            }
             streams
                 .entry(s.stream)
                 .and_modify(|l| *l = l.merge(&s.latency))
                 .or_insert(s.latency);
         }
+        let nonzero = |l: &Option<LatencyStats>| l.filter(|s| s.runs > 0);
         ServeReport {
             completed,
             rejected_queue_full: self.rejected_queue_full + other.rejected_queue_full,
             rejected_bad_frame: self.rejected_bad_frame + other.rejected_bad_frame,
             shed_deadline: self.shed_deadline + other.shed_deadline,
             shed_crashed: self.shed_crashed + other.shed_crashed,
+            shed_halt: self.shed_halt + other.shed_halt,
             deadline_misses: self.deadline_misses + other.deadline_misses,
             worker_panics: self.worker_panics + other.worker_panics,
             worker_stalls: self.worker_stalls + other.worker_stalls,
@@ -196,10 +254,10 @@ impl ServeReport {
                 .into_iter()
                 .map(|(stream, latency)| StreamStats { stream, latency })
                 .collect(),
-            overall: match (&self.overall, &other.overall) {
-                (Some(a), Some(b)) => Some(a.merge(b)),
-                (Some(a), None) => Some(*a),
-                (None, Some(b)) => Some(*b),
+            overall: match (nonzero(&self.overall), nonzero(&other.overall)) {
+                (Some(a), Some(b)) => Some(a.merge(&b)),
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
                 (None, None) => None,
             },
             trace_path: self.trace_path.clone().or_else(|| other.trace_path.clone()),
@@ -226,6 +284,7 @@ struct Counters {
     rejected_bad_frame: u64,
     shed_deadline: u64,
     shed_crashed: u64,
+    shed_halt: u64,
     deadline_misses: u64,
     worker_panics: u64,
     worker_stalls: u64,
@@ -320,6 +379,26 @@ impl Metrics {
         c.shed_crashed += 1;
     }
 
+    pub(crate) fn on_shed_halt(&self) {
+        self.leave();
+        let mut c = self.inner.lock().expect("metrics lock");
+        c.shed_halt += 1;
+    }
+
+    /// Cheap load snapshot for a fleet router: the in-flight depth is a
+    /// single atomic read, the SLO counters one short lock.
+    pub(crate) fn load(&self) -> ServerLoad {
+        let queue_depth = self.depth();
+        let c = self.inner.lock().expect("metrics lock");
+        ServerLoad {
+            queue_depth,
+            completed: c.completed,
+            deadline_misses: c.deadline_misses,
+            shed_deadline: c.shed_deadline,
+            sim_us_total: c.sim_us_total,
+        }
+    }
+
     pub(crate) fn on_worker_panic(&self) {
         self.inner.lock().expect("metrics lock").worker_panics += 1;
     }
@@ -405,6 +484,7 @@ impl Metrics {
             rejected_bad_frame: c.rejected_bad_frame,
             shed_deadline: c.shed_deadline,
             shed_crashed: c.shed_crashed,
+            shed_halt: c.shed_halt,
             deadline_misses: c.deadline_misses,
             worker_panics: c.worker_panics,
             worker_stalls: c.worker_stalls,
@@ -557,6 +637,97 @@ mod tests {
         assert_eq!(merged.completed, r.completed);
         assert_eq!(merged.streams, r.streams);
         assert_eq!(merged.overall, r.overall);
+    }
+
+    #[test]
+    fn degenerate_merge_ignores_zero_run_distributions() {
+        // A report with zero completed requests can still carry
+        // `runs == 0` placeholder distributions — e.g. deserialized from
+        // a hand-written or truncated JSON. Merging one in must neither
+        // skew the pooled percentiles nor divide by zero anywhere.
+        let m = Metrics::new();
+        assert!(m.try_admit(4));
+        assert!(m.try_admit(4));
+        m.on_completed(3, 100.0, false);
+        m.on_completed(3, 300.0, false);
+        let real = m.report();
+
+        let mut degenerate = Metrics::new().report();
+        let zeros = LatencyStats {
+            runs: 0,
+            mean_us: 0.0,
+            min_us: 0.0,
+            max_us: 0.0,
+            std_us: 0.0,
+            p50_us: 0.0,
+            p90_us: 0.0,
+            p99_us: 0.0,
+        };
+        degenerate.overall = Some(zeros);
+        degenerate.streams = vec![StreamStats {
+            stream: 3,
+            latency: zeros,
+        }];
+
+        for merged in [real.merge(&degenerate), degenerate.merge(&real)] {
+            assert_eq!(merged.completed, 2);
+            let overall = merged.overall.expect("real side survives");
+            assert_eq!(overall.runs, 2);
+            assert_eq!(
+                overall.mean_us, 200.0,
+                "zero-run side must not drag the mean"
+            );
+            assert_eq!(overall.p99_us, real.overall.expect("real").p99_us);
+            let s3 = merged.streams.iter().find(|s| s.stream == 3).expect("s3");
+            assert_eq!(s3.latency.runs, 2);
+            assert_eq!(s3.latency.mean_us, 200.0);
+            assert_eq!(merged.deadline_miss_rate(), 0.0);
+        }
+
+        // Two degenerate sides merge to no distribution at all, and the
+        // rate accessors stay finite on the result.
+        let both = degenerate.merge(&degenerate.clone());
+        assert_eq!(both.overall, None);
+        assert!(both.streams.is_empty());
+        assert_eq!(both.deadline_miss_rate(), 0.0);
+        assert_eq!(both.map_reuse_rate(), 0.0);
+        assert_eq!(both.throughput_fps, 0.0);
+    }
+
+    #[test]
+    fn shed_halt_counts_and_merges() {
+        let m = Metrics::new();
+        assert!(m.try_admit(4));
+        m.on_shed_halt();
+        let r = m.report();
+        assert_eq!(r.shed_halt, 1);
+        assert_eq!(m.depth(), 0, "halt-shed releases the queue slot");
+        assert!(!r.saw_faults(), "a deliberate halt is not a fault");
+        assert_eq!(r.merge(&r).shed_halt, 2);
+        // Reports written before the field existed still parse.
+        let json = r
+            .to_json()
+            .expect("serializes")
+            .replace("\"shed_halt\": 1,", "");
+        assert_eq!(ServeReport::from_json(&json).expect("parses").shed_halt, 0);
+    }
+
+    #[test]
+    fn server_load_snapshot_tracks_counters() {
+        let m = Metrics::new();
+        assert!(m.try_admit(8));
+        assert!(m.try_admit(8));
+        assert!(m.try_admit(8));
+        m.on_completed(0, 100.0, true);
+        m.on_shed_deadline();
+        let load = m.load();
+        assert_eq!(load.queue_depth, 1);
+        assert_eq!(load.completed, 1);
+        assert_eq!(load.deadline_misses, 1);
+        assert_eq!(load.shed_deadline, 1);
+        // 1 late completion + 1 shed out of 2 finished.
+        assert!((load.miss_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(Metrics::new().load().miss_rate(), 0.0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use ts_core::{CompileError, DeltaConfig, Engine, MapUpdate, SparseTensor};
 
 use crate::batch::{merge_frames, sort_by_coord, split_output, validate_frame, FrameError};
 use crate::mapcache::MapCache;
-use crate::metrics::{Metrics, ServeReport};
+use crate::metrics::{Metrics, ServeReport, ServerLoad};
 use crate::supervisor::{spawn_supervisor, SupervisorCtx};
 use crate::ServeConfig;
 
@@ -245,6 +245,12 @@ pub struct Server {
     /// Tells the supervisor the drain has started; it closes the work
     /// channel once the backlog is executed and reaps the worker pool.
     stop: Arc<AtomicBool>,
+    /// Set by [`Server::halt`]: the batcher sheds its backlog with
+    /// typed rejections instead of dispatching it.
+    abort: Arc<AtomicBool>,
+    /// Kept for [`Server::has_cached_stream`] — workers hold their own
+    /// clones through the supervisor.
+    map_cache: Arc<MapCache>,
     /// Tracer captured from the constructing thread; propagated into
     /// the batcher and worker threads so per-request spans from all of
     /// them land in one trace.
@@ -303,6 +309,7 @@ impl Server {
             },
         ));
 
+        let abort = Arc::new(AtomicBool::new(false));
         let supervisor = spawn_supervisor(SupervisorCtx {
             engine,
             work_tx: work_tx.clone(),
@@ -311,7 +318,7 @@ impl Server {
             tracer: tracer.clone(),
             stop: Arc::clone(&stop),
             next_batch: Arc::clone(&next_batch),
-            map_cache,
+            map_cache: Arc::clone(&map_cache),
             cfg: cfg.clone(),
         });
 
@@ -319,11 +326,12 @@ impl Server {
             let metrics = Arc::clone(&metrics);
             let cfg = cfg.clone();
             let tracer = tracer.clone();
+            let abort = Arc::clone(&abort);
             std::thread::Builder::new()
                 .name("ts-serve-batcher".into())
                 .spawn(move || {
                     ts_trace::install_opt(tracer.as_ref());
-                    batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics, &next_batch)
+                    batcher_loop(&ingress_rx, &work_tx, &cfg, &metrics, &next_batch, &abort)
                 })
                 .expect("spawn batcher thread")
         };
@@ -336,6 +344,8 @@ impl Server {
             batcher: Some(batcher),
             supervisor: Some(supervisor),
             stop,
+            abort,
+            map_cache,
             tracer,
             trace_path: cfg.trace_path,
             next_req: AtomicU64::new(0),
@@ -391,6 +401,21 @@ impl Server {
         self.metrics.depth()
     }
 
+    /// Cheap load snapshot for a fleet router: in-flight depth plus the
+    /// deadline SLO counters, without assembling a full report.
+    pub fn load(&self) -> ServerLoad {
+        self.metrics.load()
+    }
+
+    /// Whether this server's map cache currently holds `stream`'s
+    /// kernel maps. Advisory only — the entry may be taken by a worker
+    /// or evicted at any moment — but it is exactly the signal a
+    /// stream-affinity router wants: sending the frame here skips the
+    /// from-scratch map build.
+    pub fn has_cached_stream(&self, stream: u64) -> bool {
+        self.map_cache.contains(stream)
+    }
+
     /// Live snapshot of the SLO counters.
     pub fn report(&self) -> ServeReport {
         self.metrics.report()
@@ -411,6 +436,20 @@ impl Server {
             }
         }
         report
+    }
+
+    /// Hard stop — the node-kill half of the fleet lifecycle. Stops
+    /// admitting, sheds the batcher's backlog with typed
+    /// [`Rejected::ShuttingDown`] rejections (counted as
+    /// [`ServeReport::shed_halt`]) instead of executing it, lets
+    /// batches already handed to workers finish (their callers hold
+    /// handles that must resolve), joins all threads, and returns the
+    /// final report. Every admitted request still gets exactly one
+    /// answer; unlike [`Server::shutdown`], most get a rejection rather
+    /// than an output.
+    pub fn halt(self) -> ServeReport {
+        self.abort.store(true, Ordering::SeqCst);
+        self.shutdown()
     }
 
     fn join_threads(&mut self) {
@@ -493,6 +532,7 @@ fn batcher_loop(
     cfg: &ServeConfig,
     metrics: &Metrics,
     next_batch: &AtomicU64,
+    abort: &AtomicBool,
 ) {
     let mut pending: Vec<Job> = Vec::new();
     loop {
@@ -516,8 +556,18 @@ fn batcher_loop(
         }
     }
     // Graceful drain: everything admitted before shutdown still runs
-    // (unless its deadline passes first).
+    // (unless its deadline passes first). A halted server sheds the
+    // backlog instead — typed rejections, never silence.
     shed_expired(&mut pending, metrics);
+    if abort.load(Ordering::SeqCst) {
+        for job in pending.drain(..) {
+            if job.claim() {
+                metrics.on_shed_halt();
+                ts_trace::counter_add("serve.requests.shed_halt", 1);
+                job.send_err(Rejected::ShuttingDown);
+            }
+        }
+    }
     while !pending.is_empty() {
         dispatch(&mut pending, work, cfg.max_batch, next_batch);
     }
@@ -1011,6 +1061,38 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn halt_sheds_backlog_with_typed_rejections() {
+        // A long batching window keeps submissions in the batcher's
+        // backlog; halting must answer every one of them — served or
+        // typed ShuttingDown, never silence.
+        let server = Server::new(
+            engine(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(500))
+                .with_max_batch(16)
+                .with_workers(1),
+        );
+        let handles: Vec<_> = (0..8)
+            .map(|i| server.submit(i % 3, frame(0, i)).expect("admitted"))
+            .collect();
+        let report = server.halt();
+        assert_eq!(
+            report.completed + report.shed_halt,
+            8,
+            "every admitted request resolves"
+        );
+        assert!(report.shed_halt > 0, "backlog was shed, not drained");
+        let mut answered = 0;
+        for h in handles {
+            match h.wait() {
+                Ok(_) | Err(Rejected::ShuttingDown) => answered += 1,
+                other => panic!("expected served or ShuttingDown, got {other:?}"),
+            }
+        }
+        assert_eq!(answered, 8);
     }
 
     #[test]

@@ -53,6 +53,10 @@
 //! | `serve.workers.panicked` / `.stalled` / `.restarted` | Supervisor observations of the worker pool |
 //! | `serve.chaos.injected_panic` / `.injected_stall` | Faults injected by an armed `FaultPlan` (ts-serve, feature `chaos` only) |
 //! | `serve.schedule.downgraded` | Schedule downgrades carried by the engine a server booted from |
+//! | `fleet.requests.routed` / `.affinity` / `.hashed` / `.spilled` | Fleet router placement decisions |
+//! | `fleet.requests.rejected_no_capacity` | Requests refused because no node was alive |
+//! | `fleet.streams.re_homed` | Streams whose affinity home moved after a node death |
+//! | `fleet.nodes.killed` / `.restarted` | Whole-node chaos lifecycle events |
 //!
 //! Gauges follow the same convention (e.g. `serve.queue.depth`).
 #![warn(missing_docs)]
@@ -73,18 +77,21 @@ pub enum Subsystem {
     Autotune,
     /// Dynamic-batching server: per-request span trees.
     Serve,
+    /// Multi-node serving fleet: routing, re-homing, node lifecycle.
+    Fleet,
     /// Anything else (examples, tests, applications).
     App,
 }
 
 impl Subsystem {
     /// Every subsystem, in `pid` order.
-    pub const ALL: [Subsystem; 6] = [
+    pub const ALL: [Subsystem; 7] = [
         Subsystem::Kernelgen,
         Subsystem::Gpusim,
         Subsystem::Core,
         Subsystem::Autotune,
         Subsystem::Serve,
+        Subsystem::Fleet,
         Subsystem::App,
     ];
 
@@ -96,7 +103,8 @@ impl Subsystem {
             Subsystem::Core => 3,
             Subsystem::Autotune => 4,
             Subsystem::Serve => 5,
-            Subsystem::App => 6,
+            Subsystem::Fleet => 6,
+            Subsystem::App => 7,
         }
     }
 
@@ -108,6 +116,7 @@ impl Subsystem {
             Subsystem::Core => "core",
             Subsystem::Autotune => "autotune",
             Subsystem::Serve => "serve",
+            Subsystem::Fleet => "fleet",
             Subsystem::App => "app",
         }
     }

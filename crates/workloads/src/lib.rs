@@ -19,14 +19,18 @@
 //! * [`graphs`] — heterogeneous graph generators for the five R-GCN
 //!   benchmarks of Figure 16;
 //! * [`masked_image`] — MAE-style sparse image inputs (the paper's
-//!   Section 6.3 "future applications", implemented).
+//!   Section 6.3 "future applications", implemented);
+//! * [`arrivals`] — open-loop Poisson arrival traces for fleet-scale
+//!   load generation.
 
+pub mod arrivals;
 mod benchmarks;
 pub mod graphs;
 mod lidar;
 pub mod masked_image;
 pub mod models;
 
+pub use arrivals::{Arrival, ArrivalConfig, ArrivalTrace};
 pub use benchmarks::{Workload, WorkloadKind, ALL_WORKLOADS};
 pub use lidar::{FrameDelta, LidarConfig, LidarScene, LidarStream, SceneStats};
 pub use masked_image::{masked_image_batch, masked_image_encoder, MaskedImageConfig};

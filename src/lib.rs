@@ -19,6 +19,7 @@ pub use ts_autotune as autotune;
 pub use ts_baselines as baselines;
 pub use ts_core as core;
 pub use ts_dataflow as dataflow;
+pub use ts_fleet as fleet;
 pub use ts_gpusim as gpusim;
 pub use ts_graph as graph;
 pub use ts_kernelgen as kernelgen;

@@ -236,6 +236,23 @@ pub fn __de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Reads field `name` of object `v`, falling back to `Default` when the
+/// field is absent — the vendored `#[serde(default)]` (derive helper).
+pub fn __de_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => match v.get(name) {
+            Some(field) => {
+                T::deserialize_value(field).map_err(|e| Error::msg(format!("field '{name}': {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(Error::msg(format!(
+            "expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
 /// Reads element `idx` of array `v` (derive helper).
 pub fn __de_seq_field<T: Deserialize>(v: &Value, idx: usize) -> Result<T, Error> {
     match v {

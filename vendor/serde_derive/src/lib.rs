@@ -5,9 +5,12 @@
 //! types to a JSON-like `Value` tree. This proc macro derives those
 //! traits for the shapes the workspace actually uses: named-field
 //! structs, unit structs, tuple structs, and enums with unit, tuple and
-//! struct variants (externally tagged, like real serde). The only field
-//! attribute honoured is `#[serde(skip)]`, which omits the field on
-//! serialization and fills it from `Default` on deserialization.
+//! struct variants (externally tagged, like real serde). The field
+//! attributes honoured are `#[serde(skip)]`, which omits the field on
+//! serialization and fills it from `Default` on deserialization, and
+//! `#[serde(default)]`, which deserializes an absent field from
+//! `Default` (forward compatibility for reports written before the
+//! field existed).
 //!
 //! No `syn`/`quote`: the item is parsed directly from the raw
 //! `proc_macro` token stream, which is sufficient because the workspace
@@ -19,6 +22,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -82,21 +86,25 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Skips any `#[...]` attributes, returning whether one of them was
-    /// `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
+    /// Skips any `#[...]` attributes, returning whether `#[serde(skip)]`
+    /// and/or `#[serde(default)]` were among them.
+    fn skip_attrs(&mut self) -> (bool, bool) {
         let mut has_skip = false;
+        let mut has_default = false;
         loop {
             match (self.peek(), self.tokens.get(self.pos + 1)) {
                 (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
                     if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
                 {
-                    if attr_is_serde_skip(g.stream()) {
+                    if attr_has_serde_ident(g.stream(), "skip") {
                         has_skip = true;
+                    }
+                    if attr_has_serde_ident(g.stream(), "default") {
+                        has_default = true;
                     }
                     self.pos += 2;
                 }
-                _ => return has_skip,
+                _ => return (has_skip, has_default),
             }
         }
     }
@@ -138,13 +146,13 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+fn attr_has_serde_ident(stream: TokenStream, ident: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g))) if i.to_string() == "serde" => g
             .stream()
             .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == ident)),
         _ => false,
     }
 }
@@ -153,7 +161,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let (skip, default) = c.skip_attrs();
         c.skip_vis();
         let name = c.expect_ident()?;
         match c.next() {
@@ -161,7 +169,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             other => return Err(format!("expected ':' after field {name}, found {other:?}")),
         }
         c.skip_type();
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
         match c.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
             None => break,
@@ -379,6 +391,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 let fname = &f.name;
                 if f.skip {
                     inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{fname}: ::serde::__de_field_or_default(__v, \"{fname}\")?,\n"
+                    ));
                 } else {
                     inits.push_str(&format!("{fname}: ::serde::__de_field(__v, \"{fname}\")?,\n"));
                 }
@@ -428,6 +444,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{fname}: ::std::default::Default::default(),\n"
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{fname}: ::serde::__de_field_or_default(__p, \"{fname}\")?,\n"
                                 ));
                             } else {
                                 inits.push_str(&format!(
