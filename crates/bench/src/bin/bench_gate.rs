@@ -2,18 +2,27 @@
 //!
 //! Compares the records a fresh bench run left in `target/repro/`
 //! against the baselines committed at the repo root
-//! (`BENCH_tuner.json`, `BENCH_serve.json`, `BENCH_stream.json`) and
-//! fails if any gated metric drifts more than ±20%. Only *simulated*
-//! metrics are gated — they are deterministic functions of the workload
-//! and cost model, so drift means a behavioural change, not a noisy
-//! machine. Wall-clock numbers (e.g. the stream bench's map-patch
-//! timings) are reported by the benches but never gated (the 1-CPU CI
+//! (`BENCH_tuner.json`, `BENCH_serve.json`, `BENCH_stream.json`,
+//! `BENCH_fleet.json`, `BENCH_obs.json`) and fails if any gated metric
+//! drifts more than ±20%. Only *simulated* metrics are gated — they are
+//! deterministic functions of the workload and cost model, so drift
+//! means a behavioural change, not a noisy machine. Wall-clock numbers
+//! (e.g. the stream bench's map-patch timings or the obs bench's wall
+//! overhead) are reported by the benches but never gated (the 1-CPU CI
 //! runner jitters far beyond any useful threshold).
+//!
+//! Every checked metric is printed with its relative delta and the
+//! allowed band — passes and failures alike — followed by a per-file
+//! summary table. Unreadable files and missing fields are reported as
+//! failures, not panics, so one broken record never hides the rest of
+//! the report.
 //!
 //! ```sh
 //! cargo bench -p ts-bench --bench tuner_throughput
 //! cargo bench -p ts-bench --bench serve_throughput
 //! cargo bench -p ts-bench --bench stream_reuse
+//! cargo bench -p ts-bench --bench fleet_throughput
+//! cargo bench -p ts-bench --bench obs_overhead
 //! cargo run -p ts-bench --bin bench_gate
 //! ```
 
@@ -65,61 +74,150 @@ const CHECKS: &[Check] = &[
             "kill_p99_latency_us",
         ],
     },
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json"),
+        fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_obs.json"),
+        metrics: &["fps_sim_ratio", "on_sim_us_per_frame"],
+    },
 ];
 
-fn load(path: &str) -> Value {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
-    serde_json::from_str(&text).unwrap_or_else(|e| panic!("bench_gate: bad JSON in {path}: {e}"))
+/// One gated metric's outcome.
+enum Verdict {
+    Ok,
+    Regression,
+    /// The metric could not be compared (unreadable file, missing or
+    /// non-numeric field); the carried string says why.
+    Missing(String),
 }
 
-fn metric(v: &Value, key: &str, path: &str) -> f64 {
+struct Row {
+    file: &'static str,
+    metric: &'static str,
+    baseline: Option<f64>,
+    fresh: Option<f64>,
+    drift: Option<f64>,
+    verdict: Verdict,
+}
+
+fn short_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("bad JSON in {path}: {e}"))
+}
+
+fn metric(v: &Result<Value, String>, key: &str) -> Result<f64, String> {
+    let v = v.as_ref().map_err(Clone::clone)?;
     v.get(key)
-        .and_then(|m| m.as_f64())
-        .unwrap_or_else(|| panic!("bench_gate: {path} has no numeric field `{key}`"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("no numeric field `{key}`"))
 }
 
 fn main() {
-    let mut failures = 0;
-    println!(
-        "{:<26} {:>14} {:>14} {:>8}  verdict",
-        "metric", "baseline", "fresh", "drift"
-    );
+    let mut rows: Vec<Row> = Vec::new();
     for check in CHECKS {
         let base = load(check.baseline);
         let fresh = load(check.fresh);
         for key in check.metrics {
-            let b = metric(&base, key, check.baseline);
-            let f = metric(&fresh, key, check.fresh);
-            let drift = if b.abs() > f64::EPSILON {
-                (f - b) / b
-            } else {
-                0.0
+            let b = metric(&base, key);
+            let f = metric(&fresh, key);
+            let row = match (&b, &f) {
+                (Ok(b), Ok(f)) => {
+                    let drift = if b.abs() > f64::EPSILON {
+                        (f - b) / b
+                    } else {
+                        0.0
+                    };
+                    Row {
+                        file: check.baseline,
+                        metric: key,
+                        baseline: Some(*b),
+                        fresh: Some(*f),
+                        drift: Some(drift),
+                        verdict: if drift.abs() <= TOLERANCE {
+                            Verdict::Ok
+                        } else {
+                            Verdict::Regression
+                        },
+                    }
+                }
+                _ => Row {
+                    file: check.baseline,
+                    metric: key,
+                    baseline: b.as_ref().ok().copied(),
+                    fresh: f.as_ref().ok().copied(),
+                    drift: None,
+                    verdict: Verdict::Missing(b.err().or_else(|| f.err()).unwrap_or_default()),
+                },
             };
-            let ok = drift.abs() <= TOLERANCE;
-            if !ok {
-                failures += 1;
-            }
-            println!(
-                "{:<26} {:>14.3} {:>14.3} {:>+7.1}%  {}",
-                key,
-                b,
-                f,
-                100.0 * drift,
-                if ok { "ok" } else { "REGRESSION" }
-            );
+            rows.push(row);
         }
     }
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>8} {:>8}  verdict",
+        "metric", "baseline", "fresh", "drift", "bound"
+    );
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |v| format!("{v:.3}"));
+    for row in &rows {
+        let (verdict, detail) = match &row.verdict {
+            Verdict::Ok => ("ok".to_owned(), String::new()),
+            Verdict::Regression => ("REGRESSION".to_owned(), String::new()),
+            Verdict::Missing(why) => ("MISSING".to_owned(), format!("  ({why})")),
+        };
+        println!(
+            "{:<26} {:>14} {:>14} {:>8} {:>7.0}%  {verdict}{detail}",
+            row.metric,
+            fmt(row.baseline),
+            fmt(row.fresh),
+            row.drift
+                .map_or_else(|| "-".to_owned(), |d| format!("{:+.1}%", 100.0 * d)),
+            100.0 * TOLERANCE,
+        );
+    }
+
+    // Per-file summary.
+    println!(
+        "\n{:<20} {:>6} {:>6} {:>8}",
+        "file", "ok", "failed", "missing"
+    );
+    let mut failures = 0usize;
+    for check in CHECKS {
+        let (mut ok, mut failed, mut missing) = (0usize, 0usize, 0usize);
+        for row in rows.iter().filter(|r| r.file == check.baseline) {
+            match row.verdict {
+                Verdict::Ok => ok += 1,
+                Verdict::Regression => failed += 1,
+                Verdict::Missing(_) => missing += 1,
+            }
+        }
+        failures += failed + missing;
+        println!(
+            "{:<20} {:>6} {:>6} {:>8}",
+            short_name(check.baseline),
+            ok,
+            failed,
+            missing
+        );
+    }
+
     if failures > 0 {
         eprintln!(
-            "\nbench_gate: {failures} metric(s) drifted beyond ±{:.0}% of the committed baseline",
+            "\nbench_gate: {failures} metric(s) drifted beyond ±{:.0}% of the committed \
+             baseline or could not be compared",
             100.0 * TOLERANCE
         );
-        eprintln!("If the change is intentional, re-run the benches and commit the new BENCH_*.json baselines.");
+        eprintln!(
+            "If the change is intentional, re-run the benches and commit the new \
+             BENCH_*.json baselines."
+        );
         std::process::exit(1);
     }
     println!(
-        "\nbench_gate: all metrics within ±{:.0}%",
+        "\nbench_gate: all {} metrics within ±{:.0}%",
+        rows.len(),
         100.0 * TOLERANCE
     );
 }

@@ -5,6 +5,7 @@
 use std::fmt;
 
 use ts_core::{Network, NetworkWeights, SparseTensor};
+use ts_obs::{Alert, HealthSnapshot, ObsEvent};
 use ts_serve::{Rejected, ResponseHandle, ServeReport, Server};
 
 use crate::node::NodeSpec;
@@ -61,6 +62,9 @@ struct NodeSlot {
     spec: NodeSpec,
     server: Option<Server>,
     retired: Vec<ServeReport>,
+    /// Alert transitions from retired lifetimes (collected at kill
+    /// time, before the server is dropped).
+    retired_alerts: Vec<Alert>,
     deaths: u64,
 }
 
@@ -75,6 +79,15 @@ impl NodeSlot {
             .into_iter()
             .reduce(|a, b| a.merge(&b))
             .unwrap_or_else(crate::report::empty_report)
+    }
+
+    /// Retired-lifetime alerts plus the live server's, in order.
+    fn pooled_alerts(&self) -> Vec<Alert> {
+        let mut alerts = self.retired_alerts.clone();
+        if let Some(s) = &self.server {
+            alerts.extend(s.alerts());
+        }
+        alerts
     }
 }
 
@@ -113,6 +126,7 @@ impl Fleet {
                     spec,
                     server: Some(server),
                     retired: Vec::new(),
+                    retired_alerts: Vec::new(),
                     deaths: 0,
                 }
             })
@@ -217,12 +231,46 @@ impl Fleet {
             .server
             .as_ref()
             .expect("router only places on alive nodes");
+        // A home movement is exactly the event a post-mortem reader
+        // wants in the ring: record it on the node that *gained* the
+        // stream (where the map rebuild cost will land).
+        if let (Some(kind), Some(t)) = (decision.movement_kind(), server.telemetry()) {
+            t.record_event(ObsEvent::Migration {
+                at_us: t.now_us(),
+                stream,
+                node: decision.node as u64,
+                kind: kind.to_owned(),
+            });
+        }
         Ok(server.submit(stream, frame)?)
     }
 
     /// The node a stream is currently homed on, if any.
     pub fn home_of(&self, stream: u64) -> Option<usize> {
         self.router.home_of(stream)
+    }
+
+    /// Per-node rolling-window health, in node order: `None` for dead
+    /// nodes and for nodes serving without
+    /// [`ts_serve::ServeConfig::with_obs`]. Unlike [`Fleet::report`]
+    /// (cumulative since boot), each snapshot covers only the
+    /// telemetry window — the "is the fleet healthy *right now*" view.
+    pub fn health(&self) -> Vec<Option<HealthSnapshot>> {
+        self.nodes
+            .iter()
+            .map(|n| n.server.as_ref().and_then(|s| s.health_snapshot()))
+            .collect()
+    }
+
+    /// Node `id`'s flight-recorder ring, oldest first — "what just
+    /// happened on that node". Empty for dead nodes, unknown ids, and
+    /// nodes serving without telemetry.
+    pub fn node_recent_events(&self, id: usize) -> Vec<ObsEvent> {
+        self.nodes
+            .get(id)
+            .and_then(|n| n.server.as_ref())
+            .and_then(|s| s.telemetry().map(|t| t.recent_events()))
+            .unwrap_or_default()
     }
 
     /// Whether node `id`'s map cache currently holds `stream`'s maps
@@ -251,6 +299,7 @@ impl Fleet {
             .get_mut(id)
             .ok_or(FleetError::UnknownNode { id, nodes })?;
         let server = slot.server.take().ok_or(FleetError::NoCapacity)?;
+        slot.retired_alerts.extend(server.alerts());
         let report = server.halt();
         slot.retired.push(report.clone());
         slot.deaths += 1;
@@ -305,6 +354,7 @@ impl Fleet {
             device: slot.spec.tier.device().name,
             schedule_downgrades: report.schedule_downgrades,
             deaths: slot.deaths,
+            alerts: slot.pooled_alerts(),
             report,
         }
     }
@@ -317,6 +367,7 @@ impl Fleet {
             .nodes
             .into_iter()
             .map(|mut slot| {
+                let alerts = slot.pooled_alerts();
                 let live = slot.server.take().map(|s| s.shutdown());
                 let report = slot.pooled_report(live);
                 NodeReport {
@@ -325,6 +376,7 @@ impl Fleet {
                     device: slot.spec.tier.device().name,
                     schedule_downgrades: report.schedule_downgrades,
                     deaths: slot.deaths,
+                    alerts,
                     report,
                 }
             })

@@ -52,3 +52,6 @@ pub use node::{heterogeneous_specs, DeviceTier, NodeSpec};
 pub use report::{FleetReport, NodeReport, RoutingCounters};
 pub use router::{Decision, NodeLoad, Placement, Router, RouterConfig};
 pub use sim::{frame_bank, FleetSim, KillEvent, SimConfig, SimNodeStats, SimReport};
+// Re-exported so fleet users configure SLO alerting and read health
+// snapshots without a direct ts-obs dependency.
+pub use ts_obs::{Alert, AlertLevel, AlertState, HealthSnapshot, SloPolicy};

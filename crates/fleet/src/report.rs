@@ -3,6 +3,7 @@
 //! [`ServeReport::merge`] / [`ts_core::LatencyStats::merge`].
 
 use serde::{Deserialize, Serialize};
+use ts_obs::Alert;
 use ts_serve::ServeReport;
 
 use crate::node::DeviceTier;
@@ -22,6 +23,11 @@ pub struct NodeReport {
     pub schedule_downgrades: u64,
     /// Times the node was killed by fleet chaos.
     pub deaths: u64,
+    /// SLO alert transitions the node's telemetry emitted, pooled
+    /// across its lifetimes. Empty when the node runs without
+    /// [`ts_serve::ServeConfig::with_obs`].
+    #[serde(default)]
+    pub alerts: Vec<Alert>,
     /// The node's serving report, pooled across its lifetimes.
     pub report: ServeReport,
 }
@@ -56,6 +62,10 @@ pub struct FleetReport {
     pub node_restarts: u64,
     /// Requests refused because no node was alive.
     pub rejected_no_capacity: u64,
+    /// All nodes' SLO alert transitions flattened in node order — the
+    /// fleet-wide alert log an operator reads first after a chaos run.
+    #[serde(default)]
+    pub alerts: Vec<Alert>,
 }
 
 impl FleetReport {
@@ -73,6 +83,7 @@ impl FleetReport {
                 })
             })
             .unwrap_or_else(empty_report);
+        let alerts = nodes.iter().flat_map(|n| n.alerts.clone()).collect();
         Self {
             nodes,
             merged,
@@ -85,6 +96,7 @@ impl FleetReport {
             node_deaths: counters.node_deaths,
             node_restarts: counters.node_restarts,
             rejected_no_capacity: counters.rejected_no_capacity,
+            alerts,
         }
     }
 
@@ -178,7 +190,78 @@ mod tests {
         assert_eq!(r.merged.completed, 0);
         assert_eq!(r.affinity_rate(), 0.0);
         assert_eq!(r.merged.deadline_miss_rate(), 0.0);
+        assert!(r.alerts.is_empty());
         let json = r.to_json().expect("serializes");
         assert_eq!(FleetReport::from_json(&json).expect("parses"), r);
+    }
+
+    fn node(id: usize, report: ServeReport, alerts: Vec<Alert>) -> NodeReport {
+        NodeReport {
+            id,
+            tier: DeviceTier::Standard,
+            device: "test".to_owned(),
+            schedule_downgrades: 0,
+            deaths: 0,
+            alerts,
+            report,
+        }
+    }
+
+    /// A node that served nothing (all-zero report, empty histograms)
+    /// must merge as identity: the busy node's percentiles and
+    /// histograms come through untouched, nothing divides by zero.
+    #[test]
+    fn idle_node_does_not_skew_fleet_percentiles() {
+        let busy = {
+            let mut r = empty_report();
+            r.completed = 4;
+            r.batch_sizes = vec![ts_serve::HistogramBucket { value: 2, count: 2 }];
+            r.overall = ts_core::LatencyStats::from_latencies_us(&[100.0, 200.0, 300.0, 400.0]);
+            r
+        };
+        let fleet = FleetReport::from_nodes(
+            vec![
+                node(0, busy.clone(), Vec::new()),
+                node(1, empty_report(), Vec::new()),
+            ],
+            RoutingCounters::default(),
+        );
+        assert_eq!(fleet.merged.completed, 4);
+        assert_eq!(fleet.merged.batch_sizes, busy.batch_sizes);
+        let pooled = fleet.merged.overall.expect("busy side survives");
+        let alone = busy.overall.expect("busy");
+        assert_eq!(pooled.runs, alone.runs);
+        assert_eq!(pooled.p50_us, alone.p50_us);
+        assert_eq!(pooled.p99_us, alone.p99_us);
+        assert_eq!(fleet.merged.deadline_miss_rate(), 0.0);
+    }
+
+    /// Node alert logs flatten into the fleet-wide log in node order
+    /// and survive a JSON round trip (including the `#[serde(default)]`
+    /// path for reports written before the field existed).
+    #[test]
+    fn alerts_flatten_in_node_order_and_round_trip() {
+        let alert = |at_us: u64| Alert {
+            level: ts_obs::AlertLevel::PageWorthy,
+            state: ts_obs::AlertState::Tripped,
+            at_us,
+            burn_rate: 42.0,
+            miss_rate: 0.42,
+            window_us: 2_000,
+            samples: 17,
+        };
+        let fleet = FleetReport::from_nodes(
+            vec![
+                node(0, empty_report(), vec![alert(10)]),
+                node(1, empty_report(), vec![alert(5), alert(20)]),
+            ],
+            RoutingCounters::default(),
+        );
+        assert_eq!(
+            fleet.alerts.iter().map(|a| a.at_us).collect::<Vec<_>>(),
+            vec![10, 5, 20]
+        );
+        let json = fleet.to_json().expect("serializes");
+        assert_eq!(FleetReport::from_json(&json).expect("parses"), fleet);
     }
 }

@@ -108,6 +108,23 @@ pub struct Decision {
     pub migrated: bool,
 }
 
+impl Decision {
+    /// The home-movement kind of this decision, if any — the `kind`
+    /// recorded in the target node's flight recorder as an
+    /// [`ts_obs::ObsEvent::Migration`]: `"migrate"` for a
+    /// persistent-overload move, `"re_home"` for a move forced by the
+    /// old home's death, `None` when the home did not move.
+    pub fn movement_kind(&self) -> Option<&'static str> {
+        if self.migrated {
+            Some("migrate")
+        } else if self.re_homed {
+            Some("re_home")
+        } else {
+            None
+        }
+    }
+}
+
 /// Load snapshot of one node, as the router sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeLoad {

@@ -27,6 +27,7 @@ use ts_core::{
     percentile_sorted, DeltaConfig, Engine, MapUpdate, Network, NetworkWeights, SparseTensor,
     StreamState,
 };
+use ts_obs::{Alert, SloMonitor, SloPolicy};
 use ts_trace::{ArgValue, Subsystem};
 use ts_workloads::ArrivalTrace;
 
@@ -56,6 +57,14 @@ pub struct SimConfig {
     pub delta: DeltaConfig,
     /// Whole-node failures to inject.
     pub kills: Vec<KillEvent>,
+    /// Multi-window burn-rate alerting over the simulated completions
+    /// (see [`ts_obs::SloMonitor`]). The monitor runs on the *virtual*
+    /// clock: each completion is observed at its admission time with
+    /// its (deterministically known) deadline outcome, so the time
+    /// wheel sees monotone timestamps and the resulting
+    /// [`SimReport::alerts`] sequence is bit-identical across runs.
+    /// `None` disables alerting.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for SimConfig {
@@ -64,6 +73,7 @@ impl Default for SimConfig {
             deadline_us: 50_000.0,
             delta: DeltaConfig::default(),
             kills: Vec::new(),
+            slo: Some(SloPolicy::default()),
         }
     }
 }
@@ -107,6 +117,12 @@ pub struct SimReport {
     pub deadline_misses: u64,
     /// `deadline_misses / completed` (0 when nothing completed).
     pub miss_rate: f64,
+    /// Edge-triggered SLO alert transitions, in virtual-time order
+    /// (empty when [`SimConfig::slo`] is `None`). Deterministic: a
+    /// mid-trace node kill trips the fast window at the same virtual
+    /// microsecond every run.
+    #[serde(default)]
+    pub alerts: Vec<Alert>,
     /// Map-cache lookups that found the stream's state on the serving
     /// node.
     pub map_hits: u64,
@@ -321,10 +337,17 @@ impl FleetSim {
         let mut map_rebuilt = 0u64;
         let mut last_finish = f64::NEG_INFINITY;
         let t0 = trace.arrivals.first().map_or(0.0, |a| a.at_us);
+        let mut slo = self.cfg.slo.clone().map(SloMonitor::new);
+        let mut alerts: Vec<Alert> = Vec::new();
 
         for arrival in &trace.arrivals {
             let now = arrival.at_us;
             self.apply_lifecycle(now, &mut counters);
+            // Evaluate before observing this arrival so clears can fire
+            // even through stretches where every arrival is rejected.
+            if let Some(m) = slo.as_mut() {
+                alerts.extend(m.evaluate_at(now as u64));
+            }
 
             let loads: Vec<NodeLoad> = self.nodes.iter_mut().map(|n| n.load(now)).collect();
             let Some(decision) = self.router.route(arrival.stream, &loads) else {
@@ -382,9 +405,14 @@ impl FleetSim {
             last_finish = last_finish.max(finish);
 
             let latency = finish - now;
-            if latency > self.cfg.deadline_us {
+            let missed = latency > self.cfg.deadline_us;
+            if missed {
                 deadline_misses += 1;
                 node.misses += 1;
+            }
+            if let Some(m) = slo.as_mut() {
+                m.observe_at(now as u64, missed);
+                alerts.extend(m.evaluate_at(now as u64));
             }
             latencies.push(latency);
             ts_trace::sim_span(
@@ -431,6 +459,7 @@ impl FleetSim {
             } else {
                 deadline_misses as f64 / completed as f64
             },
+            alerts,
             map_hits,
             map_misses,
             map_patched,

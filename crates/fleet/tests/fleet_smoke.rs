@@ -136,6 +136,86 @@ fn four_node_fleet_survives_kill_and_restart() {
     );
 }
 
+/// Live telemetry across the fleet: with obs enabled on every node,
+/// health snapshots report the rolling window per node, a node death
+/// leaves `Migration { kind: "re_home" }` events in the gaining node's
+/// flight recorder, and the final report pools per-node alert logs.
+#[test]
+fn fleet_health_snapshots_and_rehome_events() {
+    let network = net();
+    let weights = network.init_weights(1);
+    let specs = heterogeneous_specs(
+        3,
+        Precision::Fp16,
+        &network,
+        &serve_cfg().with_obs(ts_serve::ObsConfig::default()),
+    );
+    let mut fleet = Fleet::boot(
+        network.clone(),
+        weights.clone(),
+        specs,
+        RouterConfig::default(),
+    );
+
+    let frames = frame_bank(4, 8, 0.15, 13);
+    let mut handles = Vec::new();
+    for f in 0..4 {
+        for s in 0..4u64 {
+            if let Ok(h) = fleet.submit(s, frames[s as usize][f].clone()) {
+                handles.push(h);
+            }
+        }
+    }
+    for h in handles.drain(..) {
+        let _ = h.wait();
+    }
+
+    // Every alive node exposes a snapshot; together they saw all 16
+    // completions inside the rolling window.
+    let health = fleet.health();
+    assert_eq!(health.len(), 3);
+    let completed: u64 = health.iter().flatten().map(|h| h.completed).sum();
+    assert_eq!(completed, 16);
+
+    // Kill stream 0's home; its next frame re-homes, and the gaining
+    // node's flight recorder logs the movement.
+    let victim = fleet.home_of(0).expect("stream 0 routed");
+    fleet.kill_node(victim).expect("kill succeeds");
+    let h = fleet
+        .submit(0, frames[0][4].clone())
+        .expect("re-homed elsewhere");
+    let _ = h.wait();
+    let new_home = fleet.home_of(0).expect("stream 0 re-homed");
+    assert_ne!(new_home, victim);
+    assert!(
+        fleet.node_recent_events(new_home).iter().any(|e| matches!(
+            e,
+            ts_serve::ObsEvent::Migration { stream: 0, kind, .. } if kind == "re_home"
+        )),
+        "the gaining node's recorder must log the re-home"
+    );
+    assert!(
+        fleet.health()[victim].is_none(),
+        "dead nodes report no health"
+    );
+
+    let report = fleet.shutdown();
+    // Quiet traffic, no alert edges — but the field is wired through.
+    assert_eq!(
+        report.alerts,
+        report
+            .nodes
+            .iter()
+            .flat_map(|n| n.alerts.clone())
+            .collect::<Vec<_>>()
+    );
+    let json = report.to_json().expect("serializes");
+    assert_eq!(
+        ts_fleet::FleetReport::from_json(&json).expect("parses"),
+        report
+    );
+}
+
 #[test]
 fn killing_every_node_yields_typed_no_capacity() {
     let network = net();

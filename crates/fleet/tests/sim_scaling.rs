@@ -4,8 +4,8 @@
 
 use ts_core::{Network, NetworkBuilder};
 use ts_fleet::{
-    frame_bank, heterogeneous_specs, DeviceTier, FleetSim, KillEvent, NodeSpec, RouterConfig,
-    SimConfig,
+    frame_bank, heterogeneous_specs, AlertLevel, AlertState, DeviceTier, FleetSim, KillEvent,
+    NodeSpec, RouterConfig, SimConfig, SloPolicy,
 };
 use ts_serve::ServeConfig;
 use ts_tensor::Precision;
@@ -129,6 +129,111 @@ fn all_nodes_dead_rejects_with_no_capacity() {
     assert_eq!(r.completed, 10);
     assert_eq!(r.rejected_no_capacity, 20);
     assert_eq!(r.completed + r.rejected_no_capacity, 30);
+}
+
+/// The CI contract for the SLO monitor: a mid-trace node kill trips
+/// the fast-window (PageWorthy) burn-rate alert, the restart clears
+/// it, and the whole alert sequence is bit-identical across runs.
+///
+/// Shape: a Premium + Edge pair under an arrival rate the pair handles
+/// easily but the Edge node alone cannot (~165us/frame measured vs
+/// ~111us inter-arrival). Killing Premium funnels everything onto
+/// Edge, whose backlog pushes latencies past the deadline; the miss
+/// streak burns the fast window at ~100x budget. After the restart,
+/// the router spills the backlogged Edge's frames back to Premium, the
+/// misses age out of the fast window, and the alert clears.
+#[test]
+fn mid_trace_kill_trips_fast_alert_and_restart_clears() {
+    let network = net();
+    let weights = network.init_weights(1);
+    let specs = vec![
+        NodeSpec::untuned(
+            0,
+            DeviceTier::Premium,
+            Precision::Fp16,
+            &network,
+            ServeConfig::default(),
+        ),
+        NodeSpec::untuned(
+            1,
+            DeviceTier::Edge,
+            Precision::Fp16,
+            &network,
+            ServeConfig::default(),
+        ),
+    ];
+    let t = ArrivalTrace::generate(
+        ArrivalConfig {
+            streams: 8,
+            rate_per_s: 9_000.0,
+            count: 400,
+        },
+        33,
+    );
+    let frames = bank(&t, 0.15);
+    let kill_at = t.arrivals[100].at_us;
+    let restart_at = t.arrivals[250].at_us;
+    let cfg = SimConfig {
+        deadline_us: 2_000.0,
+        kills: vec![KillEvent {
+            node: 0,
+            at_us: kill_at,
+            restart_at_us: Some(restart_at),
+        }],
+        // Windows scaled to the trace (44ms of virtual time): the fast
+        // window holds ~18 arrivals, the burn thresholds are the SRE
+        // defaults.
+        slo: Some(SloPolicy {
+            fast_window_us: 2_000,
+            slow_window_us: 20_000,
+            min_samples: 5,
+            ..SloPolicy::default()
+        }),
+        ..SimConfig::default()
+    };
+    // Spill once a home's estimated wait is worth half the deadline, so
+    // recovery actually routes around the drowned Edge node.
+    let router = RouterConfig {
+        spill_wait_us: 1_000.0,
+        ..RouterConfig::default()
+    };
+    let run = |_: ()| {
+        let mut sim = FleetSim::new(&network, &weights, &specs, router, cfg.clone());
+        sim.run(&t, &frames)
+    };
+    let a = run(());
+    let b = run(());
+    assert_eq!(a, b, "the alert sequence must be bit-identical");
+    assert_eq!(a.counters.node_deaths, 1);
+    assert_eq!(a.counters.node_restarts, 1);
+    assert!(a.deadline_misses > 0, "the outage must cause misses");
+
+    let pages: Vec<_> = a
+        .alerts
+        .iter()
+        .filter(|al| al.level == AlertLevel::PageWorthy)
+        .collect();
+    let trip = pages
+        .iter()
+        .position(|al| al.state == AlertState::Tripped)
+        .expect("the kill must trip the fast-window page alert");
+    assert!(
+        pages[trip].at_us as f64 >= kill_at,
+        "no page before the kill: tripped at {} vs kill at {}",
+        pages[trip].at_us,
+        kill_at
+    );
+    assert!(pages[trip].burn_rate >= 10.0, "trip is at paging burn");
+    let clear = pages[trip..]
+        .iter()
+        .find(|al| al.state == AlertState::Cleared)
+        .expect("the restart must clear the page alert");
+    assert!(
+        clear.at_us as f64 >= restart_at,
+        "clear only after the restart: cleared at {} vs restart at {}",
+        clear.at_us,
+        restart_at
+    );
 }
 
 /// More nodes, more simulated throughput: under an arrival rate that

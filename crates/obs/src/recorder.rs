@@ -1,0 +1,298 @@
+//! The flight recorder: a fixed-size ring of recent structured events,
+//! dumped to a post-mortem JSON file when something dies.
+//!
+//! Every server keeps one. Recording is wait-free on the ring cursor
+//! (one `fetch_add`) plus one uncontended per-slot mutex — two writers
+//! only collide on a slot when the ring has lapped, in which case the
+//! older event was about to be overwritten anyway. When the supervisor
+//! reaps a panicked worker or the fleet kills a node, the ring is
+//! drained oldest-first into a [`PostMortem`] next to a final
+//! [`HealthSnapshot`](crate::HealthSnapshot), so chaos drills leave
+//! forensic evidence instead of a stack trace and a shrug.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::HealthSnapshot;
+use crate::slo::{AlertLevel, AlertState};
+
+/// One structured event in the flight recorder, timestamped in
+/// microseconds since the owning [`Telemetry`](crate::Telemetry)'s
+/// epoch (virtual time under simulation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ObsEvent {
+    /// The batcher dispatched a batch to the worker pool.
+    Dispatch {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Batch sequence number.
+        batch: u64,
+        /// Jobs in the batch.
+        jobs: u64,
+        /// Ingress queue depth after dispatch.
+        queue_depth: u64,
+    },
+    /// A worker finished executing a batch.
+    Batch {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Batch sequence number.
+        batch: u64,
+        /// Jobs executed.
+        jobs: u64,
+        /// Simulated GPU time the batch cost.
+        sim_us: f64,
+    },
+    /// A fault: worker panic, stall, restart, or requeue.
+    Fault {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Fault kind (`worker_panic`, `worker_stall`,
+        /// `worker_restart`, `requeue`).
+        kind: String,
+        /// The batch involved, when known.
+        batch: Option<u64>,
+        /// Free-form context.
+        detail: String,
+    },
+    /// A request was shed with a typed rejection.
+    Shed {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Shed reason (`deadline`, `crashed`, `halt`).
+        reason: String,
+        /// The stream whose request was shed.
+        stream: u64,
+    },
+    /// Schedule slots booted degraded (lenient artifact load).
+    Downgrade {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Downgraded slot count.
+        slots: u64,
+    },
+    /// A stream's home moved (fleet routing).
+    Migration {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// The stream that moved.
+        stream: u64,
+        /// The node it now lives on.
+        node: u64,
+        /// `re_home` (old home died) or `migrate` (overload).
+        kind: String,
+    },
+    /// An SLO alert transition (see [`crate::SloMonitor`]).
+    Alert {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Severity.
+        level: AlertLevel,
+        /// Trip or clear edge.
+        state: AlertState,
+        /// Burn rate at the edge.
+        burn_rate: f64,
+    },
+    /// A trace counter mirrored into the recorder via
+    /// [`ts_trace::Tracer::set_counter_hook`] (chaos injections use
+    /// this path).
+    Counter {
+        /// Event time, microseconds.
+        at_us: u64,
+        /// Counter name (`serve.chaos.injected_panic`, ...).
+        name: String,
+        /// Increment.
+        delta: i64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's timestamp.
+    pub fn at_us(&self) -> u64 {
+        match *self {
+            ObsEvent::Dispatch { at_us, .. }
+            | ObsEvent::Batch { at_us, .. }
+            | ObsEvent::Fault { at_us, .. }
+            | ObsEvent::Shed { at_us, .. }
+            | ObsEvent::Downgrade { at_us, .. }
+            | ObsEvent::Migration { at_us, .. }
+            | ObsEvent::Alert { at_us, .. }
+            | ObsEvent::Counter { at_us, .. } => at_us,
+        }
+    }
+}
+
+/// Fixed-size ring of the most recent [`ObsEvent`]s.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<ObsEvent>>>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the last `capacity` events (clamped to >= 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (may exceed
+    /// capacity; only the last `capacity` are retained).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn record(&self, event: ObsEvent) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq % self.slots.len() as u64) as usize;
+        *self.slots[idx].lock().expect("recorder slot lock") = Some(event);
+    }
+
+    /// Drains a copy of the retained events, oldest first.
+    pub fn dump(&self) -> Vec<ObsEvent> {
+        let cap = self.slots.len() as u64;
+        let cursor = self.cursor.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(self.slots.len());
+        for i in 0..cap {
+            let idx = ((cursor + i) % cap) as usize;
+            if let Some(ev) = self.slots[idx].lock().expect("recorder slot lock").clone() {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+/// Process-unique post-mortem sequence so concurrent dumps (a fleet of
+/// servers dying together) never fight over a file name.
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A forensic dump: why, when, the flight-recorder contents, and the
+/// health of the server at the moment of death.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PostMortem {
+    /// What killed the server (`worker_panic`, `worker_stall`,
+    /// `node_halt`, ...).
+    pub reason: String,
+    /// Time of death, microseconds since telemetry epoch.
+    pub at_us: u64,
+    /// Retained flight-recorder events, oldest first.
+    pub events: Vec<ObsEvent>,
+    /// Health snapshot taken at the moment of the dump.
+    pub snapshot: HealthSnapshot,
+}
+
+impl PostMortem {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a dump back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the dump into `dir` as
+    /// `postmortem-<reason>-<seq>.json` (creating `dir` if needed) and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; serialization of a `PostMortem`
+    /// cannot fail.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("postmortem-{}-{seq:04}.json", self.reason));
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64) -> ObsEvent {
+        ObsEvent::Batch {
+            at_us,
+            batch: at_us,
+            jobs: 1,
+            sim_us: 10.0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events_in_order() {
+        let r = FlightRecorder::new(4);
+        for t in 0..10u64 {
+            r.record(ev(t));
+        }
+        let dump = r.dump();
+        let times: Vec<u64> = dump.iter().map(ObsEvent::at_us).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn partial_ring_dumps_only_what_was_recorded() {
+        let r = FlightRecorder::new(8);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.dump().len(), 2);
+    }
+
+    #[test]
+    fn postmortem_round_trips_through_json() {
+        let pm = PostMortem {
+            reason: "worker_panic".to_owned(),
+            at_us: 1234,
+            events: vec![
+                ev(1200),
+                ObsEvent::Fault {
+                    at_us: 1234,
+                    kind: "worker_panic".to_owned(),
+                    batch: Some(7),
+                    detail: "injected".to_owned(),
+                },
+            ],
+            snapshot: HealthSnapshot::empty(0),
+        };
+        let json = pm.to_json().expect("serializes");
+        let back = PostMortem::from_json(&json).expect("parses");
+        assert_eq!(back, pm);
+    }
+
+    #[test]
+    fn write_to_creates_unique_files() {
+        let dir = std::env::temp_dir().join("ts-obs-recorder-test");
+        let pm = PostMortem {
+            reason: "test".to_owned(),
+            at_us: 0,
+            events: vec![ev(1)],
+            snapshot: HealthSnapshot::empty(0),
+        };
+        let a = pm.write_to(&dir).expect("writes");
+        let b = pm.write_to(&dir).expect("writes");
+        assert_ne!(a, b);
+        let text = std::fs::read_to_string(&a).expect("readable");
+        assert!(PostMortem::from_json(&text).is_ok());
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+}

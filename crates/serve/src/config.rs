@@ -67,6 +67,14 @@ pub struct ServeConfig {
     /// map from scratch instead of patching (see
     /// [`ts_core::DeltaConfig`]).
     pub map_churn_threshold: f32,
+    /// Live telemetry: when set, the server boots a
+    /// [`ts_obs::Telemetry`] registry fed from every metrics hook —
+    /// rolling-window health snapshots ([`crate::Server::health_snapshot`]),
+    /// burn-rate SLO alerts ([`crate::Server::alerts`]) and a flight
+    /// recorder dumped to a post-mortem file when the supervisor reaps
+    /// a panicked or stalled worker or the node is halted. `None` (the
+    /// default) compiles the hooks down to a skipped branch.
+    pub obs: Option<ts_obs::ObsConfig>,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +93,7 @@ impl Default for ServeConfig {
             map_reuse: false,
             map_cache_capacity: 64,
             map_churn_threshold: 0.35,
+            obs: None,
         }
     }
 }
@@ -174,6 +183,13 @@ impl ServeConfig {
         self
     }
 
+    /// Enables live telemetry (health snapshots, SLO alerts, flight
+    /// recorder) with the given registry configuration.
+    pub fn with_obs(mut self, obs: ts_obs::ObsConfig) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Clamps degenerate values to their working minimum (at least one
     /// worker, batches of at least one frame, room for at least one
     /// request, a non-zero supervisor scan interval).
@@ -234,6 +250,7 @@ mod tests {
             map_reuse: false,
             map_cache_capacity: 0,
             map_churn_threshold: -1.0,
+            obs: None,
         }
         .normalized();
         assert_eq!(c.workers, 1);
@@ -256,6 +273,16 @@ mod tests {
         assert!(c.map_reuse);
         assert_eq!(c.map_cache_capacity, 8);
         assert_eq!(c.map_churn_threshold, 0.5);
+    }
+
+    #[test]
+    fn obs_is_opt_in() {
+        let c = ServeConfig::default();
+        assert!(c.obs.is_none(), "telemetry is opt-in");
+        let c = c.with_obs(ts_obs::ObsConfig::default().with_postmortem_dir("target/pm"));
+        let obs = c.obs.expect("configured");
+        assert_eq!(obs.postmortem_dir.as_deref(), Some("target/pm"));
+        assert!(obs.slo.is_some(), "SLO monitoring on by default");
     }
 
     #[test]

@@ -55,6 +55,13 @@
 //!   corruption as a pure function of the batch sequence number, so a
 //!   failing chaos run replays bit-identically from its seed. Without
 //!   the feature the injection sites compile to no-ops.
+//! * **Live telemetry** — with [`ServeConfig::with_obs`], every metrics
+//!   hook also feeds a [`ts_obs::Telemetry`] registry: rolling-window
+//!   health snapshots ([`Server::health_snapshot`]), multi-window
+//!   burn-rate SLO alerts ([`Server::alerts`]), and a flight recorder
+//!   of recent structured events dumped to a post-mortem JSON file when
+//!   the supervisor reaps a panicked or stalled worker or the node is
+//!   halted. See `OPERATIONS.md` ("Alerting") for the runbook.
 //!
 //! See `examples/serve_lidar_stream.rs` for an end-to-end deployment
 //! loop, `examples/serve_resilience.rs` for degraded boot + retry, and
@@ -79,3 +86,9 @@ pub use faults::{Fault, FaultPlan};
 pub use metrics::{HistogramBucket, ServeReport, ServerLoad, StreamStats};
 pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, Client, ClientError, RetryPolicy};
 pub use server::{Rejected, Response, ResponseHandle, Server};
+// Re-exported so serve users configure and read telemetry without a
+// direct ts-obs dependency.
+pub use ts_obs::{
+    Alert, AlertLevel, AlertState, HealthSnapshot, ObsConfig, ObsEvent, PostMortem, SloPolicy,
+    StreamHealth, Telemetry,
+};

@@ -14,6 +14,14 @@
 //! afterwards, so two workers can never patch the same state
 //! concurrently; a second in-flight frame of the same stream simply
 //! misses and rebuilds.
+//!
+//! Cache activity is observable three ways: cumulative `map_*` fields
+//! of [`crate::ServeReport`], `serve.map_cache.*` trace counters, and —
+//! with [`crate::ServeConfig::with_obs`] — the *windowed* reuse rate in
+//! [`ts_obs::HealthSnapshot`] (fed through [`Metrics::on_map_lookup`]),
+//! which is what a router or operator should watch: a stream churning
+//! past the patch threshold shows up there minutes before it moves the
+//! cumulative rate.
 
 use std::collections::HashMap;
 use std::sync::Mutex;

@@ -1,13 +1,20 @@
 //! SLO accounting: per-stream latency distributions, batch-size and
 //! queue-depth histograms, throughput, and deadline/rejection counters.
+//!
+//! When the server was configured with [`crate::ServeConfig::with_obs`],
+//! every hook here additionally forwards into the live
+//! [`ts_obs::Telemetry`] registry — same call sites, so the cumulative
+//! report and the rolling-window health snapshot can never disagree
+//! about what happened.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use ts_core::LatencyStats;
+use ts_obs::Telemetry;
 
 /// One bucket of a discrete histogram (`value` occurred `count` times).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -305,20 +312,47 @@ struct Counters {
 
 /// Thread-safe metrics sink shared by the submission path, the batcher
 /// and the workers.
-#[derive(Debug)]
 pub(crate) struct Metrics {
     started: Instant,
     inner: Mutex<Counters>,
     depth: AtomicUsize,
+    /// Live telemetry registry, when the server was configured with
+    /// [`crate::ServeConfig::with_obs`]; every hook forwards into it.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Ordinal of executed batches, used as the batch id of
+    /// [`ts_obs::ObsEvent::Batch`] flight-recorder events.
+    exec_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("depth", &self.depth)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Metrics {
+    /// Telemetry-free constructor, used by unit tests.
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Self::with_telemetry(None)
+    }
+
+    pub(crate) fn with_telemetry(telemetry: Option<Arc<Telemetry>>) -> Self {
         Self {
             started: Instant::now(),
             inner: Mutex::new(Counters::default()),
             depth: AtomicUsize::new(0),
+            telemetry,
+            exec_seq: AtomicU64::new(0),
         }
+    }
+
+    /// The live telemetry registry, when one is attached.
+    pub(crate) fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Current number of in-flight requests (queued or executing).
@@ -367,22 +401,34 @@ impl Metrics {
         c.rejected_bad_frame += 1;
     }
 
-    pub(crate) fn on_shed_deadline(&self) {
+    pub(crate) fn on_shed_deadline(&self, stream: u64) {
         self.leave();
         let mut c = self.inner.lock().expect("metrics lock");
         c.shed_deadline += 1;
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            t.on_shed("deadline", stream);
+        }
     }
 
-    pub(crate) fn on_shed_crashed(&self) {
+    pub(crate) fn on_shed_crashed(&self, stream: u64) {
         self.leave();
         let mut c = self.inner.lock().expect("metrics lock");
         c.shed_crashed += 1;
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            t.on_shed("worker_crashed", stream);
+        }
     }
 
-    pub(crate) fn on_shed_halt(&self) {
+    pub(crate) fn on_shed_halt(&self, stream: u64) {
         self.leave();
         let mut c = self.inner.lock().expect("metrics lock");
         c.shed_halt += 1;
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            t.on_shed("halt", stream);
+        }
     }
 
     /// Cheap load snapshot for a fleet router: the in-flight depth is a
@@ -399,26 +445,49 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn on_worker_panic(&self) {
+    /// A worker thread was reaped after a panic; `batch` is the
+    /// sequence number of the batch it died holding, when one was
+    /// recovered.
+    pub(crate) fn on_worker_panic(&self, batch: Option<u64>) {
         self.inner.lock().expect("metrics lock").worker_panics += 1;
+        if let Some(t) = &self.telemetry {
+            t.on_fault("worker_panic", batch, "worker thread panicked mid-batch");
+        }
     }
 
-    pub(crate) fn on_worker_stall(&self) {
+    /// A worker was declared stuck past the stall timeout and retired.
+    pub(crate) fn on_worker_stall(&self, batch: Option<u64>) {
         self.inner.lock().expect("metrics lock").worker_stalls += 1;
+        if let Some(t) = &self.telemetry {
+            t.on_fault(
+                "worker_stall",
+                batch,
+                "worker stuck past stall timeout; retired",
+            );
+        }
     }
 
     pub(crate) fn on_worker_restart(&self) {
         self.inner.lock().expect("metrics lock").worker_restarts += 1;
+        if let Some(t) = &self.telemetry {
+            t.on_fault("worker_restart", None, "replacement worker spawned");
+        }
     }
 
     pub(crate) fn on_requeued(&self, n: u64) {
         self.inner.lock().expect("metrics lock").requeued += n;
+        if let Some(t) = &self.telemetry {
+            t.on_fault("requeue", None, "recovered in-flight jobs re-enqueued");
+        }
     }
 
     /// Records, once at boot, how many schedule slots the engine
     /// degraded to the safe fallback.
     pub(crate) fn record_downgrades(&self, n: u64) {
         self.inner.lock().expect("metrics lock").schedule_downgrades = n;
+        if let Some(t) = &self.telemetry {
+            t.on_downgrade(n);
+        }
     }
 
     /// A frame looked up its stream in the map cache.
@@ -428,6 +497,10 @@ impl Metrics {
             c.map_cache_hits += 1;
         } else {
             c.map_cache_misses += 1;
+        }
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            t.on_map_lookup(hit);
         }
     }
 
@@ -448,12 +521,27 @@ impl Metrics {
 
     pub(crate) fn on_map_invalidated(&self, n: u64) {
         self.inner.lock().expect("metrics lock").map_invalidated += n;
+        // Wholesale invalidation accompanies a worker respawn — worth a
+        // flight-recorder entry, but the respawn itself already counted
+        // as the fault, so this lands as a bare counter event.
+        if let Some(t) = &self.telemetry {
+            t.record_event(ts_obs::ObsEvent::Counter {
+                at_us: t.now_us(),
+                name: "serve.map_cache.invalidated".to_owned(),
+                delta: n as i64,
+            });
+        }
     }
 
     pub(crate) fn on_batch_executed(&self, size: usize, sim_us: f64) {
         let mut c = self.inner.lock().expect("metrics lock");
         *c.batch_sizes.entry(size as u64).or_insert(0) += 1;
         c.sim_us_total += sim_us;
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            let seq = self.exec_seq.fetch_add(1, Ordering::Relaxed);
+            t.on_batch(seq, size as u64, sim_us);
+        }
     }
 
     pub(crate) fn on_completed(&self, stream: u64, latency_us: f64, missed_deadline: bool) {
@@ -464,6 +552,10 @@ impl Metrics {
             c.deadline_misses += 1;
         }
         c.per_stream.entry(stream).or_default().push(latency_us);
+        drop(c);
+        if let Some(t) = &self.telemetry {
+            t.on_completed(stream, latency_us as u64, missed_deadline);
+        }
     }
 
     pub(crate) fn report(&self) -> ServeReport {
@@ -541,7 +633,7 @@ mod tests {
         m.on_completed(1, 100.0, false);
         m.on_completed(1, 300.0, true);
         m.on_completed(2, 200.0, false);
-        m.on_shed_deadline();
+        m.on_shed_deadline(0);
         let r = m.report();
         assert_eq!(r.completed, 3);
         assert_eq!(r.deadline_misses, 1);
@@ -599,7 +691,7 @@ mod tests {
             m.on_batch_executed(1, 300.0);
             m.on_batch_executed(2, 400.0);
             m.on_completed(1, 300.0, false);
-            m.on_shed_deadline();
+            m.on_shed_deadline(0);
             m.report()
         };
         let merged = a.merge(&b);
@@ -637,6 +729,37 @@ mod tests {
         assert_eq!(merged.completed, r.completed);
         assert_eq!(merged.streams, r.streams);
         assert_eq!(merged.overall, r.overall);
+        // Empty histograms merge as identity too, in both directions.
+        assert_eq!(merged.batch_sizes, r.batch_sizes);
+        assert_eq!(merged.queue_depths, r.queue_depths);
+        let rev = Metrics::new().report().merge(&r);
+        assert_eq!(rev.batch_sizes, r.batch_sizes);
+        assert_eq!(rev.queue_depths, r.queue_depths);
+    }
+
+    #[test]
+    fn merge_trace_path_prefers_self_then_other() {
+        let mut with_path = Metrics::new().report();
+        with_path.trace_path = Some("a.trace.json".to_owned());
+        let mut other_path = Metrics::new().report();
+        other_path.trace_path = Some("b.trace.json".to_owned());
+        let none = Metrics::new().report();
+
+        // Self wins when both sides carry a path.
+        assert_eq!(
+            with_path.merge(&other_path).trace_path.as_deref(),
+            Some("a.trace.json")
+        );
+        // A pathless self falls back to the other side.
+        assert_eq!(
+            none.merge(&with_path).trace_path.as_deref(),
+            Some("a.trace.json")
+        );
+        assert_eq!(
+            with_path.merge(&none).trace_path.as_deref(),
+            Some("a.trace.json")
+        );
+        assert_eq!(none.merge(&none.clone()).trace_path, None);
     }
 
     #[test]
@@ -698,7 +821,7 @@ mod tests {
     fn shed_halt_counts_and_merges() {
         let m = Metrics::new();
         assert!(m.try_admit(4));
-        m.on_shed_halt();
+        m.on_shed_halt(0);
         let r = m.report();
         assert_eq!(r.shed_halt, 1);
         assert_eq!(m.depth(), 0, "halt-shed releases the queue slot");
@@ -719,7 +842,7 @@ mod tests {
         assert!(m.try_admit(8));
         assert!(m.try_admit(8));
         m.on_completed(0, 100.0, true);
-        m.on_shed_deadline();
+        m.on_shed_deadline(0);
         let load = m.load();
         assert_eq!(load.queue_depth, 1);
         assert_eq!(load.completed, 1);
@@ -736,12 +859,12 @@ mod tests {
         for _ in 0..3 {
             assert!(m.try_admit(8));
         }
-        m.on_worker_panic();
+        m.on_worker_panic(None);
         m.on_worker_restart();
         m.on_requeued(2);
-        m.on_worker_stall();
+        m.on_worker_stall(Some(3));
         m.on_worker_restart();
-        m.on_shed_crashed();
+        m.on_shed_crashed(0);
         m.record_downgrades(4);
         let r = m.report();
         assert_eq!(r.worker_panics, 1);

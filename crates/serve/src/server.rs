@@ -141,7 +141,7 @@ impl ResponseHandle {
 /// guarantees exactly one of the twins answers the caller.
 #[derive(Debug, Clone)]
 pub(crate) struct Job {
-    stream: u64,
+    pub(crate) stream: u64,
     /// Request sequence number; names the `req-N` trace lane.
     req: u64,
     /// Pre-allocated id of the request's root trace span, when the
@@ -257,6 +257,9 @@ pub struct Server {
     tracer: Option<ts_trace::Tracer>,
     trace_path: Option<PathBuf>,
     next_req: AtomicU64,
+    /// Live telemetry registry ([`ServeConfig::with_obs`]); also held
+    /// by [`Metrics`], which forwards every hook into it.
+    telemetry: Option<Arc<ts_obs::Telemetry>>,
 }
 
 impl Server {
@@ -283,7 +286,28 @@ impl Server {
     pub fn new(engine: Engine, cfg: ServeConfig) -> Self {
         let cfg = cfg.normalized();
         let tracer = ts_trace::current();
-        let metrics = Arc::new(Metrics::new());
+        let telemetry = cfg
+            .obs
+            .as_ref()
+            .map(|o| Arc::new(ts_obs::Telemetry::new(o.clone())));
+        // With both a tracer and telemetry present, mirror the chaos
+        // injection counters into the flight recorder: a post-mortem
+        // then shows the injected fault next to the batch it killed.
+        // The hook is tracer-global; the most recently built server
+        // owns it (fine for the single-tracer test/deployment setups).
+        if let (Some(t), Some(tel)) = (&tracer, &telemetry) {
+            let tel = Arc::clone(tel);
+            t.set_counter_hook(Some(Arc::new(move |name: &str, delta: i64| {
+                if name.starts_with("serve.chaos.") {
+                    tel.record_event(ts_obs::ObsEvent::Counter {
+                        at_us: tel.now_us(),
+                        name: name.to_owned(),
+                        delta,
+                    });
+                }
+            })));
+        }
+        let metrics = Arc::new(Metrics::with_telemetry(telemetry.clone()));
         let stop = Arc::new(AtomicBool::new(false));
         let next_batch = Arc::new(AtomicU64::new(0));
         let (ingress_tx, ingress_rx) = unbounded::<Job>();
@@ -349,6 +373,7 @@ impl Server {
             tracer,
             trace_path: cfg.trace_path,
             next_req: AtomicU64::new(0),
+            telemetry,
         }
     }
 
@@ -421,6 +446,44 @@ impl Server {
         self.metrics.report()
     }
 
+    /// Rolling-window health exposition ([`ts_obs::HealthSnapshot`]):
+    /// windowed completions, miss rate, per-stream p50/p99, reuse rate,
+    /// burn rates and active alerts. `None` unless the server was
+    /// configured with [`ServeConfig::with_obs`]. Unlike
+    /// [`Server::report`] (cumulative since boot), this covers only the
+    /// configured rolling window — the "what is happening right now"
+    /// view.
+    pub fn health_snapshot(&self) -> Option<ts_obs::HealthSnapshot> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.health_snapshot(self.metrics.depth() as u64))
+    }
+
+    /// Every SLO alert transition (trip/clear) recorded so far, in
+    /// order; empty without [`ServeConfig::with_obs`].
+    pub fn alerts(&self) -> Vec<ts_obs::Alert> {
+        self.telemetry
+            .as_ref()
+            .map(|t| t.alerts())
+            .unwrap_or_default()
+    }
+
+    /// Appends an event to this server's flight recorder (a no-op
+    /// without [`ServeConfig::with_obs`]). The fleet layer uses this to
+    /// record stream migrations and re-homes against the node that
+    /// received the traffic.
+    pub fn record_obs_event(&self, event: ts_obs::ObsEvent) {
+        if let Some(t) = &self.telemetry {
+            t.record_event(event);
+        }
+    }
+
+    /// The live telemetry registry, when the server was configured with
+    /// [`ServeConfig::with_obs`].
+    pub fn telemetry(&self) -> Option<&Arc<ts_obs::Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
     /// Graceful drain: stops admitting, serves everything already
     /// queued, joins all threads, and returns the final report.
     ///
@@ -449,6 +512,11 @@ impl Server {
     /// than an output.
     pub fn halt(self) -> ServeReport {
         self.abort.store(true, Ordering::SeqCst);
+        // A halt is the fleet's node kill: dump the flight recorder
+        // while the backlog is still visible in the queue depth.
+        if let Some(t) = &self.telemetry {
+            let _ = t.dump_postmortem("node_halt", self.metrics.depth() as u64);
+        }
         self.shutdown()
     }
 
@@ -481,7 +549,7 @@ pub(crate) fn shed_expired(pending: &mut Vec<Job>, metrics: &Metrics) {
     for job in pending.drain(..) {
         if job.expired(now) {
             if job.claim() {
-                metrics.on_shed_deadline();
+                metrics.on_shed_deadline(job.stream);
                 ts_trace::counter_add("serve.requests.shed_deadline", 1);
                 let missed_by =
                     now.saturating_duration_since(job.deadline.expect("expired has one"));
@@ -501,6 +569,7 @@ fn dispatch(
     work: &Sender<Batch>,
     max_batch: usize,
     next_batch: &AtomicU64,
+    metrics: &Metrics,
 ) {
     if pending.is_empty() {
         return;
@@ -519,6 +588,9 @@ fn dispatch(
         seq: next_batch.fetch_add(1, Ordering::SeqCst),
         jobs,
     };
+    if let Some(t) = metrics.telemetry() {
+        t.on_dispatch(batch.seq, batch.jobs.len() as u64, metrics.depth() as u64);
+    }
     if let Err(e) = work.send(batch) {
         for job in e.into_inner().jobs {
             job.reject(Rejected::ShuttingDown);
@@ -545,12 +617,12 @@ fn batcher_loop(
                 pending.push(job);
                 shed_expired(&mut pending, metrics);
                 if pending.len() >= cfg.max_batch {
-                    dispatch(&mut pending, work, cfg.max_batch, next_batch);
+                    dispatch(&mut pending, work, cfg.max_batch, next_batch, metrics);
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
                 shed_expired(&mut pending, metrics);
-                dispatch(&mut pending, work, cfg.max_batch, next_batch);
+                dispatch(&mut pending, work, cfg.max_batch, next_batch, metrics);
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -562,14 +634,14 @@ fn batcher_loop(
     if abort.load(Ordering::SeqCst) {
         for job in pending.drain(..) {
             if job.claim() {
-                metrics.on_shed_halt();
+                metrics.on_shed_halt(job.stream);
                 ts_trace::counter_add("serve.requests.shed_halt", 1);
                 job.send_err(Rejected::ShuttingDown);
             }
         }
     }
     while !pending.is_empty() {
-        dispatch(&mut pending, work, cfg.max_batch, next_batch);
+        dispatch(&mut pending, work, cfg.max_batch, next_batch, metrics);
     }
 }
 
@@ -1341,6 +1413,88 @@ mod tests {
         assert_eq!(report.map_cache_misses, 1);
         assert_eq!(report.map_cache_hits, 2);
         assert_eq!(report.map_patched, 1, "frame 1 patched the surviving state");
+    }
+
+    #[test]
+    fn obs_health_snapshot_tracks_live_traffic() {
+        let server = Server::new(engine(), fast_cfg().with_obs(ts_obs::ObsConfig::default()));
+        for i in 0..5 {
+            server
+                .submit(i % 2, frame(0, i))
+                .expect("admitted")
+                .wait()
+                .expect("served");
+        }
+        let snap = server.health_snapshot().expect("obs configured");
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.deadline_misses, 0);
+        assert!(snap.p99_latency_us > 0.0);
+        assert_eq!(snap.streams.len(), 2, "both streams tracked");
+        assert!(!snap.page_alert_active && !snap.warning_alert_active);
+        assert!(server.alerts().is_empty(), "healthy run trips nothing");
+        // The flight recorder saw the dispatches and batch completions.
+        let events = server.telemetry().expect("obs").recent_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ts_obs::ObsEvent::Dispatch { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ts_obs::ObsEvent::Batch { .. })));
+        server.shutdown();
+    }
+
+    #[test]
+    fn obs_off_by_default_keeps_health_api_none() {
+        let server = Server::new(engine(), fast_cfg());
+        server
+            .submit(0, frame(0, 1))
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert!(server.health_snapshot().is_none());
+        assert!(server.alerts().is_empty());
+        assert!(server.telemetry().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn halt_dumps_a_node_halt_postmortem() {
+        let dir = std::env::temp_dir().join(format!("ts-serve-halt-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::new(
+            engine(),
+            ServeConfig::default()
+                .with_max_wait(Duration::from_millis(500))
+                .with_max_batch(16)
+                .with_workers(1)
+                .with_obs(
+                    ts_obs::ObsConfig::default()
+                        .with_postmortem_dir(dir.to_string_lossy().into_owned()),
+                ),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|i| server.submit(i, frame(0, i as u64)).expect("admitted"))
+            .collect();
+        server.halt();
+        for h in handles {
+            let _ = h.wait();
+        }
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump dir exists")
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("postmortem-node_halt-")
+            })
+            .collect();
+        assert_eq!(dumps.len(), 1, "halt writes exactly one post-mortem");
+        let pm = ts_obs::PostMortem::from_json(
+            &std::fs::read_to_string(dumps[0].path()).expect("readable"),
+        )
+        .expect("parses");
+        assert_eq!(pm.reason, "node_halt");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -233,9 +233,15 @@ fn run(ctx: SupervisorCtx) {
             }
             let slot = slots.remove(i);
             if slot.handle.join().is_err() {
-                metrics.on_worker_panic();
-                ts_trace::counter_add("serve.workers.panicked", 1);
                 let inflight = slot.shared.steal();
+                metrics.on_worker_panic(inflight.as_ref().map(|b| b.seq));
+                ts_trace::counter_add("serve.workers.panicked", 1);
+                // Post-mortem first, recovery second: the dump captures
+                // the ring as the worker died, including the crashing
+                // batch's dispatch and the fault just recorded.
+                if let Some(tel) = metrics.telemetry() {
+                    let _ = tel.dump_postmortem("worker_panic", metrics.depth() as u64);
+                }
                 // The dead worker may have panicked mid-update with a
                 // stream state checked out; every surviving cached
                 // state is still sound, but the checked-out one is
@@ -266,9 +272,12 @@ fn run(ctx: SupervisorCtx) {
                 }
                 let slot = slots.remove(i);
                 slot.shared.retired.store(true, Ordering::SeqCst);
-                metrics.on_worker_stall();
-                ts_trace::counter_add("serve.workers.stalled", 1);
                 let inflight = slot.shared.steal();
+                metrics.on_worker_stall(inflight.as_ref().map(|b| b.seq));
+                ts_trace::counter_add("serve.workers.stalled", 1);
+                if let Some(tel) = metrics.telemetry() {
+                    let _ = tel.dump_postmortem("worker_stall", metrics.depth() as u64);
+                }
                 // A stuck worker is retired, not killed: it may wake
                 // later and put back stream states from before the
                 // recovery. Reset the cache to a known-clean slate;
@@ -358,7 +367,7 @@ fn shed_crashed(job: crate::server::Job, metrics: &Metrics) {
     // This crash counts as an attempt on top of the recorded dispatches.
     let attempts = job.attempts + 1;
     if job.claim() {
-        metrics.on_shed_crashed();
+        metrics.on_shed_crashed(job.stream);
         ts_trace::counter_add("serve.requests.shed_crashed", 1);
         job.send_err(Rejected::WorkerCrashed { attempts });
     }

@@ -134,6 +134,75 @@ fn total_panic_rate_terminates_with_typed_outcomes() {
     assert!(report.requeued >= 1, "each batch got its one replay");
 }
 
+/// An injected worker panic must leave a flight-recorder post-mortem on
+/// disk, and the dump must contain the crashing batch's events: its
+/// dispatch and the `worker_panic` fault naming its batch seq.
+#[test]
+fn injected_panic_dumps_flight_recorder_postmortem() {
+    // CI sets TS_POSTMORTEM_DIR to keep the dump as a build artifact;
+    // local runs use a scratch dir and clean up.
+    let (dir, keep) = match std::env::var("TS_POSTMORTEM_DIR") {
+        Ok(d) => (std::path::PathBuf::from(d), true),
+        Err(_) => (
+            std::env::temp_dir().join(format!("ts-serve-chaos-pm-{}", std::process::id())),
+            false,
+        ),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::new(
+        engine(),
+        cfg()
+            .with_workers(1)
+            .with_max_requeues(2)
+            .with_fault_plan(FaultPlan::from_seed(42).with_panic_on([0]))
+            .with_obs(
+                ts_serve::ObsConfig::default()
+                    .with_postmortem_dir(dir.to_string_lossy().into_owned()),
+            ),
+    );
+    let handles: Vec<_> = (0..4)
+        .map(|i| server.submit(i, frame(130 + i)).expect("admitted"))
+        .collect();
+    for h in handles {
+        h.wait().expect("replayed after the crash");
+    }
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 1);
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir created")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("postmortem-worker_panic-")
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "one panic, one post-mortem");
+    let json = std::fs::read_to_string(dumps[0].path()).expect("readable");
+    let pm = ts_serve::PostMortem::from_json(&json).expect("parses");
+    assert_eq!(pm.reason, "worker_panic");
+    assert!(!pm.events.is_empty(), "ring captured the run-up");
+    // The crashing batch (seq 0) left its dispatch in the ring...
+    assert!(
+        pm.events
+            .iter()
+            .any(|e| matches!(e, ts_serve::ObsEvent::Dispatch { batch: 0, .. })),
+        "dump must contain the crashing batch's dispatch"
+    );
+    // ...and the fault event names it.
+    assert!(
+        pm.events.iter().any(|e| matches!(
+            e,
+            ts_serve::ObsEvent::Fault { kind, batch: Some(0), .. } if kind == "worker_panic"
+        )),
+        "dump must contain the worker_panic fault for batch 0"
+    );
+    if !keep {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// A stalled worker (injected sleep far past the stall timeout) is
 /// retired and its batch re-executed by a replacement; the duplicate
 /// completion from the zombie is latch-suppressed.

@@ -43,22 +43,33 @@
 //!
 //! | Counter | Meaning |
 //! |---|---|
+//! | `kernelgen.kernels.generated` | Kernels emitted by the Sparse Kernel Generator |
 //! | `core.prepare_cache.hit` / `.miss` | Per-layer prepared-kernel-map reuse in the engine |
 //! | `core.schedule.artifact_rejected` | Lenient schedule load rejected the whole artifact (fallback dataflow everywhere) |
-//! | `core.schedule.group_downgraded` | Lenient schedule load replaced one group's config with the safe fallback |
-//! | `serve.requests.submitted` / `.completed` / `.rejected` | Request lifecycle at the server boundary |
-//! | `serve.requests.requeued` | In-flight requests re-enqueued after their worker died |
-//! | `serve.requests.shed_crashed` | Requests shed with `WorkerCrashed` after the requeue budget ran out |
-//! | `serve.batches.formed` | Dynamic batches dispatched to the worker pool |
+//! | `core.stream.entered` / `.exited` / `.frames` | Streaming-session lifecycle and frames served |
+//! | `core.stream.patched` / `.rebuilt` | Incremental kernel-map updates: in-place patch vs full rebuild |
+//! | `autotune.rounds.completed` / `.groups.tuned` / `.candidates.swept` | Sparse Autotuner progress |
+//! | `serve.requests.completed` / `.rejected_queue_full` / `.requeued` | Request lifecycle at the server boundary |
+//! | `serve.requests.shed_deadline` / `.shed_crashed` / `.shed_halt` | Requests shed with a typed rejection: deadline expiry, requeue budget exhausted, server halt |
+//! | `serve.frames.rejected` | Frames refused at admission (malformed input) |
+//! | `serve.deadline.missed` | Completions later than their deadline |
+//! | `serve.batches.dispatched` / `.executed` | Dynamic batches sent to, and finished by, the worker pool |
 //! | `serve.workers.panicked` / `.stalled` / `.restarted` | Supervisor observations of the worker pool |
 //! | `serve.chaos.injected_panic` / `.injected_stall` | Faults injected by an armed `FaultPlan` (ts-serve, feature `chaos` only) |
 //! | `serve.schedule.downgraded` | Schedule downgrades carried by the engine a server booted from |
+//! | `serve.map_cache.hit` / `.miss` / `.patched` / `.rebuilt` | Per-stream map-cache lookups and how hits resolved |
+//! | `serve.map_cache.entered` / `.exited` / `.evicted` / `.invalidated` | Map-cache entry lifecycle |
+//! | `serve.map_cache.disabled_degraded` | Map reuse disabled because the engine booted degraded |
 //! | `fleet.requests.routed` / `.affinity` / `.hashed` / `.spilled` | Fleet router placement decisions |
 //! | `fleet.requests.rejected_no_capacity` | Requests refused because no node was alive |
-//! | `fleet.streams.re_homed` | Streams whose affinity home moved after a node death |
+//! | `fleet.streams.re_homed` / `.migrated` | Streams whose affinity home moved: after a node death, or off a persistently overloaded node |
 //! | `fleet.nodes.killed` / `.restarted` | Whole-node chaos lifecycle events |
+//! | `obs.alerts.page_tripped` / `.page_cleared` | SLO fast-window (PageWorthy) burn-rate alert edges |
+//! | `obs.alerts.warn_tripped` / `.warn_cleared` | SLO slow-window (Warning) burn-rate alert edges |
+//! | `obs.snapshots.exported` | Live `HealthSnapshot` expositions taken |
+//! | `obs.postmortem.dumped` | Flight-recorder post-mortems written |
 //!
-//! Gauges follow the same convention (e.g. `serve.queue.depth`).
+//! Gauges follow the same convention (e.g. `autotune.speedup`).
 #![warn(missing_docs)]
 
 use std::fmt;
@@ -81,11 +92,13 @@ pub enum Subsystem {
     Fleet,
     /// Anything else (examples, tests, applications).
     App,
+    /// Live telemetry (ts-obs): SLO alerts, snapshots, post-mortems.
+    Obs,
 }
 
 impl Subsystem {
     /// Every subsystem, in `pid` order.
-    pub const ALL: [Subsystem; 7] = [
+    pub const ALL: [Subsystem; 8] = [
         Subsystem::Kernelgen,
         Subsystem::Gpusim,
         Subsystem::Core,
@@ -93,6 +106,7 @@ impl Subsystem {
         Subsystem::Serve,
         Subsystem::Fleet,
         Subsystem::App,
+        Subsystem::Obs,
     ];
 
     /// Chrome-trace process id (stable across runs).
@@ -105,6 +119,7 @@ impl Subsystem {
             Subsystem::Serve => 5,
             Subsystem::Fleet => 6,
             Subsystem::App => 7,
+            Subsystem::Obs => 8,
         }
     }
 
@@ -118,6 +133,7 @@ impl Subsystem {
             Subsystem::Serve => "serve",
             Subsystem::Fleet => "fleet",
             Subsystem::App => "app",
+            Subsystem::Obs => "obs",
         }
     }
 
@@ -137,6 +153,15 @@ impl fmt::Display for Subsystem {
         f.write_str(self.label())
     }
 }
+
+/// An observer invoked (synchronously, after the registry update) on
+/// every [`Tracer::counter_add`], installed with
+/// [`Tracer::set_counter_hook`]. `ts-obs` uses this to mirror fault
+/// counters (e.g. chaos injections emitted deep inside worker threads)
+/// into its flight recorder without threading a handle through every
+/// call site. Hooks must be cheap and must not re-enter the tracer's
+/// counter API.
+pub type CounterHook = std::sync::Arc<dyn Fn(&str, i64) + Send + Sync>;
 
 /// A typed span-argument value.
 #[derive(Debug, Clone, PartialEq)]

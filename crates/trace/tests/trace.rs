@@ -348,3 +348,133 @@ fn reinstalling_on_the_same_thread_keeps_one_tid() {
     let spans = tracer.spans();
     assert_eq!(spans[0].lane, spans[1].lane);
 }
+
+/// Every counter name the workspace currently emits, paired with the
+/// subsystem whose Chrome-trace process it must land on. Keep in sync
+/// with the counter-vocabulary table in `lib.rs` — a new counter whose
+/// prefix is not a known subsystem label silently falls back to `App`,
+/// which is exactly the regression this list guards against.
+const EMITTED_COUNTERS: &[(&str, Subsystem)] = &[
+    ("kernelgen.kernels.generated", Subsystem::Kernelgen),
+    ("core.prepare_cache.hit", Subsystem::Core),
+    ("core.prepare_cache.miss", Subsystem::Core),
+    ("core.schedule.artifact_rejected", Subsystem::Core),
+    ("core.stream.entered", Subsystem::Core),
+    ("core.stream.exited", Subsystem::Core),
+    ("core.stream.frames", Subsystem::Core),
+    ("core.stream.patched", Subsystem::Core),
+    ("core.stream.rebuilt", Subsystem::Core),
+    ("autotune.candidates.swept", Subsystem::Autotune),
+    ("autotune.groups.tuned", Subsystem::Autotune),
+    ("autotune.rounds.completed", Subsystem::Autotune),
+    ("autotune.speedup", Subsystem::Autotune),
+    ("serve.batches.dispatched", Subsystem::Serve),
+    ("serve.batches.executed", Subsystem::Serve),
+    ("serve.chaos.injected_panic", Subsystem::Serve),
+    ("serve.chaos.injected_stall", Subsystem::Serve),
+    ("serve.deadline.missed", Subsystem::Serve),
+    ("serve.frames.rejected", Subsystem::Serve),
+    ("serve.map_cache.disabled_degraded", Subsystem::Serve),
+    ("serve.map_cache.entered", Subsystem::Serve),
+    ("serve.map_cache.evicted", Subsystem::Serve),
+    ("serve.map_cache.exited", Subsystem::Serve),
+    ("serve.map_cache.hit", Subsystem::Serve),
+    ("serve.map_cache.invalidated", Subsystem::Serve),
+    ("serve.map_cache.miss", Subsystem::Serve),
+    ("serve.map_cache.patched", Subsystem::Serve),
+    ("serve.map_cache.rebuilt", Subsystem::Serve),
+    ("serve.requests.completed", Subsystem::Serve),
+    ("serve.requests.rejected_queue_full", Subsystem::Serve),
+    ("serve.requests.requeued", Subsystem::Serve),
+    ("serve.requests.shed_crashed", Subsystem::Serve),
+    ("serve.requests.shed_deadline", Subsystem::Serve),
+    ("serve.requests.shed_halt", Subsystem::Serve),
+    ("serve.schedule.downgraded", Subsystem::Serve),
+    ("serve.workers.panicked", Subsystem::Serve),
+    ("serve.workers.restarted", Subsystem::Serve),
+    ("serve.workers.stalled", Subsystem::Serve),
+    ("fleet.nodes.killed", Subsystem::Fleet),
+    ("fleet.nodes.restarted", Subsystem::Fleet),
+    ("fleet.requests.affinity", Subsystem::Fleet),
+    ("fleet.requests.hashed", Subsystem::Fleet),
+    ("fleet.requests.rejected_no_capacity", Subsystem::Fleet),
+    ("fleet.requests.routed", Subsystem::Fleet),
+    ("fleet.requests.spilled", Subsystem::Fleet),
+    ("fleet.streams.migrated", Subsystem::Fleet),
+    ("fleet.streams.re_homed", Subsystem::Fleet),
+    ("obs.alerts.page_cleared", Subsystem::Obs),
+    ("obs.alerts.page_tripped", Subsystem::Obs),
+    ("obs.alerts.warn_cleared", Subsystem::Obs),
+    ("obs.alerts.warn_tripped", Subsystem::Obs),
+    ("obs.postmortem.dumped", Subsystem::Obs),
+    ("obs.snapshots.exported", Subsystem::Obs),
+];
+
+#[test]
+fn every_emitted_counter_maps_to_its_own_subsystem() {
+    for &(name, expected) in EMITTED_COUNTERS {
+        let got = Subsystem::from_counter_name(name);
+        assert_eq!(
+            got, expected,
+            "counter '{name}' must land on [{expected}], got [{got}]"
+        );
+        assert_ne!(
+            expected,
+            Subsystem::App,
+            "'{name}' is a subsystem counter; only app.* may fall back to App"
+        );
+    }
+    // The fallback still works for genuinely unknown prefixes.
+    assert_eq!(
+        Subsystem::from_counter_name("app.demo.count"),
+        Subsystem::App
+    );
+    assert_eq!(Subsystem::from_counter_name("nonsense.x.y"), Subsystem::App);
+    assert_eq!(Subsystem::from_counter_name(""), Subsystem::App);
+}
+
+#[test]
+fn subsystem_pids_are_unique_and_match_all_order() {
+    let mut pids: Vec<u64> = Subsystem::ALL.iter().map(|s| s.pid()).collect();
+    assert!(
+        pids.windows(2).all(|w| w[0] < w[1]),
+        "ALL must be pid-sorted"
+    );
+    pids.dedup();
+    assert_eq!(pids.len(), Subsystem::ALL.len());
+    // Labels round-trip through from_counter_name.
+    for s in Subsystem::ALL {
+        assert_eq!(
+            Subsystem::from_counter_name(&format!("{}.a.b", s.label())),
+            s
+        );
+    }
+}
+
+#[test]
+fn counter_hook_observes_every_add_without_reentry() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    let tracer = Tracer::new();
+    let seen = Arc::new(AtomicI64::new(0));
+    let seen_in_hook = Arc::clone(&seen);
+    tracer.set_counter_hook(Some(Arc::new(move |name: &str, delta: i64| {
+        if name.starts_with("serve.chaos.") {
+            seen_in_hook.fetch_add(delta, Ordering::Relaxed);
+        }
+    })));
+    tracer.install();
+    ts_trace::counter_add("serve.chaos.injected_panic", 2);
+    ts_trace::counter_add("serve.requests.completed", 1); // filtered out
+    ts_trace::counter_add("serve.chaos.injected_stall", 3);
+    ts_trace::uninstall();
+    assert_eq!(seen.load(Ordering::Relaxed), 5);
+    // The registry still saw everything.
+    assert_eq!(tracer.counter("serve.chaos.injected_panic"), 2);
+    assert_eq!(tracer.counter("serve.requests.completed"), 1);
+    // Uninstalling the hook stops observation.
+    tracer.set_counter_hook(None);
+    tracer.counter_add("serve.chaos.injected_panic", 10);
+    assert_eq!(seen.load(Ordering::Relaxed), 5);
+}

@@ -24,6 +24,7 @@ pub use ts_gpusim as gpusim;
 pub use ts_graph as graph;
 pub use ts_kernelgen as kernelgen;
 pub use ts_kernelmap as kernelmap;
+pub use ts_obs as obs;
 pub use ts_serve as serve;
 pub use ts_tensor as tensor;
 pub use ts_trace as trace;
