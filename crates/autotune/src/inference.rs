@@ -220,6 +220,33 @@ impl TuneResult {
     }
 }
 
+/// A warm start for [`tune_inference_warm`]: begin the greedy search
+/// from `seed` (typically the nearest cached schedule, via `ts-cache`)
+/// and re-tune only the groups in `retune` — the groups whose map
+/// statistics drifted from the workload the seed was tuned on. Groups
+/// outside `retune` keep their seeded configuration untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Starting per-group configuration table (the transferred schedule).
+    pub seed: GroupConfigs,
+    /// Indices of the groups to re-tune; duplicates and out-of-range
+    /// indices are ignored. An empty list re-tunes nothing and the
+    /// result simply reprices the seeded schedule.
+    pub retune: Vec<usize>,
+}
+
+impl WarmStart {
+    /// A warm start that re-tunes every group of a session with
+    /// `n_groups` groups — equivalent to a cold tune that merely begins
+    /// from `seed` instead of the uniform default.
+    pub fn full(seed: GroupConfigs, n_groups: usize) -> Self {
+        Self {
+            seed,
+            retune: (0..n_groups).collect(),
+        }
+    }
+}
+
 fn mean_latency(sessions: &[Session], cfgs: &GroupConfigs, ctx: &ExecCtx) -> f64 {
     sessions
         .iter()
@@ -252,6 +279,43 @@ fn mean_latency(sessions: &[Session], cfgs: &GroupConfigs, ctx: &ExecCtx) -> f64
 ///
 /// Panics if `sessions` is empty or the search space is empty.
 pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) -> TuneResult {
+    tune_impl(sessions, ctx, opts, None)
+}
+
+/// [`tune_inference`] warm-started from a transferred schedule: the
+/// greedy search begins from `warm.seed` instead of the uniform
+/// default and sweeps only the groups listed in `warm.retune`; every
+/// other group keeps its seeded configuration.
+///
+/// This is the cross-workload transfer path of the schedule cache
+/// (`ts-cache`): a new workload whose map statistics mostly match a
+/// previously tuned one only pays `1 + |retune| x |space|` evaluations
+/// instead of `1 + n_groups x |space|`. With
+/// [`WarmStart::full`]`(GroupConfigs::uniform(opts.default), n)` the
+/// result is bit-identical to a cold [`tune_inference`].
+///
+/// `default_latency_us` reports the latency of the *seeded* schedule
+/// (the warm run's baseline), so [`TuneResult::speedup`] measures the
+/// improvement re-tuning bought over the transferred schedule.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the search space is empty.
+pub fn tune_inference_warm(
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    warm: &WarmStart,
+) -> TuneResult {
+    tune_impl(sessions, ctx, opts, Some(warm))
+}
+
+fn tune_impl(
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    warm: Option<&WarmStart>,
+) -> TuneResult {
     assert!(
         !sessions.is_empty(),
         "tuner needs at least one sample scene"
@@ -266,6 +330,7 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         sessions = sessions.len(),
         space = opts.space.len(),
         incremental = opts.mode == EvalMode::Incremental,
+        warm = warm.is_some(),
     );
     // Candidate pricing floods the simulated-kernel lanes; keep the
     // trace to the tuner's own decision structure.
@@ -276,7 +341,22 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
     let incremental = opts.mode == EvalMode::Incremental;
     let (hits0, misses0) = cache_stats(sessions);
 
-    let mut configs = GroupConfigs::uniform(opts.default);
+    // Which groups the greedy loop sweeps, in group order. A cold tune
+    // sweeps all of them; a warm start only the drifted ones.
+    let sweep_groups: Vec<usize> = match warm {
+        None => (0..n_groups).collect(),
+        Some(w) => {
+            let mut gs: Vec<usize> = w.retune.iter().copied().filter(|&g| g < n_groups).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            gs
+        }
+    };
+
+    let mut configs = match warm {
+        None => GroupConfigs::uniform(opts.default),
+        Some(w) => w.seed.clone(),
+    };
     let default_latency_us = mean_latency(sessions, &configs, ctx);
     let mut evaluations = 1;
 
@@ -295,7 +375,7 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
             .iter()
             .map(|s| {
                 (0..s.groups().len())
-                    .map(|g| s.group_inference_us(g, &opts.default, ctx))
+                    .map(|g| s.group_inference_us(g, &configs.for_group(g), ctx))
                     .collect()
             })
             .collect()
@@ -303,8 +383,8 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
         Vec::new()
     };
 
-    let mut group_wall_us = Vec::with_capacity(n_groups);
-    for g in 0..n_groups {
+    let mut group_wall_us = vec![0.0f64; n_groups];
+    for &g in &sweep_groups {
         let mut gspan = ts_trace::span!(ts_trace::Subsystem::Autotune, "group", g = g);
         let group_start = Instant::now();
         let cand_us = if incremental {
@@ -350,7 +430,7 @@ pub fn tune_inference(sessions: &[Session], ctx: &ExecCtx, opts: &TunerOptions) 
                 }
             }
         }
-        group_wall_us.push(group_start.elapsed().as_secs_f64() * 1e6);
+        group_wall_us[g] = group_start.elapsed().as_secs_f64() * 1e6;
         if gspan.active() {
             gspan.arg("candidates", opts.space.len());
             gspan.arg("best_us", best.1);

@@ -33,8 +33,12 @@
 //! assert!(result.tuned_latency_us <= result.default_latency_us);
 //! ```
 
+#![warn(missing_docs)]
+
 mod inference;
 mod training;
 
-pub use inference::{tune_inference, EvalMode, TuneResult, TunerOptions, TunerStats};
+pub use inference::{
+    tune_inference, tune_inference_warm, EvalMode, TuneResult, TunerOptions, TunerStats, WarmStart,
+};
 pub use training::{default_scheme_for, tune_training, BindingScheme, TrainTuneResult};

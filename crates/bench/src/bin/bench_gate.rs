@@ -40,7 +40,15 @@ const CHECKS: &[Check] = &[
     Check {
         baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tuner.json"),
         fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_tuner.json"),
-        metrics: &["tuned_latency_us", "default_latency_us", "evaluations"],
+        metrics: &[
+            "tuned_latency_us",
+            "default_latency_us",
+            "evaluations",
+            "cold_evaluations_adjacent",
+            "warm_evaluations_adjacent",
+            "warm_retuned_groups",
+            "warm_regret",
+        ],
     },
     Check {
         baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"),

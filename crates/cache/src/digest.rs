@@ -1,0 +1,375 @@
+//! Canonical content digests for tuned schedules.
+//!
+//! A tuned schedule is valid for exactly the conditions it was tuned
+//! under: the network's layer graph (which determines the groups and
+//! their shapes), the device model, the numeric precision, and the
+//! input distribution the sample scenes exposed (summarised by each
+//! group's map statistics). [`ScheduleKey`] captures all four and
+//! collapses them into two stable digests:
+//!
+//! * [`ScheduleKey::structural_digest`] — layer graph + device +
+//!   precision + group *shapes*. Two keys that agree here can exchange
+//!   schedules at all: the group tables line up index for index.
+//! * [`ScheduleKey::digest`] — the structural digest plus each group's
+//!   *quantized* map statistics (quarter-octave log buckets of the
+//!   point, pair and MAC censuses). Two keys that agree here describe
+//!   workloads so close that the tuned schedule transfers as-is.
+//!
+//! Quantization is what makes content addressing useful: raw point
+//! counts differ between any two LiDAR sweeps, but the tuner's choice
+//! only depends on coarse workload shape, so keys bucket each statistic
+//! at ~19% granularity (2^0.25 per bucket) before hashing. Workloads in
+//! the same buckets share a digest; workloads in nearby buckets are
+//! found by nearest-neighbor probing over [`census_distance`].
+
+use serde::{Deserialize, Serialize};
+
+use ts_core::{GroupSignature, Network, Op, Session};
+use ts_dataflow::ExecCtx;
+use ts_tensor::Precision;
+
+/// Incremental FNV-1a 64-bit hasher. Not cryptographic — the digest
+/// guards against accidental mismatches, not adversaries — but stable
+/// across platforms, runs and rustc versions, which `DefaultHasher`
+/// does not promise.
+#[derive(Debug, Clone)]
+pub struct Digest64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Digest64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `i64` in little-endian byte order.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a string, length-prefixed so `("ab", "c")` and
+    /// `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a digest as 16 lower-case hex characters (the on-disk entry
+/// file stem).
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Canonical digest of a network's *topology*: operator kinds, channel
+/// widths, kernel sizes, strides and wiring — everything that shapes
+/// the layer groups — but **not** layer or network names. Renaming a
+/// network does not invalidate its tuned schedules; restructuring it
+/// does.
+pub fn network_digest(net: &Network) -> u64 {
+    let mut d = Digest64::new();
+    d.write_u64(net.in_channels() as u64);
+    d.write_u64(net.nodes().len() as u64);
+    for (i, node) in net.nodes().iter().enumerate() {
+        d.write_u64(node.input as u64);
+        d.write_i64(net.stride(i) as i64);
+        d.write_u64(net.out_channels(i) as u64);
+        match node.op {
+            Op::Input => d.write_u64(0),
+            Op::Conv(spec) => {
+                d.write_u64(1);
+                d.write_u64(spec.c_in as u64);
+                d.write_u64(spec.c_out as u64);
+                d.write_u64(spec.kernel_size as u64);
+                d.write_i64(spec.stride as i64);
+                d.write_u64(spec.transposed as u64);
+            }
+            Op::BatchNorm => d.write_u64(2),
+            Op::ReLU => d.write_u64(3),
+            Op::Add { other } => {
+                d.write_u64(4);
+                d.write_u64(other as u64);
+            }
+            Op::Concat { other } => {
+                d.write_u64(5);
+                d.write_u64(other as u64);
+            }
+        }
+    }
+    d.finish()
+}
+
+/// Quarter-octave log bucket of a census statistic: values within
+/// ~±9% of a bucket center share a bucket, so scene-to-scene jitter
+/// does not bust the cache while a real distribution shift does.
+/// Zero maps to a dedicated bucket below every positive value.
+pub fn quantize_stat(x: u64) -> i64 {
+    if x == 0 {
+        return -1;
+    }
+    (4.0 * (x as f64).log2()).round() as i64
+}
+
+/// Stable label for a precision inside digests.
+fn precision_tag(p: Precision) -> u64 {
+    match p {
+        Precision::Fp16 => 0,
+        Precision::Tf32 => 1,
+        Precision::Fp32 => 2,
+    }
+}
+
+/// The full content address of a tuned schedule: what it was tuned
+/// *for* (layer graph, device, precision) and what it was tuned *on*
+/// (per-group map statistics of the sample scenes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleKey {
+    /// Canonical topology digest of the network ([`network_digest`]).
+    pub network_digest: u64,
+    /// Device model name (e.g. `"RTX 3090"`).
+    pub device: String,
+    /// Numeric precision the schedule executes at.
+    pub precision: Precision,
+    /// Per-group shapes and raw (unquantized) map statistics, in group
+    /// order. Raw values are kept so nearest-neighbor probes can
+    /// measure real distances; digests quantize them first.
+    pub groups: Vec<GroupSignature>,
+}
+
+impl ScheduleKey {
+    /// Builds the key for `session` (compiled from the sample scene the
+    /// schedule is tuned on) under `ctx`'s device and precision.
+    pub fn of(session: &Session, ctx: &ExecCtx) -> Self {
+        Self {
+            network_digest: network_digest(session.network()),
+            device: ctx.device().name.clone(),
+            precision: ctx.precision,
+            groups: session.group_signatures(),
+        }
+    }
+
+    fn write_structural(&self, d: &mut Digest64) {
+        d.write_u64(self.network_digest);
+        d.write_str(&self.device);
+        d.write_u64(precision_tag(self.precision));
+        d.write_u64(self.groups.len() as u64);
+        for g in &self.groups {
+            d.write_i64(g.key.lo_stride as i64);
+            d.write_i64(g.key.hi_stride as i64);
+            d.write_u64(g.key.kernel_size as u64);
+            d.write_u64(g.layer_count as u64);
+        }
+    }
+
+    /// Digest of the transferable identity: layer graph, device,
+    /// precision and group shapes. Keys with equal structural digests
+    /// have group tables that line up index for index, so one key's
+    /// schedule can seed another's tuner.
+    pub fn structural_digest(&self) -> String {
+        let mut d = Digest64::new();
+        self.write_structural(&mut d);
+        hex64(d.finish())
+    }
+
+    /// Full content digest: the structural digest plus every group's
+    /// quantized map statistics. This is the store's primary key — an
+    /// exact match means the cached schedule applies as-is.
+    pub fn digest(&self) -> String {
+        let mut d = Digest64::new();
+        self.write_structural(&mut d);
+        for g in &self.groups {
+            d.write_i64(quantize_stat(g.n_in as u64));
+            d.write_i64(quantize_stat(g.n_out as u64));
+            d.write_i64(quantize_stat(g.total_pairs));
+            d.write_i64(quantize_stat(g.effective_macs));
+        }
+        hex64(d.finish())
+    }
+}
+
+/// Log-space distance between one group's statistics under two
+/// workloads: the L2 norm of the per-statistic log2 ratios. 0 for
+/// identical statistics; ~1.0 when the MAC census doubled.
+fn group_distance(a: &GroupSignature, b: &GroupSignature) -> f64 {
+    fn lg(x: u64) -> f64 {
+        (x.max(1) as f64).log2()
+    }
+    let dn = lg(a.n_out as u64) - lg(b.n_out as u64);
+    let dp = lg(a.total_pairs) - lg(b.total_pairs);
+    let dm = lg(a.effective_macs) - lg(b.effective_macs);
+    (dn * dn + dp * dp + dm * dm).sqrt()
+}
+
+/// Nearest-neighbor metric between two structurally matching keys: the
+/// L2 norm over all per-group log-space distances. Returns infinity
+/// when the keys are not structurally compatible (different layer
+/// graph, device, precision or group shapes) — such keys must never
+/// exchange schedules.
+pub fn census_distance(a: &ScheduleKey, b: &ScheduleKey) -> f64 {
+    if a.structural_digest() != b.structural_digest() {
+        return f64::INFINITY;
+    }
+    a.groups
+        .iter()
+        .zip(&b.groups)
+        .map(|(ga, gb)| {
+            let d = group_distance(ga, gb);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Relative drift of one census statistic (symmetric in neither
+/// argument: `cached` is the baseline).
+fn rel_drift(new: u64, cached: u64) -> f64 {
+    let base = cached.max(1) as f64;
+    ((new as f64) - (cached as f64)).abs() / base
+}
+
+/// Groups of `new` whose map statistics drifted beyond
+/// `max_rel_drift` relative to `cached` — the groups a warm-started
+/// tuner must re-tune because the cached dataflow choice may no longer
+/// price them faithfully. Both keys must be structurally compatible;
+/// group indices refer to the shared group order.
+pub fn drifted_groups(new: &ScheduleKey, cached: &ScheduleKey, max_rel_drift: f64) -> Vec<usize> {
+    new.groups
+        .iter()
+        .zip(&cached.groups)
+        .enumerate()
+        .filter(|(_, (a, b))| {
+            rel_drift(a.n_out as u64, b.n_out as u64) > max_rel_drift
+                || rel_drift(a.total_pairs, b.total_pairs) > max_rel_drift
+                || rel_drift(a.effective_macs, b.effective_macs) > max_rel_drift
+        })
+        .map(|(g, _)| g)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_core::NetworkBuilder;
+    use ts_gpusim::Device;
+    use ts_kernelmap::Coord;
+
+    fn net(name: &str) -> Network {
+        let mut b = NetworkBuilder::new(name, 4);
+        let c = b.conv_block("c", NetworkBuilder::INPUT, 8, 3, 1);
+        let d = b.conv_block("d", c, 16, 2, 2);
+        let _ = b.conv("head", d, 4, 3, 1);
+        b.build()
+    }
+
+    fn coords(n: i32) -> Vec<Coord> {
+        (0..n)
+            .flat_map(|x| (0..n).map(move |y| Coord::new(0, x, y, (x + y) % 4)))
+            .collect()
+    }
+
+    fn key(name: &str, n: i32, device: Device, p: Precision) -> ScheduleKey {
+        let network = net(name);
+        let s = Session::new(&network, &coords(n));
+        ScheduleKey::of(&s, &ExecCtx::simulate(device, p))
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_name_independent() {
+        let a = key("alpha", 10, Device::rtx3090(), Precision::Fp16);
+        let b = key("beta", 10, Device::rtx3090(), Precision::Fp16);
+        assert_eq!(a.digest(), b.digest(), "names must not affect digests");
+        assert_eq!(a.digest(), a.digest());
+        assert_eq!(census_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn device_and_precision_separate_digests() {
+        let a = key("n", 10, Device::rtx3090(), Precision::Fp16);
+        let b = key("n", 10, Device::a100(), Precision::Fp16);
+        let c = key("n", 10, Device::rtx3090(), Precision::Fp32);
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+        assert_eq!(census_distance(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn topology_change_separates_structural_digests() {
+        let a = key("n", 10, Device::rtx3090(), Precision::Fp16);
+        let mut b = NetworkBuilder::new("n", 4);
+        let c = b.conv_block("c", NetworkBuilder::INPUT, 8, 3, 1);
+        // Extra depth: different topology, even at the same group shapes.
+        let c2 = b.conv_block("c2", c, 8, 3, 1);
+        let d = b.conv_block("d", c2, 16, 2, 2);
+        let _ = b.conv("head", d, 4, 3, 1);
+        let s = Session::new(&b.build(), &coords(10));
+        let kb = ScheduleKey::of(&s, &ExecCtx::simulate(Device::rtx3090(), Precision::Fp16));
+        assert_ne!(a.structural_digest(), kb.structural_digest());
+    }
+
+    #[test]
+    fn nearby_workloads_share_structure_not_digest() {
+        let a = key("n", 10, Device::rtx3090(), Precision::Fp16);
+        let b = key("n", 16, Device::rtx3090(), Precision::Fp16);
+        assert_eq!(a.structural_digest(), b.structural_digest());
+        assert_ne!(a.digest(), b.digest(), "2.56x the points must re-bucket");
+        let d = census_distance(&a, &b);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn drift_detection_flags_only_shifted_groups() {
+        let a = key("n", 10, Device::rtx3090(), Precision::Fp16);
+        let mut b = a.clone();
+        // Inflate one group's census by 2x.
+        b.groups[1].effective_macs *= 2;
+        b.groups[1].total_pairs *= 2;
+        assert_eq!(drifted_groups(&b, &a, 0.25), vec![1]);
+        assert_eq!(drifted_groups(&a, &a, 0.25), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn quantize_is_monotone_and_jitter_tolerant() {
+        assert_eq!(quantize_stat(0), -1);
+        assert!(quantize_stat(1) < quantize_stat(2));
+        assert!(quantize_stat(1000) <= quantize_stat(1040), "4% jitter");
+        assert!(quantize_stat(1000) < quantize_stat(2000));
+    }
+
+    #[test]
+    fn key_round_trips_through_json_with_stable_digest() {
+        let a = key("n", 12, Device::jetson_orin(), Precision::Tf32);
+        let json = serde_json::to_string(&a).expect("serializes");
+        let back: ScheduleKey = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.digest(), a.digest());
+        assert_eq!(back.structural_digest(), a.structural_digest());
+    }
+}

@@ -1,0 +1,290 @@
+//! **Content-addressed schedule cache** with warm-start transfer
+//! tuning.
+//!
+//! The Sparse Autotuner (`ts-autotune`) makes tuned schedules cheap —
+//! but not free: a cold tune prices `1 + groups × |space|` end-to-end
+//! simulations. Across a fleet, most of those tunes are re-derivations:
+//! the same network on the same device tier, fed workloads whose map
+//! statistics differ only by scene-to-scene jitter. This crate makes
+//! that redundancy explicit by keying every tuned schedule by its
+//! *content* — a canonical digest of the layer graph, device model,
+//! precision and quantized per-group map statistics — and serving
+//! three tiers of reuse:
+//!
+//! * **Hit** — same digest: load the cached schedule, pay one
+//!   repricing simulation, tune nothing.
+//! * **Warm start** — same structure (graph/device/precision/group
+//!   shapes), nearby statistics: seed the tuner with the cached
+//!   schedule and re-tune only the groups that drifted past the
+//!   [`DriftPolicy`]. Cost: `1 + |drifted| × |space|`.
+//! * **Miss** — nothing compatible: cold-tune (or, on the serving boot
+//!   path, fall back to the safe dataflow and stay up).
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_autotune::TunerOptions;
+//! use ts_cache::{tune_cached, DriftPolicy, ScheduleCache, TuneOrigin};
+//! use ts_core::Session;
+//! use ts_dataflow::ExecCtx;
+//! use ts_gpusim::Device;
+//! use ts_tensor::Precision;
+//! use ts_workloads::Workload;
+//!
+//! let w = Workload::NuScenesMinkUNet1f;
+//! let net = w.network();
+//! let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+//! let opts = TunerOptions::default();
+//! let policy = DriftPolicy::default();
+//! let mut cache = ScheduleCache::in_memory();
+//!
+//! // First encounter: cold tune, schedule written to the cache.
+//! let scene = w.scene_scaled(1, 0.05);
+//! let sessions = [Session::new(&net, scene.coords())];
+//! let cold = tune_cached(&mut cache, &sessions, &ctx, &opts, &policy).unwrap();
+//! assert_eq!(cold.origin, TuneOrigin::Cold);
+//!
+//! // Same workload again: exact hit, one repricing evaluation.
+//! let again = tune_cached(&mut cache, &sessions, &ctx, &opts, &policy).unwrap();
+//! assert_eq!(again.origin, TuneOrigin::Hit);
+//! assert_eq!(again.result.evaluations, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod digest;
+mod store;
+
+pub use digest::{
+    census_distance, drifted_groups, hex64, network_digest, quantize_stat, Digest64, ScheduleKey,
+};
+pub use store::{CacheCounters, CacheEntry, DriftPolicy, Lookup, ScheduleCache};
+
+use std::io;
+
+use ts_autotune::{tune_inference, tune_inference_warm, TuneResult, TunerOptions, WarmStart};
+use ts_core::{Engine, GroupConfigs, Network, NetworkWeights, Session};
+use ts_dataflow::{DataflowConfig, ExecCtx};
+use ts_kernelmap::Coord;
+
+/// How a [`tune_cached`] run obtained its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TuneOrigin {
+    /// Exact digest match: cached schedule served as-is (one repricing
+    /// evaluation, zero groups swept).
+    Hit,
+    /// Nearest-neighbor transfer: cached schedule seeded the tuner and
+    /// only drifted groups re-tuned.
+    WarmStart,
+    /// No compatible entry: full cold tune.
+    Cold,
+}
+
+/// A [`tune_cached`] outcome: the tuner's result plus the cache's
+/// account of how it was produced.
+#[derive(Debug, Clone)]
+pub struct CachedTune {
+    /// The (possibly repriced) tuning result.
+    pub result: TuneResult,
+    /// How the schedule was obtained.
+    pub origin: TuneOrigin,
+    /// Content digest of the schedule's cache entry (the hit entry, or
+    /// the entry written back after tuning).
+    pub digest: String,
+    /// Groups that were actually swept (empty for [`TuneOrigin::Hit`];
+    /// all groups for [`TuneOrigin::Cold`]).
+    pub retuned: Vec<usize>,
+    /// Census distance to the seed entry (0 for hits and exact-digest
+    /// repairs; 0 for cold tunes, which have no seed).
+    pub distance: f64,
+}
+
+/// Tunes `sessions` through the cache: exact hits reprice without
+/// sweeping, structural matches warm-start the tuner over drifted
+/// groups only, and misses cold-tune. Warm and cold results are
+/// written back so the next structurally compatible workload pays
+/// less. All sessions must share one compiled network (the usual
+/// multi-sample-scene tuning setup); the key is taken from the first.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the write-back to a
+/// directory-backed store fails (the in-memory insert still happened
+/// and the returned schedule is valid).
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the search space is empty (same
+/// contract as [`tune_inference`]).
+pub fn tune_cached(
+    cache: &mut ScheduleCache,
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    policy: &DriftPolicy,
+) -> io::Result<CachedTune> {
+    assert!(
+        !sessions.is_empty(),
+        "tune_cached needs at least one sample scene"
+    );
+    let key = ScheduleKey::of(&sessions[0], ctx);
+    let n_groups = key.groups.len();
+    match cache.lookup(&key, policy) {
+        Lookup::Hit {
+            digest, configs, ..
+        } => {
+            // Reprice the cached schedule on the actual sessions (one
+            // evaluation) rather than trusting the recorded latency,
+            // which was measured on the *original* sample scenes.
+            let warm = WarmStart {
+                seed: configs,
+                retune: Vec::new(),
+            };
+            let result = tune_inference_warm(sessions, ctx, opts, &warm);
+            Ok(CachedTune {
+                result,
+                origin: TuneOrigin::Hit,
+                digest,
+                retuned: Vec::new(),
+                distance: 0.0,
+            })
+        }
+        Lookup::Warm {
+            seed,
+            drifted,
+            distance,
+            ..
+        } => {
+            let warm = WarmStart {
+                seed,
+                retune: drifted.clone(),
+            };
+            let result = tune_inference_warm(sessions, ctx, opts, &warm);
+            let digest = write_back(cache, key, &result)?;
+            Ok(CachedTune {
+                result,
+                origin: TuneOrigin::WarmStart,
+                digest,
+                retuned: drifted,
+                distance,
+            })
+        }
+        Lookup::Miss => {
+            let result = tune_inference(sessions, ctx, opts);
+            let digest = write_back(cache, key, &result)?;
+            Ok(CachedTune {
+                result,
+                origin: TuneOrigin::Cold,
+                digest,
+                retuned: (0..n_groups).collect(),
+                distance: 0.0,
+            })
+        }
+    }
+}
+
+fn write_back(
+    cache: &mut ScheduleCache,
+    key: ScheduleKey,
+    result: &TuneResult,
+) -> io::Result<String> {
+    let configs = result
+        .configs
+        .clone()
+        .expect("tuner results carry their schedule");
+    cache.insert(CacheEntry {
+        key,
+        configs,
+        tuned_latency_us: result.tuned_latency_us,
+        default_latency_us: result.default_latency_us,
+    })
+}
+
+/// Where a [`warm_boot`] engine's schedule came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootOrigin {
+    /// Exact digest hit: the cached tuned schedule, as-is.
+    Cached,
+    /// Structural match: a nearby workload's tuned schedule,
+    /// transferred without re-tuning (some groups may be marked
+    /// drifted — re-tune them offline via [`tune_cached`]).
+    Transferred,
+    /// No compatible entry: the safe fallback dataflow everywhere.
+    /// The node boots and serves; it is just untuned.
+    Fallback,
+}
+
+/// A [`warm_boot`] report: what the engine is running and how stale it
+/// might be.
+#[derive(Debug, Clone)]
+pub struct WarmBoot {
+    /// Schedule provenance.
+    pub origin: BootOrigin,
+    /// Digest of the cache entry used (`None` on fallback boots).
+    pub digest: Option<String>,
+    /// Groups whose statistics drifted past policy relative to the
+    /// entry (they run a transferred config that may be stale).
+    pub drifted: Vec<usize>,
+    /// Census distance to the entry used (0.0 on hits and fallbacks).
+    pub distance: f64,
+}
+
+/// Boots a serving engine from the cache: probes with `sample_coords`
+/// (a representative scene for the node's workload), loads the cached
+/// schedule on a hit, transfers the nearest structurally compatible
+/// schedule on a near-miss, and falls back to the safe dataflow on a
+/// miss. Never fails and never tunes — this is the node-boot path,
+/// where availability beats optimality; re-tune drifted groups
+/// offline with [`tune_cached`] and restart.
+pub fn warm_boot(
+    cache: &mut ScheduleCache,
+    network: Network,
+    weights: NetworkWeights,
+    ctx: ExecCtx,
+    sample_coords: &[Coord],
+    policy: &DriftPolicy,
+) -> (Engine, WarmBoot) {
+    let session = Session::new(&network, sample_coords);
+    let key = ScheduleKey::of(&session, &ctx);
+    match cache.lookup(&key, policy) {
+        Lookup::Hit {
+            digest, configs, ..
+        } => (
+            Engine::new(network, weights, configs, ctx),
+            WarmBoot {
+                origin: BootOrigin::Cached,
+                digest: Some(digest),
+                drifted: Vec::new(),
+                distance: 0.0,
+            },
+        ),
+        Lookup::Warm {
+            digest,
+            seed,
+            drifted,
+            distance,
+        } => (
+            Engine::new(network, weights, seed, ctx),
+            WarmBoot {
+                origin: BootOrigin::Transferred,
+                digest: Some(digest),
+                drifted,
+                distance,
+            },
+        ),
+        Lookup::Miss => (
+            Engine::new(
+                network,
+                weights,
+                GroupConfigs::uniform(DataflowConfig::safe_fallback()),
+                ctx,
+            ),
+            WarmBoot {
+                origin: BootOrigin::Fallback,
+                digest: None,
+                drifted: Vec::new(),
+                distance: 0.0,
+            },
+        ),
+    }
+}

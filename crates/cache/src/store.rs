@@ -1,0 +1,390 @@
+//! The content-addressed schedule store and its lookup policy.
+//!
+//! Entries are keyed by [`ScheduleKey::digest`]. A store can live
+//! purely in memory (tests, single-process tuning) or be backed by a
+//! directory of one-JSON-file-per-entry (`<digest>.json`), written
+//! through on every insert so a fleet of nodes can share a store over
+//! any shared filesystem or artifact bucket.
+//!
+//! [`ScheduleCache::lookup`] implements the three-tier policy:
+//!
+//! 1. **Hit** — an entry with the exact full digest exists; its
+//!    schedule applies as-is (after sanitization).
+//! 2. **Warm** — no exact entry, but entries share the structural
+//!    digest (same layer graph, device, precision, group shapes). The
+//!    nearest by [`census_distance`] seeds the tuner; only groups whose
+//!    statistics drifted beyond [`DriftPolicy::max_rel_drift`] re-tune.
+//! 3. **Miss** — nothing structurally compatible; cold-tune (or boot on
+//!    the safe fallback).
+//!
+//! Cached configs are never trusted blindly: every lookup runs
+//! [`sanitize_configs`] over the stored table, and any slot that fails
+//! validation (a poisoned or stale entry) is downgraded to the safe
+//! fallback *and* added to the re-tune set, converting a would-be Hit
+//! into a Warm so the tuner repairs the damaged slots.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use ts_core::{sanitize_configs, GroupConfigs, ScheduleArtifact};
+
+use crate::digest::{census_distance, drifted_groups, ScheduleKey};
+
+/// When is a cached schedule "close enough" to transfer, and which
+/// groups must re-tune anyway?
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftPolicy {
+    /// Maximum relative change of any per-group map statistic
+    /// (`n_out`, pair count, MAC census) before that group is
+    /// considered drifted and re-tuned. The default 0.25 sits between
+    /// scene-to-scene jitter on a fixed sensor (≲10 %) and a real
+    /// distribution shift (2× and beyond); see DESIGN.md §15.
+    pub max_rel_drift: f64,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self {
+            max_rel_drift: 0.25,
+        }
+    }
+}
+
+/// One stored schedule: its content address plus the tuned table and
+/// the latencies recorded when it was tuned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The full content key the schedule was tuned under.
+    pub key: ScheduleKey,
+    /// The tuned per-group dataflow table.
+    pub configs: GroupConfigs,
+    /// Tuned end-to-end latency at insert time (microseconds).
+    pub tuned_latency_us: f64,
+    /// Untuned (uniform-default) latency at insert time (microseconds).
+    pub default_latency_us: f64,
+}
+
+impl CacheEntry {
+    /// The entry's primary key ([`ScheduleKey::digest`]).
+    pub fn digest(&self) -> String {
+        self.key.digest()
+    }
+
+    /// Converts the entry into a loadable [`ScheduleArtifact`] for
+    /// `network_name`. The caller supplies the name because the cache
+    /// is content-addressed — topology-equal networks hit the same
+    /// entry whatever they are called, but `Engine::load_schedule`
+    /// validates artifacts by name.
+    pub fn to_artifact(&self, network_name: &str) -> ScheduleArtifact {
+        ScheduleArtifact::new(
+            network_name,
+            &self.key.device,
+            self.key.precision,
+            self.configs.clone(),
+        )
+        .with_tuned_latency(self.tuned_latency_us)
+    }
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// Exact content match: the cached schedule applies as-is.
+    Hit {
+        /// Digest of the matching entry.
+        digest: String,
+        /// Sanitized tuned table, ready to load.
+        configs: GroupConfigs,
+        /// Tuned latency recorded when the entry was inserted.
+        tuned_latency_us: f64,
+    },
+    /// Structural match within drift range: seed the tuner and re-tune
+    /// only the drifted (or sanitizer-downgraded) groups.
+    Warm {
+        /// Digest of the nearest entry used as the seed.
+        digest: String,
+        /// Sanitized seed table for [`tune_inference_warm`].
+        ///
+        /// [`tune_inference_warm`]: ts_autotune::tune_inference_warm
+        seed: GroupConfigs,
+        /// Groups that must re-tune (drifted past policy, or repaired
+        /// by the sanitizer), sorted ascending.
+        drifted: Vec<usize>,
+        /// Census distance between the probe key and the seed entry.
+        distance: f64,
+    },
+    /// Nothing structurally compatible in the store.
+    Miss,
+}
+
+/// Lifetime event counts for one store, mirrored into `ts-trace`
+/// counters under the `cache.` prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Exact-digest lookups served as-is.
+    pub hits: u64,
+    /// Lookups with no structurally compatible entry.
+    pub misses: u64,
+    /// Lookups served by nearest-neighbor warm transfer.
+    pub warm_starts: u64,
+    /// Total groups scheduled for re-tuning across all warm starts.
+    pub retuned_groups: u64,
+    /// Entries inserted (including overwrites of an existing digest).
+    pub inserted: u64,
+    /// Entries explicitly evicted.
+    pub evicted: u64,
+    /// On-disk entries rejected at open time (unparsable or
+    /// digest-mismatched files).
+    pub rejected: u64,
+}
+
+/// A content-addressed store of tuned schedules.
+#[derive(Debug)]
+pub struct ScheduleCache {
+    dir: Option<PathBuf>,
+    entries: BTreeMap<String, CacheEntry>,
+    counters: CacheCounters,
+    load_issues: Vec<String>,
+}
+
+impl ScheduleCache {
+    /// An empty in-memory store (no persistence).
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            entries: BTreeMap::new(),
+            counters: CacheCounters::default(),
+            load_issues: Vec::new(),
+        }
+    }
+
+    /// Opens (creating if needed) a directory-backed store and loads
+    /// every `*.json` entry in it. Loading is lenient: files that fail
+    /// to parse, or whose recomputed digest disagrees with their file
+    /// stem (a poisoned or hand-edited entry), are skipped and recorded
+    /// in [`ScheduleCache::load_issues`] — one bad file never takes
+    /// down a node boot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or read.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut cache = Self {
+            dir: Some(dir.clone()),
+            entries: BTreeMap::new(),
+            counters: CacheCounters::default(),
+            load_issues: Vec::new(),
+        };
+        let mut paths: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+            .collect();
+        paths.sort();
+        for path in paths {
+            match fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| serde_json::from_str::<CacheEntry>(&s).map_err(|e| e.to_string()))
+            {
+                Ok(entry) => {
+                    let digest = entry.digest();
+                    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                    if stem != digest {
+                        cache.reject(format!(
+                            "{}: content digest {digest} does not match file name",
+                            path.display()
+                        ));
+                        continue;
+                    }
+                    cache.entries.insert(digest, entry);
+                }
+                Err(e) => cache.reject(format!("{}: {e}", path.display())),
+            }
+        }
+        Ok(cache)
+    }
+
+    fn reject(&mut self, issue: String) {
+        self.counters.rejected += 1;
+        ts_trace::counter_add("cache.rejected", 1);
+        self.load_issues.push(issue);
+    }
+
+    /// Problems encountered while loading the backing directory
+    /// (skipped files, digest mismatches). Empty for healthy stores.
+    pub fn load_issues(&self) -> &[String] {
+        &self.load_issues
+    }
+
+    /// Lifetime event counts for this store instance.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of entries currently in the store.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The backing directory, if this store is persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Digests of all entries, sorted.
+    pub fn digests(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Reads one entry by digest.
+    pub fn get(&self, digest: &str) -> Option<&CacheEntry> {
+        self.entries.get(digest)
+    }
+
+    /// Inserts (or overwrites) an entry, writing it through to
+    /// `<digest>.json` when the store is directory-backed, and returns
+    /// the entry's digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the write-through fails; the
+    /// in-memory insert still happened.
+    pub fn insert(&mut self, entry: CacheEntry) -> io::Result<String> {
+        let digest = entry.digest();
+        let json = serde_json::to_string_pretty(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.entries.insert(digest.clone(), entry);
+        self.counters.inserted += 1;
+        ts_trace::counter_add("cache.inserted", 1);
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(format!("{digest}.json")), json)?;
+        }
+        Ok(digest)
+    }
+
+    /// Removes an entry by digest (the stale/poisoned-entry drill in
+    /// OPERATIONS.md §8), deleting its backing file if present. Returns
+    /// true when an entry was actually removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the backing file exists but
+    /// cannot be deleted; the in-memory entry is removed regardless.
+    pub fn evict(&mut self, digest: &str) -> io::Result<bool> {
+        let existed = self.entries.remove(digest).is_some();
+        if existed {
+            self.counters.evicted += 1;
+            ts_trace::counter_add("cache.evicted", 1);
+            if let Some(dir) = &self.dir {
+                let path = dir.join(format!("{digest}.json"));
+                if path.exists() {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(existed)
+    }
+
+    /// Probes the store for `key` under `policy`. See the module docs
+    /// for the three-tier outcome; counters and `cache.*` trace
+    /// counters are bumped at each tier.
+    pub fn lookup(&mut self, key: &ScheduleKey, policy: &DriftPolicy) -> Lookup {
+        let digest = key.digest();
+        if let Some(entry) = self.entries.get(&digest) {
+            let (configs, downgrades) = sanitize_configs(&entry.configs);
+            if downgrades.is_empty() {
+                self.counters.hits += 1;
+                ts_trace::counter_add("cache.hit", 1);
+                return Lookup::Hit {
+                    digest,
+                    configs,
+                    tuned_latency_us: entry.tuned_latency_us,
+                };
+            }
+            // Poisoned exact match: the sanitizer repaired some slots,
+            // so those groups must re-tune — serve it as a warm start.
+            let drifted = downgraded_groups(&downgrades, key.groups.len());
+            self.counters.warm_starts += 1;
+            self.counters.retuned_groups += drifted.len() as u64;
+            ts_trace::counter_add("cache.warm_start", 1);
+            ts_trace::counter_add("cache.retuned_groups", drifted.len() as i64);
+            return Lookup::Warm {
+                digest,
+                seed: configs,
+                drifted,
+                distance: 0.0,
+            };
+        }
+
+        let structural = key.structural_digest();
+        let nearest = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.key.structural_digest() == structural)
+            .map(|(d, e)| (census_distance(key, &e.key), d.clone(), e))
+            // Ties break on digest so lookups are deterministic across
+            // runs and platforms.
+            .min_by(|(da, ka, _), (db, kb, _)| {
+                da.partial_cmp(db).unwrap().then_with(|| ka.cmp(kb))
+            });
+
+        match nearest {
+            Some((distance, digest, entry)) if distance.is_finite() => {
+                let (seed, downgrades) = sanitize_configs(&entry.configs);
+                let mut drifted = drifted_groups(key, &entry.key, policy.max_rel_drift);
+                drifted.extend(downgraded_groups(&downgrades, key.groups.len()));
+                drifted.sort_unstable();
+                drifted.dedup();
+                self.counters.warm_starts += 1;
+                self.counters.retuned_groups += drifted.len() as u64;
+                ts_trace::counter_add("cache.warm_start", 1);
+                ts_trace::counter_add("cache.retuned_groups", drifted.len() as i64);
+                Lookup::Warm {
+                    digest,
+                    seed,
+                    drifted,
+                    distance,
+                }
+            }
+            _ => {
+                self.counters.misses += 1;
+                ts_trace::counter_add("cache.miss", 1);
+                Lookup::Miss
+            }
+        }
+    }
+}
+
+/// Group indices a sanitizer pass repaired. A downgraded *default*
+/// slot taints every group, since the default applies wherever no
+/// override exists.
+fn downgraded_groups(downgrades: &[ts_core::Downgrade], n_groups: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for d in downgrades {
+        if let ts_core::Downgrade::Group { group, .. } = d {
+            match group {
+                Some(g) => {
+                    if *g < n_groups {
+                        out.push(*g);
+                    }
+                }
+                None => return (0..n_groups).collect(),
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}

@@ -57,7 +57,7 @@ pub use schedule::{
     check_configs, sanitize_configs, Downgrade, ScheduleArtifact, ScheduleError, SCHEDULE_VERSION,
 };
 pub use session::{
-    CompileError, GroupConfigs, GroupInfo, GroupKey, PrepareCacheCounters, Session,
+    CompileError, GroupConfigs, GroupInfo, GroupKey, GroupSignature, PrepareCacheCounters, Session,
     SubmanifoldReuse, TrainConfigs,
 };
 pub use sparse_tensor::SparseTensor;

@@ -141,6 +141,34 @@ pub struct SubmanifoldReuse {
     pub stats: MapStats,
 }
 
+/// Workload-statistics summary of one layer group, as consumed by the
+/// content-addressed schedule cache (`ts-cache`).
+///
+/// The shape part ([`GroupKey`] plus layer census) identifies the
+/// group *structurally* — two sessions whose groups agree here can
+/// exchange tuned schedules at all. The map statistics (`n_in`,
+/// `n_out`, `total_pairs`, `effective_macs`) summarise the input
+/// distribution the group actually saw: the MAC census that decides
+/// whether a cached schedule still prices this workload faithfully or
+/// whether the group's dataflow choice must be re-tuned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupSignature {
+    /// Group identity (strides + kernel size).
+    pub key: GroupKey,
+    /// Number of conv layers bound to the group.
+    pub layer_count: usize,
+    /// Input points of the shared kernel map.
+    pub n_in: usize,
+    /// Output points of the shared kernel map.
+    pub n_out: usize,
+    /// Total (input, output) pairs — the map's neighbor census.
+    pub total_pairs: u64,
+    /// Effective MACs summed over every conv layer in the group
+    /// (`total_pairs x c_in x c_out` per layer): the group's share of
+    /// the network's useful compute on this input distribution.
+    pub effective_macs: u64,
+}
+
 /// One layer group: its shared map (built once) and instrumentation.
 #[derive(Debug, Clone)]
 pub struct GroupInfo {
@@ -486,6 +514,38 @@ impl Session {
     /// The layer groups in first-use order.
     pub fn groups(&self) -> &[GroupInfo] {
         &self.groups
+    }
+
+    /// Per-group workload signatures, in group order: the shapes and
+    /// map statistics (`n_out`, pair counts, MAC census) the schedule
+    /// cache keys tuned schedules by. Deterministic for a given
+    /// (network, input coordinates) pair.
+    pub fn group_signatures(&self) -> Vec<GroupSignature> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(gid, g)| {
+                let mut effective_macs = 0u64;
+                for l in &self.layers {
+                    if let LayerPlan::Conv(c) = l {
+                        if c.group == gid {
+                            // total_pairs is invariant under transposition,
+                            // so both orientations contribute identically.
+                            effective_macs = effective_macs
+                                .saturating_add(g.map.total_pairs() * (c.c_in * c.c_out) as u64);
+                        }
+                    }
+                }
+                GroupSignature {
+                    key: g.key,
+                    layer_count: g.layer_count,
+                    n_in: g.map.n_in(),
+                    n_out: g.map.n_out(),
+                    total_pairs: g.map.total_pairs(),
+                    effective_macs,
+                }
+            })
+            .collect()
     }
 
     /// Number of conv layers.

@@ -48,10 +48,13 @@ mod router;
 mod sim;
 
 pub use fleet::{Fleet, FleetError};
-pub use node::{heterogeneous_specs, DeviceTier, NodeSpec};
+pub use node::{heterogeneous_specs, heterogeneous_specs_cached, DeviceTier, NodeSpec};
 pub use report::{FleetReport, NodeReport, RoutingCounters};
 pub use router::{Decision, NodeLoad, Placement, Router, RouterConfig};
 pub use sim::{frame_bank, FleetSim, KillEvent, SimConfig, SimNodeStats, SimReport};
 // Re-exported so fleet users configure SLO alerting and read health
 // snapshots without a direct ts-obs dependency.
 pub use ts_obs::{Alert, AlertLevel, AlertState, HealthSnapshot, SloPolicy};
+// Re-exported so fleet users boot nodes through the schedule cache
+// ([`NodeSpec::cached`]) without a direct ts-cache dependency.
+pub use ts_cache::{BootOrigin, DriftPolicy, ScheduleCache};

@@ -9,9 +9,11 @@
 //! downgrades) on an Orin rather than silently mispricing it.
 
 use serde::{Deserialize, Serialize};
-use ts_core::{Engine, GroupConfigs, Network, NetworkWeights, ScheduleArtifact};
+use ts_cache::{BootOrigin, DriftPolicy, Lookup, ScheduleCache, ScheduleKey};
+use ts_core::{Engine, GroupConfigs, Network, NetworkWeights, ScheduleArtifact, Session};
 use ts_dataflow::{DataflowConfig, ExecCtx};
 use ts_gpusim::Device;
+use ts_kernelmap::Coord;
 use ts_serve::ServeConfig;
 use ts_tensor::Precision;
 
@@ -93,6 +95,63 @@ impl NodeSpec {
         }
     }
 
+    /// A spec booted through the content-addressed schedule cache
+    /// (`ts-cache`): probes with `sample_coords` (a representative
+    /// scene for this node's workload) under the tier's device model,
+    /// and builds `artifact_json` from the cached schedule on an exact
+    /// hit, from the nearest structurally compatible schedule on a
+    /// near-miss, or falls back to [`NodeSpec::untuned`] on a miss —
+    /// the lenient always-boots contract is unchanged, a cold cache
+    /// just boots untuned nodes. Returns the spec plus where its
+    /// schedule came from.
+    ///
+    /// The artifact is keyed to *this* network's name whatever the
+    /// cached schedule's network was called: the cache matches on
+    /// topology, and [`Engine::load_schedule`] validates by name, so
+    /// a topology-equal rename must still transfer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cached(
+        id: usize,
+        tier: DeviceTier,
+        precision: Precision,
+        network: &Network,
+        sample_coords: &[Coord],
+        cache: &mut ScheduleCache,
+        policy: &DriftPolicy,
+        serve: ServeConfig,
+    ) -> (Self, BootOrigin) {
+        let session = Session::new(network, sample_coords);
+        let ctx = ExecCtx::simulate(tier.device(), precision);
+        let key = ScheduleKey::of(&session, &ctx);
+        let (configs, origin, tuned_latency_us) = match cache.lookup(&key, policy) {
+            Lookup::Hit {
+                configs,
+                tuned_latency_us,
+                ..
+            } => (configs, BootOrigin::Cached, tuned_latency_us),
+            Lookup::Warm { seed, .. } => (seed, BootOrigin::Transferred, 0.0),
+            Lookup::Miss => {
+                return (
+                    Self::untuned(id, tier, precision, network, serve),
+                    BootOrigin::Fallback,
+                )
+            }
+        };
+        let artifact =
+            ScheduleArtifact::new(network.name(), &tier.device().name, precision, configs)
+                .with_tuned_latency(tuned_latency_us);
+        (
+            Self {
+                id,
+                tier,
+                precision,
+                artifact_json: artifact.to_json().expect("cached artifact serializes"),
+                serve,
+            },
+            origin,
+        )
+    }
+
     /// Boots this node's engine: lenient schedule load against the
     /// tier's device model, so the node always comes up (possibly
     /// degraded, with typed [`ts_core::Downgrade`] records).
@@ -146,6 +205,37 @@ pub fn heterogeneous_specs(
         .collect()
 }
 
+/// [`heterogeneous_specs`], but every node boots through the schedule
+/// cache ([`NodeSpec::cached`]): each tier probes with its own device
+/// model, so a store tuned per-tier warm-boots the whole lineup while
+/// tiers the store has never seen fall back to untuned specs. Returns
+/// the specs plus each node's schedule provenance, index-aligned.
+pub fn heterogeneous_specs_cached(
+    n: usize,
+    precision: Precision,
+    network: &Network,
+    sample_coords: &[Coord],
+    cache: &mut ScheduleCache,
+    policy: &DriftPolicy,
+    serve: &ServeConfig,
+) -> (Vec<NodeSpec>, Vec<BootOrigin>) {
+    const CYCLE: [DeviceTier; 3] = [DeviceTier::Premium, DeviceTier::Standard, DeviceTier::Edge];
+    (0..n)
+        .map(|id| {
+            NodeSpec::cached(
+                id,
+                CYCLE[id % 3],
+                precision,
+                network,
+                sample_coords,
+                cache,
+                policy,
+                serve.clone(),
+            )
+        })
+        .unzip()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +279,59 @@ mod tests {
         let engine = spec.boot_engine(&network, &weights);
         assert!(engine.is_degraded(), "wrong-device artifact downgrades");
         assert_eq!(engine.ctx().device().name, "Jetson Orin");
+    }
+
+    #[test]
+    fn cached_boot_hits_own_tier_and_falls_back_elsewhere() {
+        use ts_cache::{CacheEntry, ScheduleKey};
+
+        let network = net();
+        let weights = network.init_weights(0);
+        let coords: Vec<Coord> = (0..32).map(|i| Coord::new(0, i % 8, i / 8, 0)).collect();
+        let policy = DriftPolicy::default();
+        let mut cache = ScheduleCache::in_memory();
+
+        // Seed the store with a tuned-looking schedule for the
+        // Standard tier only.
+        let session = Session::new(&network, &coords);
+        let ctx = ExecCtx::simulate(DeviceTier::Standard.device(), Precision::Fp16);
+        cache
+            .insert(CacheEntry {
+                key: ScheduleKey::of(&session, &ctx),
+                configs: GroupConfigs::uniform(DataflowConfig::gather_scatter(true)),
+                tuned_latency_us: 100.0,
+                default_latency_us: 200.0,
+            })
+            .expect("in-memory insert");
+
+        let (specs, origins) = heterogeneous_specs_cached(
+            3,
+            Precision::Fp16,
+            &network,
+            &coords,
+            &mut cache,
+            &policy,
+            &ServeConfig::default(),
+        );
+        assert_eq!(
+            origins,
+            vec![
+                BootOrigin::Fallback, // Premium: never tuned
+                BootOrigin::Cached,   // Standard: exact hit
+                BootOrigin::Fallback, // Edge: never tuned
+            ]
+        );
+        // Every node still boots, cached or not, and the cached one
+        // runs the transferred schedule without downgrades.
+        for spec in &specs {
+            let engine = spec.boot_engine(&network, &weights);
+            assert!(!engine.is_degraded(), "node {} must boot clean", spec.id);
+        }
+        let standard = specs[1].boot_engine(&network, &weights);
+        assert_eq!(
+            standard.configs().default,
+            DataflowConfig::gather_scatter(true)
+        );
     }
 
     #[test]

@@ -291,14 +291,17 @@ impl Server {
             .as_ref()
             .map(|o| Arc::new(ts_obs::Telemetry::new(o.clone())));
         // With both a tracer and telemetry present, mirror the chaos
-        // injection counters into the flight recorder: a post-mortem
-        // then shows the injected fault next to the batch it killed.
-        // The hook is tracer-global; the most recently built server
-        // owns it (fine for the single-tracer test/deployment setups).
+        // injection counters into the flight recorder — a post-mortem
+        // then shows the injected fault next to the batch it killed —
+        // and the schedule-cache counters, so a post-mortem also shows
+        // whether the node booted on a cached, transferred or fallback
+        // schedule. The hook is tracer-global; the most recently built
+        // server owns it (fine for single-tracer test/deployment
+        // setups).
         if let (Some(t), Some(tel)) = (&tracer, &telemetry) {
             let tel = Arc::clone(tel);
             t.set_counter_hook(Some(Arc::new(move |name: &str, delta: i64| {
-                if name.starts_with("serve.chaos.") {
+                if name.starts_with("serve.chaos.") || name.starts_with("cache.") {
                     tel.record_event(ts_obs::ObsEvent::Counter {
                         at_us: tel.now_us(),
                         name: name.to_owned(),

@@ -68,6 +68,10 @@
 //! | `obs.alerts.warn_tripped` / `.warn_cleared` | SLO slow-window (Warning) burn-rate alert edges |
 //! | `obs.snapshots.exported` | Live `HealthSnapshot` expositions taken |
 //! | `obs.postmortem.dumped` | Flight-recorder post-mortems written |
+//! | `cache.hit` / `.miss` / `.warm_start` | Schedule-cache lookups: exact digest match, nothing compatible, nearest-neighbor transfer |
+//! | `cache.retuned_groups` | Groups scheduled for re-tuning across warm starts (drifted past policy or repaired by the sanitizer) |
+//! | `cache.inserted` / `.evicted` | Schedule-cache entry lifecycle |
+//! | `cache.rejected` | On-disk entries skipped at open (unparsable, or digest mismatched the file name) |
 //!
 //! Gauges follow the same convention (e.g. `autotune.speedup`).
 #![warn(missing_docs)]
@@ -75,7 +79,7 @@
 use std::fmt;
 
 /// The instrumented subsystems. Each maps to one Chrome-trace `pid` so a
-/// trace opens as five labelled process tracks.
+/// trace opens as labelled process tracks, one per subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Subsystem {
     /// Sparse Kernel Generator: codegen and hoisting/padding decisions.
@@ -94,11 +98,14 @@ pub enum Subsystem {
     App,
     /// Live telemetry (ts-obs): SLO alerts, snapshots, post-mortems.
     Obs,
+    /// Content-addressed schedule cache (ts-cache): hits, warm
+    /// transfers, evictions.
+    Cache,
 }
 
 impl Subsystem {
     /// Every subsystem, in `pid` order.
-    pub const ALL: [Subsystem; 8] = [
+    pub const ALL: [Subsystem; 9] = [
         Subsystem::Kernelgen,
         Subsystem::Gpusim,
         Subsystem::Core,
@@ -107,6 +114,7 @@ impl Subsystem {
         Subsystem::Fleet,
         Subsystem::App,
         Subsystem::Obs,
+        Subsystem::Cache,
     ];
 
     /// Chrome-trace process id (stable across runs).
@@ -120,6 +128,7 @@ impl Subsystem {
             Subsystem::Fleet => 6,
             Subsystem::App => 7,
             Subsystem::Obs => 8,
+            Subsystem::Cache => 9,
         }
     }
 
@@ -134,6 +143,7 @@ impl Subsystem {
             Subsystem::Fleet => "fleet",
             Subsystem::App => "app",
             Subsystem::Obs => "obs",
+            Subsystem::Cache => "cache",
         }
     }
 

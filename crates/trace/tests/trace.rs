@@ -408,6 +408,13 @@ const EMITTED_COUNTERS: &[(&str, Subsystem)] = &[
     ("obs.alerts.warn_tripped", Subsystem::Obs),
     ("obs.postmortem.dumped", Subsystem::Obs),
     ("obs.snapshots.exported", Subsystem::Obs),
+    ("cache.hit", Subsystem::Cache),
+    ("cache.miss", Subsystem::Cache),
+    ("cache.warm_start", Subsystem::Cache),
+    ("cache.retuned_groups", Subsystem::Cache),
+    ("cache.inserted", Subsystem::Cache),
+    ("cache.evicted", Subsystem::Cache),
+    ("cache.rejected", Subsystem::Cache),
 ];
 
 #[test]

@@ -1,0 +1,139 @@
+//! The end-to-end tuning pipeline, as documented step by step in
+//! [docs/PIPELINE.md](../docs/PIPELINE.md): tune a schedule, persist it
+//! through the content-addressed cache, transfer it to an adjacent
+//! workload with a warm-started tune, boot a serving engine from the
+//! store, and warm-boot a heterogeneous fleet lineup.
+//!
+//! ```sh
+//! cargo run --release --example pipeline
+//! ```
+//!
+//! The walkthrough writes its store under `target/pipeline/cache_store`
+//! and exits non-zero if any stage falls off the documented happy path,
+//! so CI can run it to keep PIPELINE.md honest.
+
+use torchsparse::autotune::TunerOptions;
+use torchsparse::cache::{
+    tune_cached, warm_boot, BootOrigin, DriftPolicy, ScheduleCache, TuneOrigin,
+};
+use torchsparse::core::Session;
+use torchsparse::dataflow::ExecCtx;
+use torchsparse::fleet::{heterogeneous_specs_cached, DeviceTier};
+use torchsparse::gpusim::Device;
+use torchsparse::serve::ServeConfig;
+use torchsparse::tensor::Precision;
+use torchsparse::workloads::Workload;
+
+fn main() {
+    let workload = Workload::NuScenesMinkUNet1f;
+    let net = workload.network();
+    let ctx = ExecCtx::simulate(Device::rtx3090(), Precision::Fp16);
+    let opts = TunerOptions::default();
+    let policy = DriftPolicy::default();
+
+    // Stage 1 — open (or create) the schedule store. Any shared
+    // directory works; every entry is one <digest>.json file.
+    let store_dir = std::path::Path::new("target/pipeline/cache_store");
+    let _ = std::fs::remove_dir_all(store_dir); // fresh walkthrough
+    let mut cache = ScheduleCache::open(store_dir).expect("create schedule store");
+    println!("store: {} ({} entries)", store_dir.display(), cache.len());
+
+    // Stage 2 — tune the base workload through the cache. A fresh
+    // store has nothing compatible, so this is a full cold tune; the
+    // tuned schedule is written back under its content digest.
+    let base_scene = workload.scene_scaled(7, 0.2);
+    let base = vec![Session::new(&net, base_scene.coords())];
+    let cold = tune_cached(&mut cache, &base, &ctx, &opts, &policy).expect("store write");
+    assert_eq!(cold.origin, TuneOrigin::Cold);
+    println!(
+        "cold tune:  {:.2} -> {:.2} ms in {} evaluations, entry {}",
+        cold.result.default_latency_us / 1e3,
+        cold.result.tuned_latency_us / 1e3,
+        cold.result.evaluations,
+        cold.digest
+    );
+
+    // Stage 3 — the same workload again is an exact content hit: one
+    // repricing simulation, nothing swept.
+    let hit = tune_cached(&mut cache, &base, &ctx, &opts, &policy).expect("store write");
+    assert_eq!(hit.origin, TuneOrigin::Hit);
+    assert_eq!(hit.result.evaluations, 1);
+    println!(
+        "exact hit:  {} evaluation, schedule served as-is",
+        hit.result.evaluations
+    );
+
+    // Stage 4 — an adjacent workload (different scene, mildly
+    // rescaled) warm-starts from the cached schedule and re-tunes only
+    // the groups whose map statistics drifted past the policy.
+    let adjacent_scene = workload.scene_scaled(21, 0.2 * 1.18);
+    let adjacent = vec![Session::new(&net, adjacent_scene.coords())];
+    let warm = tune_cached(&mut cache, &adjacent, &ctx, &opts, &policy).expect("store write");
+    assert!(matches!(
+        warm.origin,
+        TuneOrigin::WarmStart | TuneOrigin::Hit
+    ));
+    println!(
+        "warm tune:  {} of {} groups re-tuned in {} evaluations (census distance {:.2})",
+        warm.retuned.len(),
+        adjacent[0].groups().len(),
+        warm.result.evaluations,
+        warm.distance
+    );
+
+    // Stage 5 — boot a serving engine straight from the store: cached
+    // schedule on a hit, safe fallback on a miss, never a dead node.
+    let weights = net.init_weights(0);
+    let (engine, boot) = warm_boot(
+        &mut cache,
+        net.clone(),
+        weights.clone(),
+        ctx.clone(),
+        base_scene.coords(),
+        &policy,
+    );
+    assert_eq!(boot.origin, BootOrigin::Cached);
+    let report = engine.simulate(&base_scene);
+    println!(
+        "warm boot:  {:?} (entry {}), serves at {:.2} ms simulated",
+        boot.origin,
+        boot.digest.as_deref().unwrap_or("-"),
+        report.total_us() / 1e3
+    );
+
+    // Stage 6 — warm-boot a heterogeneous fleet lineup from the same
+    // store. Only the RTX 3090 tier was tuned above, so the Standard
+    // node boots cached while Premium/Edge fall back untuned (tune
+    // those tiers into the store to warm the whole lineup).
+    let (specs, origins) = heterogeneous_specs_cached(
+        3,
+        Precision::Fp16,
+        &net,
+        base_scene.coords(),
+        &mut cache,
+        &policy,
+        &ServeConfig::default(),
+    );
+    for (spec, origin) in specs.iter().zip(&origins) {
+        let engine = spec.boot_engine(&net, &weights);
+        println!(
+            "fleet node {} [{}]: boots {:?}, degraded: {}",
+            spec.id,
+            spec.tier.label(),
+            origin,
+            engine.is_degraded()
+        );
+    }
+    assert_eq!(origins[1], BootOrigin::Cached, "Standard tier must hit");
+    assert_eq!(
+        specs.iter().map(|s| s.tier).collect::<Vec<_>>(),
+        vec![DeviceTier::Premium, DeviceTier::Standard, DeviceTier::Edge]
+    );
+
+    let c = cache.counters();
+    println!(
+        "cache counters: {} hits, {} misses, {} warm starts, {} groups re-tuned, {} inserted",
+        c.hits, c.misses, c.warm_starts, c.retuned_groups, c.inserted
+    );
+    println!("pipeline walkthrough complete");
+}

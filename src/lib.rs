@@ -17,6 +17,7 @@
 
 pub use ts_autotune as autotune;
 pub use ts_baselines as baselines;
+pub use ts_cache as cache;
 pub use ts_core as core;
 pub use ts_dataflow as dataflow;
 pub use ts_fleet as fleet;
