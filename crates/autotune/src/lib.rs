@@ -41,4 +41,7 @@ mod training;
 pub use inference::{
     tune_inference, tune_inference_warm, EvalMode, TuneResult, TunerOptions, TunerStats, WarmStart,
 };
-pub use training::{default_scheme_for, tune_training, BindingScheme, TrainTuneResult};
+pub use training::{
+    default_scheme_for, tune_training, tune_training_warm, BindingScheme, TrainTuneResult,
+    TrainWarmStart,
+};

@@ -87,6 +87,33 @@ impl TrainTuneResult {
     }
 }
 
+/// A warm start for [`tune_training_warm`]: begin the per-family
+/// greedy search from `seed` (typically the nearest cached training
+/// schedule, via `ts-cache`) and re-tune only the groups in `retune`.
+/// Groups outside `retune` keep their seeded per-family configurations
+/// untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainWarmStart {
+    /// Starting fwd/dgrad/wgrad configuration tables (the transferred
+    /// training schedule).
+    pub seed: TrainConfigs,
+    /// Indices of the groups to re-tune; duplicates and out-of-range
+    /// indices are ignored. An empty list re-tunes nothing and the
+    /// result simply reprices the seeded schedule.
+    pub retune: Vec<usize>,
+}
+
+impl TrainWarmStart {
+    /// A warm start that re-tunes every group — a cold tune that merely
+    /// begins from `seed` instead of the all-bound default.
+    pub fn full(seed: TrainConfigs, n_groups: usize) -> Self {
+        Self {
+            seed,
+            retune: (0..n_groups).collect(),
+        }
+    }
+}
+
 fn mean_latency(sessions: &[Session], cfgs: &TrainConfigs, ctx: &ExecCtx) -> f64 {
     sessions
         .iter()
@@ -108,6 +135,37 @@ pub fn tune_training(
     opts: &TunerOptions,
     scheme: BindingScheme,
 ) -> TrainTuneResult {
+    tune_training_impl(sessions, ctx, opts, scheme, None)
+}
+
+/// [`tune_training`] warm-started from a transferred training schedule:
+/// the greedy per-family search begins from `warm.seed` and sweeps only
+/// the groups in `warm.retune` — the training-schedule cache's transfer
+/// path (`1 + |retune| × |family sets| × |space|` evaluations instead
+/// of a full cold tune). `default_latency_us` reports the latency of
+/// the *seeded* schedule, so [`TrainTuneResult::speedup`] measures what
+/// re-tuning bought over the transfer.
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the space is empty.
+pub fn tune_training_warm(
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    scheme: BindingScheme,
+    warm: &TrainWarmStart,
+) -> TrainTuneResult {
+    tune_training_impl(sessions, ctx, opts, scheme, Some(warm))
+}
+
+fn tune_training_impl(
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    scheme: BindingScheme,
+    warm: Option<&TrainWarmStart>,
+) -> TrainTuneResult {
     assert!(!sessions.is_empty() && !opts.space.is_empty());
     let mut span = ts_trace::span!(
         ts_trace::Subsystem::Autotune,
@@ -124,9 +182,27 @@ pub fn tune_training(
     let (hits0, misses0) = cache_stats(sessions);
     let mut evaluations = 0usize;
 
-    let default = TrainConfigs::bound(opts.default);
-    let default_latency_us = mean_latency(sessions, &default, ctx);
+    // A cold tune's baseline is the all-bound default; a warm run's is
+    // the seeded (transferred) schedule, so `speedup()` measures what
+    // re-tuning bought over the transfer.
+    let baseline = match warm {
+        None => TrainConfigs::bound(opts.default),
+        Some(w) => w.seed.clone(),
+    };
+    let default_latency_us = mean_latency(sessions, &baseline, ctx);
     evaluations += 1;
+
+    // Which groups the greedy loop sweeps, in group order. A cold tune
+    // sweeps all of them; a warm start only the drifted ones.
+    let sweep_groups: Vec<usize> = match warm {
+        None => (0..n_groups).collect(),
+        Some(w) => {
+            let mut gs: Vec<usize> = w.retune.iter().copied().filter(|&g| g < n_groups).collect();
+            gs.sort_unstable();
+            gs.dedup();
+            gs
+        }
+    };
 
     // Which families tune together: slots of family-index sets.
     // 0 = fwd, 1 = dgrad, 2 = wgrad.
@@ -157,7 +233,7 @@ pub fn tune_training(
         )
     };
 
-    let mut configs = TrainConfigs::bound(opts.default);
+    let mut configs = baseline;
     let mut contrib: Vec<Vec<f64>> = if incremental {
         sessions
             .iter()
@@ -185,7 +261,7 @@ pub fn tune_training(
             "family_set",
             families = families.as_str(),
         );
-        for g in 0..n_groups {
+        for &g in &sweep_groups {
             let mut gspan = ts_trace::span!(ts_trace::Subsystem::Autotune, "group", g = g);
             let group_start = Instant::now();
             let cand_us = if incremental {
@@ -391,6 +467,48 @@ mod tests {
             assert_eq!(inc.default_latency_us, full.default_latency_us);
             assert_eq!(inc.evaluations, full.evaluations);
         }
+    }
+
+    #[test]
+    fn warm_start_with_empty_retune_reprices_seed() {
+        let s = session();
+        let ctx = ExecCtx::simulate(Device::a100(), Precision::Fp16);
+        let opts = TunerOptions::default();
+        let cold = tune_training(
+            std::slice::from_ref(&s),
+            &ctx,
+            &opts,
+            BindingScheme::DgradWgrad,
+        );
+        let warm = TrainWarmStart {
+            seed: cold.configs.clone(),
+            retune: Vec::new(),
+        };
+        let re = tune_training_warm(&[s], &ctx, &opts, BindingScheme::DgradWgrad, &warm);
+        assert_eq!(re.evaluations, 1);
+        assert_eq!(re.configs, cold.configs);
+        assert_eq!(re.tuned_latency_us, cold.tuned_latency_us);
+        // The warm baseline is the seed itself, so repricing is neutral.
+        assert_eq!(re.default_latency_us, re.tuned_latency_us);
+    }
+
+    #[test]
+    fn full_warm_start_from_default_matches_cold_tune() {
+        let s = session();
+        let n_groups = s.groups().len();
+        let ctx = ExecCtx::simulate(Device::rtx2080ti(), Precision::Fp16);
+        let opts = TunerOptions::default();
+        let cold = tune_training(
+            std::slice::from_ref(&s),
+            &ctx,
+            &opts,
+            BindingScheme::ForwardDgrad,
+        );
+        let warm = TrainWarmStart::full(TrainConfigs::bound(opts.default), n_groups);
+        let re = tune_training_warm(&[s], &ctx, &opts, BindingScheme::ForwardDgrad, &warm);
+        assert_eq!(re.configs, cold.configs);
+        assert_eq!(re.tuned_latency_us, cold.tuned_latency_us);
+        assert_eq!(re.evaluations, cold.evaluations);
     }
 
     #[test]

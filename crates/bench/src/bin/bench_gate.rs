@@ -3,7 +3,8 @@
 //! Compares the records a fresh bench run left in `target/repro/`
 //! against the baselines committed at the repo root
 //! (`BENCH_tuner.json`, `BENCH_serve.json`, `BENCH_stream.json`,
-//! `BENCH_fleet.json`, `BENCH_obs.json`) and fails if any gated metric
+//! `BENCH_fleet.json`, `BENCH_obs.json`, `BENCH_train.json`) and
+//! fails if any gated metric
 //! drifts more than ±20%. Only *simulated* metrics are gated — they are
 //! deterministic functions of the workload and cost model, so drift
 //! means a behavioural change, not a noisy machine. Wall-clock numbers
@@ -23,6 +24,7 @@
 //! cargo bench -p ts-bench --bench stream_reuse
 //! cargo bench -p ts-bench --bench fleet_throughput
 //! cargo bench -p ts-bench --bench obs_overhead
+//! cargo bench -p ts-bench --bench train_throughput
 //! cargo run -p ts-bench --bin bench_gate
 //! ```
 
@@ -86,6 +88,18 @@ const CHECKS: &[Check] = &[
         baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json"),
         fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_obs.json"),
         metrics: &["fps_sim_ratio", "on_sim_us_per_frame"],
+    },
+    Check {
+        baseline: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json"),
+        fresh: concat!(env!("CARGO_MANIFEST_DIR"), "/target/repro/BENCH_train.json"),
+        metrics: &[
+            "bound_step_us_a100",
+            "unbound_step_us_a100",
+            "bound_vs_unbound_a100",
+            "bound_vs_unbound_2080ti",
+            "bound_vs_unbound_orin",
+            "best_bound_vs_unbound",
+        ],
     },
 ];
 

@@ -54,15 +54,20 @@
 
 mod digest;
 mod store;
+mod train_store;
 
 pub use digest::{
     census_distance, drifted_groups, hex64, network_digest, quantize_stat, Digest64, ScheduleKey,
 };
 pub use store::{CacheCounters, CacheEntry, DriftPolicy, Lookup, ScheduleCache};
+pub use train_store::{train_digest, TrainCacheEntry, TrainLookup, TrainScheduleCache};
 
 use std::io;
 
-use ts_autotune::{tune_inference, tune_inference_warm, TuneResult, TunerOptions, WarmStart};
+use ts_autotune::{
+    tune_inference, tune_inference_warm, tune_training, tune_training_warm, BindingScheme,
+    TrainTuneResult, TrainWarmStart, TuneResult, TunerOptions, WarmStart,
+};
 use ts_core::{Engine, GroupConfigs, Network, NetworkWeights, Session};
 use ts_dataflow::{DataflowConfig, ExecCtx};
 use ts_kernelmap::Coord;
@@ -181,6 +186,117 @@ pub fn tune_cached(
             })
         }
     }
+}
+
+/// A [`tune_training_cached`] outcome: the training tuner's result plus
+/// the cache's account of how it was produced.
+#[derive(Debug, Clone)]
+pub struct TrainCachedTune {
+    /// The (possibly repriced) training tuning result.
+    pub result: TrainTuneResult,
+    /// How the schedule was obtained.
+    pub origin: TuneOrigin,
+    /// Scheme-qualified content digest of the schedule's cache entry.
+    pub digest: String,
+    /// Groups actually swept (empty for hits, all for cold tunes).
+    pub retuned: Vec<usize>,
+    /// Census distance to the seed entry (0 except warm starts).
+    pub distance: f64,
+}
+
+/// Tunes training schedules for `sessions` under `scheme` through the
+/// cache — the training counterpart of [`tune_cached`]: exact hits
+/// reprice without sweeping, structural matches tuned under the *same
+/// scheme* warm-start the training tuner over drifted groups only, and
+/// misses cold-tune. Warm and cold results are written back.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the write-back to a
+/// directory-backed store fails (the in-memory insert still happened
+/// and the returned schedule is valid).
+///
+/// # Panics
+///
+/// Panics if `sessions` is empty or the search space is empty (same
+/// contract as [`tune_training`]).
+pub fn tune_training_cached(
+    cache: &mut TrainScheduleCache,
+    sessions: &[Session],
+    ctx: &ExecCtx,
+    opts: &TunerOptions,
+    scheme: BindingScheme,
+    policy: &DriftPolicy,
+) -> io::Result<TrainCachedTune> {
+    assert!(
+        !sessions.is_empty(),
+        "tune_training_cached needs at least one sample scene"
+    );
+    let key = ScheduleKey::of(&sessions[0], ctx);
+    let n_groups = key.groups.len();
+    match cache.lookup(&key, scheme, policy) {
+        TrainLookup::Hit {
+            digest, configs, ..
+        } => {
+            let warm = TrainWarmStart {
+                seed: configs,
+                retune: Vec::new(),
+            };
+            let result = tune_training_warm(sessions, ctx, opts, scheme, &warm);
+            Ok(TrainCachedTune {
+                result,
+                origin: TuneOrigin::Hit,
+                digest,
+                retuned: Vec::new(),
+                distance: 0.0,
+            })
+        }
+        TrainLookup::Warm {
+            seed,
+            drifted,
+            distance,
+            ..
+        } => {
+            let warm = TrainWarmStart {
+                seed,
+                retune: drifted.clone(),
+            };
+            let result = tune_training_warm(sessions, ctx, opts, scheme, &warm);
+            let digest = write_back_train(cache, key, &result)?;
+            Ok(TrainCachedTune {
+                result,
+                origin: TuneOrigin::WarmStart,
+                digest,
+                retuned: drifted,
+                distance,
+            })
+        }
+        TrainLookup::Miss => {
+            let result = tune_training(sessions, ctx, opts, scheme);
+            let digest = write_back_train(cache, key, &result)?;
+            Ok(TrainCachedTune {
+                result,
+                origin: TuneOrigin::Cold,
+                digest,
+                retuned: (0..n_groups).collect(),
+                distance: 0.0,
+            })
+        }
+    }
+}
+
+fn write_back_train(
+    cache: &mut TrainScheduleCache,
+    key: ScheduleKey,
+    result: &TrainTuneResult,
+) -> io::Result<String> {
+    cache.insert(TrainCacheEntry {
+        key,
+        scheme: result.scheme,
+        configs: result.configs.clone(),
+        tuned_latency_us: result.tuned_latency_us,
+        default_latency_us: result.default_latency_us,
+    })
 }
 
 fn write_back(

@@ -1,0 +1,340 @@
+//! Content-addressed store for tuned **training** schedules.
+//!
+//! Mirrors the inference store in `store.rs`, with two differences
+//! demanded by the training tuner:
+//!
+//! * an entry carries a full [`TrainConfigs`] (fwd/dgrad/wgrad tables)
+//!   instead of a single [`GroupConfigs`], plus the
+//!   [`BindingScheme`] it was tuned under — schedules tuned under
+//!   different binding schemes are different content and never alias;
+//! * the sanitizer runs over all three family tables, and a downgrade
+//!   in *any* family marks that group for re-tuning.
+//!
+//! Entries persist as `train-<scheme>-<digest>.json`, so a training
+//! store can share a directory with the inference store without key
+//! collisions.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use ts_autotune::BindingScheme;
+use ts_core::{sanitize_configs, Downgrade, GroupConfigs, TrainConfigs};
+
+use crate::digest::{census_distance, drifted_groups, ScheduleKey};
+use crate::store::DriftPolicy;
+use crate::CacheCounters;
+
+/// One stored training schedule: content key, binding scheme, the
+/// tuned per-family tables and the latencies recorded at tune time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCacheEntry {
+    /// The full content key the schedule was tuned under.
+    pub key: ScheduleKey,
+    /// The binding scheme the tuner coupled families with.
+    pub scheme: BindingScheme,
+    /// The tuned fwd/dgrad/wgrad configuration tables.
+    pub configs: TrainConfigs,
+    /// Tuned end-to-end training-step latency at insert time (µs).
+    pub tuned_latency_us: f64,
+    /// All-bound default latency at insert time (µs).
+    pub default_latency_us: f64,
+}
+
+impl TrainCacheEntry {
+    /// The entry's primary key: scheme-qualified content digest.
+    pub fn digest(&self) -> String {
+        train_digest(&self.key, self.scheme)
+    }
+}
+
+/// Scheme-qualified content digest — the store's primary key and the
+/// backing file stem.
+pub fn train_digest(key: &ScheduleKey, scheme: BindingScheme) -> String {
+    format!("train-{}-{}", scheme_tag(scheme), key.digest())
+}
+
+fn scheme_tag(scheme: BindingScheme) -> &'static str {
+    match scheme {
+        BindingScheme::AllBound => "ab",
+        BindingScheme::ForwardDgrad => "fd",
+        BindingScheme::DgradWgrad => "dw",
+        BindingScheme::Decoupled => "dc",
+    }
+}
+
+/// Outcome of a training-cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainLookup {
+    /// Exact content match: the cached training schedule applies as-is.
+    Hit {
+        /// Digest of the matching entry.
+        digest: String,
+        /// Sanitized tuned tables, ready to load.
+        configs: TrainConfigs,
+        /// Tuned latency recorded when the entry was inserted.
+        tuned_latency_us: f64,
+    },
+    /// Structural match within drift range: seed the training tuner
+    /// and re-tune only the drifted (or sanitizer-downgraded) groups.
+    Warm {
+        /// Digest of the nearest entry used as the seed.
+        digest: String,
+        /// Sanitized seed tables for `tune_training_warm`.
+        seed: TrainConfigs,
+        /// Groups that must re-tune, sorted ascending.
+        drifted: Vec<usize>,
+        /// Census distance between the probe key and the seed entry.
+        distance: f64,
+    },
+    /// Nothing structurally compatible tuned under this scheme.
+    Miss,
+}
+
+/// A content-addressed store of tuned training schedules.
+#[derive(Debug)]
+pub struct TrainScheduleCache {
+    dir: Option<PathBuf>,
+    entries: BTreeMap<String, TrainCacheEntry>,
+    counters: CacheCounters,
+    load_issues: Vec<String>,
+}
+
+impl TrainScheduleCache {
+    /// An empty in-memory store (no persistence).
+    pub fn in_memory() -> Self {
+        Self {
+            dir: None,
+            entries: BTreeMap::new(),
+            counters: CacheCounters::default(),
+            load_issues: Vec::new(),
+        }
+    }
+
+    /// Opens (creating if needed) a directory-backed store and loads
+    /// every `train-*.json` entry in it. Loading is lenient, exactly
+    /// like the inference store: unparsable files and digest/file-name
+    /// mismatches are skipped and recorded in
+    /// [`TrainScheduleCache::load_issues`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or read.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut cache = Self {
+            dir: Some(dir.clone()),
+            entries: BTreeMap::new(),
+            counters: CacheCounters::default(),
+            load_issues: Vec::new(),
+        };
+        let mut paths: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().map(|x| x == "json").unwrap_or(false)
+                    && p.file_stem()
+                        .and_then(|s| s.to_str())
+                        .map(|s| s.starts_with("train-"))
+                        .unwrap_or(false)
+            })
+            .collect();
+        paths.sort();
+        for path in paths {
+            match fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| {
+                    serde_json::from_str::<TrainCacheEntry>(&s).map_err(|e| e.to_string())
+                }) {
+                Ok(entry) => {
+                    let digest = entry.digest();
+                    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                    if stem != digest {
+                        cache.reject(format!(
+                            "{}: content digest {digest} does not match file name",
+                            path.display()
+                        ));
+                        continue;
+                    }
+                    cache.entries.insert(digest, entry);
+                }
+                Err(e) => cache.reject(format!("{}: {e}", path.display())),
+            }
+        }
+        Ok(cache)
+    }
+
+    fn reject(&mut self, issue: String) {
+        self.counters.rejected += 1;
+        ts_trace::counter_add("cache.rejected", 1);
+        self.load_issues.push(issue);
+    }
+
+    /// Problems encountered while loading the backing directory.
+    pub fn load_issues(&self) -> &[String] {
+        &self.load_issues
+    }
+
+    /// Lifetime event counts for this store instance.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Number of entries currently in the store.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The backing directory, if this store is persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Digests of all entries, sorted.
+    pub fn digests(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Reads one entry by digest.
+    pub fn get(&self, digest: &str) -> Option<&TrainCacheEntry> {
+        self.entries.get(digest)
+    }
+
+    /// Inserts (or overwrites) an entry, writing it through to
+    /// `<digest>.json` when directory-backed, and returns its digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the write-through fails; the
+    /// in-memory insert still happened.
+    pub fn insert(&mut self, entry: TrainCacheEntry) -> io::Result<String> {
+        let digest = entry.digest();
+        let json = serde_json::to_string_pretty(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.entries.insert(digest.clone(), entry);
+        self.counters.inserted += 1;
+        ts_trace::counter_add("cache.train.inserted", 1);
+        if let Some(dir) = &self.dir {
+            fs::write(dir.join(format!("{digest}.json")), json)?;
+        }
+        Ok(digest)
+    }
+
+    /// Probes the store for `key` tuned under `scheme`, with the same
+    /// three-tier Hit / Warm / Miss policy as the inference store.
+    pub fn lookup(
+        &mut self,
+        key: &ScheduleKey,
+        scheme: BindingScheme,
+        policy: &DriftPolicy,
+    ) -> TrainLookup {
+        let digest = train_digest(key, scheme);
+        if let Some(entry) = self.entries.get(&digest) {
+            let (configs, downgraded) = sanitize_train(&entry.configs, key.groups.len());
+            if downgraded.is_empty() {
+                self.counters.hits += 1;
+                ts_trace::counter_add("cache.train.hit", 1);
+                return TrainLookup::Hit {
+                    digest,
+                    configs,
+                    tuned_latency_us: entry.tuned_latency_us,
+                };
+            }
+            // Poisoned exact match: repaired slots must re-tune.
+            self.counters.warm_starts += 1;
+            self.counters.retuned_groups += downgraded.len() as u64;
+            ts_trace::counter_add("cache.train.warm_start", 1);
+            return TrainLookup::Warm {
+                digest,
+                seed: configs,
+                drifted: downgraded,
+                distance: 0.0,
+            };
+        }
+
+        let structural = key.structural_digest();
+        let nearest = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.scheme == scheme && e.key.structural_digest() == structural)
+            .map(|(d, e)| (census_distance(key, &e.key), d.clone(), e))
+            // Ties break on digest so lookups are deterministic.
+            .min_by(|(da, ka, _), (db, kb, _)| {
+                da.partial_cmp(db).unwrap().then_with(|| ka.cmp(kb))
+            });
+
+        match nearest {
+            Some((distance, digest, entry)) if distance.is_finite() => {
+                let (seed, downgraded) = sanitize_train(&entry.configs, key.groups.len());
+                let mut drifted = drifted_groups(key, &entry.key, policy.max_rel_drift);
+                drifted.extend(downgraded);
+                drifted.sort_unstable();
+                drifted.dedup();
+                self.counters.warm_starts += 1;
+                self.counters.retuned_groups += drifted.len() as u64;
+                ts_trace::counter_add("cache.train.warm_start", 1);
+                TrainLookup::Warm {
+                    digest,
+                    seed,
+                    drifted,
+                    distance,
+                }
+            }
+            _ => {
+                self.counters.misses += 1;
+                ts_trace::counter_add("cache.train.miss", 1);
+                TrainLookup::Miss
+            }
+        }
+    }
+}
+
+/// Sanitizes all three family tables; returns the repaired configs and
+/// the union of groups any family's sanitizer downgraded.
+fn sanitize_train(configs: &TrainConfigs, n_groups: usize) -> (TrainConfigs, Vec<usize>) {
+    let mut downgraded = Vec::new();
+    let mut clean = |table: &GroupConfigs| {
+        let (fixed, downs) = sanitize_configs(table);
+        downgraded.extend(downgraded_groups(&downs, n_groups));
+        fixed
+    };
+    let fixed = TrainConfigs {
+        fwd: clean(&configs.fwd),
+        dgrad: clean(&configs.dgrad),
+        wgrad: clean(&configs.wgrad),
+    };
+    downgraded.sort_unstable();
+    downgraded.dedup();
+    (fixed, downgraded)
+}
+
+/// Group indices a sanitizer pass repaired (downgraded default slots
+/// taint every group — same rule as the inference store).
+fn downgraded_groups(downgrades: &[Downgrade], n_groups: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for d in downgrades {
+        if let Downgrade::Group { group, .. } = d {
+            match group {
+                Some(g) => {
+                    if *g < n_groups {
+                        out.push(*g);
+                    }
+                }
+                None => return (0..n_groups).collect(),
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}

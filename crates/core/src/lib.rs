@@ -61,9 +61,9 @@ pub use session::{
     SubmanifoldReuse, TrainConfigs,
 };
 pub use sparse_tensor::SparseTensor;
-pub use stream::StreamState;
+pub use stream::{permute_to, StreamState};
 // Streaming callers configure and inspect updates with the kernel-map
 // vocabulary; re-exported so they need not depend on ts-kernelmap.
 pub use train::{train_step, TrainOutput};
-pub use trainer::Trainer;
+pub use trainer::{forward_backward, BackwardOutput, LossScaler, Trainer};
 pub use ts_kernelmap::{DeltaConfig, MapUpdate, UpdateOutcome};

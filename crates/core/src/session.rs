@@ -857,11 +857,19 @@ impl Session {
                     // wgrad over the layer's own orientation.
                     let w_map = if c.transposed { &g.map_t } else { &g.map };
                     let wt = wgrad_trace(c.c_in, c.c_out, w_map, &w_cfg, ctx);
+                    // Separate dgrad/wgrad entries so per-phase step
+                    // attribution (ts-train) can bucket them by suffix.
                     timings.push(LayerTiming {
-                        name: format!("{}:bwd", self.network.nodes()[c.node].name),
+                        name: format!("{}:dgrad", self.network.nodes()[c.node].name),
                         node: c.node,
                         group: Some(c.group),
-                        time_us: dt.total_us() + wt.total_us(),
+                        time_us: dt.total_us(),
+                    });
+                    timings.push(LayerTiming {
+                        name: format!("{}:wgrad", self.network.nodes()[c.node].name),
+                        node: c.node,
+                        group: Some(c.group),
+                        time_us: wt.total_us(),
                     });
                     trace.merge(dt);
                     trace.merge(wt);

@@ -93,7 +93,11 @@ impl StreamState {
 /// state's canonical order). Point-wise layers and per-output conv
 /// accumulation are permutation-equivariant, so features stay
 /// bit-identical per coordinate.
-fn permute_to(input: &SparseTensor, coords: &[Coord]) -> SparseTensor {
+///
+/// # Panics
+///
+/// Panics if `coords` contains a coordinate absent from `input`.
+pub fn permute_to(input: &SparseTensor, coords: &[Coord]) -> SparseTensor {
     if input.coords() == coords {
         return input.clone();
     }

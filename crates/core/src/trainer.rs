@@ -80,6 +80,221 @@ impl Default for LossScaler {
     }
 }
 
+impl LossScaler {
+    /// Advances the scaler after a step: overflow halves the scale
+    /// (floored at 1) and resets the good-step streak; a clean step
+    /// extends the streak and doubles the scale (capped at 2^24) every
+    /// `growth_interval` good steps. Returns `true` when the step's
+    /// updates should be applied.
+    pub fn update(&mut self, overflow: bool) -> bool {
+        if overflow {
+            self.scale = (self.scale / 2.0).max(1.0);
+            self.good_steps = 0;
+            self.skipped += 1;
+            false
+        } else {
+            self.good_steps += 1;
+            if self.good_steps.is_multiple_of(self.growth_interval) {
+                self.scale = (self.scale * 2.0).min(16_777_216.0);
+            }
+            true
+        }
+    }
+}
+
+/// Result of one fused forward + backward pass over a compiled session
+/// (no optimizer update applied).
+#[derive(Debug, Clone)]
+pub struct BackwardOutput {
+    /// Loss before any update (`0.5 * ||output||^2`).
+    pub loss: f32,
+    /// Per-node weight gradients (`Some` exactly at conv nodes that
+    /// received gradient), already un-scaled back from `loss_scale`.
+    pub grads: Vec<Option<ConvWeights>>,
+    /// Gradient w.r.t. the input features. Still carries the loss
+    /// scale (and FP16 rounding) when AMP is active.
+    pub input_grad: Option<Matrix>,
+    /// Whether any weight gradient overflowed the FP16 range after
+    /// scaling — the step must be skipped and the scale backed off.
+    pub overflow: bool,
+}
+
+/// Runs one fused forward + loss + dgrad + wgrad pass over `session`
+/// with explicit weights: the shared engine under [`Trainer`], the
+/// `ts-train` step pipeline and the ts-verify training conformance
+/// harness.
+///
+/// Forward stores every activation; the loss is `0.5 * ||output||^2`;
+/// the backward sweep walks nodes in reverse, routing dgrad through the
+/// transposed maps and wgrad through the forward maps with the per-pass
+/// dataflow configs in `cfgs`. With `fp16_grads`, every stored gradient
+/// is rounded to the FP16 grid, the seed gradient is multiplied by
+/// `loss_scale`, and weight gradients are overflow-checked *before*
+/// being un-scaled — exactly the deferred-update AMP protocol.
+///
+/// # Panics
+///
+/// Panics if `session` was not compiled for `network` over `input`'s
+/// coordinates, or if `weights` is missing a conv slot.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_backward(
+    network: &Network,
+    weights: &NetworkWeights,
+    session: &Session,
+    input: &SparseTensor,
+    cfgs: &TrainConfigs,
+    ctx: &ExecCtx,
+    loss_scale: f32,
+    fp16_grads: bool,
+) -> BackwardOutput {
+    let fctx = ExecCtx {
+        functional: true,
+        ..ctx.clone()
+    };
+    let n_nodes = network.nodes().len();
+
+    // Forward, storing activations.
+    let mut feats: Vec<Option<Matrix>> = vec![None; n_nodes];
+    feats[0] = Some(input.feats().clone());
+    for (i, node) in network.nodes().iter().enumerate().skip(1) {
+        let x = feats[node.input]
+            .as_ref()
+            .expect("producer executed")
+            .clone();
+        feats[i] = Some(match node.op {
+            Op::Input => unreachable!(),
+            Op::Conv(_) => {
+                let (map, _, group) = session.conv_maps(i).expect("conv map");
+                let w = weights.convs[i].as_ref().expect("weights");
+                let cfg = cfgs.fwd.for_group(group);
+                let prepared = prepare(&map, &cfg, &fctx);
+                forward_prepared(&x, w, &map, &prepared, &cfg, &fctx)
+                    .features
+                    .expect("functional")
+            }
+            Op::BatchNorm => {
+                let mut y = x;
+                ts_tensor::batch_norm(&mut y, weights.bns[i].as_ref().expect("bn"));
+                y
+            }
+            Op::ReLU => {
+                let mut y = x;
+                ts_tensor::relu(&mut y);
+                y
+            }
+            Op::Add { other } => {
+                let mut y = x;
+                y.add_assign(feats[other].as_ref().expect("operand"));
+                y
+            }
+            Op::Concat { other } => {
+                let o = feats[other].as_ref().expect("operand");
+                let mut y = Matrix::zeros(x.rows(), x.cols() + o.cols());
+                for r in 0..x.rows() {
+                    y.row_mut(r)[..x.cols()].copy_from_slice(x.row(r));
+                    y.row_mut(r)[x.cols()..].copy_from_slice(o.row(r));
+                }
+                y
+            }
+        });
+    }
+
+    let out = feats[network.output()].as_ref().expect("output");
+    let loss = 0.5 * out.as_slice().iter().map(|v| v * v).sum::<f32>();
+
+    // Backward. Under AMP the output gradient is scaled up, every
+    // stored gradient is rounded to the FP16 grid, and updates are
+    // deferred until the overflow check passes.
+    let quantize = |m: &mut Matrix| {
+        if fp16_grads {
+            ts_tensor::Precision::Fp16.quantize_slice(m.as_mut_slice());
+        }
+    };
+    let mut grads: Vec<Option<Matrix>> = vec![None; n_nodes];
+    let mut seed = out.clone();
+    if loss_scale != 1.0 {
+        seed.scale(loss_scale);
+    }
+    quantize(&mut seed);
+    grads[network.output()] = Some(seed);
+    let mut overflow = false;
+    let mut conv_grads: Vec<Option<ConvWeights>> = vec![None; n_nodes];
+    for (i, node) in network.nodes().iter().enumerate().skip(1).rev() {
+        let Some(g) = grads[i].take() else { continue };
+        match node.op {
+            Op::Input => unreachable!(),
+            Op::Conv(_) => {
+                let (map, grad_map, group) = session.conv_maps(i).expect("conv map");
+                let w = weights.convs[i].as_ref().expect("weights").clone();
+                let d_cfg = cfgs.dgrad.for_group(group);
+                let w_cfg = cfgs.wgrad.for_group(group);
+                let mut dx = dgrad(&g, &w, &grad_map, &d_cfg, &fctx)
+                    .features
+                    .expect("functional");
+                quantize(&mut dx);
+                accumulate(&mut grads, node.input, dx);
+                let x_in = feats[node.input].as_ref().expect("activation");
+                let mut dw = wgrad(x_in, &g, &map, &w_cfg, &fctx).dw.expect("functional");
+                for k in 0..dw.kernel_volume() {
+                    quantize(dw.offset_mut(k));
+                    // FP16 saturation (|v| at the max finite half) or
+                    // non-finite values mark the step as overflowed.
+                    if dw
+                        .offset(k)
+                        .as_slice()
+                        .iter()
+                        .any(|v| !v.is_finite() || v.abs() >= 65504.0)
+                    {
+                        overflow = true;
+                    }
+                    // Un-scale back to true gradient magnitude.
+                    if loss_scale != 1.0 {
+                        dw.offset_mut(k).scale(1.0 / loss_scale);
+                    }
+                }
+                conv_grads[i] = Some(dw);
+            }
+            Op::BatchNorm => {
+                let params = weights.bns[i].as_ref().expect("bn");
+                let mut dx = g;
+                for r in 0..dx.rows() {
+                    for (c, v) in dx.row_mut(r).iter_mut().enumerate() {
+                        *v *= params.scale[c];
+                    }
+                }
+                accumulate(&mut grads, node.input, dx);
+            }
+            Op::ReLU => {
+                let mut dx = g;
+                relu_backward(&mut dx, feats[node.input].as_ref().expect("activation"));
+                accumulate(&mut grads, node.input, dx);
+            }
+            Op::Add { other } => {
+                accumulate(&mut grads, node.input, g.clone());
+                accumulate(&mut grads, other, g);
+            }
+            Op::Concat { other } => {
+                let c_in = network.out_channels(node.input);
+                let mut g_in = Matrix::zeros(g.rows(), c_in);
+                let mut g_other = Matrix::zeros(g.rows(), g.cols() - c_in);
+                for r in 0..g.rows() {
+                    g_in.row_mut(r).copy_from_slice(&g.row(r)[..c_in]);
+                    g_other.row_mut(r).copy_from_slice(&g.row(r)[c_in..]);
+                }
+                accumulate(&mut grads, node.input, g_in);
+                accumulate(&mut grads, other, g_other);
+            }
+        }
+    }
+
+    BackwardOutput {
+        loss,
+        grads: conv_grads,
+        input_grad: grads[0].take(),
+        overflow,
+    }
+}
+
 impl Trainer {
     /// Initialises weights from `seed` with the given learning rate and
     /// momentum coefficient.
@@ -157,155 +372,27 @@ impl Trainer {
         cfgs: &TrainConfigs,
         ctx: &ExecCtx,
     ) -> f32 {
-        let fctx = ExecCtx {
-            functional: true,
-            ..ctx.clone()
-        };
-        let n_nodes = network.nodes().len();
-
-        // Forward, storing activations.
-        let mut feats: Vec<Option<Matrix>> = vec![None; n_nodes];
-        feats[0] = Some(input.feats().clone());
-        for (i, node) in network.nodes().iter().enumerate().skip(1) {
-            let x = feats[node.input]
-                .as_ref()
-                .expect("producer executed")
-                .clone();
-            feats[i] = Some(match node.op {
-                Op::Input => unreachable!(),
-                Op::Conv(_) => {
-                    let (map, _, group) = session.conv_maps(i).expect("conv map");
-                    let w = self.weights.convs[i].as_ref().expect("weights");
-                    let cfg = cfgs.fwd.for_group(group);
-                    let prepared = prepare(&map, &cfg, &fctx);
-                    forward_prepared(&x, w, &map, &prepared, &cfg, &fctx)
-                        .features
-                        .expect("functional")
-                }
-                Op::BatchNorm => {
-                    let mut y = x;
-                    ts_tensor::batch_norm(&mut y, self.weights.bns[i].as_ref().expect("bn"));
-                    y
-                }
-                Op::ReLU => {
-                    let mut y = x;
-                    ts_tensor::relu(&mut y);
-                    y
-                }
-                Op::Add { other } => {
-                    let mut y = x;
-                    y.add_assign(feats[other].as_ref().expect("operand"));
-                    y
-                }
-                Op::Concat { other } => {
-                    let o = feats[other].as_ref().expect("operand");
-                    let mut y = Matrix::zeros(x.rows(), x.cols() + o.cols());
-                    for r in 0..x.rows() {
-                        y.row_mut(r)[..x.cols()].copy_from_slice(x.row(r));
-                        y.row_mut(r)[x.cols()..].copy_from_slice(o.row(r));
-                    }
-                    y
-                }
-            });
-        }
-
-        let out = feats[network.output()].as_ref().expect("output");
-        let loss = 0.5 * out.as_slice().iter().map(|v| v * v).sum::<f32>();
-
-        // Backward. Under AMP the output gradient is scaled up, every
-        // stored gradient is rounded to the FP16 grid, and updates are
-        // deferred until the overflow check passes.
         let loss_scale = self.amp.map_or(1.0, |a| a.scale);
-        let quantize = |m: &mut Matrix| {
-            if self.amp.is_some() {
-                ts_tensor::Precision::Fp16.quantize_slice(m.as_mut_slice());
-            }
-        };
-        let mut grads: Vec<Option<Matrix>> = vec![None; n_nodes];
-        let mut seed = out.clone();
-        if loss_scale != 1.0 {
-            seed.scale(loss_scale);
-        }
-        quantize(&mut seed);
-        grads[network.output()] = Some(seed);
-        let mut overflow = false;
-        let mut pending: Vec<(usize, ConvWeights)> = Vec::new();
-        for (i, node) in network.nodes().iter().enumerate().skip(1).rev() {
-            let Some(g) = grads[i].take() else { continue };
-            match node.op {
-                Op::Input => unreachable!(),
-                Op::Conv(_) => {
-                    let (map, grad_map, group) = session.conv_maps(i).expect("conv map");
-                    let w = self.weights.convs[i].as_ref().expect("weights").clone();
-                    let d_cfg = cfgs.dgrad.for_group(group);
-                    let w_cfg = cfgs.wgrad.for_group(group);
-                    let mut dx = dgrad(&g, &w, &grad_map, &d_cfg, &fctx)
-                        .features
-                        .expect("functional");
-                    quantize(&mut dx);
-                    accumulate(&mut grads, node.input, dx);
-                    let x_in = feats[node.input].as_ref().expect("activation");
-                    let mut dw = wgrad(x_in, &g, &map, &w_cfg, &fctx).dw.expect("functional");
-                    for k in 0..dw.kernel_volume() {
-                        quantize(dw.offset_mut(k));
-                        // FP16 saturation (|v| at the max finite half) or
-                        // non-finite values mark the step as overflowed.
-                        if dw
-                            .offset(k)
-                            .as_slice()
-                            .iter()
-                            .any(|v| !v.is_finite() || v.abs() >= 65504.0)
-                        {
-                            overflow = true;
-                        }
-                        // Un-scale back to true gradient magnitude.
-                        if loss_scale != 1.0 {
-                            dw.offset_mut(k).scale(1.0 / loss_scale);
-                        }
-                    }
-                    pending.push((i, dw));
-                }
-                Op::BatchNorm => {
-                    let params = self.weights.bns[i].as_ref().expect("bn");
-                    let mut dx = g;
-                    for r in 0..dx.rows() {
-                        for (c, v) in dx.row_mut(r).iter_mut().enumerate() {
-                            *v *= params.scale[c];
-                        }
-                    }
-                    accumulate(&mut grads, node.input, dx);
-                }
-                Op::ReLU => {
-                    let mut dx = g;
-                    relu_backward(&mut dx, feats[node.input].as_ref().expect("activation"));
-                    accumulate(&mut grads, node.input, dx);
-                }
-                Op::Add { other } => {
-                    accumulate(&mut grads, node.input, g.clone());
-                    accumulate(&mut grads, other, g);
-                }
-                Op::Concat { other } => {
-                    let c_in = network.out_channels(node.input);
-                    let mut g_in = Matrix::zeros(g.rows(), c_in);
-                    let mut g_other = Matrix::zeros(g.rows(), g.cols() - c_in);
-                    for r in 0..g.rows() {
-                        g_in.row_mut(r).copy_from_slice(&g.row(r)[..c_in]);
-                        g_other.row_mut(r).copy_from_slice(&g.row(r)[c_in..]);
-                    }
-                    accumulate(&mut grads, node.input, g_in);
-                    accumulate(&mut grads, other, g_other);
-                }
-            }
-        }
+        let bw = forward_backward(
+            network,
+            &self.weights,
+            session,
+            input,
+            cfgs,
+            ctx,
+            loss_scale,
+            self.amp.is_some(),
+        );
 
         // Apply (or skip) the deferred updates and advance the scaler.
-        if overflow {
-            let scaler = self.amp.as_mut().expect("overflow implies AMP");
-            scaler.scale = (scaler.scale / 2.0).max(1.0);
-            scaler.good_steps = 0;
-            scaler.skipped += 1;
+        if bw.overflow {
+            self.amp
+                .as_mut()
+                .expect("overflow implies AMP")
+                .update(true);
         } else {
-            for (i, dw) in pending {
+            for (i, dw) in bw.grads.iter().enumerate() {
+                let Some(dw) = dw else { continue };
                 let v = self.velocity[i].as_mut().expect("velocity slot");
                 for k in 0..v.kernel_volume() {
                     let vk = v.offset_mut(k);
@@ -318,13 +405,10 @@ impl Trainer {
                     .axpy(-self.lr, self.velocity[i].as_ref().expect("velocity"));
             }
             if let Some(scaler) = self.amp.as_mut() {
-                scaler.good_steps += 1;
-                if scaler.good_steps.is_multiple_of(scaler.growth_interval) {
-                    scaler.scale = (scaler.scale * 2.0).min(16_777_216.0);
-                }
+                scaler.update(false);
             }
         }
-        loss
+        bw.loss
     }
 }
 

@@ -115,9 +115,12 @@ pub fn forward_prepared(
 /// harness (`mutate` feature only). With `TS_MUTATE=sign-flip` in the
 /// environment, the fused gather-scatter dataflow's first output element
 /// has its sign flipped — a defect any differential check must catch.
+/// `TS_MUTATE=wgrad-sign-flip` plants the same defect in the fused
+/// gather-scatter *weight-gradient* kernel, which only a training-step
+/// harness exercising the backward path can catch.
 #[cfg(feature = "mutate")]
 mod mutate {
-    use crate::{ConvOutput, DataflowConfig, DataflowKind};
+    use crate::{ConvOutput, ConvWeights, DataflowConfig, DataflowKind};
 
     pub(crate) fn apply(out: &mut ConvOutput, cfg: &DataflowConfig) {
         if !matches!(cfg.kind, DataflowKind::GatherScatter { fused: true }) {
@@ -129,6 +132,24 @@ mod mutate {
         if let Some(y) = out.features.as_mut() {
             if let Some(v) = y.as_mut_slice().iter_mut().find(|v| **v != 0.0) {
                 *v = -*v;
+            }
+        }
+    }
+
+    pub(crate) fn apply_wgrad(dw: &mut Option<ConvWeights>, cfg: &DataflowConfig) {
+        if !matches!(cfg.kind, DataflowKind::GatherScatter { fused: true }) {
+            return;
+        }
+        if std::env::var("TS_MUTATE").as_deref() != Ok("wgrad-sign-flip") {
+            return;
+        }
+        if let Some(w) = dw.as_mut() {
+            for k in 0..w.kernel_volume() {
+                let off = w.offset_mut(k);
+                if let Some(v) = off.as_mut_slice().iter_mut().find(|v| **v != 0.0) {
+                    *v = -*v;
+                    return;
+                }
             }
         }
     }

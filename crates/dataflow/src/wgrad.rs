@@ -40,7 +40,10 @@ pub fn wgrad(
 ) -> WgradOutput {
     assert_eq!(x.rows(), map.n_in(), "wgrad input rows");
     assert_eq!(dy.rows(), map.n_out(), "wgrad output-grad rows");
-    let dw = ctx.functional.then(|| compute(x, dy, map));
+    #[allow(unused_mut)]
+    let mut dw = ctx.functional.then(|| compute(x, dy, map));
+    #[cfg(feature = "mutate")]
+    crate::mutate::apply_wgrad(&mut dw, cfg);
     let trace = wgrad_trace(x.cols(), dy.cols(), map, cfg, ctx);
     WgradOutput { dw, trace }
 }

@@ -72,6 +72,11 @@
 //! | `cache.retuned_groups` | Groups scheduled for re-tuning across warm starts (drifted past policy or repaired by the sanitizer) |
 //! | `cache.inserted` / `.evicted` | Schedule-cache entry lifecycle |
 //! | `cache.rejected` | On-disk entries skipped at open (unparsable, or digest mismatched the file name) |
+//! | `cache.train.hit` / `.miss` / `.warm_start` / `.inserted` | Training-schedule cache lookups and write-backs (keyed by content digest + binding scheme) |
+//! | `train.steps.completed` / `.skipped_overflow` | Training steps applied vs skipped by the loss scaler's overflow check |
+//! | `train.microbatches.executed` | Micro-batch forward+backward executions (gradient accumulation) |
+//! | `train.map.patched` / `.rebuilt` | Step-plan kernel-map maintenance across temporally coherent steps |
+//! | `train.plan.compiled` | Fused step plans compiled (tune + session build epochs) |
 //!
 //! Gauges follow the same convention (e.g. `autotune.speedup`).
 #![warn(missing_docs)]
@@ -101,11 +106,14 @@ pub enum Subsystem {
     /// Content-addressed schedule cache (ts-cache): hits, warm
     /// transfers, evictions.
     Cache,
+    /// Training harness (ts-train): fused step pipeline, binding
+    /// policy, loss scaling, gradient accumulation.
+    Train,
 }
 
 impl Subsystem {
     /// Every subsystem, in `pid` order.
-    pub const ALL: [Subsystem; 9] = [
+    pub const ALL: [Subsystem; 10] = [
         Subsystem::Kernelgen,
         Subsystem::Gpusim,
         Subsystem::Core,
@@ -115,6 +123,7 @@ impl Subsystem {
         Subsystem::App,
         Subsystem::Obs,
         Subsystem::Cache,
+        Subsystem::Train,
     ];
 
     /// Chrome-trace process id (stable across runs).
@@ -129,6 +138,7 @@ impl Subsystem {
             Subsystem::App => 7,
             Subsystem::Obs => 8,
             Subsystem::Cache => 9,
+            Subsystem::Train => 10,
         }
     }
 
@@ -144,6 +154,7 @@ impl Subsystem {
             Subsystem::App => "app",
             Subsystem::Obs => "obs",
             Subsystem::Cache => "cache",
+            Subsystem::Train => "train",
         }
     }
 

@@ -4,12 +4,15 @@
 //! verify --corpus [DIR]                      # replay checked-in repros (CI gate)
 //! verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]
 //! verify --stream [--seed S] [--iters N] [--repro-dir DIR]
+//! verify --train [--seed S] [--iters N] [--repro-dir DIR]
 //! verify --mutation-smoke [--repro-dir DIR]  # requires --features mutate
 //! ```
 //!
 //! `--stream` fuzzes frame-delta sequences through the incremental
 //! kernel-map engine (structural equivalence to from-scratch rebuilds);
-//! it composes with `--corpus` and `--fuzz` the same way they compose
+//! `--train` fuzzes whole training steps (forward + loss + dgrad +
+//! wgrad + micro-batch accumulation) against the full-batch reference.
+//! Both compose with `--corpus` and `--fuzz` the same way they compose
 //! with each other.
 //!
 //! Exit status: 0 = clean, 1 = conformance failure (counterexample
@@ -18,7 +21,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ts_verify::{fuzz, fuzz_stream, replay_corpus, write_repro, write_stream_repro};
+use ts_verify::{fuzz, fuzz_stream, fuzz_train, replay_corpus, write_repro, write_stream_repro};
 
 /// Default corpus/repro directory: `tests/repros/` at the workspace
 /// root, resolved relative to this crate so the binary works from any
@@ -35,6 +38,7 @@ struct Args {
     corpus: Option<PathBuf>,
     fuzz: bool,
     stream: bool,
+    train: bool,
     mutation_smoke: bool,
     seed: u64,
     iters: usize,
@@ -43,7 +47,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: verify --corpus [DIR]\n       verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]\n       verify --stream [--seed S] [--iters N] [--repro-dir DIR]\n       verify --mutation-smoke [--repro-dir DIR]"
+        "usage: verify --corpus [DIR]\n       verify --fuzz [--seed S] [--iters N] [--repro-dir DIR]\n       verify --stream [--seed S] [--iters N] [--repro-dir DIR]\n       verify --train [--seed S] [--iters N] [--repro-dir DIR]\n       verify --mutation-smoke [--repro-dir DIR]"
     );
     ExitCode::from(2)
 }
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         corpus: None,
         fuzz: false,
         stream: false,
+        train: false,
         mutation_smoke: false,
         seed: 0x5EED,
         iters: 16,
@@ -88,6 +93,10 @@ fn parse_args() -> Result<Args, String> {
                 saw_mode = true;
                 args.stream = true;
             }
+            "--train" => {
+                saw_mode = true;
+                args.train = true;
+            }
             "--mutation-smoke" => {
                 saw_mode = true;
                 args.mutation_smoke = true;
@@ -108,7 +117,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if !saw_mode {
-        return Err("pick a mode: --corpus, --fuzz, --stream or --mutation-smoke".to_owned());
+        return Err(
+            "pick a mode: --corpus, --fuzz, --stream, --train or --mutation-smoke".to_owned(),
+        );
     }
     Ok(args)
 }
@@ -136,6 +147,9 @@ fn run_corpus(dir: &Path) -> bool {
             }
             for m in &r.stream_mismatches {
                 println!("  stream mismatch: {m}");
+            }
+            for m in &r.train_mismatches {
+                println!("  train mismatch: {m}");
             }
         }
     }
@@ -205,10 +219,44 @@ fn run_stream(seed: u64, iters: usize, repro_dir: &Path) -> bool {
     }
 }
 
-/// Flips a sign inside one dataflow (the `mutate` feature's hook in
-/// `ts-dataflow`) and asserts the harness catches it with a shrunken
-/// repro of at most 8 points. Proves the conformance gate detects real
-/// defects rather than vacuously passing.
+fn run_train(seed: u64, iters: usize, repro_dir: &Path) -> bool {
+    let report = fuzz_train(seed, iters);
+    match report.counterexample {
+        None => {
+            println!(
+                "train: {} training step(s) from seed {seed:#x}, all conformant",
+                report.iterations
+            );
+            true
+        }
+        Some(ce) => {
+            eprintln!(
+                "train: counterexample after {} scenario(s): {} point(s), {}x{}x{} channels, kernel {}, {} micro-batch(es)",
+                report.iterations,
+                ce.scenario.coords.len(),
+                ce.scenario.c_in,
+                ce.scenario.c_mid,
+                ce.scenario.c_out,
+                ce.scenario.kernel_size,
+                ce.scenario.micro_batches
+            );
+            for m in &ce.mismatches {
+                eprintln!("  {m}");
+            }
+            match ts_verify::write_train_repro(repro_dir, &ce) {
+                Ok(path) => eprintln!("repro written to {}", path.display()),
+                Err(e) => eprintln!("could not write repro: {e}"),
+            }
+            false
+        }
+    }
+}
+
+/// Flips a sign inside one dataflow's forward kernel and one's wgrad
+/// kernel (the `mutate` feature's hooks in `ts-dataflow`) and asserts
+/// the matching harness catches each with a shrunken repro of at most 8
+/// points. Proves the conformance gate — differential *and* training —
+/// detects real defects rather than vacuously passing.
 #[cfg(feature = "mutate")]
 fn run_mutation_smoke(repro_dir: &Path) -> ExitCode {
     std::env::set_var("TS_MUTATE", "sign-flip");
@@ -231,6 +279,39 @@ fn run_mutation_smoke(repro_dir: &Path) -> ExitCode {
         ),
         Err(e) => {
             eprintln!("mutation smoke FAILED: could not persist repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Second leg: a wgrad-only sign flip is invisible to inference but
+    // must be caught (and shrunk) by the training harness.
+    std::env::set_var("TS_MUTATE", "wgrad-sign-flip");
+    let report = fuzz_train(0x5EED_F11B, 8);
+    std::env::remove_var("TS_MUTATE");
+    let Some(ce) = report.counterexample else {
+        eprintln!("mutation smoke FAILED: wgrad sign flip was not caught by --train");
+        return ExitCode::FAILURE;
+    };
+    if !ce
+        .mismatches
+        .iter()
+        .any(|m| matches!(m.pass, ts_verify::Pass::Wgrad))
+    {
+        eprintln!("mutation smoke FAILED: wgrad flip surfaced without a wgrad mismatch");
+        return ExitCode::FAILURE;
+    }
+    let points = ce.scenario.coords.len();
+    if points > 8 {
+        eprintln!("mutation smoke FAILED: train repro has {points} points, expected <= 8");
+        return ExitCode::FAILURE;
+    }
+    match ts_verify::write_train_repro(&smoke_dir, &ce) {
+        Ok(path) => println!(
+            "mutation smoke passed: wgrad sign flip caught by --train, shrunk to {points} point(s), repro at {}",
+            path.display()
+        ),
+        Err(e) => {
+            eprintln!("mutation smoke FAILED: could not persist train repro: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -269,6 +350,10 @@ fn main() -> ExitCode {
     if args.stream && !failed {
         ran = true;
         failed |= !run_stream(args.seed, args.iters, &args.repro_dir);
+    }
+    if args.train && !failed {
+        ran = true;
+        failed |= !run_train(args.seed, args.iters, &args.repro_dir);
     }
     if !ran {
         return usage();

@@ -221,6 +221,8 @@ pub struct CorpusResult {
     pub violations: Vec<crate::Violation>,
     /// Incremental-vs-rebuild divergences, for stream-scenario files.
     pub stream_mismatches: Vec<crate::StreamMismatch>,
+    /// Whole-training-step divergences, for train-scenario files.
+    pub train_mismatches: Vec<Mismatch>,
 }
 
 impl CorpusResult {
@@ -229,14 +231,17 @@ impl CorpusResult {
         self.mismatches.is_empty()
             && self.violations.is_empty()
             && self.stream_mismatches.is_empty()
+            && self.train_mismatches.is_empty()
     }
 }
 
 /// Replays every `*.json` counterexample under `dir` through the
 /// invariant checker and differential engine. Stream-scenario files
 /// (recognized by a `scenario.frames` field) replay through the
-/// incremental kernel-map engine instead. Checked-in repros record
-/// *fixed* bugs, so a healthy corpus replays clean.
+/// incremental kernel-map engine, training-scenario files (recognized
+/// by a `scenario.micro_batches` field) through the whole-training-step
+/// engine. Checked-in repros record *fixed* bugs, so a healthy corpus
+/// replays clean.
 ///
 /// # Errors
 ///
@@ -274,6 +279,22 @@ pub fn replay_corpus(dir: &Path) -> io::Result<Vec<CorpusResult>> {
                 mismatches: Vec::new(),
                 violations: Vec::new(),
                 stream_mismatches,
+                train_mismatches: Vec::new(),
+            });
+        } else if value
+            .get("scenario")
+            .and_then(|s| s.get("micro_batches"))
+            .is_some()
+        {
+            let ce: crate::TrainCounterexample =
+                serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
+            let train_mismatches = crate::run_train_scenario(&ce.scenario);
+            results.push(CorpusResult {
+                path,
+                mismatches: Vec::new(),
+                violations: Vec::new(),
+                stream_mismatches: Vec::new(),
+                train_mismatches,
             });
         } else {
             let ce: Counterexample = serde_json::from_str(&text).map_err(|e| bad(e.to_string()))?;
@@ -284,6 +305,7 @@ pub fn replay_corpus(dir: &Path) -> io::Result<Vec<CorpusResult>> {
                 mismatches,
                 violations,
                 stream_mismatches: Vec::new(),
+                train_mismatches: Vec::new(),
             });
         }
     }
@@ -334,7 +356,7 @@ mod tests {
     }
 
     #[test]
-    fn corpus_dispatches_stream_and_differential_files() {
+    fn corpus_dispatches_stream_train_and_differential_files() {
         let dir = std::env::temp_dir().join(format!("ts-verify-mixed-{}", std::process::id()));
         let diff = Counterexample {
             scenario: generate_scenario(11),
@@ -344,10 +366,15 @@ mod tests {
             scenario: crate::generate_stream_scenario(11),
             mismatches: Vec::new(),
         };
+        let train = crate::TrainCounterexample {
+            scenario: crate::generate_train_scenario(11),
+            mismatches: Vec::new(),
+        };
         write_repro(&dir, &diff).expect("writes differential");
         crate::write_stream_repro(&dir, &stream).expect("writes stream");
+        crate::write_train_repro(&dir, &train).expect("writes train");
         let results = replay_corpus(&dir).expect("replays");
-        assert_eq!(results.len(), 2);
+        assert_eq!(results.len(), 3);
         for r in &results {
             assert!(r.passed(), "{r:#?}");
         }

@@ -24,13 +24,20 @@
 //!   kernel-map engine ([`ts_kernelmap::IncrementalMap`]) and compared
 //!   structurally against from-scratch rebuilds after every frame;
 //!   failures shrink to a minimal frame sequence first.
+//! * **Training mode** ([`fuzz_train`], [`run_train_scenario`]) —
+//!   whole training steps (forward + loss + dgrad + wgrad + micro-batch
+//!   gradient accumulation) through `ts_core::forward_backward` on a
+//!   compiled session, every dataflow × precision against the
+//!   full-batch `ts_dataflow::reference` step; failures shrink the
+//!   micro-batch count first, then the scenario.
 //!
 //! The `verify` binary drives all of them: `--corpus` replays
-//! checked-in repros (CI gate, both scenario kinds), `--fuzz --seed S
+//! checked-in repros (CI gate, all scenario kinds), `--fuzz --seed S
 //! --iters N` hunts for new differential counterexamples, `--stream`
-//! does the same for frame-delta sequences, and `--mutation-smoke`
-//! (with the `mutate` feature) proves the harness catches a
-//! deliberately broken dataflow.
+//! does the same for frame-delta sequences, `--train` for whole
+//! training steps, and `--mutation-smoke` (with the `mutate` feature)
+//! proves the harness catches deliberately broken forward *and* wgrad
+//! dataflows.
 //!
 //! # Examples
 //!
@@ -52,6 +59,7 @@ mod differential;
 mod fuzz;
 mod invariants;
 mod stream;
+mod train;
 mod violation;
 
 pub use differential::{
@@ -65,6 +73,10 @@ pub use fuzz::{
 pub use stream::{
     fuzz_stream, generate_stream_scenario, run_stream_scenario, shrink_stream, write_stream_repro,
     FrameOps, StreamCounterexample, StreamFuzzReport, StreamMismatch, StreamScenario,
+};
+pub use train::{
+    fuzz_train, generate_train_scenario, run_train_scenario, shrink_train, write_train_repro,
+    TrainCounterexample, TrainFuzzReport, TrainScenario,
 };
 
 pub use invariants::{

@@ -29,4 +29,5 @@ pub use ts_obs as obs;
 pub use ts_serve as serve;
 pub use ts_tensor as tensor;
 pub use ts_trace as trace;
+pub use ts_train as train;
 pub use ts_workloads as workloads;
